@@ -1,0 +1,156 @@
+// Ablation benchmarks for the design choices the paper credits for
+// NVBitFI's performance (Section II "Discussion" and Section V):
+//
+//   - selective dynamic instrumentation (only the target dynamic kernel)
+//     versus compile-time whole-program instrumentation;
+//   - JIT caching of instrumented kernels versus rebuilding per launch.
+package nvbitfi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/nvbit"
+	"repro/internal/sass"
+)
+
+// BenchmarkAblation_SelectiveInstrumentation compares the same fault
+// injected through NVBitFI's selective dynamic mechanism and through the
+// compile-time whole-program mechanism (staticfi). The fault, corruption,
+// and outcome are identical; only the instrumentation scope differs.
+func BenchmarkAblation_SelectiveInstrumentation(b *testing.B) {
+	w, err := nvbitfi.SpecACCELProgram("303.ostencil")
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden := state.goldenFor(b, w)
+	profile, _ := state.profileFor(b, w, nvbitfi.Exact)
+	params, err := core.SelectTransientFault(profile, sass.GroupGPPR, core.FlipSingleBit,
+		rand.New(rand.NewSource(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for i := 0; i < b.N; i++ {
+		// Selective (NVBitFI): only the target dynamic kernel instance is
+		// instrumented.
+		selRes, err := state.runner.RunTransient(w, golden, *params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Whole-program (SASSIFI-style): every instruction of every kernel
+		// carries the check on every launch.
+		dev, err := nvbitfi.NewDevice(nvbitfi.Volta, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, err := nvbitfi.NewContext(dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.SetDefaultBudget(1 << 30)
+		st, err := baseline.AttachStaticFI(ctx, *params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := w.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+		staticDur := time.Since(start)
+		st.Detach()
+
+		if st.Record() != selRes.Injection {
+			b.Fatalf("mechanisms disagree on the fault:\nselective: %+v\nstatic: %+v",
+				selRes.Injection, st.Record())
+		}
+		native := state.nativeDur[w.Name()]
+		printOnce(i, "\nAblation — selective vs whole-program instrumentation (same fault, 303.ostencil)\n")
+		printOnce(i, "native            %10v\n", native.Round(time.Millisecond))
+		printOnce(i, "selective (NVBitFI) %8v  (%.1fx native)\n",
+			selRes.Duration.Round(time.Millisecond), ratio(selRes.Duration, native))
+		printOnce(i, "whole-program     %10v  (%.1fx native, %.1fx selective)\n",
+			staticDur.Round(time.Millisecond), ratio(staticDur, native),
+			ratio(staticDur, selRes.Duration))
+	}
+}
+
+// BenchmarkAblation_JITCache measures what kernel-instrumentation caching
+// saves: the same profiling tool run with a stable cache key (one JIT build
+// per static kernel) versus a cache-defeating key (one build per dynamic
+// launch).
+func BenchmarkAblation_JITCache(b *testing.B) {
+	w, err := nvbitfi.SpecACCELProgram("360.ilbdc") // one kernel, 100 launches
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(defeatCache bool) (time.Duration, int) {
+		dev, err := nvbitfi.NewDevice(nvbitfi.Volta, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, err := nvbitfi.NewContext(dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.SetDefaultBudget(1 << 32)
+		tool := &cacheAblationTool{defeatCache: defeatCache}
+		att, err := nvbit.Attach(ctx, tool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer att.Detach()
+		start := time.Now()
+		if _, err := w.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start), att.JITBuilds()
+	}
+	for i := 0; i < b.N; i++ {
+		cachedDur, cachedBuilds := run(false)
+		uncachedDur, uncachedBuilds := run(true)
+		printOnce(i, "\nAblation — JIT instrumentation cache (360.ilbdc, every launch instrumented)\n")
+		printOnce(i, "cached:   %4d builds, %v\n", cachedBuilds, cachedDur.Round(time.Millisecond))
+		printOnce(i, "uncached: %4d builds, %v (%.2fx)\n",
+			uncachedBuilds, uncachedDur.Round(time.Millisecond), ratio(uncachedDur, cachedDur))
+		printOnce(i, "(the cache bounds builds at one per static kernel; in this simulator a build is\n")
+		printOnce(i, " cheap, so the benefit is structural — on real hardware each build is a driver JIT)\n")
+		if cachedBuilds >= uncachedBuilds {
+			b.Fatalf("cache had no effect: %d vs %d builds", cachedBuilds, uncachedBuilds)
+		}
+	}
+}
+
+// cacheAblationTool instruments every launch with a trivial callback,
+// optionally defeating the JIT cache with per-launch keys.
+type cacheAblationTool struct {
+	defeatCache bool
+	n           int
+}
+
+var _ nvbit.Tool = (*cacheAblationTool)(nil)
+
+func (c *cacheAblationTool) Name() string { return "cache-ablation" }
+
+func (c *cacheAblationTool) OnLaunch(*nvbit.LaunchInfo) nvbit.Decision {
+	c.n++
+	key := "stable"
+	if c.defeatCache {
+		key = fmt.Sprintf("launch-%d", c.n)
+	}
+	return nvbit.Decision{Instrument: true, Key: key}
+}
+
+func (c *cacheAblationTool) Instrument(k *sass.Kernel, _ string, ins *nvbit.Inserter) {
+	for i := range ins.Instrs() {
+		ins.InsertBefore(i, func(*gpu.InstrCtx) {})
+	}
+}
+
+func (c *cacheAblationTool) OnLaunchDone(*nvbit.LaunchInfo, gpu.LaunchStats, *gpu.Trap, bool) {}

@@ -1,0 +1,152 @@
+package nvbitfi_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIQuickstart drives the documented Figure 1 flow entirely
+// through the public facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w, err := nvbitfi.SpecACCELProgram("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := nvbitfi.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, nvbitfi.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	params, err := nvbitfi.SelectTransientFault(profile, nvbitfi.GroupGPPR, nvbitfi.FlipSingleBit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunTransient(w, golden, *params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Injection.Activated {
+		t.Fatal("fault did not activate")
+	}
+	switch res.Class.Outcome {
+	case nvbitfi.Masked, nvbitfi.SDC, nvbitfi.DUE:
+	default:
+		t.Fatalf("unclassified outcome: %+v", res.Class)
+	}
+}
+
+func TestPublicAPICatalog(t *testing.T) {
+	if got := len(nvbitfi.SpecACCEL()); got != 15 {
+		t.Fatalf("suite size = %d", got)
+	}
+	if got := len(nvbitfi.SpecACCELNames()); got != 15 {
+		t.Fatalf("names = %d", got)
+	}
+	if got := len(nvbitfi.SpecACCELInfos()); got != 15 {
+		t.Fatalf("infos = %d", got)
+	}
+	if got := nvbitfi.OpcodeCount(nvbitfi.Volta); got != 171 {
+		t.Fatalf("Volta opcodes = %d, want 171", got)
+	}
+	for _, f := range []nvbitfi.Family{nvbitfi.Kepler, nvbitfi.Maxwell, nvbitfi.Pascal, nvbitfi.Ampere} {
+		if nvbitfi.OpcodeCount(f) == 0 {
+			t.Fatalf("family %v has no opcodes", f)
+		}
+	}
+	m, err := nvbitfi.MarginOfError(100, 0.90)
+	if err != nil || math.Abs(m-0.08) > 0.005 {
+		t.Fatalf("MarginOfError = %v, %v", m, err)
+	}
+	if _, err := nvbitfi.SpecACCELProgram("nope"); err == nil ||
+		!strings.Contains(err.Error(), "unknown program") {
+		t.Fatalf("unknown program: %v", err)
+	}
+}
+
+// TestPublicAPIProfilerAttach uses the raw Attach path: profile the AV
+// pipeline through the facade without the Runner convenience.
+func TestPublicAPIProfilerAttach(t *testing.T) {
+	dev, err := nvbitfi.NewDevice(nvbitfi.Volta, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := nvbitfi.NewContext(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetDefaultBudget(1 << 30)
+	prof, err := nvbitfi.NewProfiler("av.pipeline", nvbitfi.Approximate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detach, err := nvbitfi.Attach(ctx, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detach()
+	pipeline := nvbitfi.NewAVPipeline(nvbitfi.AVConfig{Frames: 2})
+	if _, err := pipeline.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	profile := prof.Finish()
+	// 5 kernels per frame x 2 frames.
+	if got := profile.DynamicKernels(); got != 10 {
+		t.Fatalf("dynamic kernels = %d, want 10", got)
+	}
+	if got := len(profile.StaticKernels()); got != 5 {
+		t.Fatalf("static kernels = %d, want 5", got)
+	}
+	// The binary-only vendor kernels are profiled like any others.
+	joined := strings.Join(profile.StaticKernels(), ",")
+	if !strings.Contains(joined, "conv1d") || !strings.Contains(joined, "score") {
+		t.Fatalf("vendor kernels missing from profile: %s", joined)
+	}
+}
+
+// TestPublicAPICampaigns runs miniature transient and permanent campaigns
+// through the facade.
+func TestPublicAPICampaigns(t *testing.T) {
+	w, err := nvbitfi.SpecACCELProgram("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := nvbitfi.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, nvbitfi.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := nvbitfi.RunTransientCampaign(r, w, golden, profile, nvbitfi.TransientCampaignConfig{
+		Injections: 8,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Tally.N != 8 {
+		t.Fatalf("transient campaign ran %d", tc.Tally.N)
+	}
+	pc, err := nvbitfi.RunPermanentCampaign(r, w, golden, profile, nvbitfi.RandomValue, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Runs) != len(profile.ExecutedOpcodes()) {
+		t.Fatalf("permanent campaign ran %d of %d opcodes",
+			len(pc.Runs), len(profile.ExecutedOpcodes()))
+	}
+	if pc.Weighted == nil || pc.Weighted.Total() == 0 {
+		t.Fatal("permanent campaign has no weighted outcomes")
+	}
+}

@@ -1,0 +1,487 @@
+// Command nvbitfi is the campaign CLI, the analog of the NVBitFI package's
+// convenience scripts: it profiles a target program, selects faults,
+// injects them, classifies outcomes, and runs whole campaigns.
+//
+// Usage:
+//
+//	nvbitfi profile   -program 303.ostencil [-mode exact|approx] [-o profile.txt]
+//	nvbitfi select    -profile profile.txt [-group G_GPPR] [-bitflip 1] [-seed 1] [-o params.txt]
+//	nvbitfi inject    -program 303.ostencil -params params.txt
+//	nvbitfi pf-inject -program 303.ostencil -sm 0 -lane 3 -mask 0x400 -opcode 12
+//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1]
+//	nvbitfi profdiff  -a exact.txt -b approx.txt [-group G_GPPR] [-min 0.01]
+//	nvbitfi report    -table1 | -table4
+//	nvbitfi list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/nvbit"
+	"repro/internal/report"
+	"repro/internal/sass"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "select":
+		err = cmdSelect(os.Args[2:])
+	case "inject":
+		err = cmdInject(os.Args[2:])
+	case "pf-inject":
+		err = cmdPFInject(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
+	case "profdiff":
+		err = cmdProfDiff(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "list":
+		err = cmdList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvbitfi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nvbitfi <profile|select|inject|pf-inject|campaign|profdiff|report|list> [flags]
+run "nvbitfi <subcommand> -h" for subcommand flags`)
+}
+
+func lookupProgram(name string) (nvbitfi.Workload, error) {
+	if name == "av.pipeline" {
+		return nvbitfi.NewAVPipeline(nvbitfi.AVConfig{}), nil
+	}
+	return nvbitfi.SpecACCELProgram(name)
+}
+
+func parseMode(s string) (nvbitfi.ProfileMode, error) {
+	switch s {
+	case "exact":
+		return nvbitfi.Exact, nil
+	case "approx", "approximate":
+		return nvbitfi.Approximate, nil
+	default:
+		return 0, fmt.Errorf("unknown profiling mode %q (want exact or approx)", s)
+	}
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	program := fs.String("program", "", "target program name")
+	mode := fs.String("mode", "exact", "profiling mode: exact or approx")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := lookupProgram(*program)
+	if err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	r := nvbitfi.Runner{}
+	profile, dur, err := r.Profile(w, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "profiled %s in %v: %d dynamic kernels, %d static\n",
+		w.Name(), dur.Round(time.Millisecond), profile.DynamicKernels(), len(profile.StaticKernels()))
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	_, err = profile.WriteTo(dst)
+	return err
+}
+
+func cmdSelect(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	profilePath := fs.String("profile", "", "profile file from 'nvbitfi profile'")
+	group := fs.String("group", "G_GPPR", "instruction group (arch state id or name)")
+	bitflip := fs.Int("bitflip", 1, "bit-flip model 1..4")
+	seed := fs.Int64("seed", 1, "selection seed")
+	out := fs.String("o", "", "output parameter file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	profile, err := core.ParseProfile(f)
+	if err != nil {
+		return err
+	}
+	g, err := sass.ParseGroup(*group)
+	if err != nil {
+		return err
+	}
+	params, err := nvbitfi.SelectTransientFault(profile, g, nvbitfi.BitFlipModel(*bitflip),
+		rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		dst = file
+	}
+	_, err = params.WriteTo(dst)
+	return err
+}
+
+func cmdInject(args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	program := fs.String("program", "", "target program name")
+	paramsPath := fs.String("params", "", "parameter file from 'nvbitfi select'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := lookupProgram(*program)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*paramsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	params, err := core.ParseTransientParams(f)
+	if err != nil {
+		return err
+	}
+	r := nvbitfi.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		return err
+	}
+	res, err := r.RunTransient(w, golden, *params)
+	if err != nil {
+		return err
+	}
+	rec := res.Injection
+	fmt.Printf("injection: activated=%v kernel=%s instr=%d opcode=%v lane=%d target=%s 0x%08x->0x%08x\n",
+		rec.Activated, rec.Kernel, rec.InstrIdx, rec.Opcode, rec.Lane, rec.Target, rec.Before, rec.After)
+	fmt.Printf("outcome: %v\n", res.Class)
+	return nil
+}
+
+func cmdPFInject(args []string) error {
+	fs := flag.NewFlagSet("pf-inject", flag.ExitOnError)
+	program := fs.String("program", "", "target program name")
+	sm := fs.Int("sm", 0, "SM id")
+	lane := fs.Int("lane", 0, "lane id 0..31")
+	mask := fs.String("mask", "0x1", "XOR bit mask")
+	opcode := fs.Int("opcode", 0, "opcode id in the Volta opcode set")
+	paramsPath := fs.String("params", "", "Table III parameter file (overrides the flags)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := lookupProgram(*program)
+	if err != nil {
+		return err
+	}
+	var p nvbitfi.PermanentParams
+	if *paramsPath != "" {
+		f, err := os.Open(*paramsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pp, err := core.ParsePermanentParams(f)
+		if err != nil {
+			return err
+		}
+		p = *pp
+	} else {
+		m, err := strconv.ParseUint(*mask, 0, 32)
+		if err != nil {
+			return fmt.Errorf("bad mask: %v", err)
+		}
+		p = nvbitfi.PermanentParams{SMID: *sm, Lane: *lane, BitMask: uint32(m), OpcodeID: *opcode}
+	}
+	r := nvbitfi.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		return err
+	}
+	res, err := r.RunPermanent(w, golden, p, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("permanent fault: opcode %v on SM %d lane %d mask 0x%x, %d activations\n",
+		p.Opcode(nvbitfi.Volta), p.SMID, p.Lane, p.BitMask, res.Activations)
+	fmt.Printf("outcome: %v\n", res.Class)
+	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	program := fs.String("program", "", "target program name (or 'all')")
+	n := fs.Int("n", 100, "number of transient injections")
+	mode := fs.String("mode", "exact", "profiling mode: exact or approx")
+	group := fs.String("group", "G_GPPR", "instruction group")
+	bitflip := fs.Int("bitflip", 1, "bit-flip model 1..4")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	permanent := fs.Bool("permanent", false, "run a permanent campaign instead")
+	csvPath := fs.String("csv", "", "write the outcome distribution as CSV to this file")
+	runlogPath := fs.String("runlog", "", "write one line per injection run to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	g, err := sass.ParseGroup(*group)
+	if err != nil {
+		return err
+	}
+	var programs []nvbitfi.Workload
+	if *program == "all" {
+		programs = nvbitfi.SpecACCEL()
+	} else {
+		w, err := lookupProgram(*program)
+		if err != nil {
+			return err
+		}
+		programs = []nvbitfi.Workload{w}
+	}
+	r := nvbitfi.Runner{}
+	var results []*nvbitfi.CampaignResult
+	for _, w := range programs {
+		golden, err := r.Golden(w)
+		if err != nil {
+			return err
+		}
+		profile, _, err := r.Profile(w, m)
+		if err != nil {
+			return err
+		}
+		var res *nvbitfi.CampaignResult
+		if *permanent {
+			res, err = nvbitfi.RunPermanentCampaign(r, w, golden, profile,
+				nvbitfi.BitFlipModel(*bitflip), *seed, 1)
+		} else {
+			res, err = nvbitfi.RunTransientCampaign(r, w, golden, profile, nvbitfi.TransientCampaignConfig{
+				Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
+			})
+		}
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		fmt.Println(report.Summary(res))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if *permanent {
+			err = report.WriteWeightedCSV(f, results...)
+		} else {
+			err = report.WriteOutcomeCSV(f, results...)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if *runlogPath != "" {
+		f, err := os.Create(*runlogPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for _, res := range results {
+			if err := report.WriteRunLog(f, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cmdProfDiff compares two profiles — the exact-versus-approximate
+// analysis of the paper's Section IV-B.
+func cmdProfDiff(args []string) error {
+	fs := flag.NewFlagSet("profdiff", flag.ExitOnError)
+	aPath := fs.String("a", "", "first profile file")
+	bPath := fs.String("b", "", "second profile file")
+	group := fs.String("group", "G_GPPR", "instruction group to compare")
+	minRel := fs.Float64("min", 0.01, "report kernels deviating at least this fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := sass.ParseGroup(*group)
+	if err != nil {
+		return err
+	}
+	load := func(path string) (*core.Profile, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.ParseProfile(f)
+	}
+	a, err := load(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := load(*bPath)
+	if err != nil {
+		return err
+	}
+	d := core.DiffProfiles(a, b, g)
+	return d.WriteReport(os.Stdout, *minRel)
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	table1 := fs.Bool("table1", false, "print the tool-capability comparison (Table I)")
+	table4 := fs.Bool("table4", false, "print the benchmark suite (Table IV)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *table1:
+		return reportTable1()
+	case *table4:
+		return reportTable4()
+	default:
+		return fmt.Errorf("report: pass -table1 or -table4")
+	}
+}
+
+func reportTable1() error {
+	params := core.TransientParams{
+		Group: nvbitfi.GroupGP, BitFlip: nvbitfi.FlipSingleBit,
+		KernelName: "conv1d", KernelCount: 2, InstrCount: 500,
+		DestRegSelect: 0.3, BitPatternValue: 0.4,
+	}
+	newCtx := func() (*nvbitfi.Context, error) {
+		dev, err := nvbitfi.NewDevice(nvbitfi.Volta, 8)
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := nvbitfi.NewContext(dev)
+		if err != nil {
+			return nil, err
+		}
+		ctx.SetDefaultBudget(1 << 30)
+		return ctx, nil
+	}
+	pipeline := nvbitfi.NewAVPipeline(nvbitfi.AVConfig{Frames: 4})
+
+	fmt.Printf("%-22s %-16s %-14s %-18s %s\n", "Tool", "Mechanism", "Needs source?", "Injected library?", "Notes")
+	// NVBitFI.
+	ctx, err := newCtx()
+	if err != nil {
+		return err
+	}
+	inj, err := nvbitfi.NewTransientInjector(params)
+	if err != nil {
+		return err
+	}
+	att, err := nvbit.Attach(ctx, inj)
+	if err != nil {
+		return err
+	}
+	if _, err := pipeline.Run(ctx); err != nil {
+		return err
+	}
+	att.Detach()
+	fmt.Printf("%-22s %-16s %-14s %-18v %s\n", "NVBitFI (this work)", "dynamic binary", "No",
+		inj.Record().Activated, "selective per dynamic kernel")
+	// StaticFI.
+	ctx, err = newCtx()
+	if err != nil {
+		return err
+	}
+	s, err := baseline.AttachStaticFI(ctx, params)
+	if err != nil {
+		return err
+	}
+	if _, err := pipeline.Run(ctx); err != nil {
+		return err
+	}
+	s.Detach()
+	fmt.Printf("%-22s %-16s %-14s %-18v %s\n", "StaticFI (SASSIFI)", "compile-time", "Yes",
+		s.Record().Activated, strings.Join(s.Failures(), "; "))
+	// DebuggerFI.
+	ctx, err = newCtx()
+	if err != nil {
+		return err
+	}
+	d, err := baseline.AttachDebuggerFI(ctx, params)
+	if err != nil {
+		return err
+	}
+	out, err := pipeline.Run(ctx)
+	if err != nil {
+		return err
+	}
+	d.Detach()
+	fmt.Printf("%-22s %-16s %-14s %-18v %s\n", "DebuggerFI (GPU-Qin)", "debugger", "No",
+		d.Record().Activated, fmt.Sprintf("%d single steps; exit %d", d.Steps(), out.ExitCode))
+	return nil
+}
+
+func reportTable4() error {
+	fmt.Printf("%-14s %-46s %8s %9s\n", "Program", "Description", "Static", "Dynamic")
+	r := nvbitfi.Runner{}
+	for _, w := range nvbitfi.SpecACCEL() {
+		profile, _, err := r.Profile(w, nvbitfi.Approximate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %-46s %8d %9d\n", w.Name(), w.Description(),
+			len(profile.StaticKernels()), profile.DynamicKernels())
+	}
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("available programs:")
+	for _, info := range nvbitfi.SpecACCELInfos() {
+		fmt.Printf("  %-14s %s\n", info.Name, info.Description)
+	}
+	fmt.Printf("  %-14s %s\n", "av.pipeline", "Real-time AV perception pipeline (binary-only vendor detector)")
+	return nil
+}

@@ -1,0 +1,161 @@
+// Command sassdis assembles, disassembles, and inspects kernels across the
+// five architecture-family binary encodings — the nvdisasm/cuobjdump
+// analog. It demonstrates the encoding abstraction the NVBit layer relies
+// on: the same program round-trips through every family's machine code.
+//
+// Usage:
+//
+//	sassdis -in kernel.sass [-family volta] [-hex] [-stats]
+//	sassdis -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+)
+
+const demoSrc = `
+.kernel saxpy
+.param n
+.param a
+.param xptr
+.param yptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[xptr]
+    IADD R5, R3, c0[yptr]
+    LDG.32 R6, [R4]
+    LDG.32 R7, [R5]
+    MOV R8, c0[a]
+    FFMA R9, R8, R6, R7
+    STG.32 [R5], R9
+    EXIT
+`
+
+func main() {
+	in := flag.String("in", "", "assembly source file ('-' for stdin)")
+	family := flag.String("family", "volta", "architecture family: kepler|maxwell|pascal|volta|ampere")
+	hexDump := flag.Bool("hex", false, "dump the encoded machine code")
+	stats := flag.Bool("stats", false, "print per-opcode and per-group statistics")
+	demo := flag.Bool("demo", false, "use a built-in SAXPY kernel")
+	flag.Parse()
+
+	src := demoSrc
+	name := "demo"
+	switch {
+	case *demo:
+	case *in == "-":
+		b, err := readAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		src, name = string(b), "stdin"
+	case *in != "":
+		b, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		src, name = string(b), *in
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fam, err := parseFamily(*family)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := sass.Assemble(name, src)
+	if err != nil {
+		fatal(err)
+	}
+	codec, err := encoding.NewCodec(fam)
+	if err != nil {
+		fatal(err)
+	}
+	bin, err := codec.EncodeProgram(prog)
+	if err != nil {
+		fatal(err)
+	}
+	decoded, err := codec.DecodeProgram(bin)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("// module %s, %s machine code: %d bytes, %d kernel(s)\n",
+		prog.Name, fam, len(bin), len(decoded.Kernels))
+	fmt.Print(sass.Disassemble(decoded))
+
+	if *hexDump {
+		fmt.Println("\n// machine code:")
+		for off := 0; off < len(bin); off += 16 {
+			end := off + 16
+			if end > len(bin) {
+				end = len(bin)
+			}
+			fmt.Printf("%08x  % x\n", off, bin[off:end])
+		}
+	}
+	if *stats {
+		printStats(decoded, fam)
+	}
+}
+
+func printStats(p *sass.Program, fam sass.Family) {
+	fmt.Printf("\n// family %v implements %d opcodes\n", fam, sass.OpcodeCount(fam))
+	for _, k := range p.Kernels {
+		groups := make(map[sass.Group]int)
+		for i := range k.Instrs {
+			groups[sass.ClassOf(k.Instrs[i].Op)]++
+		}
+		fmt.Printf("// kernel %s: %d instructions;", k.Name, len(k.Instrs))
+		for _, g := range sass.PrimaryGroups() {
+			if groups[g] > 0 {
+				fmt.Printf(" %v=%d", g, groups[g])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func parseFamily(s string) (sass.Family, error) {
+	for _, f := range sass.Families() {
+		if strings.EqualFold(f.String(), s) {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown family %q", s)
+}
+
+func readAll(f *os.File) ([]byte, error) {
+	var out []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := f.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return out, nil
+			}
+			return out, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sassdis:", err)
+	os.Exit(1)
+}

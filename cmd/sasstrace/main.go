@@ -1,0 +1,131 @@
+// Command sasstrace is an NVBit-style dynamic instruction tracer — the
+// classic "other" NVBit tool beside the fault injector. It attaches to a
+// benchmark program, instruments one kernel, and streams the first N
+// dynamic warp instructions with their exec masks and destination values.
+// It demonstrates that the DBI layer underneath NVBitFI is a general
+// instrumentation framework, exactly as the paper positions NVBit.
+//
+// Usage:
+//
+//	sasstrace -program 303.ostencil -kernel stencil_step [-launch 0] [-n 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/gpu"
+	"repro/internal/nvbit"
+	"repro/internal/sass"
+)
+
+func main() {
+	program := flag.String("program", "303.ostencil", "target program name")
+	kernel := flag.String("kernel", "", "kernel to trace (default: first launched)")
+	launch := flag.Int("launch", 0, "dynamic instance of the kernel to trace")
+	n := flag.Int("n", 40, "number of warp instructions to print")
+	flag.Parse()
+
+	w, err := nvbitfi.SpecACCELProgram(*program)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := nvbitfi.NewDevice(nvbitfi.Volta, 8)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, err := nvbitfi.NewContext(dev)
+	if err != nil {
+		fatal(err)
+	}
+	ctx.SetDefaultBudget(1 << 32)
+
+	tr := &tracer{kernel: *kernel, launch: *launch, limit: *n}
+	detach, err := nvbitfi.Attach(ctx, tr)
+	if err != nil {
+		fatal(err)
+	}
+	defer detach()
+
+	if _, err := w.Run(ctx); err != nil {
+		fatal(err)
+	}
+	if tr.printed == 0 {
+		fmt.Fprintf(os.Stderr, "sasstrace: kernel %q instance %d never launched\n",
+			*kernel, *launch)
+		os.Exit(1)
+	}
+	fmt.Printf("... traced %d warp instructions of %s (instance %d)\n",
+		tr.printed, tr.traced, tr.launch)
+}
+
+// tracer is the NVBit tool: it instruments every instruction of the target
+// dynamic kernel and prints execution events until the limit is reached.
+type tracer struct {
+	kernel  string
+	launch  int
+	limit   int
+	printed int
+	traced  string
+	active  bool
+}
+
+var _ nvbit.Tool = (*tracer)(nil)
+
+func (t *tracer) Name() string { return "sasstrace" }
+
+func (t *tracer) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
+	if t.kernel == "" {
+		t.kernel = info.Kernel.Name
+	}
+	if info.Kernel.Name != t.kernel || info.LaunchIndex != t.launch {
+		return nvbit.RunOriginal
+	}
+	t.active = true
+	t.traced = info.Kernel.Name
+	fmt.Printf("tracing %s instance %d: grid %v block %v, %d instructions\n",
+		info.Kernel.Name, info.LaunchIndex, info.Config.Grid, info.Config.Block,
+		len(info.Kernel.Instrs))
+	fmt.Printf("%-5s %-4s %-10s %-34s %s\n", "idx", "warp", "execmask", "instruction", "dest(lane0..3)")
+	return nvbit.Decision{Instrument: true, Key: "trace"}
+}
+
+func (t *tracer) Instrument(k *sass.Kernel, _ string, ins *nvbit.Inserter) {
+	for i := range k.Instrs {
+		idx := i
+		in := k.Instrs[i]
+		ins.InsertAfter(i, func(c *gpu.InstrCtx) { t.event(c, idx, &in) })
+	}
+}
+
+func (t *tracer) event(c *gpu.InstrCtx, idx int, in *sass.Instr) {
+	if !t.active || t.printed >= t.limit {
+		return
+	}
+	t.printed++
+	dests := ""
+	if len(in.Dst) > 0 && in.Dst[0].Kind == sass.OpdReg {
+		for lane := 0; lane < 4; lane++ {
+			if c.LaneActive(lane) {
+				dests += fmt.Sprintf("%08x ", c.ReadReg(lane, in.Dst[0].Reg))
+			} else {
+				dests += "-------- "
+			}
+		}
+	}
+	fmt.Printf("%-5d %-4d 0x%08x %-34s %s\n", idx, c.WarpID, c.ActiveMask, in.String(), dests)
+}
+
+func (t *tracer) OnLaunchDone(info *nvbit.LaunchInfo, _ gpu.LaunchStats, _ *gpu.Trap, _ bool) {
+	if t.active && info.Kernel != nil && info.Kernel.Name == t.kernel &&
+		info.LaunchIndex == t.launch {
+		t.active = false
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sasstrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command specaccel runs the SpecACCEL benchmark analogs standalone: a
+// golden (fault-free) run of one or all programs, printing their output and
+// execution statistics. It is the "target program" side of the injection
+// flow — what NVBitFI would be LD_PRELOADed into.
+//
+// Usage:
+//
+//	specaccel -list
+//	specaccel -run 303.ostencil [-show-output]
+//	specaccel -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the benchmark programs (Table IV)")
+	run := flag.String("run", "", "program to run ('all' for the whole suite)")
+	showOutput := flag.Bool("show-output", false, "print the program's stdout")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-14s %-46s %11s %12s %12s\n",
+			"Program", "Description", "Static", "Paper-dyn", "Scaled-dyn")
+		for _, info := range nvbitfi.SpecACCELInfos() {
+			fmt.Printf("%-14s %-46s %11d %12d %12d\n",
+				info.Name, info.Description, info.PaperStaticKernels,
+				info.PaperDynamicKernels, info.ScaledDynamicKernels)
+		}
+	case *run == "all":
+		for _, w := range nvbitfi.SpecACCEL() {
+			if err := runOne(w, *showOutput); err != nil {
+				fatal(err)
+			}
+		}
+	case *run != "":
+		w, err := nvbitfi.SpecACCELProgram(*run)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runOne(w, *showOutput); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(w nvbitfi.Workload, showOutput bool) error {
+	r := nvbitfi.Runner{}
+	g, err := r.Golden(w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s ok in %8v  (%d blocks, %d warp instrs, %d thread instrs)\n",
+		w.Name(), g.Duration.Round(time.Millisecond), g.Stats.Blocks,
+		g.Stats.WarpInstrs, g.Stats.ThreadInstrs)
+	if showOutput {
+		fmt.Print(g.Output.Stdout)
+		for name, data := range g.Output.Files {
+			fmt.Printf("  [file %s: %d bytes]\n", name, len(data))
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specaccel:", err)
+	os.Exit(1)
+}

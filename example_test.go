@@ -1,0 +1,87 @@
+package nvbitfi_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+// ExampleSelectTransientFault shows the Figure 1 fault-selection step: a
+// profile defines the uniform distribution of dynamic instructions, and a
+// seeded draw picks one, expressed as the paper's parameter tuple.
+func ExampleSelectTransientFault() {
+	w, err := nvbitfi.SpecACCELProgram("314.omriq")
+	if err != nil {
+		panic(err)
+	}
+	r := nvbitfi.Runner{}
+	profile, _, err := r.Profile(w, nvbitfi.Exact)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	params, err := nvbitfi.SelectTransientFault(profile, nvbitfi.GroupFP32,
+		nvbitfi.FlipSingleBit, rng)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("group=%v model=%v kernel=%s launch=%d\n",
+		params.Group, params.BitFlip, params.KernelName, params.KernelCount)
+	// Output:
+	// group=G_FP32 model=FLIP_SINGLE_BIT kernel=compute_q launch=0
+}
+
+// ExampleRunner_RunTransient runs one complete injection experiment.
+func ExampleRunner_RunTransient() {
+	w, err := nvbitfi.SpecACCELProgram("314.omriq")
+	if err != nil {
+		panic(err)
+	}
+	r := nvbitfi.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		panic(err)
+	}
+	params := nvbitfi.TransientParams{
+		Group:           nvbitfi.GroupGP,
+		BitFlip:         nvbitfi.ZeroValue,
+		KernelName:      "compute_phi_mag",
+		KernelCount:     0,
+		InstrCount:      100,
+		DestRegSelect:   0.5,
+		BitPatternValue: 0.5,
+	}
+	res, err := r.RunTransient(w, golden, params)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("activated=%v outcome=%v\n", res.Injection.Activated, res.Class.Outcome)
+	// Output:
+	// activated=true outcome=SDC
+}
+
+// ExampleMarginOfError reproduces the paper's statistics sentence: 100
+// injections give 90% confidence with ±8% margins; 1000 give 95% with ±3%.
+func ExampleMarginOfError() {
+	m100, err := nvbitfi.MarginOfError(100, 0.90)
+	if err != nil {
+		panic(err)
+	}
+	m1000, err := nvbitfi.MarginOfError(1000, 0.95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("100 injections, 90%% confidence: +-%.0f%%\n", 100*m100)
+	fmt.Printf("1000 injections, 95%% confidence: +-%.0f%%\n", 100*m1000)
+	// Output:
+	// 100 injections, 90% confidence: +-8%
+	// 1000 injections, 95% confidence: +-3%
+}
+
+// ExampleOpcodeCount pins the paper's Volta ISA size.
+func ExampleOpcodeCount() {
+	fmt.Println(nvbitfi.OpcodeCount(nvbitfi.Volta))
+	// Output:
+	// 171
+}

@@ -1,0 +1,83 @@
+// HPC campaign: a scaled-down version of the paper's Section IV
+// evaluation — transient-fault campaigns over SpecACCEL programs with both
+// exact and approximate profiling (Figure 2), plus a permanent campaign
+// over each program's executed opcodes (Figure 3), with confidence margins.
+//
+// Run with: go run ./examples/hpccampaign [-n 30] [-programs 303.ostencil,314.omriq]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 30, "transient injections per program per mode")
+	progList := flag.String("programs", "303.ostencil,314.omriq,352.ep",
+		"comma-separated program names, or 'all'")
+	flag.Parse()
+
+	var programs []nvbitfi.Workload
+	if *progList == "all" {
+		programs = nvbitfi.SpecACCEL()
+	} else {
+		for _, name := range strings.Split(*progList, ",") {
+			w, err := nvbitfi.SpecACCELProgram(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			programs = append(programs, w)
+		}
+	}
+
+	margin, err := nvbitfi.MarginOfError(*n, 0.90)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d transient faults per program per profiling mode "+
+		"(90%% confidence, +-%.1f%% margin)\n\n", *n, 100*margin)
+
+	r := nvbitfi.Runner{}
+	fmt.Printf("%-14s | %22s | %22s | %s\n", "Program",
+		"exact SDC/DUE/Masked", "approx SDC/DUE/Masked", "permanent (weighted)")
+	for _, w := range programs {
+		golden, err := r.Golden(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%-14s |", w.Name())
+		var exactProfile *nvbitfi.Profile
+		for _, mode := range []nvbitfi.ProfileMode{nvbitfi.Exact, nvbitfi.Approximate} {
+			profile, _, err := r.Profile(w, mode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if mode == nvbitfi.Exact {
+				exactProfile = profile
+			}
+			res, err := nvbitfi.RunTransientCampaign(r, w, golden, profile,
+				nvbitfi.TransientCampaignConfig{Injections: *n, Seed: int64(mode)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t := res.Tally
+			line += fmt.Sprintf(" %5.1f /%5.1f /%5.1f  |",
+				100*t.Fraction(nvbitfi.SDC), 100*t.Fraction(nvbitfi.DUE),
+				100*t.Fraction(nvbitfi.Masked))
+		}
+		perm, err := nvbitfi.RunPermanentCampaign(r, w, golden, exactProfile,
+			nvbitfi.RandomValue, 7, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line += fmt.Sprintf(" %4.1f /%4.1f /%4.1f over %d opcodes",
+			100*perm.Weighted.Share("SDC"), 100*perm.Weighted.Share("DUE"),
+			100*perm.Weighted.Share("Masked"), len(perm.Runs))
+		fmt.Println(line)
+	}
+}

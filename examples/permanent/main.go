@@ -1,0 +1,122 @@
+// Permanent and intermittent faults: the Table III model and the paper's
+// Section V extensions. A permanent fault corrupts the destination
+// register(s) of every dynamic instance of one opcode executing on one
+// SM and lane; an intermittent fault gates those activations with a random
+// or bursty process; a fault dictionary specializes the corruption per
+// opcode (here: a stuck-at-zero low byte on FADD results).
+//
+// Run with: go run ./examples/permanent
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/sass"
+)
+
+func main() {
+	log.SetFlags(0)
+	w, err := nvbitfi.SpecACCELProgram("303.ostencil")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := nvbitfi.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, nvbitfi.Approximate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enumerate one fault per executed opcode, as a permanent campaign
+	// does; show the first few.
+	rng := rand.New(rand.NewSource(99))
+	faults, err := nvbitfi.SelectPermanentFaults(profile, nvbitfi.Volta, 8, nvbitfi.RandomValue, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s executes %d of the %d Volta opcodes\n\n",
+		w.Name(), len(faults), nvbitfi.OpcodeCount(nvbitfi.Volta))
+
+	fmt.Println("permanent faults (every activation corrupts):")
+	for _, pf := range faults[:4] {
+		res, err := r.RunPermanent(w, golden, *pf, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  opcode %-6v SM %d lane %2d mask 0x%08x: %6d activations => %v\n",
+			pf.Opcode(nvbitfi.Volta), pf.SMID, pf.Lane, pf.BitMask, res.Activations, res.Class)
+	}
+
+	// Intermittent variants of a frequently-activated fault (Section V
+	// future work).
+	pf := faults[1]
+	fmt.Printf("\nintermittent variants of the %v fault:\n", pf.Opcode(nvbitfi.Volta))
+	gates := []struct {
+		name string
+		gate nvbitfi.ActivationGate
+	}{
+		{"random p=0.5", nvbitfi.RandomGate{P: 0.5, Seed: 1}},
+		{"random p=0.01", nvbitfi.RandomGate{P: 0.01, Seed: 1}},
+		{"bursty 8/64", nvbitfi.BurstGate{Period: 64, BurstLen: 8}},
+	}
+	for _, g := range gates {
+		res, err := r.RunPermanent(w, golden, *pf, g.gate, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s: %6d activations => %v\n", g.name, res.Activations, res.Class)
+	}
+
+	// A fault dictionary (Section V): FADD results lose their low byte.
+	fadd := sass.MustOp("FADD")
+	dict := nvbitfi.FaultDictionary{
+		fadd: func(_ nvbitfi.Op, old uint32) uint32 { return old &^ 0xff },
+	}
+	var faddFault *nvbitfi.PermanentParams
+	for _, f := range faults {
+		if f.Opcode(nvbitfi.Volta) == fadd {
+			faddFault = f
+		}
+	}
+	if faddFault != nil {
+		res, err := r.RunPermanent(w, golden, *faddFault, nil, dict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nfault dictionary (FADD low byte stuck at zero): %d activations => %v\n",
+			res.Activations, res.Class)
+	}
+
+	// A multi-opcode ALU fault (Section V): the same physical fault hits
+	// FADD, FMUL and FFMA together.
+	ids := opcodeIDs(nvbitfi.Volta, "FADD", "FMUL", "FFMA")
+	multi := nvbitfi.PermanentParams{
+		SMID: 1, Lane: 5, BitMask: 0x00400000,
+		OpcodeID: ids[0], ExtraOpcodeIDs: ids[1:],
+	}
+	res, err := r.RunPermanent(w, golden, multi, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-opcode ALU fault (FADD+FMUL+FFMA, bit 22): %d activations => %v\n",
+		res.Activations, res.Class)
+}
+
+func opcodeIDs(f nvbitfi.Family, names ...string) []int {
+	set := sass.OpcodeSet(f)
+	byOp := make(map[sass.Op]int, len(set))
+	for i, op := range set {
+		byOp[op] = i
+	}
+	ids := make([]int, len(names))
+	for i, n := range names {
+		ids[i] = byOp[sass.MustOp(n)]
+	}
+	return ids
+}

@@ -1,0 +1,104 @@
+package nvbitfi_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestIntegrationMiniCampaigns runs a small deterministic campaign on a
+// structurally diverse subset of the suite — FP32 stencil, FP64 N-body,
+// integer/atomic EP, trigonometric MRI-Q, and the one-kernel FP64 LBM —
+// checking the invariants every campaign must satisfy regardless of
+// outcome distribution.
+func TestIntegrationMiniCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mini campaigns are not short")
+	}
+	programs := []string{"303.ostencil", "350.md", "352.ep", "314.omriq", "360.ilbdc"}
+	for _, name := range programs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := nvbitfi.SpecACCELProgram(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := nvbitfi.Runner{}
+			golden, err := r.Golden(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			profile, _, err := r.Profile(w, nvbitfi.Exact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := nvbitfi.RunTransientCampaign(r, w, golden, profile,
+				nvbitfi.TransientCampaignConfig{Injections: 6, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Tally.N != 6 {
+				t.Fatalf("ran %d experiments", res.Tally.N)
+			}
+			total := 0
+			for _, o := range []nvbitfi.Outcome{nvbitfi.Masked, nvbitfi.SDC, nvbitfi.DUE} {
+				total += res.Tally.Counts[o]
+			}
+			if total != 6 {
+				t.Fatalf("outcomes don't partition the runs: %v", res.Tally.Counts)
+			}
+			for i, run := range res.Runs {
+				// Exact profile: every fault must activate.
+				if !run.Injection.Activated {
+					t.Errorf("run %d: fault did not activate", i)
+				}
+				// A masked run without anomalies must not carry a CUDA error.
+				if run.Class.Outcome == nvbitfi.Masked && !run.Class.PotentialDUE &&
+					run.Class.CUDAError != 0 {
+					t.Errorf("run %d: masked-without-anomaly carries %v", i, run.Class.CUDAError)
+				}
+				// DUE runs must name a detection channel.
+				if run.Class.Outcome == nvbitfi.DUE && run.Class.Symptom == 0 {
+					t.Errorf("run %d: DUE with no symptom", i)
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationPermanentAcrossSuite runs one permanent fault on each of
+// three programs exercising different datapaths.
+func TestIntegrationPermanentAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	for _, name := range []string{"303.ostencil", "350.md", "352.ep"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := nvbitfi.SpecACCELProgram(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := nvbitfi.Runner{}
+			golden, err := r.Golden(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			profile, _, err := r.Profile(w, nvbitfi.Approximate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := nvbitfi.RunPermanentCampaign(r, w, golden, profile,
+				nvbitfi.RandomValue, 13, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Runs) != len(profile.ExecutedOpcodes()) {
+				t.Fatalf("%d runs for %d executed opcodes",
+					len(res.Runs), len(profile.ExecutedOpcodes()))
+			}
+		})
+	}
+}

@@ -1,0 +1,350 @@
+// Package av models the large, commercial autonomous-vehicle application
+// the paper evaluates NVBitFI on (Section IV, reference [22]): a real-time
+// perception pipeline that processes a stream of camera frames through
+// kernels spread across several software packages — including a
+// closed-source vendor detector that ships as machine code only — under a
+// per-frame real-time deadline enforced by an application assertion.
+//
+// The pipeline is the demonstration vehicle for Table I's capability
+// comparison: a compile-time tool cannot instrument the binary-only vendor
+// module at all, and a debugger-based tool's per-instruction overhead trips
+// the real-time assertion, while dynamic selective instrumentation passes.
+package av
+
+import (
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+)
+
+// preprocASM is the in-house preprocessing package (source available).
+const preprocASM = `
+// camera preprocessing
+.kernel normalize
+.param n
+.param rawptr
+.param imgptr
+.param gain
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[rawptr]
+    LDG.32 R5, [R4]
+    FMUL R5, R5, c0[gain]
+    IADD R6, R3, c0[imgptr]
+    STG.32 [R6], R5
+    EXIT
+
+.kernel edge_filter
+.param n
+.param imgptr
+.param edgeptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.LT.AND P0, R0, 0x1, PT
+    IADD R3, c0[n], -0x1
+    ISETP.GE.OR P0, R0, R3, P0
+@P0 EXIT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[imgptr]
+    LDG.32 R5, [R4-0x4]
+    LDG.32 R6, [R4+0x4]
+    FADD R7, R6, -R5
+    LOP.AND R7, R7, 0x7fffffff     // |gradient|
+    IADD R8, R3, c0[edgeptr]
+    STG.32 [R8], R7
+    EXIT
+`
+
+// detectorASM is the vendor perception library. Its source never reaches
+// the application: DetectorBinary compiles it to machine code once, and the
+// pipeline loads only the binary, as with a closed-source .so.
+const detectorASM = `
+// vendor detector (closed source)
+.kernel conv1d
+.param n
+.param imgptr
+.param outptr
+.param wptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.LT.AND P0, R0, 0x4, PT
+    IADD R3, c0[n], -0x4
+    ISETP.GE.OR P0, R0, R3, P0
+@P0 EXIT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[imgptr]
+    MOV R10, RZ                    // accumulator
+    MOV R11, RZ                    // tap index
+    MOV R12, c0[wptr]
+taps:
+    ISETP.GE.AND P1, R11, 0x9, PT
+@P1 BRA donetaps
+    SHL R13, R11, 0x2
+    IADD R14, R13, R12
+    LDG.32 R15, [R14]              // weight
+    IADD R16, R4, R13
+    LDG.32 R17, [R16-0x10]         // img[i + tap - 4]
+    FFMA R10, R15, R17, R10
+    IADD R11, R11, 0x1
+    BRA taps
+donetaps:
+    IADD R18, R3, c0[outptr]
+    STG.32 [R18], R10
+    EXIT
+
+.kernel score
+.param n
+.param convptr
+.param thresh
+.param countptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[convptr]
+    LDG.32 R5, [R4]
+    MOV R6, c0[thresh]
+    FSETP.GT.AND P1, R5, R6, PT
+@P1 BRA hit
+    EXIT
+hit:
+    MOV R7, c0[countptr]
+    MOV R8, 0x1
+    RED.ADD [R7], R8
+    EXIT
+`
+
+// trackerASM is the in-house tracking package (source available).
+const trackerASM = `
+// object tracker
+.kernel track_update
+.param n
+.param trackptr
+.param convptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[trackptr]
+    LDG.32 R5, [R4]
+    IADD R6, R3, c0[convptr]
+    LDG.32 R7, [R6]
+    FMUL R5, R5, 0x3f4ccccd        // 0.8 * track
+    FFMA R5, R7, 0x3e4ccccd, R5    // + 0.2 * conv
+    STG.32 [R4], R5
+    EXIT
+`
+
+// DetectorBinary compiles the vendor detector to machine code for a
+// family. This is the only form in which the detector exists at run time.
+func DetectorBinary(f sass.Family) ([]byte, error) {
+	prog, err := sass.Assemble("vendor_detector", detectorASM)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := encoding.NewCodec(f)
+	if err != nil {
+		return nil, err
+	}
+	return codec.EncodeProgram(prog)
+}
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// Frames is the number of camera frames to process (default 12).
+	Frames int
+	// FrameDeadline is the per-frame real-time budget; a missed deadline
+	// trips the application's real-time assertion (default 150ms, far
+	// above the uninstrumented frame time but far below a debugger-based
+	// tool's).
+	FrameDeadline time.Duration
+	// Pixels per frame (default 2048).
+	Pixels int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Frames == 0 {
+		c.Frames = 12
+	}
+	if c.FrameDeadline == 0 {
+		c.FrameDeadline = 150 * time.Millisecond
+	}
+	if c.Pixels == 0 {
+		c.Pixels = 2048
+	}
+	return c
+}
+
+// Pipeline is the AV perception application. It implements
+// campaign.Workload so injection campaigns can target it directly.
+type Pipeline struct {
+	cfg Config
+}
+
+var _ campaign.Workload = (*Pipeline)(nil)
+
+// New builds the pipeline.
+func New(cfg Config) *Pipeline { return &Pipeline{cfg: cfg.withDefaults()} }
+
+// Name implements campaign.Workload.
+func (p *Pipeline) Name() string { return "av.pipeline" }
+
+// Description implements campaign.Workload.
+func (p *Pipeline) Description() string {
+	return "Real-time AV perception pipeline with a binary-only vendor detector"
+}
+
+// Run implements campaign.Workload: process the frame stream under the
+// real-time assertion.
+func (p *Pipeline) Run(ctx *cuda.Context) (*campaign.Output, error) {
+	out := campaign.NewOutput()
+	cfg := p.cfg
+
+	preMod, err := ctx.LoadModule("camera_preproc", preprocASM)
+	if err != nil {
+		return out, err
+	}
+	detBin, err := DetectorBinary(ctx.Device().Family)
+	if err != nil {
+		return out, err
+	}
+	detMod, err := ctx.LoadModuleBinary(detBin) // dynamic library, no source
+	if err != nil {
+		return out, err
+	}
+	trkMod, err := ctx.LoadModule("tracker", trackerASM)
+	if err != nil {
+		return out, err
+	}
+	normalize, err := preMod.Function("normalize")
+	if err != nil {
+		return out, err
+	}
+	edge, err := preMod.Function("edge_filter")
+	if err != nil {
+		return out, err
+	}
+	conv, err := detMod.Function("conv1d")
+	if err != nil {
+		return out, err
+	}
+	score, err := detMod.Function("score")
+	if err != nil {
+		return out, err
+	}
+	track, err := trkMod.Function("track_update")
+	if err != nil {
+		return out, err
+	}
+
+	n := cfg.Pixels
+	raw, err := ctx.Malloc(4 * n)
+	if err != nil {
+		return out, err
+	}
+	img, err := ctx.Malloc(4 * n)
+	if err != nil {
+		return out, err
+	}
+	edges, err := ctx.Malloc(4 * n)
+	if err != nil {
+		return out, err
+	}
+	convOut, err := ctx.Malloc(4 * n)
+	if err != nil {
+		return out, err
+	}
+	weights, err := ctx.Malloc(4 * 9)
+	if err != nil {
+		return out, err
+	}
+	counts, err := ctx.Malloc(4 * cfg.Frames)
+	if err != nil {
+		return out, err
+	}
+	tracks, err := ctx.Malloc(4 * n)
+	if err != nil {
+		return out, err
+	}
+	w := []float32{-0.05, -0.1, 0.1, 0.3, 0.5, 0.3, 0.1, -0.1, -0.05}
+	_ = ctx.MemcpyHtoD(weights, f32Bytes(w))
+	_ = ctx.MemcpyHtoD(tracks, make([]byte, 4*n))
+	_ = ctx.MemcpyHtoD(counts, make([]byte, 4*cfg.Frames))
+
+	const block = 128
+	grid := cuda.LaunchConfig{
+		Grid:  gpu.Dim3{X: (n + block - 1) / block, Y: 1, Z: 1},
+		Block: gpu.Dim3{X: block, Y: 1, Z: 1},
+	}
+	missed := 0
+	for f := 0; f < cfg.Frames; f++ {
+		frameStart := time.Now()
+		_ = ctx.MemcpyHtoD(raw, frameData(f, n))
+		_ = ctx.Launch(normalize, grid, uint32(n), raw, img, f32Bits(1.0/255))
+		_ = ctx.Launch(edge, grid, uint32(n), img, edges)
+		_ = ctx.Launch(conv, grid, uint32(n), img, convOut, weights)
+		_ = ctx.Launch(score, grid, uint32(n), convOut, f32Bits(0.015), counts+uint32(4*f))
+		_ = ctx.Launch(track, grid, uint32(n), tracks, convOut)
+		if elapsed := time.Since(frameStart); elapsed > cfg.FrameDeadline {
+			// The real-time assertion: the control loop fell behind.
+			missed++
+			out.Printf("RT ASSERT: frame %d took %v (deadline %v)\n", f, elapsed.Round(time.Millisecond), cfg.FrameDeadline)
+		}
+	}
+
+	countBytes, err := ctx.MemcpyDtoH(counts, 4*cfg.Frames)
+	if err != nil {
+		out.Printf("CUDA error reading detections: %v\n", err)
+		out.ExitCode = 1
+		return out, nil
+	}
+	trackBytes, _ := ctx.MemcpyDtoH(tracks, 4*n)
+	out.Files["tracks.dat"] = trackBytes
+	out.Files["detections.dat"] = countBytes
+	out.Printf("av.pipeline frames %d pixels %d\n", cfg.Frames, n)
+	for f := 0; f < cfg.Frames; f++ {
+		out.Printf("frame %d detections %d\n", f, leU32(countBytes[4*f:]))
+	}
+	if missed > 0 {
+		out.Printf("REAL-TIME FAILURE: %d/%d frames missed the deadline\n", missed, cfg.Frames)
+		out.ExitCode = 3
+	}
+	return out, nil
+}
+
+// Check implements campaign.Workload: detections are discrete, so the check
+// is exact equality of the detection stream, with the track field compared
+// at a small tolerance via byte equality fallback.
+func (p *Pipeline) Check(golden, observed *campaign.Output) bool {
+	return golden.Equal(observed)
+}
+
+// frameData synthesizes frame f's raw pixels deterministically.
+func frameData(f, n int) []byte {
+	b := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		h := uint32(i*2654435761) ^ uint32(f*40503)
+		v := float32(h>>8&0xffff) / 65536 * 255
+		putF32(b[4*i:], v)
+	}
+	return b
+}

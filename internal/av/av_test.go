@@ -1,0 +1,173 @@
+package av_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/av"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/nvbit"
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+)
+
+func newCtx(t *testing.T, family sass.Family) *cuda.Context {
+	t.Helper()
+	dev, err := gpu.NewDevice(family, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := cuda.NewContext(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetDefaultBudget(1 << 30)
+	return ctx
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	p := av.New(av.Config{Frames: 3, FrameDeadline: time.Hour})
+	a, err := p.Run(newCtx(t, sass.FamilyVolta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(newCtx(t, sass.FamilyVolta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("pipeline output not deterministic")
+	}
+	if a.ExitCode != 0 {
+		t.Fatalf("exit %d:\n%s", a.ExitCode, a.Stdout)
+	}
+	if len(a.Files["detections.dat"]) != 3*4 {
+		t.Fatalf("detections file wrong size: %d", len(a.Files["detections.dat"]))
+	}
+	if len(a.Files["tracks.dat"]) == 0 {
+		t.Fatal("no track output")
+	}
+	if !strings.Contains(a.Stdout, "frame 2 detections") {
+		t.Fatalf("stdout missing detection lines:\n%s", a.Stdout)
+	}
+}
+
+// TestPipelineDetectsSomething: the synthetic frames must produce nonzero
+// detection counts, or the pipeline is vacuous as an injection target.
+func TestPipelineDetectsSomething(t *testing.T) {
+	p := av.New(av.Config{Frames: 2, FrameDeadline: time.Hour})
+	out, err := p.Run(newCtx(t, sass.FamilyVolta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, line := range strings.Split(out.Stdout, "\n") {
+		var f, n int
+		if _, err := fmt.Sscanf(line, "frame %d detections %d", &f, &n); err == nil {
+			total += n
+		}
+	}
+	if total == 0 {
+		t.Fatalf("no detections in any frame:\n%s", out.Stdout)
+	}
+}
+
+// TestDetectorBinaryPerFamily: the vendor detector compiles for every
+// family and loads on matching devices.
+func TestDetectorBinaryPerFamily(t *testing.T) {
+	for _, f := range sass.Families() {
+		bin, err := av.DetectorBinary(f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		got, err := encoding.DetectFamily(bin)
+		if err != nil || got != f {
+			t.Fatalf("%v binary detects as %v (%v)", f, got, err)
+		}
+		ctx := newCtx(t, f)
+		if _, err := ctx.LoadModuleBinary(bin); err != nil {
+			t.Fatalf("loading %v detector: %v", f, err)
+		}
+	}
+}
+
+// TestRealTimeAssertionFires: an absurdly tight deadline trips the
+// assertion even without any tool attached.
+func TestRealTimeAssertionFires(t *testing.T) {
+	p := av.New(av.Config{Frames: 2, FrameDeadline: time.Nanosecond})
+	out, err := p.Run(newCtx(t, sass.FamilyVolta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ExitCode != 3 || !strings.Contains(out.Stdout, "REAL-TIME FAILURE") {
+		t.Fatalf("assertion did not fire: exit %d\n%s", out.ExitCode, out.Stdout)
+	}
+}
+
+func TestPipelineMetadata(t *testing.T) {
+	p := av.New(av.Config{})
+	if p.Name() != "av.pipeline" || p.Description() == "" {
+		t.Error("pipeline metadata missing")
+	}
+	a := campaign.NewOutput()
+	a.Stdout = "x"
+	b := campaign.NewOutput()
+	b.Stdout = "x"
+	if !p.Check(a, b) {
+		t.Error("identical outputs rejected")
+	}
+	b.Stdout = "y"
+	if p.Check(a, b) {
+		t.Error("differing outputs accepted (detections are discrete)")
+	}
+}
+
+// TestPipelineUnderProfiler: the AV pipeline is profileable end to end,
+// and both binary-only and source modules show up in the profile.
+func TestPipelineUnderProfiler(t *testing.T) {
+	ctx := newCtx(t, sass.FamilyVolta)
+	prof, err := core.NewProfiler("av", core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := nvbit.Attach(ctx, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer att.Detach()
+	p := av.New(av.Config{Frames: 3, FrameDeadline: time.Hour})
+	out, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ExitCode != 0 {
+		t.Fatalf("profiled run exited %d", out.ExitCode)
+	}
+	profile := prof.Finish()
+	if got := profile.DynamicKernels(); got != 15 {
+		t.Fatalf("dynamic kernels = %d, want 15 (5 per frame)", got)
+	}
+	if got := len(profile.StaticKernels()); got != 5 {
+		t.Fatalf("static kernels = %d, want 5", got)
+	}
+}
+
+// TestPipelineHangBecomesError: a fault-induced hang in the vendor kernel
+// surfaces as a CUDA error the pipeline's read-back path reports.
+func TestPipelineHangBecomesError(t *testing.T) {
+	ctx := newCtx(t, sass.FamilyVolta)
+	ctx.SetDefaultBudget(200) // absurdly small: every kernel "hangs"
+	p := av.New(av.Config{Frames: 2, FrameDeadline: time.Hour})
+	out, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ExitCode != 1 || !strings.Contains(out.Stdout, "CUDA error") {
+		t.Fatalf("hang not reported: exit %d\n%s", out.ExitCode, out.Stdout)
+	}
+}

@@ -1,0 +1,20 @@
+package av
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func f32Bits(f float32) uint32 { return math.Float32bits(f) }
+
+func f32Bytes(vals []float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+func putF32(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }
+
+func leU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }

@@ -1,0 +1,251 @@
+// Package campaign orchestrates fault-injection experiments end-to-end:
+// golden runs, per-run outcome classification against the paper's taxonomy
+// (Table V: SDC, DUE, Masked, Potential DUE), hang detection via an
+// instruction-budget monitor, and whole campaigns — N transient injections
+// from a profile, or one permanent fault per executed opcode with
+// dynamic-instruction weighting (Figures 2 and 3).
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+)
+
+// Output is a workload's observable result: the standard output text, the
+// produced output files, and the process exit code — the three channels the
+// paper's outcome determination compares against the golden run.
+type Output struct {
+	Stdout   string
+	Files    map[string][]byte
+	ExitCode int
+}
+
+// NewOutput returns an empty output ready for use.
+func NewOutput() *Output {
+	return &Output{Files: make(map[string][]byte)}
+}
+
+// Printf appends formatted text to the simulated standard output.
+func (o *Output) Printf(format string, args ...any) {
+	o.Stdout += fmt.Sprintf(format, args...)
+}
+
+// Equal reports byte-exact equality of stdout and all files.
+func (o *Output) Equal(other *Output) bool {
+	if o.Stdout != other.Stdout || len(o.Files) != len(other.Files) {
+		return false
+	}
+	for name, data := range o.Files {
+		od, ok := other.Files[name]
+		if !ok || string(od) != string(data) {
+			return false
+		}
+	}
+	return true
+}
+
+// Workload is one benchmark program: it runs against a CUDA context and
+// produces an Output, and it knows how to judge whether an observed output
+// constitutes an SDC relative to the golden output (the paper's
+// user-provided "SDC checking script", with program-specific tolerances).
+type Workload interface {
+	// Name returns the program name, e.g. "303.ostencil".
+	Name() string
+	// Description is a one-line summary (Table IV's description column).
+	Description() string
+	// Run executes the program on a fresh context. A returned error is the
+	// analog of a process crash; an Output with nonzero ExitCode is the
+	// analog of application-detected failure.
+	Run(ctx *cuda.Context) (*Output, error)
+	// Check reports whether observed matches golden closely enough that no
+	// SDC occurred. It is only consulted when the runs are not byte-equal.
+	Check(golden, observed *Output) bool
+}
+
+// Outcome is the error-propagation outcome class (Table V).
+type Outcome uint8
+
+// Outcomes. PotentialDUE is tracked as a flag on SDC/Masked runs and also
+// exposed as its own category for reporting.
+const (
+	Masked Outcome = iota + 1
+	SDC
+	DUE
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "Masked"
+	case SDC:
+		return "SDC"
+	case DUE:
+		return "DUE"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Symptom is the detection channel behind an outcome (Table V's Symptom
+// column).
+type Symptom uint8
+
+// Symptoms.
+const (
+	SymptomNone         Symptom = iota
+	SymptomStdoutDiff           // SDC: standard output is different
+	SymptomFileDiff             // SDC: output file is different
+	SymptomAppCheckFail         // SDC: application-specific check failed
+	SymptomTimeout              // DUE: hang caught by the monitor
+	SymptomCrash                // DUE: process crash (OS detection)
+	SymptomNonZeroExit          // DUE: non-zero exit status (application detection)
+)
+
+func (s Symptom) String() string {
+	switch s {
+	case SymptomNone:
+		return "no difference detected"
+	case SymptomStdoutDiff:
+		return "standard output is different"
+	case SymptomFileDiff:
+		return "output file is different"
+	case SymptomAppCheckFail:
+		return "application-specific check failed"
+	case SymptomTimeout:
+		return "timeout, indicating a hang (monitor detection)"
+	case SymptomCrash:
+		return "process crash (OS detection)"
+	case SymptomNonZeroExit:
+		return "non-zero exit status (application detection)"
+	default:
+		return fmt.Sprintf("Symptom(%d)", uint8(s))
+	}
+}
+
+// Classification is the full outcome of one injection run.
+type Classification struct {
+	Outcome Outcome
+	Symptom Symptom
+	// PotentialDUE marks an SDC or Masked run during which an unhandled
+	// anomaly was recorded — a sticky CUDA error the application never
+	// acted on, or a device-log ("dmesg") event. The paper counts these
+	// runs as their underlying SDC/Masked outcome, which this package
+	// also does; the flag preserves the distinction.
+	PotentialDUE bool
+	// CUDAError is the sticky context error, if any.
+	CUDAError cuda.Error
+	// DeviceLogEvents counts device-log entries emitted during the run.
+	DeviceLogEvents int
+}
+
+// String renders e.g. "SDC (output file is different) [potential DUE]".
+func (c Classification) String() string {
+	s := fmt.Sprintf("%v (%v)", c.Outcome, c.Symptom)
+	if c.PotentialDUE {
+		s += " [potential DUE]"
+	}
+	return s
+}
+
+// Classify applies Table V to one completed run.
+//
+//   - runErr non-nil: the process crashed → DUE.
+//   - a hang trap (instruction budget) → DUE via monitor timeout.
+//   - nonzero exit code → DUE via application detection.
+//   - stdout/file difference not accepted by the workload check → SDC.
+//   - otherwise Masked.
+//   - SDC/Masked with an unconsumed CUDA error or device-log event is
+//     flagged as a potential DUE.
+func Classify(w Workload, golden, observed *Output, runErr error, ctx *cuda.Context) Classification {
+	cls := Classification{
+		CUDAError:       ctx.LastError(),
+		DeviceLogEvents: len(ctx.DeviceLog()),
+	}
+	if runErr != nil {
+		cls.Outcome, cls.Symptom = DUE, SymptomCrash
+		return cls
+	}
+	if t := ctx.StickyTrap(); t != nil && t.IsHang() {
+		cls.Outcome, cls.Symptom = DUE, SymptomTimeout
+		return cls
+	}
+	if observed.ExitCode != 0 {
+		cls.Outcome, cls.Symptom = DUE, SymptomNonZeroExit
+		return cls
+	}
+	anomaly := cls.CUDAError != cuda.Success || cls.DeviceLogEvents > 0
+	if observed.Equal(golden) {
+		cls.Outcome, cls.Symptom = Masked, SymptomNone
+		cls.PotentialDUE = anomaly
+		return cls
+	}
+	// Outputs differ; ask the program-specific check whether the deviation
+	// is within tolerance.
+	if w.Check(golden, observed) {
+		cls.Outcome, cls.Symptom = Masked, SymptomNone
+		cls.PotentialDUE = anomaly
+		return cls
+	}
+	cls.Outcome = SDC
+	switch {
+	case observed.Stdout != golden.Stdout:
+		cls.Symptom = SymptomStdoutDiff
+	default:
+		cls.Symptom = SymptomFileDiff
+	}
+	if !filesEqual(golden, observed) && observed.Stdout == golden.Stdout {
+		cls.Symptom = SymptomFileDiff
+	}
+	cls.PotentialDUE = anomaly
+	return cls
+}
+
+func filesEqual(a, b *Output) bool {
+	if len(a.Files) != len(b.Files) {
+		return false
+	}
+	for name, data := range a.Files {
+		od, ok := b.Files[name]
+		if !ok || string(od) != string(data) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tally counts outcomes over a set of runs.
+type Tally struct {
+	N             int
+	Counts        map[Outcome]int
+	PotentialDUEs int
+	NotActivated  int // transient runs whose fault never activated
+}
+
+// NewTally returns an empty tally.
+func NewTally() *Tally {
+	return &Tally{Counts: make(map[Outcome]int)}
+}
+
+// Add records one classification.
+func (t *Tally) Add(c Classification) {
+	t.N++
+	t.Counts[c.Outcome]++
+	if c.PotentialDUE {
+		t.PotentialDUEs++
+	}
+}
+
+// Fraction returns the share of an outcome in [0,1].
+func (t *Tally) Fraction(o Outcome) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Counts[o]) / float64(t.N)
+}
+
+// String renders "SDC 32.5% DUE 4.2% Masked 63.3%".
+func (t *Tally) String() string {
+	return fmt.Sprintf("SDC %.1f%% DUE %.1f%% Masked %.1f%%",
+		100*t.Fraction(SDC), 100*t.Fraction(DUE), 100*t.Fraction(Masked))
+}

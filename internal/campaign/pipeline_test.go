@@ -1,0 +1,119 @@
+package campaign_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/sass"
+	"repro/internal/specaccel"
+)
+
+// TestFullPipeline exercises the complete Figure 1 flow on 303.ostencil:
+// golden run, exact profile, fault selection, injection, classification.
+func TestFullPipeline(t *testing.T) {
+	w, err := specaccel.ByName("303.ostencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := campaign.Runner{}
+
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	if golden.Stats.ThreadInstrs == 0 {
+		t.Fatal("golden run executed no instructions")
+	}
+	if golden.Output.Stdout == "" || len(golden.Output.Files) == 0 {
+		t.Fatal("golden run produced no output")
+	}
+
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if got := profile.DynamicKernels(); got != 101 {
+		t.Fatalf("dynamic kernels = %d, want 101 (Table IV)", got)
+	}
+	if got := len(profile.StaticKernels()); got != 2 {
+		t.Fatalf("static kernels = %d, want 2 (Table IV)", got)
+	}
+	// The profile's total thread-level count must match the golden run's
+	// engine-side count exactly.
+	if got, want := profile.TotalInstrs(sass.GroupGPPR)+profile.TotalInstrs(sass.GroupNODEST),
+		golden.Stats.ThreadInstrs; got != want {
+		t.Fatalf("profiled instruction total = %d, engine counted %d", got, want)
+	}
+
+	// A deterministic campaign of 20 single-bit flips.
+	res, err := campaign.RunTransientCampaign(r, w, golden, profile, campaign.TransientCampaignConfig{
+		Injections: 20,
+		Group:      sass.GroupGPPR,
+		BitFlip:    core.FlipSingleBit,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if res.Tally.N != 20 {
+		t.Fatalf("ran %d experiments, want 20", res.Tally.N)
+	}
+	activated := 0
+	for _, run := range res.Runs {
+		if run.Injection.Activated {
+			activated++
+		}
+	}
+	// With an exact profile every selected site must exist.
+	if activated != 20 {
+		t.Fatalf("only %d/20 faults activated with an exact profile", activated)
+	}
+	t.Logf("outcomes: %v (potential DUEs %d)", res.Tally, res.Tally.PotentialDUEs)
+	if res.Tally.Counts[campaign.Masked] == 0 {
+		t.Error("expected at least one masked outcome in 20 single-bit flips")
+	}
+}
+
+// TestDeterminism re-runs one injection and requires identical results.
+func TestDeterminism(t *testing.T) {
+	w, err := specaccel.ByName("303.ostencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	p, err := core.SelectTransientFault(profile, sass.GroupGP, core.RandomValue, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.RunTransient(w, golden, *p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunTransient(w, golden, *p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != b.Class {
+		t.Fatalf("same fault classified differently: %v vs %v", a.Class, b.Class)
+	}
+	if a.Injection != b.Injection {
+		t.Fatalf("same fault injected differently:\n%+v\n%+v", a.Injection, b.Injection)
+	}
+	if !a.Injection.Activated {
+		t.Fatal("fault did not activate")
+	}
+	if a.Injection.Before == a.Injection.After {
+		t.Fatal("RANDOM_VALUE corruption left the register unchanged")
+	}
+}

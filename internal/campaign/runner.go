@@ -1,0 +1,381 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/nvbit"
+	"repro/internal/sass"
+	"repro/internal/stats"
+)
+
+// Runner executes workloads under injection tools, one fresh device and
+// context per run, replicating the paper's campaign scripts (Figure 1).
+type Runner struct {
+	// Family is the simulated architecture family (default Volta).
+	Family sass.Family
+	// NumSMs is the device's SM count (default 8).
+	NumSMs int
+	// BudgetFactor multiplies the golden run's warp-instruction count to
+	// form the hang-detection budget (default 10).
+	BudgetFactor uint64
+}
+
+// applyDefaults fills zero fields.
+func (r Runner) applyDefaults() Runner {
+	if r.Family == 0 {
+		r.Family = sass.FamilyVolta
+	}
+	if r.NumSMs == 0 {
+		r.NumSMs = 8
+	}
+	if r.BudgetFactor == 0 {
+		r.BudgetFactor = 10
+	}
+	return r
+}
+
+// newContext builds a fresh device and context.
+func (r Runner) newContext() (*cuda.Context, error) {
+	r = r.applyDefaults()
+	dev, err := gpu.NewDevice(r.Family, r.NumSMs)
+	if err != nil {
+		return nil, err
+	}
+	return cuda.NewContext(dev)
+}
+
+// GoldenResult is a reference run: the fault-free output plus the execution
+// counts that calibrate hang budgets and overhead measurements.
+type GoldenResult struct {
+	Output   *Output
+	Stats    gpu.LaunchStats
+	Duration time.Duration
+}
+
+// Golden runs the workload with no tool attached and records the reference
+// output.
+func (r Runner) Golden(w Workload) (*GoldenResult, error) {
+	ctx, err := r.newContext()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out, err := w.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: golden run of %s failed: %w", w.Name(), err)
+	}
+	if ctx.LastError() != cuda.Success {
+		return nil, fmt.Errorf("campaign: golden run of %s hit %v", w.Name(), ctx.LastError())
+	}
+	if out.ExitCode != 0 {
+		return nil, fmt.Errorf("campaign: golden run of %s exited with %d", w.Name(), out.ExitCode)
+	}
+	return &GoldenResult{
+		Output:   out,
+		Stats:    ctx.AccumulatedStats(),
+		Duration: time.Since(start),
+	}, nil
+}
+
+// Profile runs the workload under the profiler and returns the resulting
+// instruction profile together with the profiling run's duration (the
+// profiling-overhead axis of Figure 4).
+func (r Runner) Profile(w Workload, mode core.ProfileMode) (*core.Profile, time.Duration, error) {
+	ctx, err := r.newContext()
+	if err != nil {
+		return nil, 0, err
+	}
+	prof, err := core.NewProfiler(w.Name(), mode)
+	if err != nil {
+		return nil, 0, err
+	}
+	att, err := nvbit.Attach(ctx, prof)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer att.Detach()
+	start := time.Now()
+	out, err := w.Run(ctx)
+	d := time.Since(start)
+	if err != nil {
+		return nil, d, fmt.Errorf("campaign: profiling run of %s failed: %w", w.Name(), err)
+	}
+	if out.ExitCode != 0 {
+		return nil, d, fmt.Errorf("campaign: profiling run of %s exited with %d", w.Name(), out.ExitCode)
+	}
+	return prof.Finish(), d, nil
+}
+
+// RunResult is one injection experiment's result.
+type RunResult struct {
+	Class     Classification
+	Injection core.InjectionRecord // transient runs only
+	// Activations counts permanent-fault site exercises (permanent runs).
+	Activations uint64
+	Duration    time.Duration
+	Stats       gpu.LaunchStats
+}
+
+// RunTransient performs one transient-fault experiment: fresh context,
+// injector attached, workload run, outcome classified against golden.
+func (r Runner) RunTransient(w Workload, golden *GoldenResult, p core.TransientParams) (*RunResult, error) {
+	ctx, err := r.newContext()
+	if err != nil {
+		return nil, err
+	}
+	r = r.applyDefaults()
+	ctx.SetDefaultBudget(r.BudgetFactor * max64(golden.Stats.WarpInstrs, 1000))
+	inj, err := core.NewTransientInjector(p)
+	if err != nil {
+		return nil, err
+	}
+	att, err := nvbit.Attach(ctx, inj)
+	if err != nil {
+		return nil, err
+	}
+	defer att.Detach()
+
+	start := time.Now()
+	out, runErr := w.Run(ctx)
+	d := time.Since(start)
+	if out == nil {
+		out = NewOutput()
+	}
+	return &RunResult{
+		Class:     Classify(w, golden.Output, out, runErr, ctx),
+		Injection: inj.Record(),
+		Duration:  d,
+		Stats:     ctx.AccumulatedStats(),
+	}, nil
+}
+
+// RunPermanent performs one permanent-fault experiment. gate, when non-nil,
+// makes the fault intermittent; dict, when non-nil, overrides corruption
+// per opcode.
+func (r Runner) RunPermanent(w Workload, golden *GoldenResult, p core.PermanentParams,
+	gate core.ActivationGate, dict core.FaultDictionary) (*RunResult, error) {
+	r = r.applyDefaults()
+	ctx, err := r.newContext()
+	if err != nil {
+		return nil, err
+	}
+	ctx.SetDefaultBudget(r.BudgetFactor * max64(golden.Stats.WarpInstrs, 1000))
+	inj, err := core.NewPermanentInjector(p, r.Family, r.NumSMs)
+	if err != nil {
+		return nil, err
+	}
+	if gate != nil {
+		inj.SetGate(gate)
+	}
+	if dict != nil {
+		inj.SetDictionary(dict)
+	}
+	att, err := nvbit.Attach(ctx, inj)
+	if err != nil {
+		return nil, err
+	}
+	defer att.Detach()
+
+	start := time.Now()
+	out, runErr := w.Run(ctx)
+	d := time.Since(start)
+	if out == nil {
+		out = NewOutput()
+	}
+	return &RunResult{
+		Class:       Classify(w, golden.Output, out, runErr, ctx),
+		Activations: inj.Activations(),
+		Duration:    d,
+		Stats:       ctx.AccumulatedStats(),
+	}, nil
+}
+
+// TransientCampaignConfig parameterizes RunTransientCampaign.
+type TransientCampaignConfig struct {
+	// Injections is the number of faults to inject (paper: 100 per program
+	// for the example campaign; 1000 for tighter confidence).
+	Injections int
+	// Group is the arch state id to sample from (default G_GPPR: any
+	// instruction with a destination).
+	Group sass.Group
+	// BitFlip is the corruption model (default FLIP_SINGLE_BIT).
+	BitFlip core.BitFlipModel
+	// Seed makes site selection reproducible.
+	Seed int64
+	// Parallel bounds concurrent experiments (default 1; timing results
+	// are only meaningful sequentially).
+	Parallel int
+}
+
+func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
+	if c.Injections == 0 {
+		c.Injections = 100
+	}
+	if c.Group == 0 {
+		c.Group = sass.GroupGPPR
+	}
+	if c.BitFlip == 0 {
+		c.BitFlip = core.FlipSingleBit
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
+	}
+	return c
+}
+
+// CampaignResult aggregates one campaign.
+type CampaignResult struct {
+	Program       string
+	Tally         *Tally
+	Weighted      *stats.WeightedTally // permanent campaigns: weighted by opcode activity
+	Runs          []RunResult
+	GoldenTime    time.Duration
+	TotalRunTime  time.Duration // sum of experiment durations
+	MedianRunTime time.Duration
+}
+
+// RunTransientCampaign selects cfg.Injections faults from the profile and
+// runs one experiment per fault (Figure 1 repeated N times; the data behind
+// Figure 2).
+func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *core.Profile,
+	cfg TransientCampaignConfig) (*CampaignResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := make([]core.TransientParams, cfg.Injections)
+	for i := range params {
+		p, err := core.SelectTransientFault(profile, cfg.Group, cfg.BitFlip, rng)
+		if err != nil {
+			return nil, err
+		}
+		params[i] = *p
+	}
+
+	results := make([]RunResult, len(params))
+	errs := make([]error, len(params))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallel)
+	for i := range params {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := r.RunTransient(w, golden, params[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = *res
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return summarize(w.Name(), golden, results, nil), nil
+}
+
+// RunPermanentCampaign runs one permanent fault per executed opcode and
+// weights each outcome by that opcode's share of dynamic instructions (the
+// data behind Figure 3).
+func RunPermanentCampaign(r Runner, w Workload, golden *GoldenResult, profile *core.Profile,
+	bf core.BitFlipModel, seed int64, parallel int) (*CampaignResult, error) {
+	if bf == 0 {
+		bf = core.FlipSingleBit
+	}
+	if parallel <= 0 {
+		parallel = 1
+	}
+	rr := r.applyDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	faults, err := core.SelectPermanentFaults(profile, rr.Family, rr.NumSMs, bf, rng)
+	if err != nil {
+		return nil, err
+	}
+	totals := profile.OpcodeTotals()
+	opset := sass.OpcodeSet(rr.Family)
+
+	results := make([]RunResult, len(faults))
+	weights := make([]float64, len(faults))
+	errs := make([]error, len(faults))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallel)
+	for i := range faults {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := rr.RunPermanent(w, golden, *faults[i], nil, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = *res
+			weights[i] = float64(totals[opset[faults[i].OpcodeID]])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	weighted := &stats.WeightedTally{}
+	for i := range results {
+		weighted.Add(results[i].Class.Outcome.String(), weights[i])
+	}
+	return summarize(w.Name(), golden, results, weighted), nil
+}
+
+func summarize(name string, golden *GoldenResult, results []RunResult, weighted *stats.WeightedTally) *CampaignResult {
+	tally := NewTally()
+	var total time.Duration
+	durs := make([]time.Duration, 0, len(results))
+	for i := range results {
+		tally.Add(results[i].Class)
+		if !results[i].Injection.Activated && results[i].Activations == 0 && weighted == nil {
+			tally.NotActivated++
+		}
+		total += results[i].Duration
+		durs = append(durs, results[i].Duration)
+	}
+	return &CampaignResult{
+		Program:       name,
+		Tally:         tally,
+		Weighted:      weighted,
+		Runs:          results,
+		GoldenTime:    golden.Duration,
+		TotalRunTime:  total,
+		MedianRunTime: median(durs),
+	}
+}
+
+func median(d []time.Duration) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

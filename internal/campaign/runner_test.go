@@ -1,0 +1,172 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/sass"
+	"repro/internal/specaccel"
+)
+
+// TestCampaignDeterminism: the same seed reproduces an identical tally,
+// run by run.
+func TestCampaignDeterminism(t *testing.T) {
+	w, err := specaccel.ByName("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := campaign.TransientCampaignConfig{Injections: 12, Seed: 99}
+	a, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Runs {
+		if a.Runs[i].Class != b.Runs[i].Class || a.Runs[i].Injection != b.Runs[i].Injection {
+			t.Fatalf("run %d differs between identical campaigns", i)
+		}
+	}
+}
+
+// TestCampaignParallelEquivalence: running experiments concurrently must
+// not change any outcome (each experiment has its own device).
+func TestCampaignParallelEquivalence(t *testing.T) {
+	w, err := specaccel.ByName("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := campaign.RunTransientCampaign(r, w, golden, profile,
+		campaign.TransientCampaignConfig{Injections: 10, Seed: 5, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := campaign.RunTransientCampaign(r, w, golden, profile,
+		campaign.TransientCampaignConfig{Injections: 10, Seed: 5, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Runs {
+		if seq.Runs[i].Class != par.Runs[i].Class {
+			t.Fatalf("run %d: sequential %v vs parallel %v",
+				i, seq.Runs[i].Class, par.Runs[i].Class)
+		}
+	}
+}
+
+// TestGoldenRejectsFaultyWorkload: a workload that fails fault-free cannot
+// anchor a campaign.
+func TestGoldenRejectsFaultyWorkload(t *testing.T) {
+	r := campaign.Runner{}
+	if _, err := r.Golden(&brokenWorkload{}); err == nil {
+		t.Fatal("golden accepted a failing workload")
+	}
+}
+
+type brokenWorkload struct{}
+
+func (b *brokenWorkload) Name() string        { return "broken" }
+func (b *brokenWorkload) Description() string { return "fails fault-free" }
+func (b *brokenWorkload) Run(*cuda.Context) (*campaign.Output, error) {
+	o := campaign.NewOutput()
+	o.ExitCode = 7
+	return o, nil
+}
+func (b *brokenWorkload) Check(_, _ *campaign.Output) bool { return true }
+
+// TestPermanentCampaignWeighting: outcome weights follow the profile's
+// per-opcode dynamic-instruction counts.
+func TestPermanentCampaignWeighting(t *testing.T) {
+	w, err := specaccel.ByName("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.RunPermanentCampaign(r, w, golden, profile, core.RandomValue, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var profTotal uint64
+	for _, c := range profile.OpcodeTotals() {
+		profTotal += c
+	}
+	if got := uint64(res.Weighted.Total()); got != profTotal {
+		t.Fatalf("weighted total = %d, profile total = %d", got, profTotal)
+	}
+	// Shares sum to 1.
+	sum := 0.0
+	for _, cat := range res.Weighted.Categories() {
+		sum += res.Weighted.Share(cat)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("weighted shares sum to %v", sum)
+	}
+}
+
+// TestHangInjectionClassifiedAsTimeout: a fault that creates an infinite
+// loop is caught by the budget monitor and classified DUE/timeout.
+func TestHangInjectionClassifiedAsTimeout(t *testing.T) {
+	w, err := specaccel.ByName("303.ostencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := campaign.Runner{BudgetFactor: 3}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep seeded ZERO_VALUE faults on predicate registers — loop-exit
+	// predicates zeroed out are the classic hang — until one times out.
+	found := false
+	cfg := campaign.TransientCampaignConfig{
+		Injections: 60, Seed: 1234,
+		Group:   sass.GroupGP,
+		BitFlip: core.RandomValue,
+	}
+	res, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range res.Runs {
+		if run.Class.Symptom == campaign.SymptomTimeout {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no hang among 60 sampled faults on this program (possible but rare)")
+	}
+}

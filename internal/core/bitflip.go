@@ -1,0 +1,70 @@
+package core
+
+import "fmt"
+
+// BitFlipModel is the bit-level corruption pattern (Table II). The numeric
+// values match the paper's parameter encoding.
+type BitFlipModel uint8
+
+// Bit-flip models.
+const (
+	FlipSingleBit BitFlipModel = 1 // flip a single bit
+	FlipTwoBits   BitFlipModel = 2 // flip two adjacent bits
+	RandomValue   BitFlipModel = 3 // write a random value
+	ZeroValue     BitFlipModel = 4 // write value 0
+)
+
+var bitFlipNames = [...]string{
+	FlipSingleBit: "FLIP_SINGLE_BIT",
+	FlipTwoBits:   "FLIP_TWO_BITS",
+	RandomValue:   "RANDOM_VALUE",
+	ZeroValue:     "ZERO_VALUE",
+}
+
+func (m BitFlipModel) String() string {
+	if m >= FlipSingleBit && int(m) < len(bitFlipNames) {
+		return bitFlipNames[m]
+	}
+	return fmt.Sprintf("BitFlipModel(%d)", uint8(m))
+}
+
+// Valid reports whether m is one of the four defined models.
+func (m BitFlipModel) Valid() bool { return m >= FlipSingleBit && m <= ZeroValue }
+
+// Mask derives the XOR corruption mask from the bit-pattern value in [0,1)
+// and the register's current value, using exactly the formulas of Table II:
+//
+//	FLIP_SINGLE_BIT: 0x1 << (32 × value)
+//	FLIP_TWO_BITS:   0x3 << (31 × value)
+//	RANDOM_VALUE:    0xffffffff × value
+//	ZERO_VALUE:      the current value, so XOR produces 0x0
+func (m BitFlipModel) Mask(value float64, current uint32) uint32 {
+	switch m {
+	case FlipSingleBit:
+		return 1 << uint(32*value)
+	case FlipTwoBits:
+		return 3 << uint(31*value)
+	case RandomValue:
+		return uint32(float64(0xffffffff) * value)
+	case ZeroValue:
+		return current
+	default:
+		return 0
+	}
+}
+
+// FlipPred derives the corrupted value of a 1-bit predicate destination.
+// Single- and two-bit flips invert the predicate; RANDOM_VALUE draws the
+// bit from the pattern value; ZERO_VALUE clears it.
+func (m BitFlipModel) FlipPred(value float64, current bool) bool {
+	switch m {
+	case FlipSingleBit, FlipTwoBits:
+		return !current
+	case RandomValue:
+		return value >= 0.5
+	case ZeroValue:
+		return false
+	default:
+		return current
+	}
+}

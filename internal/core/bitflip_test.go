@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// TestBitFlipMaskFormulas pins the exact Table II formulas.
+func TestBitFlipMaskFormulas(t *testing.T) {
+	tests := []struct {
+		model   BitFlipModel
+		value   float64
+		current uint32
+		want    uint32
+	}{
+		{FlipSingleBit, 0, 0, 1 << 0},
+		{FlipSingleBit, 0.5, 0, 1 << 16},
+		{FlipSingleBit, 0.999, 0, 1 << 31},
+		{FlipTwoBits, 0, 0, 3},
+		{FlipTwoBits, 0.5, 0, 3 << 15},
+		{FlipTwoBits, 0.999, 0, 3 << 30},
+		{RandomValue, 0, 0xabcd, 0},
+		{RandomValue, 0.5, 0, 0x7fffffff},
+		{ZeroValue, 0.3, 0xdeadbeef, 0xdeadbeef}, // mask == current -> XOR gives 0
+		{ZeroValue, 0.9, 0, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.model.Mask(tc.value, tc.current); got != tc.want {
+			t.Errorf("%v.Mask(%v, 0x%x) = 0x%x, want 0x%x",
+				tc.model, tc.value, tc.current, got, tc.want)
+		}
+	}
+}
+
+// TestBitFlipProperties: for all values in [0,1) the masks have the
+// model's shape.
+func TestBitFlipProperties(t *testing.T) {
+	norm := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0.5
+		}
+		v = math.Mod(v, 1)
+		if v < 0 {
+			v += 1
+		}
+		return v
+	}
+	single := func(raw float64) bool {
+		m := FlipSingleBit.Mask(norm(raw), 0)
+		return bits.OnesCount32(m) == 1
+	}
+	double := func(raw float64) bool {
+		m := FlipTwoBits.Mask(norm(raw), 0)
+		// Two adjacent bits, except at the top where the pattern may shift
+		// out of range — the formula caps the shift at 30 via 31*value.
+		return bits.OnesCount32(m) == 2 && m%3 == 0 || m == 3<<30
+	}
+	zero := func(raw float64, cur uint32) bool {
+		return cur^ZeroValue.Mask(norm(raw), cur) == 0
+	}
+	for name, f := range map[string]any{"single": single, "double": double, "zero": zero} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFlipPred(t *testing.T) {
+	if FlipSingleBit.FlipPred(0.1, true) != false ||
+		FlipSingleBit.FlipPred(0.1, false) != true {
+		t.Error("single-bit flip should invert a predicate")
+	}
+	if FlipTwoBits.FlipPred(0.9, true) != false {
+		t.Error("two-bit flip should invert a predicate")
+	}
+	if RandomValue.FlipPred(0.7, false) != true || RandomValue.FlipPred(0.2, true) != false {
+		t.Error("random predicate should follow the pattern value")
+	}
+	if ZeroValue.FlipPred(0.9, true) != false {
+		t.Error("zero value should clear a predicate")
+	}
+}
+
+func TestBitFlipNames(t *testing.T) {
+	want := map[BitFlipModel]string{
+		FlipSingleBit: "FLIP_SINGLE_BIT",
+		FlipTwoBits:   "FLIP_TWO_BITS",
+		RandomValue:   "RANDOM_VALUE",
+		ZeroValue:     "ZERO_VALUE",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+		if !m.Valid() {
+			t.Errorf("%v should be valid", m)
+		}
+	}
+	if BitFlipModel(0).Valid() || BitFlipModel(5).Valid() {
+		t.Error("out-of-range models report valid")
+	}
+}

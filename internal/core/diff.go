@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sass"
+)
+
+// KernelDiff compares one dynamic kernel's eligible-instruction totals
+// between two profiles.
+type KernelDiff struct {
+	Kernel      string
+	LaunchIndex int
+	A, B        uint64
+}
+
+// RelDelta returns |A-B| / max(A,B), or 0 when both are zero.
+func (d KernelDiff) RelDelta() float64 {
+	if d.A == d.B {
+		return 0
+	}
+	hi := d.A
+	if d.B > hi {
+		hi = d.B
+	}
+	lo := d.A + d.B - hi
+	return float64(hi-lo) / float64(hi)
+}
+
+// ProfileDiff summarizes how two profiles of the same program differ — the
+// analysis behind the paper's exact-versus-approximate profiling comparison
+// (Section IV-B): approximate profiles assume later instances of a static
+// kernel repeat the first instance's counts, so the diff exposes exactly
+// where that assumption fails.
+type ProfileDiff struct {
+	Group          sass.Group
+	TotalA, TotalB uint64
+	// OnlyA and OnlyB list dynamic kernels present in one profile only.
+	OnlyA, OnlyB []string
+	// Kernels holds the per-dynamic-kernel comparison for kernels present
+	// in both, in profile-A order.
+	Kernels []KernelDiff
+}
+
+// MaxRelDelta returns the largest per-kernel relative deviation.
+func (d *ProfileDiff) MaxRelDelta() float64 {
+	max := 0.0
+	for _, k := range d.Kernels {
+		if r := k.RelDelta(); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// TotalRelDelta returns the whole-profile relative deviation.
+func (d *ProfileDiff) TotalRelDelta() float64 {
+	return KernelDiff{A: d.TotalA, B: d.TotalB}.RelDelta()
+}
+
+// DiffProfiles compares two profiles over one instruction group.
+func DiffProfiles(a, b *Profile, g sass.Group) *ProfileDiff {
+	key := func(r *KernelRecord) string {
+		return fmt.Sprintf("%s/%d", r.Kernel, r.LaunchIndex)
+	}
+	bByKey := make(map[string]*KernelRecord, len(b.Records))
+	for i := range b.Records {
+		bByKey[key(&b.Records[i])] = &b.Records[i]
+	}
+	d := &ProfileDiff{Group: g, TotalA: a.TotalInstrs(g), TotalB: b.TotalInstrs(g)}
+	seen := make(map[string]bool, len(a.Records))
+	for i := range a.Records {
+		ra := &a.Records[i]
+		k := key(ra)
+		seen[k] = true
+		rb, ok := bByKey[k]
+		if !ok {
+			d.OnlyA = append(d.OnlyA, k)
+			continue
+		}
+		d.Kernels = append(d.Kernels, KernelDiff{
+			Kernel:      ra.Kernel,
+			LaunchIndex: ra.LaunchIndex,
+			A:           ra.Total(g),
+			B:           rb.Total(g),
+		})
+	}
+	for i := range b.Records {
+		if k := key(&b.Records[i]); !seen[k] {
+			d.OnlyB = append(d.OnlyB, k)
+		}
+	}
+	return d
+}
+
+// WriteReport prints a human-readable diff, listing only kernels that
+// deviate by at least minRel.
+func (d *ProfileDiff) WriteReport(w io.Writer, minRel float64) error {
+	if _, err := fmt.Fprintf(w, "group %v: A=%d B=%d instructions (%.2f%% apart)\n",
+		d.Group, d.TotalA, d.TotalB, 100*d.TotalRelDelta()); err != nil {
+		return err
+	}
+	for _, k := range d.Kernels {
+		if r := k.RelDelta(); r >= minRel && r > 0 {
+			if _, err := fmt.Fprintf(w, "  %s/%d: A=%d B=%d (%.2f%%)\n",
+				k.Kernel, k.LaunchIndex, k.A, k.B, 100*r); err != nil {
+				return err
+			}
+		}
+	}
+	for _, k := range d.OnlyA {
+		if _, err := fmt.Fprintf(w, "  only in A: %s\n", k); err != nil {
+			return err
+		}
+	}
+	for _, k := range d.OnlyB {
+		if _, err := fmt.Fprintf(w, "  only in B: %s\n", k); err != nil {
+			return err
+		}
+	}
+	if math.IsNaN(d.MaxRelDelta()) {
+		return fmt.Errorf("core: corrupt diff")
+	}
+	return nil
+}

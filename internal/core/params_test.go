@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sass"
+)
+
+func TestTransientParamsRoundTrip(t *testing.T) {
+	p := TransientParams{
+		Group:           sass.GroupFP32,
+		BitFlip:         FlipTwoBits,
+		KernelName:      "stencil_step",
+		KernelCount:     17,
+		InstrCount:      123456789,
+		DestRegSelect:   0.25,
+		BitPatternValue: 0.875,
+	}
+	got, err := ParseTransientParams(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != p {
+		t.Fatalf("round trip: %+v vs %+v", *got, p)
+	}
+}
+
+func TestTransientParamsThreadSelector(t *testing.T) {
+	p := TransientParams{
+		Group: sass.GroupGP, BitFlip: FlipSingleBit,
+		KernelName: "k", KernelCount: 0, InstrCount: 5,
+		DestRegSelect: 0.1, BitPatternValue: 0.2,
+		Thread: &ThreadSelector{BlockLinear: 3, WarpID: 2, Lane: 7},
+	}
+	got, err := ParseTransientParams(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Thread == nil || *got.Thread != *p.Thread {
+		t.Fatalf("thread selector lost: %+v", got.Thread)
+	}
+}
+
+func TestTransientParamsValidate(t *testing.T) {
+	good := TransientParams{
+		Group: sass.GroupGPPR, BitFlip: FlipSingleBit,
+		KernelName: "k", DestRegSelect: 0.5, BitPatternValue: 0.5,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []TransientParams{
+		{BitFlip: FlipSingleBit, KernelName: "k"},     // no group
+		{Group: sass.GroupGP, KernelName: "k"},        // no bit flip
+		{Group: sass.GroupGP, BitFlip: FlipSingleBit}, // no kernel
+		{Group: sass.GroupGP, BitFlip: FlipSingleBit, KernelName: "k", KernelCount: -1},
+		{Group: sass.GroupGP, BitFlip: FlipSingleBit, KernelName: "k", DestRegSelect: 1.0},
+		{Group: sass.GroupGP, BitFlip: FlipSingleBit, KernelName: "k", BitPatternValue: -0.1},
+		{Group: sass.GroupGP, BitFlip: FlipSingleBit, KernelName: "k",
+			Thread: &ThreadSelector{Lane: 32}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d validated", i)
+		}
+	}
+}
+
+func TestParseTransientParamsErrors(t *testing.T) {
+	bad := []string{
+		"",                                        // empty
+		"1\n2\nk\n0\n5\n0.5\n",                    // six lines
+		"9\n1\nk\n0\n5\n0.5\n0.5\n",               // bad group
+		"1\nx\nk\n0\n5\n0.5\n0.5\n",               // bad model
+		"1\n1\nk\nx\n5\n0.5\n0.5\n",               // bad kernel count
+		"1\n1\nk\n0\nx\n0.5\n0.5\n",               // bad instr count
+		"1\n1\nk\n0\n5\nz\n0.5\n",                 // bad reg select
+		"1\n1\nk\n0\n5\n0.5\nz\n",                 // bad pattern
+		"1\n1\nk\n0\n5\n0.5\n0.5\nthread a b c\n", // bad thread line
+	}
+	for _, text := range bad {
+		if _, err := ParseTransientParams(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseTransientParams(%q) succeeded", text)
+		}
+	}
+	// Symbolic group names parse too.
+	ok := "G_FP32\n1\nk\n0\n5\n0.5\n0.5\n"
+	p, err := ParseTransientParams(strings.NewReader(ok))
+	if err != nil || p.Group != sass.GroupFP32 {
+		t.Fatalf("symbolic group: %+v, %v", p, err)
+	}
+}
+
+func TestPermanentParamsRoundTrip(t *testing.T) {
+	p := PermanentParams{
+		SMID: 3, Lane: 17, BitMask: 0xdead0001, OpcodeID: 42,
+		ExtraOpcodeIDs: []int{7, 99},
+	}
+	got, err := ParsePermanentParams(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SMID != p.SMID || got.Lane != p.Lane || got.BitMask != p.BitMask ||
+		got.OpcodeID != p.OpcodeID || len(got.ExtraOpcodeIDs) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestPermanentParamsValidate(t *testing.T) {
+	good := PermanentParams{SMID: 0, Lane: 31, BitMask: 1, OpcodeID: 170}
+	if err := good.Validate(sass.FamilyVolta, 8); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []PermanentParams{
+		{SMID: 8, OpcodeID: 0},                    // SM out of range for 8 SMs
+		{SMID: -1, OpcodeID: 0},                   //
+		{Lane: 32, OpcodeID: 0},                   // lane out of range
+		{OpcodeID: 171},                           // opcode beyond the Volta set
+		{OpcodeID: -1},                            //
+		{OpcodeID: 0, ExtraOpcodeIDs: []int{500}}, // bad extra opcode
+	}
+	for i, p := range bad {
+		if err := p.Validate(sass.FamilyVolta, 8); err == nil {
+			t.Errorf("bad permanent params %d validated", i)
+		}
+	}
+	// Opcode resolution follows the family opcode set.
+	set := sass.OpcodeSet(sass.FamilyVolta)
+	p := PermanentParams{OpcodeID: 5}
+	if p.Opcode(sass.FamilyVolta) != set[5] {
+		t.Error("opcode resolution mismatch")
+	}
+}
+
+func TestParsePermanentParamsErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"0\n1\n0x2\n",              // three lines
+		"x\n1\n0x2\n3\n",           // bad SM
+		"0\nx\n0x2\n3\n",           // bad lane
+		"0\n1\nzz\n3\n",            // bad mask
+		"0\n1\n0x2\nx\n",           // bad opcode
+		"0\n1\n0x2\n3\nopcode x\n", // bad extra
+	}
+	for _, text := range bad {
+		if _, err := ParsePermanentParams(strings.NewReader(text)); err == nil {
+			t.Errorf("ParsePermanentParams(%q) succeeded", text)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sass"
+)
+
+func sampleProfile() *Profile {
+	return &Profile{
+		Program: "prog",
+		Mode:    Exact,
+		Records: []KernelRecord{
+			{
+				Kernel: "k1", LaunchIndex: 0,
+				OpCounts: map[sass.Op]uint64{
+					sass.MustOp("FADD"):  100,
+					sass.MustOp("IADD"):  50,
+					sass.MustOp("LDG"):   30,
+					sass.MustOp("ISETP"): 20,
+					sass.MustOp("STG"):   30,
+					sass.MustOp("EXIT"):  10,
+				},
+			},
+			{
+				Kernel: "k2", LaunchIndex: 0,
+				OpCounts: map[sass.Op]uint64{
+					sass.MustOp("DADD"): 40,
+					sass.MustOp("DMUL"): 60,
+				},
+			},
+			{
+				Kernel: "k1", LaunchIndex: 1,
+				OpCounts: map[sass.Op]uint64{
+					sass.MustOp("FADD"): 100,
+				},
+			},
+		},
+	}
+}
+
+func TestProfileTotals(t *testing.T) {
+	p := sampleProfile()
+	tests := []struct {
+		g    sass.Group
+		want uint64
+	}{
+		{sass.GroupFP32, 200},  // FADD in both k1 instances
+		{sass.GroupFP64, 100},  // DADD + DMUL
+		{sass.GroupLD, 30},     // LDG
+		{sass.GroupPR, 20},     // ISETP
+		{sass.GroupNODEST, 40}, // STG + EXIT
+		{sass.GroupOTHERS, 50}, // IADD
+		{sass.GroupGPPR, 400},  // all - NODEST
+		{sass.GroupGP, 380},    // all - NODEST - PR
+	}
+	for _, tc := range tests {
+		if got := p.TotalInstrs(tc.g); got != tc.want {
+			t.Errorf("TotalInstrs(%v) = %d, want %d", tc.g, got, tc.want)
+		}
+	}
+	if got := len(p.ExecutedOpcodes()); got != 8 {
+		t.Errorf("executed opcodes = %d, want 8", got)
+	}
+	if got := p.StaticKernels(); len(got) != 2 || got[0] != "k1" || got[1] != "k2" {
+		t.Errorf("static kernels = %v", got)
+	}
+	if p.DynamicKernels() != 3 {
+		t.Errorf("dynamic kernels = %d", p.DynamicKernels())
+	}
+	totals := p.OpcodeTotals()
+	if totals[sass.MustOp("FADD")] != 200 {
+		t.Errorf("FADD total = %d", totals[sass.MustOp("FADD")])
+	}
+}
+
+func TestProfileSerializeParseRoundTrip(t *testing.T) {
+	p := sampleProfile()
+	text := p.String()
+	got, err := ParseProfile(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if got.Program != p.Program || got.Mode != p.Mode || len(got.Records) != len(p.Records) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range p.Records {
+		a, b := p.Records[i], got.Records[i]
+		if a.Kernel != b.Kernel || a.LaunchIndex != b.LaunchIndex || len(a.OpCounts) != len(b.OpCounts) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for op, c := range a.OpCounts {
+			if b.OpCounts[op] != c {
+				t.Fatalf("record %d count %v = %d, want %d", i, op, b.OpCounts[op], c)
+			}
+		}
+	}
+}
+
+// TestProfileRoundTripRandom: random profiles survive the text format.
+func TestProfileRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ops := sass.OpcodeSet(sass.FamilyVolta)
+	for trial := 0; trial < 100; trial++ {
+		p := &Profile{Program: "r", Mode: ProfileMode(1 + rng.Intn(2))}
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			rec := KernelRecord{
+				Kernel:      "kern" + string(rune('a'+rng.Intn(3))),
+				LaunchIndex: k,
+				OpCounts:    map[sass.Op]uint64{},
+			}
+			for j := 0; j < rng.Intn(10); j++ {
+				rec.OpCounts[ops[rng.Intn(len(ops))]] = uint64(rng.Intn(1 << 30))
+			}
+			p.Records = append(p.Records, rec)
+		}
+		got, err := ParseProfile(strings.NewReader(p.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, g := range sass.PrimaryGroups() {
+			if got.TotalInstrs(g) != p.TotalInstrs(g) {
+				t.Fatalf("trial %d: group %v totals differ", trial, g)
+			}
+		}
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	bad := []string{
+		"k1; x; FADD=1",       // bad launch index
+		"k1; 0; NOTANOP=1",    // unknown opcode
+		"k1; 0; FADD",         // missing count
+		"k1; 0; FADD=zz",      // bad count
+		"justonefield",        // missing separators
+		"# mode: sometimes\n", // bad mode
+	}
+	for _, text := range bad {
+		if _, err := ParseProfile(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseProfile(%q) succeeded", text)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# program: x\n# mode: exact\n\n# a comment\nk1; 0; FADD=3\n"
+	p, err := ParseProfile(strings.NewReader(ok))
+	if err != nil || len(p.Records) != 1 {
+		t.Fatalf("benign profile rejected: %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/nvbit"
+	"repro/internal/sass"
+)
+
+// Profiler is the profiler.so analog: an NVBit tool that instruments
+// kernels to count dynamic, thread-level instruction executions per opcode
+// per dynamic kernel. In Exact mode every dynamic kernel is instrumented;
+// in Approximate mode only the first instance of each static kernel is,
+// and later instances are extrapolated from it (Section III-A).
+type Profiler struct {
+	mode ProfileMode
+
+	program      string
+	instrumented map[string]bool // static kernels already profiled (approx mode)
+	current      *KernelRecord   // record under accumulation (launches are serial)
+	records      []KernelRecord
+}
+
+var _ nvbit.Tool = (*Profiler)(nil)
+
+// NewProfiler creates a profiler in the given mode.
+func NewProfiler(program string, mode ProfileMode) (*Profiler, error) {
+	if mode != Exact && mode != Approximate {
+		return nil, fmt.Errorf("core: invalid profile mode %d", mode)
+	}
+	return &Profiler{
+		mode:         mode,
+		program:      program,
+		instrumented: make(map[string]bool),
+	}, nil
+}
+
+// Name implements nvbit.Tool.
+func (p *Profiler) Name() string { return "profiler" }
+
+// OnLaunch implements nvbit.Tool: decide whether this dynamic kernel is
+// counted directly or extrapolated.
+func (p *Profiler) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
+	rec := KernelRecord{
+		Kernel:      info.Kernel.Name,
+		LaunchIndex: info.LaunchIndex,
+		OpCounts:    make(map[sass.Op]uint64),
+	}
+	if p.mode == Approximate && p.instrumented[info.Kernel.Name] {
+		rec.Extrapolated = true
+		p.records = append(p.records, rec)
+		p.current = nil
+		return nvbit.RunOriginal
+	}
+	p.instrumented[info.Kernel.Name] = true
+	p.records = append(p.records, rec)
+	p.current = &p.records[len(p.records)-1]
+	return nvbit.Decision{Instrument: true, Key: "profile"}
+}
+
+// Instrument implements nvbit.Tool: count every instruction's active lanes.
+// The callback closure is built once and shared by all launches through the
+// JIT cache; it accumulates into whichever record is current.
+func (p *Profiler) Instrument(k *sass.Kernel, _ string, ins *nvbit.Inserter) {
+	for i := range k.Instrs {
+		op := k.Instrs[i].Op
+		ins.InsertAfter(i, func(c *gpu.InstrCtx) {
+			if p.current != nil {
+				p.current.OpCounts[op] += uint64(c.LaneCount())
+			}
+		})
+	}
+}
+
+// OnLaunchDone implements nvbit.Tool.
+func (p *Profiler) OnLaunchDone(*nvbit.LaunchInfo, gpu.LaunchStats, *gpu.Trap, bool) {
+	p.current = nil
+}
+
+// Finish resolves the profile. In Approximate mode, extrapolated records
+// receive copies of the counts measured on the first instance of their
+// static kernel.
+func (p *Profiler) Finish() *Profile {
+	firstByKernel := make(map[string]*KernelRecord)
+	for i := range p.records {
+		r := &p.records[i]
+		if !r.Extrapolated {
+			if _, ok := firstByKernel[r.Kernel]; !ok {
+				firstByKernel[r.Kernel] = r
+			}
+		}
+	}
+	out := &Profile{Program: p.program, Mode: p.mode, Records: make([]KernelRecord, len(p.records))}
+	for i := range p.records {
+		r := p.records[i]
+		if r.Extrapolated {
+			if first, ok := firstByKernel[r.Kernel]; ok {
+				counts := make(map[sass.Op]uint64, len(first.OpCounts))
+				for op, c := range first.OpCounts {
+					counts[op] = c
+				}
+				r.OpCounts = counts
+			}
+		}
+		out.Records[i] = r
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sass"
+)
+
+// SelectTransientFault samples one injection site uniformly from the
+// profile's dynamic instructions of the requested group, exactly as the
+// paper describes: choose a random n from 1..N over the profiled
+// thread-level executions, then translate n into the
+// <kernel name, kernel count, instruction count> tuple. The destination
+// register selector and bit-pattern value are drawn from the same stream.
+func SelectTransientFault(p *Profile, g sass.Group, bf BitFlipModel, rng *rand.Rand) (*TransientParams, error) {
+	total := p.TotalInstrs(g)
+	if total == 0 {
+		return nil, fmt.Errorf("core: profile of %q has no %v instructions to inject", p.Program, g)
+	}
+	n := uint64(rng.Int63n(int64(total))) // 0-based index into the group's executions
+	var cum uint64
+	for i := range p.Records {
+		r := &p.Records[i]
+		t := r.Total(g)
+		if n < cum+t {
+			params := &TransientParams{
+				Group:           g,
+				BitFlip:         bf,
+				KernelName:      r.Kernel,
+				KernelCount:     r.LaunchIndex,
+				InstrCount:      n - cum,
+				DestRegSelect:   rng.Float64(),
+				BitPatternValue: rng.Float64(),
+			}
+			if err := params.Validate(); err != nil {
+				return nil, err
+			}
+			return params, nil
+		}
+		cum += t
+	}
+	return nil, fmt.Errorf("core: internal error: fault index %d beyond profile total %d", n, total)
+}
+
+// SelectPermanentFaults enumerates one permanent-fault experiment per
+// executed opcode (the campaign described in Section IV-B: "permanent fault
+// experiments can be skipped for unused opcodes"). The SM, lane, and mask
+// are drawn per experiment from rng.
+func SelectPermanentFaults(p *Profile, family sass.Family, numSMs int, bf BitFlipModel, rng *rand.Rand) ([]*PermanentParams, error) {
+	set := sass.OpcodeSet(family)
+	idByOp := make(map[sass.Op]int, len(set))
+	for i, op := range set {
+		idByOp[op] = i
+	}
+	var out []*PermanentParams
+	for _, op := range p.ExecutedOpcodes() {
+		id, ok := idByOp[op]
+		if !ok {
+			return nil, fmt.Errorf("core: profiled opcode %s is not in the %v opcode set", op, family)
+		}
+		params := &PermanentParams{
+			SMID:     rng.Intn(numSMs),
+			Lane:     rng.Intn(32),
+			BitMask:  bf.Mask(rng.Float64(), 0),
+			OpcodeID: id,
+		}
+		if params.BitMask == 0 {
+			params.BitMask = 1 // ZERO_VALUE has no static mask; fall back to bit 0
+		}
+		if err := params.Validate(family, numSMs); err != nil {
+			return nil, err
+		}
+		out = append(out, params)
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sass"
+)
+
+func TestSelectTransientFaultBounds(t *testing.T) {
+	p := sampleProfile()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		params, err := SelectTransientFault(p, sass.GroupGPPR, FlipSingleBit, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := params.Validate(); err != nil {
+			t.Fatalf("selected invalid params: %v", err)
+		}
+		// The instruction count must be within the selected record's
+		// group total.
+		var rec *KernelRecord
+		for j := range p.Records {
+			r := &p.Records[j]
+			if r.Kernel == params.KernelName && r.LaunchIndex == params.KernelCount {
+				rec = r
+			}
+		}
+		if rec == nil {
+			t.Fatalf("selected nonexistent dynamic kernel %s/%d",
+				params.KernelName, params.KernelCount)
+		}
+		if params.InstrCount >= rec.Total(sass.GroupGPPR) {
+			t.Fatalf("instruction count %d beyond record total %d",
+				params.InstrCount, rec.Total(sass.GroupGPPR))
+		}
+	}
+}
+
+// TestSelectUniformity: selection probability is proportional to each
+// dynamic kernel's share of eligible instructions.
+func TestSelectUniformity(t *testing.T) {
+	fadd := sass.MustOp("FADD")
+	p := &Profile{
+		Program: "u",
+		Mode:    Exact,
+		Records: []KernelRecord{
+			{Kernel: "small", LaunchIndex: 0, OpCounts: map[sass.Op]uint64{fadd: 100}},
+			{Kernel: "big", LaunchIndex: 0, OpCounts: map[sass.Op]uint64{fadd: 300}},
+		},
+	}
+	rng := rand.New(rand.NewSource(9))
+	const n = 4000
+	hits := 0
+	for i := 0; i < n; i++ {
+		params, err := SelectTransientFault(p, sass.GroupFP32, FlipSingleBit, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if params.KernelName == "big" {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.75) > 0.03 {
+		t.Fatalf("big kernel selected %.3f of the time, want ~0.75", got)
+	}
+}
+
+func TestSelectEmptyGroup(t *testing.T) {
+	p := sampleProfile() // has no FP16/half and no texture loads beyond LDG
+	rng := rand.New(rand.NewSource(1))
+	// Remove loads to make G_LD empty.
+	for i := range p.Records {
+		delete(p.Records[i].OpCounts, sass.MustOp("LDG"))
+	}
+	if _, err := SelectTransientFault(p, sass.GroupLD, FlipSingleBit, rng); err == nil {
+		t.Fatal("selection from an empty group succeeded")
+	}
+}
+
+func TestSelectPermanentFaults(t *testing.T) {
+	p := sampleProfile()
+	rng := rand.New(rand.NewSource(2))
+	faults, err := SelectPermanentFaults(p, sass.FamilyVolta, 8, FlipSingleBit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != len(p.ExecutedOpcodes()) {
+		t.Fatalf("%d faults for %d executed opcodes", len(faults), len(p.ExecutedOpcodes()))
+	}
+	set := sass.OpcodeSet(sass.FamilyVolta)
+	seen := make(map[sass.Op]bool)
+	for _, f := range faults {
+		if err := f.Validate(sass.FamilyVolta, 8); err != nil {
+			t.Fatalf("invalid fault: %v", err)
+		}
+		if f.BitMask == 0 {
+			t.Fatal("permanent fault with a zero mask is a no-op")
+		}
+		op := set[f.OpcodeID]
+		if seen[op] {
+			t.Fatalf("opcode %v selected twice", op)
+		}
+		seen[op] = true
+	}
+	for _, op := range p.ExecutedOpcodes() {
+		if !seen[op] {
+			t.Fatalf("executed opcode %v has no fault", op)
+		}
+	}
+}
+
+func TestSelectDeterminism(t *testing.T) {
+	p := sampleProfile()
+	a, err := SelectTransientFault(p, sass.GroupGP, RandomValue, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectTransientFault(p, sass.GroupGP, RandomValue, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed selected different faults:\n%+v\n%+v", *a, *b)
+	}
+}

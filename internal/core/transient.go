@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/nvbit"
+	"repro/internal/sass"
+)
+
+// destTarget names one corruptible destination: a GP register or a
+// predicate.
+type destTarget struct {
+	isPred bool
+	reg    sass.RegID
+	pred   sass.PredID
+}
+
+func (t destTarget) String() string {
+	if t.isPred {
+		return t.pred.String()
+	}
+	return t.reg.String()
+}
+
+// destTargets expands an instruction's destination operands into individual
+// corruptible registers: FP64 results occupy an even/odd pair, and 64/128-
+// bit loads occupy two or four consecutive registers.
+func destTargets(in *sass.Instr) []destTarget {
+	var out []destTarget
+	info := in.Op.Info()
+	for i := range in.Dst {
+		d := &in.Dst[i]
+		switch d.Kind {
+		case sass.OpdPred:
+			if d.Pred.Pred != sass.PT {
+				out = append(out, destTarget{isPred: true, pred: d.Pred.Pred})
+			}
+		case sass.OpdReg:
+			if d.Reg == sass.RZ {
+				continue
+			}
+			n := 1
+			if info.Flags&sass.FlagPair != 0 {
+				n = 2
+			}
+			if info.Sem == sass.SemLd || info.Sem == sass.SemLdc {
+				switch in.Mods.MemWidth() {
+				case 8:
+					n = 2
+				case 16:
+					n = 4
+				}
+			}
+			for k := 0; k < n; k++ {
+				r := d.Reg + sass.RegID(k)
+				if r != sass.RZ {
+					out = append(out, destTarget{reg: r})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// InjectionRecord reports what a transient injection actually did — the
+// per-run log NVBitFI writes for later analysis.
+type InjectionRecord struct {
+	// Activated is true when the targeted dynamic instruction was reached
+	// and the corruption applied. With approximate profiles the selected
+	// site may not exist in the real execution; the fault then never
+	// activates.
+	Activated bool
+	// NoDestination is true when the target instruction writes no register
+	// (a G_NODEST selection): the fault model has nothing to corrupt.
+	NoDestination bool
+
+	Kernel    string
+	InstrIdx  int
+	Opcode    sass.Op
+	SMID      int
+	BlockLin  int
+	WarpID    int
+	Lane      int
+	Target    string // corrupted register name
+	Before    uint32
+	After     uint32
+	Mask      uint32
+	PredValue bool // post-corruption value for predicate targets
+}
+
+// TransientInjector is the injector.so analog: it corrupts the destination
+// register of exactly one dynamic, thread-level instruction execution,
+// selected by the parameter tuple. Only the targeted dynamic kernel
+// instance is instrumented; every other launch runs unmodified — the
+// selectivity the paper credits for NVBitFI's low injection overhead.
+type TransientInjector struct {
+	P TransientParams
+
+	counter uint64 // eligible thread-level executions seen in the target launch
+	active  bool   // the in-flight launch is the target
+	rec     InjectionRecord
+}
+
+var _ nvbit.Tool = (*TransientInjector)(nil)
+
+// NewTransientInjector validates params and builds the injector. An
+// injector is single-use: one experiment, one context.
+func NewTransientInjector(p TransientParams) (*TransientInjector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &TransientInjector{P: p}, nil
+}
+
+// Name implements nvbit.Tool.
+func (t *TransientInjector) Name() string { return "injector" }
+
+// Record returns the injection outcome after the run.
+func (t *TransientInjector) Record() InjectionRecord { return t.rec }
+
+// OnLaunch implements nvbit.Tool: only the targeted dynamic kernel instance
+// is instrumented.
+func (t *TransientInjector) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
+	if info.Kernel.Name != t.P.KernelName || info.LaunchIndex != t.P.KernelCount {
+		return nvbit.RunOriginal
+	}
+	t.active = true
+	t.counter = 0
+	return nvbit.Decision{Instrument: true, Key: fmt.Sprintf("inject:%v:%d", t.P.Group, t.P.InstrCount)}
+}
+
+// Instrument implements nvbit.Tool: attach the countdown-and-corrupt
+// callback to every instruction in the target group.
+func (t *TransientInjector) Instrument(k *sass.Kernel, _ string, ins *nvbit.Inserter) {
+	for i := range k.Instrs {
+		if !sass.GroupContains(t.P.Group, k.Instrs[i].Op) {
+			continue
+		}
+		idx := i
+		ins.InsertAfter(i, func(c *gpu.InstrCtx) { t.step(c, idx) })
+	}
+}
+
+// step advances the eligible-execution counter and fires the corruption
+// when the count reaches the target.
+func (t *TransientInjector) step(c *gpu.InstrCtx, instrIdx int) {
+	if !t.active || t.rec.Activated {
+		return
+	}
+	if sel := t.P.Thread; sel != nil {
+		// Thread-targeted mode (extension): only the selected thread's
+		// executions are eligible.
+		if c.BlockLin != sel.BlockLinear || c.WarpID != sel.WarpID || !c.LaneActive(sel.Lane) {
+			return
+		}
+		if t.counter < t.P.InstrCount {
+			t.counter++
+			return
+		}
+		t.corrupt(c, instrIdx, sel.Lane)
+		return
+	}
+	n := uint64(c.LaneCount())
+	if t.counter+n <= t.P.InstrCount {
+		t.counter += n
+		return
+	}
+	// The target falls inside this execution: find the k-th active lane.
+	k := t.P.InstrCount - t.counter
+	t.counter += n
+	for lane := 0; lane < gpu.WarpSize; lane++ {
+		if !c.LaneActive(lane) {
+			continue
+		}
+		if k == 0 {
+			t.corrupt(c, instrIdx, lane)
+			return
+		}
+		k--
+	}
+}
+
+// corrupt applies the bit-flip model to the selected destination
+// register(s) of one lane, immediately after the instruction wrote them.
+func (t *TransientInjector) corrupt(c *gpu.InstrCtx, instrIdx, lane int) {
+	CorruptDestN(&t.rec, c, instrIdx, lane, t.P.BitFlip, t.P.DestRegSelect,
+		t.P.BitPatternValue, t.P.MultiRegCount)
+}
+
+// CorruptDest applies the Table II destination-register corruption to one
+// lane of the instruction the context points at, filling rec with what
+// happened. It is shared by NVBitFI's injector and the baseline tools so
+// that overhead comparisons use identical fault semantics.
+func CorruptDest(rec *InjectionRecord, c *gpu.InstrCtx, instrIdx, lane int,
+	bf BitFlipModel, destSel, patVal float64) {
+	CorruptDestN(rec, c, instrIdx, lane, bf, destSel, patVal, 1)
+}
+
+// CorruptDestN is CorruptDest with the Section V multi-register extension:
+// count consecutive destination registers (starting at the selected one)
+// receive the same corruption. count values below one mean one.
+func CorruptDestN(rec *InjectionRecord, c *gpu.InstrCtx, instrIdx, lane int,
+	bf BitFlipModel, destSel, patVal float64, count int) {
+	*rec = InjectionRecord{
+		Activated: true,
+		Kernel:    c.Kernel.Name,
+		InstrIdx:  instrIdx,
+		Opcode:    c.Instr.Op,
+		SMID:      c.SMID,
+		BlockLin:  c.BlockLin,
+		WarpID:    c.WarpID,
+		Lane:      lane,
+	}
+	targets := destTargets(c.Instr)
+	if len(targets) == 0 {
+		// A G_NODEST selection: the register fault model has no
+		// architectural state to corrupt (stores, branches, barriers).
+		rec.NoDestination = true
+		return
+	}
+	if count < 1 {
+		count = 1
+	}
+	first := int(destSel * float64(len(targets)))
+	for k := 0; k < count && first+k < len(targets); k++ {
+		tg := targets[first+k]
+		if k == 0 {
+			rec.Target = tg.String()
+		} else {
+			rec.Target += "," + tg.String()
+		}
+		if tg.isPred {
+			before := c.ReadPred(lane, tg.pred)
+			after := bf.FlipPred(patVal, before)
+			c.WritePred(lane, tg.pred, after)
+			if k == 0 {
+				rec.PredValue = after
+				if before {
+					rec.Before = 1
+				}
+				if after {
+					rec.After = 1
+				}
+			}
+			continue
+		}
+		before := c.ReadReg(lane, tg.reg)
+		mask := bf.Mask(patVal, before)
+		after := before ^ mask
+		c.WriteReg(lane, tg.reg, after)
+		if k == 0 {
+			rec.Before = before
+			rec.After = after
+			rec.Mask = mask
+		}
+	}
+}
+
+// OnLaunchDone implements nvbit.Tool.
+func (t *TransientInjector) OnLaunchDone(info *nvbit.LaunchInfo, _ gpu.LaunchStats, _ *gpu.Trap, _ bool) {
+	if t.active && info.Kernel != nil && info.Kernel.Name == t.P.KernelName &&
+		info.LaunchIndex == t.P.KernelCount {
+		t.active = false
+	}
+}

@@ -1,0 +1,430 @@
+// Package cuda is a miniature CUDA-driver-API analog over the gpu
+// simulator: contexts, modules (loaded from assembly "source" or from
+// machine-code binaries with no source), functions, synchronous kernel
+// launches with CUDA-style sticky error semantics, device memory
+// management, and the driver-callback subscription interface that the NVBit
+// layer attaches to.
+//
+// Error semantics mirror the behaviour the paper relies on for its
+// "potential DUE" outcome class: a kernel trap terminates that kernel early
+// and poisons the context with a sticky error, but is not fatal to the host
+// program — host code only observes it if it checks (Synchronize /
+// LastError), exactly like an unchecked non-fatal CUDA error.
+package cuda
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+)
+
+// Error is a CUDA-style error code.
+type Error uint8
+
+// Error codes. Success is the zero value.
+const (
+	Success Error = iota
+	ErrIllegalAddress
+	ErrMisalignedAddress
+	ErrLaunchTimeout
+	ErrIllegalInstruction
+	ErrHardwareStackError
+	ErrAssert
+	ErrInvalidValue
+	ErrContextIsDestroyed
+	ErrNotFound
+	ErrNoBinaryForGPU
+)
+
+var errorNames = [...]string{
+	Success:               "CUDA_SUCCESS",
+	ErrIllegalAddress:     "CUDA_ERROR_ILLEGAL_ADDRESS",
+	ErrMisalignedAddress:  "CUDA_ERROR_MISALIGNED_ADDRESS",
+	ErrLaunchTimeout:      "CUDA_ERROR_LAUNCH_TIMEOUT",
+	ErrIllegalInstruction: "CUDA_ERROR_ILLEGAL_INSTRUCTION",
+	ErrHardwareStackError: "CUDA_ERROR_HARDWARE_STACK_ERROR",
+	ErrAssert:             "CUDA_ERROR_ASSERT",
+	ErrInvalidValue:       "CUDA_ERROR_INVALID_VALUE",
+	ErrContextIsDestroyed: "CUDA_ERROR_CONTEXT_IS_DESTROYED",
+	ErrNotFound:           "CUDA_ERROR_NOT_FOUND",
+	ErrNoBinaryForGPU:     "CUDA_ERROR_NO_BINARY_FOR_GPU",
+}
+
+// Error implements error.
+func (e Error) Error() string {
+	if int(e) < len(errorNames) {
+		return errorNames[e]
+	}
+	return fmt.Sprintf("CUDA_ERROR(%d)", uint8(e))
+}
+
+// trapToError maps a device trap to its CUDA error code.
+func trapToError(t *gpu.Trap) Error {
+	switch t.Kind {
+	case gpu.TrapIllegalAddress, gpu.TrapSharedBounds, gpu.TrapLocalBounds:
+		return ErrIllegalAddress
+	case gpu.TrapMisaligned:
+		return ErrMisalignedAddress
+	case gpu.TrapInstrLimit:
+		return ErrLaunchTimeout
+	case gpu.TrapInvalidInstruction, gpu.TrapBadPC:
+		return ErrIllegalInstruction
+	case gpu.TrapCallStack:
+		return ErrHardwareStackError
+	case gpu.TrapBreakpoint:
+		return ErrAssert
+	default:
+		return ErrIllegalInstruction
+	}
+}
+
+// DevPtr is a device memory address.
+type DevPtr = uint32
+
+// Context is the analog of a CUDA context: one device, its modules, and the
+// sticky error state. A Context is not safe for concurrent use; fault
+// injection campaigns use one context per experiment.
+type Context struct {
+	dev     *gpu.Device
+	codec   *encoding.Codec
+	modules []*Module
+
+	sticky     Error // first device fault; poisons the context
+	stickyTrap *gpu.Trap
+
+	subscribers   []Subscriber
+	nextSubID     int
+	subIDs        []int
+	defaultBudget uint64
+
+	total gpu.LaunchStats // cumulative execution counts across launches
+}
+
+// AccumulatedStats returns cumulative execution counts across every launch
+// on this context — the basis for hang budgets and overhead accounting.
+func (c *Context) AccumulatedStats() gpu.LaunchStats { return c.total }
+
+// NewContext creates a context on dev (the cuInit + cuCtxCreate analog).
+func NewContext(dev *gpu.Device) (*Context, error) {
+	codec, err := encoding.NewCodec(dev.Family)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{dev: dev, codec: codec}, nil
+}
+
+// Device returns the underlying device.
+func (c *Context) Device() *gpu.Device { return c.dev }
+
+// SetDefaultBudget sets the per-launch instruction budget applied when a
+// launch does not carry its own — the campaign layer's hang watchdog.
+func (c *Context) SetDefaultBudget(b uint64) { c.defaultBudget = b }
+
+// LastError returns the sticky error, Success if none. Like CUDA sticky
+// errors, it cannot be cleared; the context must be discarded.
+func (c *Context) LastError() Error { return c.sticky }
+
+// StickyTrap returns the device trap behind the sticky error, if any.
+func (c *Context) StickyTrap() *gpu.Trap { return c.stickyTrap }
+
+// Synchronize is the cuCtxSynchronize analog: execution is synchronous, so
+// it only reports the sticky error.
+func (c *Context) Synchronize() error {
+	if c.sticky != Success {
+		return c.sticky
+	}
+	return nil
+}
+
+// DeviceLog returns the device's accumulated log (the dmesg analog).
+func (c *Context) DeviceLog() []gpu.LogEvent { return c.dev.LogEvents() }
+
+// poison records the first device fault.
+func (c *Context) poison(t *gpu.Trap) {
+	if c.sticky == Success {
+		c.sticky = trapToError(t)
+		c.stickyTrap = t
+	}
+}
+
+// Malloc allocates device memory.
+func (c *Context) Malloc(size int) (DevPtr, error) {
+	if c.sticky != Success {
+		return 0, c.sticky
+	}
+	p, err := c.dev.Mem.Alloc(size)
+	if err != nil {
+		return 0, fmt.Errorf("cuMemAlloc: %w", err)
+	}
+	return p, nil
+}
+
+// Free releases device memory.
+func (c *Context) Free(p DevPtr) error {
+	if err := c.dev.Mem.Free(p); err != nil {
+		return fmt.Errorf("cuMemFree: %w", err)
+	}
+	return nil
+}
+
+// MemcpyHtoD copies host bytes to device memory.
+func (c *Context) MemcpyHtoD(dst DevPtr, src []byte) error {
+	if c.sticky != Success {
+		return c.sticky
+	}
+	return c.dev.Mem.WriteBytes(dst, src)
+}
+
+// MemcpyDtoH copies n device bytes to a new host slice. On a poisoned
+// context it fails like CUDA does; callers that ignore the error see their
+// stale host buffer, the classic unchecked-error SDC path.
+func (c *Context) MemcpyDtoH(src DevPtr, n int) ([]byte, error) {
+	if c.sticky != Success {
+		return nil, c.sticky
+	}
+	return c.dev.Mem.ReadBytes(src, n)
+}
+
+// Module is a loaded code module (cubin analog).
+type Module struct {
+	ctx       *Context
+	name      string
+	binary    []byte
+	source    string
+	prog      *sass.Program
+	hasSource bool
+	funcs     map[string]*Function
+}
+
+// Source returns the assembly source the module was compiled from, or ""
+// for binary-only modules. Compile-time instrumentation tools (the
+// SASSIFI-style baseline) need this; NVBit-style tools do not.
+func (m *Module) Source() string { return m.source }
+
+// Name returns the module name.
+func (m *Module) Name() string { return m.name }
+
+// HasSource reports whether the module was built from assembly source in
+// this process. Dynamically loaded binary-only modules report false; tools
+// that require recompilation (the SASSIFI-style baseline) cannot target
+// them.
+func (m *Module) HasSource() bool { return m.hasSource }
+
+// Binary returns the module's machine code, as an instrumentation framework
+// would read it from the driver.
+func (m *Module) Binary() []byte { return m.binary }
+
+// Family returns the architecture family the binary is compiled for.
+func (m *Module) Family() sass.Family { return m.ctx.dev.Family }
+
+// LoadModule compiles assembly source and loads it — the analog of
+// compiling a .cu file and cuModuleLoad'ing the result.
+func (c *Context) LoadModule(name, asmSource string) (*Module, error) {
+	prog, err := sass.Assemble(name, asmSource)
+	if err != nil {
+		return nil, fmt.Errorf("cuModuleLoad %q: %w", name, err)
+	}
+	bin, err := c.codec.EncodeProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("cuModuleLoad %q: %w", name, err)
+	}
+	return c.registerModule(name, asmSource, bin, prog, true)
+}
+
+// LoadModuleBinary loads prebuilt machine code with no source — the analog
+// of a closed-source dynamic library shipping only cubins. The binary must
+// target this context's architecture family.
+func (c *Context) LoadModuleBinary(data []byte) (*Module, error) {
+	fam, err := encoding.DetectFamily(data)
+	if err != nil {
+		return nil, fmt.Errorf("cuModuleLoadData: %w", err)
+	}
+	if fam != c.dev.Family {
+		return nil, fmt.Errorf("cuModuleLoadData: %w: binary targets %v, device is %v",
+			ErrNoBinaryForGPU, fam, c.dev.Family)
+	}
+	prog, err := c.codec.DecodeProgram(data)
+	if err != nil {
+		return nil, fmt.Errorf("cuModuleLoadData: %w", err)
+	}
+	return c.registerModule(prog.Name, "", append([]byte(nil), data...), prog, false)
+}
+
+func (c *Context) registerModule(name, source string, bin []byte, prog *sass.Program, hasSource bool) (*Module, error) {
+	m := &Module{
+		ctx:       c,
+		name:      name,
+		binary:    bin,
+		source:    source,
+		prog:      prog,
+		hasSource: hasSource,
+		funcs:     make(map[string]*Function, len(prog.Kernels)),
+	}
+	for _, k := range prog.Kernels {
+		m.funcs[k.Name] = &Function{mod: m, k: k}
+	}
+	c.modules = append(c.modules, m)
+	for _, s := range c.subscribers {
+		s.OnModuleLoad(m)
+	}
+	return m, nil
+}
+
+// Modules returns the loaded modules in load order.
+func (c *Context) Modules() []*Module { return c.modules }
+
+// Function looks up a kernel in the module (cuModuleGetFunction).
+func (m *Module) Function(name string) (*Function, error) {
+	f, ok := m.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("cuModuleGetFunction %q in %q: %w", name, m.name, ErrNotFound)
+	}
+	return f, nil
+}
+
+// Function is a launchable kernel handle.
+type Function struct {
+	mod *Module
+	k   *sass.Kernel
+}
+
+// Name returns the kernel name.
+func (f *Function) Name() string { return f.k.Name }
+
+// Module returns the function's module.
+func (f *Function) Module() *Module { return f.mod }
+
+// Kernel exposes the decoded kernel, as an instrumentation framework sees
+// it after decoding the module binary.
+func (f *Function) Kernel() *sass.Kernel { return f.k }
+
+// LaunchConfig is the grid/block shape and resources of a launch.
+type LaunchConfig struct {
+	Grid, Block gpu.Dim3
+	SharedBytes int
+	Budget      uint64 // 0 = context default
+}
+
+// LaunchEvent is passed to driver-callback subscribers around each kernel
+// launch. During OnLaunchBegin the Exec field holds the kernel about to
+// run; a subscriber may replace it with an instrumented version (the NVBit
+// mechanism). During OnLaunchEnd, Stats and Trap describe the completed
+// execution.
+type LaunchEvent struct {
+	Ctx      *Context
+	Function *Function
+	Config   LaunchConfig
+	Params   []uint32
+
+	// Exec is the kernel that will run; subscribers may replace it during
+	// OnLaunchBegin.
+	Exec *gpu.ExecKernel
+
+	// Stats and Trap are set for OnLaunchEnd.
+	Stats gpu.LaunchStats
+	Trap  *gpu.Trap
+
+	// Skipped is true in OnLaunchEnd when the launch never ran because the
+	// context was already poisoned.
+	Skipped bool
+}
+
+// Subscriber is the driver callback interface (cuptiSubscribe analog) that
+// instrumentation tools implement.
+type Subscriber interface {
+	// OnModuleLoad fires when a module is loaded.
+	OnModuleLoad(m *Module)
+	// OnLaunchBegin fires before a kernel launch; the subscriber may
+	// replace ev.Exec to instrument this launch.
+	OnLaunchBegin(ev *LaunchEvent)
+	// OnLaunchEnd fires after the launch completes or traps.
+	OnLaunchEnd(ev *LaunchEvent)
+}
+
+// Subscribe registers a driver-callback subscriber and returns an
+// unsubscribe function. Subscribing is the in-process analog of attaching a
+// tool with LD_PRELOAD.
+func (c *Context) Subscribe(s Subscriber) (unsubscribe func()) {
+	id := c.nextSubID
+	c.nextSubID++
+	c.subscribers = append(c.subscribers, s)
+	c.subIDs = append(c.subIDs, id)
+	return func() {
+		for i, sid := range c.subIDs {
+			if sid == id {
+				c.subscribers = append(c.subscribers[:i], c.subscribers[i+1:]...)
+				c.subIDs = append(c.subIDs[:i], c.subIDs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Launch runs a kernel synchronously (cuLaunchKernel + cuCtxSynchronize).
+// Launch-configuration errors are returned directly. Device faults
+// terminate the kernel, poison the context, and are NOT returned: like a
+// real unchecked CUDA error they surface only through Synchronize or
+// LastError. On an already-poisoned context the launch is skipped and the
+// sticky error returned.
+func (c *Context) Launch(f *Function, cfg LaunchConfig, params ...uint32) error {
+	if f == nil {
+		return fmt.Errorf("cuLaunchKernel: %w: nil function", ErrInvalidValue)
+	}
+	ev := &LaunchEvent{
+		Ctx:      c,
+		Function: f,
+		Config:   cfg,
+		Params:   params,
+		Exec:     &gpu.ExecKernel{K: f.k},
+	}
+	if c.sticky != Success {
+		ev.Skipped = true
+		for _, s := range c.subscribers {
+			s.OnLaunchEnd(ev)
+		}
+		return c.sticky
+	}
+	if len(params) != len(f.k.Params) {
+		return fmt.Errorf("cuLaunchKernel %q: %w: want %d parameter words, got %d",
+			f.k.Name, ErrInvalidValue, len(f.k.Params), len(params))
+	}
+
+	for _, s := range c.subscribers {
+		s.OnLaunchBegin(ev)
+	}
+
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = c.defaultBudget
+	}
+	stats, err := c.dev.Run(&gpu.Launch{
+		Kernel:      ev.Exec,
+		Grid:        cfg.Grid,
+		Block:       cfg.Block,
+		SharedBytes: cfg.SharedBytes,
+		Params:      params,
+		Budget:      budget,
+	})
+	ev.Stats = stats
+	c.total.WarpInstrs += stats.WarpInstrs
+	c.total.ThreadInstrs += stats.ThreadInstrs
+	c.total.Blocks += stats.Blocks
+	if err != nil {
+		if t, ok := gpu.AsTrap(err); ok {
+			ev.Trap = t
+			c.poison(t)
+		} else {
+			// Launch-shape errors are synchronous API errors.
+			for _, s := range c.subscribers {
+				s.OnLaunchEnd(ev)
+			}
+			return fmt.Errorf("cuLaunchKernel %q: %w", f.k.Name, err)
+		}
+	}
+	for _, s := range c.subscribers {
+		s.OnLaunchEnd(ev)
+	}
+	return nil
+}

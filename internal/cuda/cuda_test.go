@@ -1,0 +1,392 @@
+package cuda_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+)
+
+const modSrc = `
+.kernel store42
+.param outptr
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    IADD R2, R1, c0[outptr]
+    MOV R3, 0x2a
+    STG.32 [R2], R3
+    EXIT
+
+.kernel crash
+    MOV R1, 0x4
+    LDG.32 R2, [R1]
+    EXIT
+
+.kernel spin
+loop:
+    BRA loop
+`
+
+func newCtx(t *testing.T) *cuda.Context {
+	t.Helper()
+	dev, err := gpu.NewDevice(sass.FamilyVolta, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := cuda.NewContext(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func cfg1() cuda.LaunchConfig {
+	return cuda.LaunchConfig{Grid: gpu.Dim3{X: 1, Y: 1, Z: 1}, Block: gpu.Dim3{X: 32, Y: 1, Z: 1}}
+}
+
+func TestModuleLoadAndLaunch(t *testing.T) {
+	ctx := newCtx(t)
+	mod, err := ctx.LoadModule("m", modSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mod.HasSource() || mod.Source() == "" {
+		t.Error("source-loaded module should retain source")
+	}
+	if len(mod.Binary()) == 0 {
+		t.Error("module has no machine code")
+	}
+	if mod.Family() != sass.FamilyVolta {
+		t.Errorf("module family = %v", mod.Family())
+	}
+	fn, err := mod.Function("store42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Name() != "store42" || fn.Module() != mod {
+		t.Error("function identity wrong")
+	}
+	if _, err := mod.Function("nope"); !errors.Is(err, cuda.ErrNotFound) {
+		t.Errorf("missing function: %v", err)
+	}
+
+	out, err := ctx.Malloc(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(fn, cfg1(), out); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.MemcpyDtoH(out, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 42 {
+		t.Fatalf("kernel did not run: %v", b)
+	}
+	stats := ctx.AccumulatedStats()
+	if stats.WarpInstrs == 0 || stats.Blocks != 1 {
+		t.Fatalf("stats not accumulated: %+v", stats)
+	}
+}
+
+func TestLaunchParamMismatch(t *testing.T) {
+	ctx := newCtx(t)
+	mod, err := ctx.LoadModule("m", modSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := mod.Function("store42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ctx.Launch(fn, cfg1()) // missing the pointer parameter
+	if !errors.Is(err, cuda.ErrInvalidValue) {
+		t.Fatalf("param mismatch: %v", err)
+	}
+	if err := ctx.Launch(nil, cfg1()); !errors.Is(err, cuda.ErrInvalidValue) {
+		t.Fatalf("nil function: %v", err)
+	}
+}
+
+// TestStickyErrorSemantics is the paper's "potential DUE" machinery: a
+// device fault terminates the kernel, poisons the context, fails later API
+// calls — but never kills the host.
+func TestStickyErrorSemantics(t *testing.T) {
+	ctx := newCtx(t)
+	mod, err := ctx.LoadModule("m", modSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, err := mod.Function("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := mod.Function("store42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Malloc(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The faulting launch itself returns nil — the error is unchecked.
+	if err := ctx.Launch(crash, cfg1()); err != nil {
+		t.Fatalf("faulting launch returned synchronously: %v", err)
+	}
+	if ctx.LastError() != cuda.ErrIllegalAddress {
+		t.Fatalf("sticky error = %v", ctx.LastError())
+	}
+	if ctx.StickyTrap() == nil || ctx.StickyTrap().Kind != gpu.TrapIllegalAddress {
+		t.Fatalf("sticky trap = %+v", ctx.StickyTrap())
+	}
+	if err := ctx.Synchronize(); !errors.Is(err, cuda.ErrIllegalAddress) {
+		t.Fatalf("Synchronize = %v", err)
+	}
+	// Subsequent work is refused with the sticky error.
+	if err := ctx.Launch(good, cfg1(), out); !errors.Is(err, cuda.ErrIllegalAddress) {
+		t.Fatalf("launch on poisoned context = %v", err)
+	}
+	if _, err := ctx.MemcpyDtoH(out, 4); !errors.Is(err, cuda.ErrIllegalAddress) {
+		t.Fatalf("DtoH on poisoned context = %v", err)
+	}
+	if err := ctx.MemcpyHtoD(out, []byte{1}); !errors.Is(err, cuda.ErrIllegalAddress) {
+		t.Fatalf("HtoD on poisoned context = %v", err)
+	}
+	if _, err := ctx.Malloc(16); !errors.Is(err, cuda.ErrIllegalAddress) {
+		t.Fatalf("Malloc on poisoned context = %v", err)
+	}
+	// The device log recorded the fault (the dmesg analog).
+	if len(ctx.DeviceLog()) == 0 {
+		t.Fatal("device log is empty after a fault")
+	}
+}
+
+func TestHangBecomesLaunchTimeout(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.SetDefaultBudget(10000)
+	mod, err := ctx.LoadModule("m", modSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spin, err := mod.Function("spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(spin, cfg1()); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.LastError() != cuda.ErrLaunchTimeout {
+		t.Fatalf("hang produced %v", ctx.LastError())
+	}
+	if trap := ctx.StickyTrap(); trap == nil || !trap.IsHang() {
+		t.Fatalf("hang trap = %+v", trap)
+	}
+}
+
+func TestLoadModuleBinary(t *testing.T) {
+	// Build Volta machine code out-of-band.
+	prog := sass.MustAssemble("closed", modSrc)
+	codec := encoding.MustCodec(sass.FamilyVolta)
+	bin, err := codec.EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := newCtx(t)
+	mod, err := ctx.LoadModuleBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.HasSource() || mod.Source() != "" {
+		t.Error("binary-only module claims to have source")
+	}
+	fn, err := mod.Function("store42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Malloc(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(fn, cfg1(), out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.MemcpyDtoH(out, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 42 {
+		t.Fatal("binary-only kernel did not run correctly")
+	}
+}
+
+func TestLoadModuleBinaryWrongFamily(t *testing.T) {
+	prog := sass.MustAssemble("closed", modSrc)
+	bin, err := encoding.MustCodec(sass.FamilyKepler).EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newCtx(t) // Volta device
+	_, err = ctx.LoadModuleBinary(bin)
+	if !errors.Is(err, cuda.ErrNoBinaryForGPU) {
+		t.Fatalf("cross-family binary load: %v", err)
+	}
+	if _, err := ctx.LoadModuleBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage binary loaded")
+	}
+}
+
+func TestLoadModuleBadSource(t *testing.T) {
+	ctx := newCtx(t)
+	if _, err := ctx.LoadModule("m", "NOT SASS"); err == nil {
+		t.Fatal("bad source compiled")
+	}
+}
+
+// recordingSubscriber captures callback order and can replace kernels.
+type recordingSubscriber struct {
+	events  []string
+	replace *gpu.ExecKernel
+}
+
+func (r *recordingSubscriber) OnModuleLoad(m *cuda.Module) {
+	r.events = append(r.events, "load:"+m.Name())
+}
+
+func (r *recordingSubscriber) OnLaunchBegin(ev *cuda.LaunchEvent) {
+	r.events = append(r.events, "begin:"+ev.Function.Name())
+	if r.replace != nil {
+		ev.Exec = r.replace
+	}
+}
+
+func (r *recordingSubscriber) OnLaunchEnd(ev *cuda.LaunchEvent) {
+	suffix := ""
+	if ev.Trap != nil {
+		suffix = ":trap"
+	}
+	if ev.Skipped {
+		suffix = ":skipped"
+	}
+	r.events = append(r.events, "end:"+ev.Function.Name()+suffix)
+}
+
+func TestSubscriberLifecycle(t *testing.T) {
+	ctx := newCtx(t)
+	sub := &recordingSubscriber{}
+	unsub := ctx.Subscribe(sub)
+	mod, err := ctx.LoadModule("m", modSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := mod.Function("store42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Malloc(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(fn, cfg1(), out); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"load:m", "begin:store42", "end:store42"}
+	if strings.Join(sub.events, ",") != strings.Join(want, ",") {
+		t.Fatalf("events = %v, want %v", sub.events, want)
+	}
+	unsub()
+	if err := ctx.Launch(fn, cfg1(), out); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.events) != len(want) {
+		t.Fatal("subscriber still firing after unsubscribe")
+	}
+}
+
+// TestSubscriberReplacesKernel: OnLaunchBegin may swap in an instrumented
+// kernel — the NVBit interception mechanism.
+func TestSubscriberReplacesKernel(t *testing.T) {
+	ctx := newCtx(t)
+	mod, err := ctx.LoadModule("m", modSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := mod.Function("store42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replacement writes 43 instead of 42 by corrupting R3 post-MOV.
+	clone := fn.Kernel().Clone()
+	ek := &gpu.ExecKernel{K: clone}
+	ek.After = make([][]gpu.Callback, len(clone.Instrs))
+	ek.After[3] = []gpu.Callback{func(c *gpu.InstrCtx) {
+		for lane := 0; lane < gpu.WarpSize; lane++ {
+			if c.LaneActive(lane) {
+				c.WriteReg(lane, 3, c.ReadReg(lane, 3)+1)
+			}
+		}
+	}}
+	sub := &recordingSubscriber{replace: ek}
+	defer ctx.Subscribe(sub)()
+
+	out, err := ctx.Malloc(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(fn, cfg1(), out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.MemcpyDtoH(out, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 43 {
+		t.Fatalf("replacement kernel did not run: got %d", b[0])
+	}
+}
+
+// TestSkippedLaunchNotification: launches on a poisoned context notify
+// subscribers with Skipped set.
+func TestSkippedLaunchNotification(t *testing.T) {
+	ctx := newCtx(t)
+	mod, err := ctx.LoadModule("m", modSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, err := mod.Function("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := &recordingSubscriber{}
+	defer ctx.Subscribe(sub)()
+	if err := ctx.Launch(crash, cfg1()); err != nil {
+		t.Fatal(err)
+	}
+	_ = ctx.Launch(crash, cfg1()) // poisoned: skipped
+	got := strings.Join(sub.events, ",")
+	want := "begin:crash,end:crash:trap,end:crash:skipped"
+	if got != want {
+		t.Fatalf("events = %q, want %q", got, want)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if cuda.Success.Error() != "CUDA_SUCCESS" {
+		t.Error("Success string wrong")
+	}
+	if !strings.Contains(cuda.ErrIllegalAddress.Error(), "ILLEGAL_ADDRESS") {
+		t.Error("illegal address string wrong")
+	}
+	if !strings.Contains(cuda.Error(200).Error(), "200") {
+		t.Error("unknown error string wrong")
+	}
+}

@@ -1,0 +1,193 @@
+package gpu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sass"
+)
+
+// WarpSize is the number of lanes per warp, fixed at 32 as on all NVIDIA
+// architectures the paper covers.
+const WarpSize = 32
+
+// DefaultBudget is the per-launch warp-instruction limit used when a Launch
+// does not set one; it is the hang detector of last resort.
+const DefaultBudget = 1 << 32
+
+// localMemBytes is the per-thread local-memory window (LDL/STL).
+const localMemBytes = 4096
+
+// maxCallDepth bounds the per-lane call stack.
+const maxCallDepth = 64
+
+// LogEvent is one device-log entry — the analog of a dmesg Xid line. The
+// campaign layer classifies runs with unconsumed log events as potential
+// DUEs (Table V).
+type LogEvent struct {
+	Kind string // e.g. "Xid"
+	Msg  string
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	Family sass.Family
+	NumSMs int
+
+	// Mem is global device memory.
+	Mem *Memory
+
+	log      []LogEvent
+	smClocks []uint64 // per-SM executed-instruction counters (CS2R/SR_CLOCK)
+}
+
+// NewDevice creates a device of the given family with numSMs streaming
+// multiprocessors.
+func NewDevice(family sass.Family, numSMs int) (*Device, error) {
+	if numSMs <= 0 {
+		return nil, fmt.Errorf("gpu: device needs at least one SM, got %d", numSMs)
+	}
+	return &Device{
+		Family:   family,
+		NumSMs:   numSMs,
+		Mem:      NewMemory(),
+		smClocks: make([]uint64, numSMs),
+	}, nil
+}
+
+// LogEvents returns the accumulated device log.
+func (d *Device) LogEvents() []LogEvent { return d.log }
+
+// ClearLog empties the device log (read-and-clear, like dmesg -c).
+func (d *Device) ClearLog() []LogEvent {
+	ev := d.log
+	d.log = nil
+	return ev
+}
+
+func (d *Device) logf(kind, format string, args ...any) {
+	d.log = append(d.log, LogEvent{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Callback is an instrumentation function inserted before or after an
+// instruction — the analog of an NVBit injected device function. It runs on
+// every dynamic execution of that instruction, once per warp, with the
+// per-lane state accessible through the context.
+type Callback func(*InstrCtx)
+
+// ExecKernel is an executable kernel: the instruction list plus any
+// instrumentation attached by the NVBit layer. A nil Before/After means the
+// kernel runs unmodified, with no per-instruction dispatch overhead.
+type ExecKernel struct {
+	K *sass.Kernel
+
+	// Before and After hold instrumentation callbacks indexed by
+	// instruction; either may be nil (uninstrumented).
+	Before [][]Callback
+	After  [][]Callback
+
+	// Step, when non-nil, runs after every executed instruction — the
+	// debugger single-step hook (cuda-gdb analog) used by the GPU-Qin-style
+	// baseline injector.
+	Step Callback
+}
+
+// Instrumented reports whether any instrumentation is attached.
+func (ek *ExecKernel) Instrumented() bool {
+	return ek.Before != nil || ek.After != nil || ek.Step != nil
+}
+
+// Dim3 is a grid or block shape.
+type Dim3 struct{ X, Y, Z int }
+
+// Count returns the total element count of the shape.
+func (d Dim3) Count() int {
+	return d.X * d.Y * d.Z
+}
+
+// Launch describes one kernel launch.
+type Launch struct {
+	Kernel      *ExecKernel
+	Grid, Block Dim3
+	SharedBytes int      // dynamic shared memory on top of the kernel's static amount
+	Params      []uint32 // 4-byte parameter words, in kernel parameter order
+	Budget      uint64   // max warp-instructions; 0 means DefaultBudget
+}
+
+// LaunchStats reports execution counts for a completed (or trapped) launch.
+type LaunchStats struct {
+	WarpInstrs   uint64 // warp-level instructions issued
+	ThreadInstrs uint64 // thread-level executions (active, guard-passing lanes)
+	Blocks       int
+}
+
+// InstrCtx is the view an instrumentation callback gets of the executing
+// instruction: identification (kernel, instruction index, SM, warp), the
+// exec mask, and read/write access to the per-lane architectural state.
+// It mirrors what NVBit passes to injected device functions.
+type InstrCtx struct {
+	Dev        *Device
+	Kernel     *sass.Kernel
+	InstrIdx   int
+	Instr      *sass.Instr
+	SMID       int
+	BlockIdx   Dim3
+	BlockLin   int
+	WarpID     int    // warp index within the block
+	ActiveMask uint32 // lanes executing this instruction (guard-passing)
+
+	w   *warp
+	blk *blockCtx
+}
+
+// LaneActive reports whether lane participates in this execution.
+func (c *InstrCtx) LaneActive(lane int) bool { return c.ActiveMask&(1<<uint(lane)) != 0 }
+
+// ReadReg returns lane's general-purpose register r.
+func (c *InstrCtx) ReadReg(lane int, r sass.RegID) uint32 {
+	if r == sass.RZ {
+		return 0
+	}
+	return c.w.regs[lane][r]
+}
+
+// WriteReg sets lane's general-purpose register r. Writes to RZ are
+// discarded, as in hardware.
+func (c *InstrCtx) WriteReg(lane int, r sass.RegID, v uint32) {
+	if r == sass.RZ {
+		return
+	}
+	c.w.regs[lane][r] = v
+}
+
+// ReadPred returns lane's predicate register p.
+func (c *InstrCtx) ReadPred(lane int, p sass.PredID) bool {
+	if p == sass.PT {
+		return true
+	}
+	return c.w.preds[lane][p]
+}
+
+// WritePred sets lane's predicate register p. Writes to PT are discarded.
+func (c *InstrCtx) WritePred(lane int, p sass.PredID, v bool) {
+	if p == sass.PT {
+		return
+	}
+	c.w.preds[lane][p] = v
+}
+
+// ThreadIdx returns lane's thread index within the block.
+func (c *InstrCtx) ThreadIdx(lane int) Dim3 { return c.w.tid[lane] }
+
+// GlobalThreadLinear returns lane's linear thread id across the whole grid.
+func (c *InstrCtx) GlobalThreadLinear(lane int) int64 {
+	blockSize := c.blk.launch.Block.Count()
+	return int64(c.BlockLin)*int64(blockSize) + int64(c.WarpID)*WarpSize + int64(lane)
+}
+
+// LaneCount returns the number of set bits in the exec mask.
+func (c *InstrCtx) LaneCount() int {
+	return popcount(c.ActiveMask)
+}
+
+func popcount(m uint32) int { return bits.OnesCount32(m) }

@@ -1,0 +1,126 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDifferentialALU is a differential test: random straight-line integer
+// and FP32 programs are executed by the simulator and by an independent
+// reference evaluator written directly against the intended semantics; the
+// register files must match exactly.
+func TestDifferentialALU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 80; trial++ {
+		prog, eval := randomALUProgram(rng)
+		snap := runBody(t, prog)
+		for r := 1; r < 16; r++ {
+			if got, want := snap.r(0, r), eval[r]; got != want {
+				t.Fatalf("trial %d: R%d = 0x%08x, want 0x%08x\nprogram:\n%s",
+					trial, r, got, want, prog)
+			}
+		}
+	}
+}
+
+// randomALUProgram builds a random program over R1..R15 and evaluates it
+// with reference semantics, returning the program text and the expected
+// final register file.
+func randomALUProgram(rng *rand.Rand) (string, [16]uint32) {
+	var regs [16]uint32
+	var sb strings.Builder
+	reg := func() int { return 1 + rng.Intn(15) }
+
+	// Seed registers with random immediates.
+	for r := 1; r < 16; r++ {
+		v := rng.Uint32()
+		regs[r] = v
+		fmt.Fprintf(&sb, "MOV R%d, 0x%x\n", r, v)
+	}
+	ops := []string{"IADD", "SHL", "SHRU", "SHRS", "AND", "OR", "XOR",
+		"IMAD", "POPC", "BREV", "IMNMXU", "FADD", "FMUL", "SEL"}
+	n := 4 + rng.Intn(24)
+	for i := 0; i < n; i++ {
+		d, a, b, c := reg(), reg(), reg(), reg()
+		switch ops[rng.Intn(len(ops))] {
+		case "IADD":
+			fmt.Fprintf(&sb, "IADD R%d, R%d, R%d\n", d, a, b)
+			regs[d] = regs[a] + regs[b]
+		case "SHL":
+			sh := uint32(rng.Intn(40))
+			fmt.Fprintf(&sb, "SHL R%d, R%d, 0x%x\n", d, a, sh)
+			if sh >= 32 {
+				regs[d] = 0
+			} else {
+				regs[d] = regs[a] << sh
+			}
+		case "SHRU":
+			sh := uint32(rng.Intn(40))
+			fmt.Fprintf(&sb, "SHR.U32 R%d, R%d, 0x%x\n", d, a, sh)
+			if sh >= 32 {
+				regs[d] = 0
+			} else {
+				regs[d] = regs[a] >> sh
+			}
+		case "SHRS":
+			sh := uint32(rng.Intn(40))
+			fmt.Fprintf(&sb, "SHR R%d, R%d, 0x%x\n", d, a, sh)
+			s := sh
+			if s >= 32 {
+				s = 31
+			}
+			regs[d] = uint32(int32(regs[a]) >> s)
+		case "AND":
+			fmt.Fprintf(&sb, "LOP.AND R%d, R%d, R%d\n", d, a, b)
+			regs[d] = regs[a] & regs[b]
+		case "OR":
+			fmt.Fprintf(&sb, "LOP.OR R%d, R%d, R%d\n", d, a, b)
+			regs[d] = regs[a] | regs[b]
+		case "XOR":
+			fmt.Fprintf(&sb, "LOP.XOR R%d, R%d, R%d\n", d, a, b)
+			regs[d] = regs[a] ^ regs[b]
+		case "IMAD":
+			fmt.Fprintf(&sb, "IMAD R%d, R%d, R%d, R%d\n", d, a, b, c)
+			regs[d] = regs[a]*regs[b] + regs[c]
+		case "POPC":
+			fmt.Fprintf(&sb, "POPC R%d, R%d\n", d, a)
+			regs[d] = uint32(bits.OnesCount32(regs[a]))
+		case "BREV":
+			fmt.Fprintf(&sb, "BREV R%d, R%d\n", d, a)
+			regs[d] = bits.Reverse32(regs[a])
+		case "IMNMXU":
+			fmt.Fprintf(&sb, "IMNMX.U32 R%d, R%d, R%d, PT\n", d, a, b)
+			if regs[a] < regs[b] {
+				regs[d] = regs[a]
+			} else {
+				regs[d] = regs[b]
+			}
+		case "FADD":
+			fmt.Fprintf(&sb, "FADD R%d, R%d, R%d\n", d, a, b)
+			regs[d] = math.Float32bits(math.Float32frombits(regs[a]) + math.Float32frombits(regs[b]))
+		case "FMUL":
+			fmt.Fprintf(&sb, "FMUL R%d, R%d, R%d\n", d, a, b)
+			regs[d] = math.Float32bits(math.Float32frombits(regs[a]) * math.Float32frombits(regs[b]))
+		case "SEL":
+			// Set a predicate from a comparison, then select.
+			fmt.Fprintf(&sb, "ISETP.LT.U32.AND P1, R%d, R%d, PT\n", a, b)
+			fmt.Fprintf(&sb, "SEL R%d, R%d, R%d, P1\n", d, a, c)
+			if regs[a] < regs[b] {
+				regs[d] = regs[a]
+			} else {
+				regs[d] = regs[c]
+			}
+		}
+	}
+	return sb.String(), normalizeNaNs(regs)
+}
+
+// normalizeNaNs canonicalizes float NaN payloads the same way for both
+// evaluators (Go float arithmetic and the interpreter agree on IEEE 754,
+// including NaN propagation from Float32bits round trips, so this is an
+// identity in practice; it documents the expectation).
+func normalizeNaNs(r [16]uint32) [16]uint32 { return r }

@@ -1,0 +1,378 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sass"
+)
+
+// warp is the per-warp execution state. Divergence is modelled with
+// per-lane program counters and min-PC scheduling: each step executes the
+// instruction at the smallest live PC for every lane currently at that PC,
+// which reconverges diverged lanes naturally and deterministically.
+type warp struct {
+	id       int
+	pc       [WarpSize]int32
+	exited   [WarpSize]bool
+	regs     [WarpSize][sass.NumRegs]uint32
+	preds    [WarpSize][sass.NumPreds]bool
+	tid      [WarpSize]Dim3
+	local    [WarpSize][]byte
+	stack    [WarpSize][]int32
+	liveMask uint32 // lanes that exist in this warp (partial last warp)
+	barWait  bool
+	done     bool
+}
+
+// blockCtx is the per-block execution state.
+type blockCtx struct {
+	dev       *Device
+	ek        *ExecKernel
+	launch    *Launch
+	constBank []byte
+	shared    []byte
+	warps     []*warp
+	smID      int
+	blockIdx  Dim3
+	blockLin  int
+	scratch   *warp // trampoline execution state
+}
+
+// TrampolineLen is the length of the instrumentation trampoline: the
+// register-save / argument-setup / call / restore sequence the JIT inserts
+// around every instrumentation callback, as NVBit does on real hardware.
+// The trampoline executes through the same interpreter as target code, so
+// instrumented instructions cost ~TrampolineLen+1 instruction times — this
+// is what produces the paper's profiling-versus-injection overhead shape
+// (Figure 4).
+const TrampolineLen = 28
+
+// trampolineInstrs is the canned trampoline body: plain ALU traffic on
+// scratch registers (no memory, no control flow), executed once per
+// instrumentation call site per dynamic execution.
+var trampolineInstrs = buildTrampoline()
+
+func buildTrampoline() []sass.Instr {
+	instrs := make([]sass.Instr, 0, TrampolineLen)
+	ops := []sass.Op{
+		sass.MustOp("IADD"), sass.MustOp("SHL"), sass.MustOp("LOP"),
+		sass.MustOp("MOV"), sass.MustOp("IMAD"), sass.MustOp("SHR"),
+	}
+	for i := 0; i < TrampolineLen; i++ {
+		op := ops[i%len(ops)]
+		var in sass.Instr
+		dst := sass.RegID(i % 8)
+		switch op.Info().Sem {
+		case sass.SemMov:
+			in = sass.NewInstr(op, sass.R(dst), sass.R(sass.RegID((i+1)%8)))
+		case sass.SemIMad:
+			in = sass.NewInstr(op, sass.R(dst), sass.R(sass.RegID((i+1)%8)),
+				sass.R(sass.RegID((i+2)%8)), sass.R(sass.RegID((i+3)%8)))
+		case sass.SemLop:
+			in = sass.NewInstr(op, sass.R(dst), sass.R(sass.RegID((i+1)%8)), sass.Imm(0x5a5a5a5a))
+			in.Mods.Logic = sass.LogicXor
+		default:
+			in = sass.NewInstr(op, sass.R(dst), sass.R(sass.RegID((i+1)%8)), sass.Imm(uint32(i&7)))
+		}
+		instrs = append(instrs, in)
+	}
+	return instrs
+}
+
+// runTrampoline executes the instrumentation trampoline on the block's
+// scratch warp. Trampoline instructions are tool code: they burn execution
+// time like any other instruction but are charged to neither the launch
+// budget nor the profile counts.
+func (blk *blockCtx) runTrampoline() {
+	if blk.scratch == nil {
+		blk.scratch = &warp{liveMask: ^uint32(0)}
+	}
+	w := blk.scratch
+	for i := range trampolineInstrs {
+		blk.exec(w, &trampolineInstrs[i], 0, ^uint32(0), ^uint32(0))
+	}
+}
+
+// Run executes a kernel launch to completion, a trap, or budget exhaustion.
+// Blocks are scheduled round-robin across SMs and executed in a fixed,
+// deterministic order.
+func (d *Device) Run(l *Launch) (LaunchStats, error) {
+	var stats LaunchStats
+	if l.Kernel == nil || l.Kernel.K == nil {
+		return stats, fmt.Errorf("gpu: launch with no kernel")
+	}
+	k := l.Kernel.K
+	if l.Grid.Count() <= 0 || l.Block.Count() <= 0 {
+		return stats, fmt.Errorf("gpu: launch of %q with empty grid or block", k.Name)
+	}
+	if l.Block.Count() > 1024 {
+		return stats, fmt.Errorf("gpu: block of %d threads exceeds the 1024-thread limit", l.Block.Count())
+	}
+	if len(l.Params) != len(k.Params) {
+		return stats, fmt.Errorf("gpu: kernel %q expects %d parameter words, got %d",
+			k.Name, len(k.Params), len(l.Params))
+	}
+	budget := l.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+
+	constBank := buildConstBank(l)
+	blockLin := 0
+	for bz := 0; bz < l.Grid.Z; bz++ {
+		for by := 0; by < l.Grid.Y; by++ {
+			for bx := 0; bx < l.Grid.X; bx++ {
+				blk := newBlockCtx(d, l, constBank, Dim3{bx, by, bz}, blockLin)
+				if err := blk.run(&budget, &stats); err != nil {
+					return stats, err
+				}
+				stats.Blocks++
+				blockLin++
+			}
+		}
+	}
+	return stats, nil
+}
+
+func buildConstBank(l *Launch) []byte {
+	bank := make([]byte, sass.ParamBase+4*len(l.Params))
+	put := func(off int, v uint32) { binary.LittleEndian.PutUint32(bank[off:], v) }
+	put(sass.ConstNtidX, uint32(l.Block.X))
+	put(sass.ConstNtidY, uint32(l.Block.Y))
+	put(sass.ConstNtidZ, uint32(l.Block.Z))
+	put(sass.ConstNctaidX, uint32(l.Grid.X))
+	put(sass.ConstNctaidY, uint32(l.Grid.Y))
+	put(sass.ConstNctaidZ, uint32(l.Grid.Z))
+	for i, p := range l.Params {
+		put(sass.ParamBase+4*i, p)
+	}
+	return bank
+}
+
+func newBlockCtx(d *Device, l *Launch, constBank []byte, blockIdx Dim3, blockLin int) *blockCtx {
+	blockSize := l.Block.Count()
+	numWarps := (blockSize + WarpSize - 1) / WarpSize
+	blk := &blockCtx{
+		dev:       d,
+		ek:        l.Kernel,
+		launch:    l,
+		constBank: constBank,
+		shared:    make([]byte, l.Kernel.K.SharedBytes+l.SharedBytes),
+		smID:      blockLin % d.NumSMs,
+		blockIdx:  blockIdx,
+		blockLin:  blockLin,
+	}
+	for w := 0; w < numWarps; w++ {
+		wp := &warp{id: w}
+		for lane := 0; lane < WarpSize; lane++ {
+			t := w*WarpSize + lane
+			if t >= blockSize {
+				wp.exited[lane] = true
+				continue
+			}
+			wp.liveMask |= 1 << uint(lane)
+			wp.tid[lane] = Dim3{
+				X: t % l.Block.X,
+				Y: (t / l.Block.X) % l.Block.Y,
+				Z: t / (l.Block.X * l.Block.Y),
+			}
+		}
+		blk.warps = append(blk.warps, wp)
+	}
+	return blk
+}
+
+// run executes all warps of the block. Warps run round-robin; a warp yields
+// at barriers and when it finishes. All warps waiting at a barrier releases
+// it; a barrier that can never be satisfied is a hang.
+func (blk *blockCtx) run(budget *uint64, stats *LaunchStats) error {
+	for {
+		progressed := false
+		allDone := true
+		for _, w := range blk.warps {
+			if w.done || w.barWait {
+				if !w.done {
+					allDone = false
+				}
+				continue
+			}
+			allDone = false
+			if err := blk.runWarp(w, budget, stats); err != nil {
+				return err
+			}
+			progressed = true
+		}
+		if allDone {
+			return nil
+		}
+		if blk.releaseBarrier() {
+			continue
+		}
+		if !progressed {
+			// Some warps wait at a barrier that the rest of the block can
+			// never reach: on hardware this hangs until the watchdog fires.
+			return &Trap{
+				Kind:   TrapInstrLimit,
+				Kernel: blk.ek.K.Name,
+				SMID:   blk.smID,
+				Detail: "barrier deadlock: not all warps can reach BAR.SYNC",
+			}
+		}
+	}
+}
+
+// releaseBarrier opens the barrier when every unfinished warp waits at it.
+func (blk *blockCtx) releaseBarrier() bool {
+	any := false
+	for _, w := range blk.warps {
+		if w.done {
+			continue
+		}
+		if !w.barWait {
+			return false
+		}
+		any = true
+	}
+	if !any {
+		return false
+	}
+	for _, w := range blk.warps {
+		w.barWait = false
+	}
+	return true
+}
+
+// runWarp steps the warp until it exits, reaches a barrier, or traps.
+func (blk *blockCtx) runWarp(w *warp, budget *uint64, stats *LaunchStats) error {
+	instrs := blk.ek.K.Instrs
+	ctx := InstrCtx{
+		Dev:      blk.dev,
+		Kernel:   blk.ek.K,
+		SMID:     blk.smID,
+		BlockIdx: blk.blockIdx,
+		BlockLin: blk.blockLin,
+		WarpID:   w.id,
+		w:        w,
+		blk:      blk,
+	}
+	instrumented := blk.ek.Instrumented()
+
+	for {
+		// Find the minimum live PC and the lanes at it.
+		minPC := int32(0)
+		anyLive := false
+		for lane := 0; lane < WarpSize; lane++ {
+			if w.exited[lane] {
+				continue
+			}
+			if !anyLive || w.pc[lane] < minPC {
+				minPC = w.pc[lane]
+			}
+			anyLive = true
+		}
+		if !anyLive {
+			w.done = true
+			return nil
+		}
+		if minPC < 0 || int(minPC) >= len(instrs) {
+			return blk.trap(TrapBadPC, int(minPC), 0, "control transfer outside the kernel")
+		}
+		in := &instrs[minPC]
+
+		var atPC uint32
+		for lane := 0; lane < WarpSize; lane++ {
+			if !w.exited[lane] && w.pc[lane] == minPC {
+				atPC |= 1 << uint(lane)
+			}
+		}
+		// Evaluate the guard per lane.
+		execMask := atPC
+		if !in.Guard.True() {
+			execMask = 0
+			for lane := 0; lane < WarpSize; lane++ {
+				if atPC&(1<<uint(lane)) == 0 {
+					continue
+				}
+				v := w.preds[lane][in.Guard.Pred]
+				if in.Guard.Pred == sass.PT {
+					v = true
+				}
+				if v != in.Guard.Neg {
+					execMask |= 1 << uint(lane)
+				}
+			}
+		}
+
+		if *budget == 0 {
+			return blk.trap(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+		}
+		*budget--
+		stats.WarpInstrs++
+		stats.ThreadInstrs += uint64(popcount(execMask))
+		blk.dev.smClocks[blk.smID]++
+
+		if instrumented {
+			ctx.Instr = in
+			ctx.InstrIdx = int(minPC)
+			ctx.ActiveMask = execMask
+			if blk.ek.Before != nil && len(blk.ek.Before[minPC]) > 0 {
+				blk.runTrampoline()
+				for _, cb := range blk.ek.Before[minPC] {
+					cb(&ctx)
+				}
+			}
+		}
+
+		// Execute, then advance PCs. Guard-suppressed lanes at this PC fall
+		// through; branch semantics override nextPC for taken lanes.
+		barrier, kind, faultAddr := blk.exec(w, in, int(minPC), execMask, atPC)
+		if kind != 0 {
+			return blk.trap(kind, int(minPC), faultAddr, "")
+		}
+
+		if instrumented {
+			if blk.ek.After != nil && len(blk.ek.After[minPC]) > 0 {
+				blk.runTrampoline()
+				for _, cb := range blk.ek.After[minPC] {
+					cb(&ctx)
+				}
+			}
+			if blk.ek.Step != nil {
+				blk.runTrampoline()
+				blk.ek.Step(&ctx)
+			}
+		}
+
+		if barrier {
+			if execMask != w.liveMask&^exitedMask(w) {
+				return blk.trap(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
+			}
+			w.barWait = true
+			return nil
+		}
+	}
+}
+
+func exitedMask(w *warp) uint32 {
+	var m uint32
+	for lane := 0; lane < WarpSize; lane++ {
+		if w.exited[lane] {
+			m |= 1 << uint(lane)
+		}
+	}
+	return m
+}
+
+func (blk *blockCtx) trap(kind TrapKind, pc int, addr uint32, detail string) error {
+	t := &Trap{
+		Kind:   kind,
+		Kernel: blk.ek.K.Name,
+		PC:     pc,
+		SMID:   blk.smID,
+		Addr:   addr,
+		Detail: detail,
+	}
+	blk.dev.logf("Xid", "%s", t.Error())
+	return t
+}

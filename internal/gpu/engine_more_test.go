@@ -1,0 +1,596 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/sass"
+)
+
+// TestPartialWarp: a block whose size is not a multiple of 32 runs only the
+// live lanes.
+func TestPartialWarp(t *testing.T) {
+	const src = `
+.kernel k
+.param outptr
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    IADD R2, R1, c0[outptr]
+    IADD R3, R0, 0x1
+    STG.32 [R2], R3
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	out, err := d.Mem.Alloc(4 * 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 40, Y: 1, Z: 1}, // 1 full warp + 8 live lanes
+		Params: []uint32{out},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ThreadInstrs != 40*6 {
+		t.Fatalf("thread instrs = %d, want %d", stats.ThreadInstrs, 40*6)
+	}
+	b, err := d.Mem.ReadBytes(out, 4*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		got := binary.LittleEndian.Uint32(b[4*i:])
+		want := uint32(0)
+		if i < 40 {
+			want = uint32(i + 1)
+		}
+		if got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestMultiDimLaunch: 2D/3D thread and block indices resolve correctly.
+func TestMultiDimLaunch(t *testing.T) {
+	const src = `
+.kernel k
+.param outptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_TID.Z
+    S2R R3, SR_CTAID.X
+    S2R R4, SR_CTAID.Y
+    // linear = ((ctaid.y*2+ctaid.x)*8) + tid.z*4 + tid.y*2 + tid.x
+    MOV R5, 0x2
+    IMAD R6, R4, R5, R3
+    SHL R6, R6, 0x3
+    SHL R7, R2, 0x2
+    IADD R6, R6, R7
+    SHL R7, R1, 0x1
+    IADD R6, R6, R7
+    IADD R6, R6, R0
+    SHL R7, R6, 0x2
+    IADD R8, R7, c0[outptr]
+    STG.32 [R8], R6
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	const total = 2 * 2 * (2 * 2 * 2)
+	out, err := d.Mem.Alloc(4 * total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 2, Y: 2, Z: 1},
+		Block:  Dim3{X: 2, Y: 2, Z: 2},
+		Params: []uint32{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Mem.ReadBytes(out, 4*total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if got := binary.LittleEndian.Uint32(b[4*i:]); got != uint32(i) {
+			t.Fatalf("out[%d] = %d", i, got)
+		}
+	}
+}
+
+// TestSMRoundRobin: blocks land on SMs round-robin, observable via SR_SMID.
+func TestSMRoundRobin(t *testing.T) {
+	const src = `
+.kernel k
+.param outptr
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_SMID
+    SHL R2, R0, 0x2
+    IADD R3, R2, c0[outptr]
+    STG.32 [R3], R1
+    EXIT
+`
+	d, err := NewDevice(sass.FamilyVolta, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mustKernel(t, src, "k")
+	out, err := d.Mem.Alloc(4 * 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 10, Y: 1, Z: 1},
+		Block:  Dim3{X: 1, Y: 1, Z: 1},
+		Params: []uint32{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Mem.ReadBytes(out, 4*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := binary.LittleEndian.Uint32(b[4*i:]); got != uint32(i%4) {
+			t.Fatalf("block %d on SM %d, want %d", i, got, i%4)
+		}
+	}
+}
+
+// TestCallRet: subroutine call and return, including nesting.
+func TestCallRet(t *testing.T) {
+	const src = `
+.kernel k
+.param outptr
+    MOV R10, 0x1
+    CALL addtwo
+    CALL addtwo
+    MOV R1, c0[outptr]
+    STG.32 [R1], R10
+    EXIT
+addtwo:
+    IADD R10, R10, 0x1
+    CALL addone
+    RET
+addone:
+    IADD R10, R10, 0x1
+    RET
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	out, err := d.Mem.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Params: []uint32{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Mem.ReadBytes(out, 4)
+	if got := binary.LittleEndian.Uint32(b); got != 5 {
+		t.Fatalf("call/ret result = %d, want 5", got)
+	}
+}
+
+// TestRetWithoutCall traps with a call-stack error.
+func TestRetWithoutCall(t *testing.T) {
+	d := newTestDevice(t)
+	k := mustKernel(t, ".kernel k\nRET\n", "k")
+	_, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+	})
+	trap, ok := AsTrap(err)
+	if !ok || trap.Kind != TrapCallStack {
+		t.Fatalf("RET without CALL: %v", err)
+	}
+}
+
+// TestBRXWildJump: an indirect branch through a corrupted register traps
+// with an illegal-instruction-address error — the DUE path a fault in a
+// branch-target register produces.
+func TestBRXWildJump(t *testing.T) {
+	d := newTestDevice(t)
+	k := mustKernel(t, ".kernel k\nMOV R1, 0x7fffffff\nBRX R1\nEXIT\n", "k")
+	_, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+	})
+	trap, ok := AsTrap(err)
+	if !ok || trap.Kind != TrapBadPC {
+		t.Fatalf("wild BRX: %v", err)
+	}
+}
+
+// TestBRXValidJump: BRX to a legitimate instruction index works.
+func TestBRXValidJump(t *testing.T) {
+	const src = `
+.kernel k
+.param outptr
+    MOV R1, 0x4          // index of the "good" MOV below
+    BRX R1
+    MOV R10, 0xbad
+    EXIT
+    MOV R10, 0x60d
+    MOV R2, c0[outptr]
+    STG.32 [R2], R10
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	out, _ := d.Mem.Alloc(4)
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Params: []uint32{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Mem.ReadBytes(out, 4)
+	if got := binary.LittleEndian.Uint32(b); got != 0x60d {
+		t.Fatalf("BRX landed wrong: R10 = 0x%x", got)
+	}
+}
+
+// TestSharedMemoryBounds: shared accesses outside the window trap.
+func TestSharedMemoryBounds(t *testing.T) {
+	const src = `
+.kernel k
+.shared 64
+    MOV R1, 0x40
+    LDS.32 R2, [R1]
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	_, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+	})
+	trap, ok := AsTrap(err)
+	if !ok || trap.Kind != TrapSharedBounds {
+		t.Fatalf("shared OOB: %v", err)
+	}
+}
+
+// TestDynamicSharedMemory: launch-time shared memory extends the window.
+func TestDynamicSharedMemory(t *testing.T) {
+	const src = `
+.kernel k
+.shared 64
+    MOV R1, 0x40
+    MOV R2, 0x2a
+    STS.32 [R1], R2
+    LDS.32 R3, [R1]
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	if _, err := d.Run(&Launch{
+		Kernel:      &ExecKernel{K: k},
+		Grid:        Dim3{X: 1, Y: 1, Z: 1},
+		Block:       Dim3{X: 32, Y: 1, Z: 1},
+		SharedBytes: 64, // static 64 + dynamic 64 makes offset 0x40 legal
+	}); err != nil {
+		t.Fatalf("dynamic shared run: %v", err)
+	}
+}
+
+// TestLocalMemory: per-thread local memory is private.
+func TestLocalMemory(t *testing.T) {
+	const src = `
+.kernel k
+.param outptr
+    S2R R0, SR_TID.X
+    STL.32 [RZ], R0        // each thread stores its id at local 0
+    LDL.32 R1, [RZ]
+    SHL R2, R0, 0x2
+    IADD R3, R2, c0[outptr]
+    STG.32 [R3], R1
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	out, _ := d.Mem.Alloc(4 * 32)
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Params: []uint32{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Mem.ReadBytes(out, 4*32)
+	for i := 0; i < 32; i++ {
+		if got := binary.LittleEndian.Uint32(b[4*i:]); got != uint32(i) {
+			t.Fatalf("local memory not private: thread %d read %d", i, got)
+		}
+	}
+}
+
+// TestWideLoads: 64- and 128-bit loads fill consecutive registers.
+func TestWideLoads(t *testing.T) {
+	const src = `
+.kernel k
+.param inptr
+    MOV R1, c0[inptr]
+    LDG.64 R4, [R1]
+    LDG.128 R8, [R1]
+    EXIT
+`
+	d := newTestDevice(t)
+	p := sass.MustAssemble("m", src)
+	k := p.Kernels[0]
+	in, _ := d.Mem.Alloc(16)
+	vals := []uint32{0x11111111, 0x22222222, 0x33333333, 0x44444444}
+	buf := make([]byte, 16)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	if err := d.Mem.WriteBytes(in, buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap [16]uint32
+	ek := &ExecKernel{K: k}
+	ek.Before = make([][]Callback, len(k.Instrs))
+	ek.Before[len(k.Instrs)-1] = []Callback{func(c *InstrCtx) {
+		for r := 0; r < 16; r++ {
+			snap[r] = c.ReadReg(0, sass.RegID(r))
+		}
+	}}
+	if _, err := d.Run(&Launch{
+		Kernel: ek,
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Params: []uint32{in},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if snap[4] != vals[0] || snap[5] != vals[1] {
+		t.Fatalf("LDG.64 = %x %x", snap[4], snap[5])
+	}
+	for i := 0; i < 4; i++ {
+		if snap[8+i] != vals[i] {
+			t.Fatalf("LDG.128 reg %d = %x, want %x", 8+i, snap[8+i], vals[i])
+		}
+	}
+}
+
+// TestAtomics: ATOM returns old values; RED accumulates; CAS and EXCH work.
+func TestAtomics(t *testing.T) {
+	const src = `
+.kernel k
+.param ptr
+    S2R R0, SR_LANEID
+    MOV R1, c0[ptr]
+    MOV R2, 0x1
+    ATOMG.ADD R3, [R1], R2        // counter += 1 per lane, R3 = old
+    RED.ADD [R1+0x4], R2          // second counter += 1 per lane
+    ATOMG.MAX R4, [R1+0x8], R0    // max of lane ids
+    ATOMG.EXCH R5, [R1+0xc], R0   // last lane's id remains
+    MOV R6, 0x0
+    MOV R7, 0x63
+    ATOMG.CAS R8, [R1+0x10], R6, R7 // only lane seeing 0 swaps in 99
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	ptr, _ := d.Mem.Alloc(32)
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Params: []uint32{ptr},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Mem.ReadBytes(ptr, 32)
+	word := func(i int) uint32 { return binary.LittleEndian.Uint32(b[4*i:]) }
+	if word(0) != 32 {
+		t.Errorf("ATOM.ADD counter = %d, want 32", word(0))
+	}
+	if word(1) != 32 {
+		t.Errorf("RED.ADD counter = %d, want 32", word(1))
+	}
+	if word(2) != 31 {
+		t.Errorf("ATOM.MAX = %d, want 31", word(2))
+	}
+	if word(3) != 31 {
+		t.Errorf("ATOM.EXCH final = %d, want 31 (lane order)", word(3))
+	}
+	if word(4) != 99 {
+		t.Errorf("ATOM.CAS = %d, want 99", word(4))
+	}
+}
+
+// TestInstrumentationTrampolineCost: instrumented execution is
+// substantially slower than native, and does not change either the launch
+// statistics or the computation.
+func TestInstrumentationTrampolineCost(t *testing.T) {
+	src := saxpySrc
+	run := func(instrument bool) (LaunchStats, []byte) {
+		d := newTestDevice(t)
+		k := mustKernel(t, src, "saxpy")
+		const n = 512
+		xp, _ := d.Mem.Alloc(4 * n)
+		yp, _ := d.Mem.Alloc(4 * n)
+		x := make([]float32, n)
+		y := make([]float32, n)
+		for i := range x {
+			x[i], y[i] = float32(i), 1
+		}
+		_ = d.Mem.WriteBytes(xp, f32slice(x))
+		_ = d.Mem.WriteBytes(yp, f32slice(y))
+		ek := &ExecKernel{K: k}
+		if instrument {
+			ek.After = make([][]Callback, len(k.Instrs))
+			for i := range k.Instrs {
+				ek.After[i] = []Callback{func(*InstrCtx) {}}
+			}
+		}
+		stats, err := d.Run(&Launch{
+			Kernel: ek,
+			Grid:   Dim3{X: n / 128, Y: 1, Z: 1},
+			Block:  Dim3{X: 128, Y: 1, Z: 1},
+			Params: []uint32{n, f32bits(2), xp, yp},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := d.Mem.ReadBytes(yp, 4*n)
+		return stats, out
+	}
+	nativeStats, nativeOut := run(false)
+	instrStats, instrOut := run(true)
+	if nativeStats != instrStats {
+		t.Errorf("instrumentation changed launch stats: %+v vs %+v", nativeStats, instrStats)
+	}
+	if string(nativeOut) != string(instrOut) {
+		t.Error("instrumentation changed the computation")
+	}
+}
+
+func f32bits(f float32) uint32 {
+	return binary.LittleEndian.Uint32(f32slice([]float32{f}))
+}
+
+// TestExitedThreadsReleaseBarrier: Volta semantics — threads (and whole
+// warps) that have exited do not block BAR.SYNC.
+func TestExitedThreadsReleaseBarrier(t *testing.T) {
+	const src = `
+.kernel k
+    S2R R0, SR_WARPID
+    ISETP.NE.AND P0, R0, 0x0, PT
+@P0 EXIT
+    BAR.SYNC
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 64, Y: 1, Z: 1}, // warp 1 exits before the barrier
+		Budget: 100000,
+	}); err != nil {
+		t.Fatalf("exited warp blocked the barrier: %v", err)
+	}
+}
+
+// TestDivergentBarrier: a BAR reached with part of the warp diverged (not
+// exited) can never be satisfied and is reported as a hang-class trap.
+func TestDivergentBarrier(t *testing.T) {
+	const src = `
+.kernel k
+    S2R R0, SR_TID.X
+    ISETP.GE.AND P0, R0, 0x10, PT
+@P0 BRA skip
+    BAR.SYNC
+skip:
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	_, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Budget: 100000,
+	})
+	trap, ok := AsTrap(err)
+	if !ok || trap.Kind != TrapInstrLimit {
+		t.Fatalf("divergent barrier: %v", err)
+	}
+}
+
+// TestBarrierDeadlockAcrossWarps: a warp waiting at a barrier while another
+// warp spins forever is caught by the budget monitor.
+func TestBarrierDeadlockAcrossWarps(t *testing.T) {
+	const src = `
+.kernel k
+    S2R R0, SR_WARPID
+    ISETP.NE.AND P0, R0, 0x0, PT
+@P0 BRA spin
+    BAR.SYNC
+    EXIT
+spin:
+    BRA spin
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "k")
+	_, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 64, Y: 1, Z: 1},
+		Budget: 100000,
+	})
+	trap, ok := AsTrap(err)
+	if !ok || trap.Kind != TrapInstrLimit {
+		t.Fatalf("cross-warp barrier deadlock: %v", err)
+	}
+}
+
+// TestLaunchValidation: bad launch shapes are synchronous errors, not traps.
+func TestLaunchValidation(t *testing.T) {
+	d := newTestDevice(t)
+	k := mustKernel(t, ".kernel k\nEXIT\n", "k")
+	cases := []Launch{
+		{Kernel: &ExecKernel{K: k}, Grid: Dim3{}, Block: Dim3{X: 32, Y: 1, Z: 1}},
+		{Kernel: &ExecKernel{K: k}, Grid: Dim3{X: 1, Y: 1, Z: 1}, Block: Dim3{}},
+		{Kernel: &ExecKernel{K: k}, Grid: Dim3{X: 1, Y: 1, Z: 1}, Block: Dim3{X: 2048, Y: 1, Z: 1}},
+		{Kernel: nil},
+		{Kernel: &ExecKernel{K: k}, Grid: Dim3{X: 1, Y: 1, Z: 1}, Block: Dim3{X: 32, Y: 1, Z: 1},
+			Params: []uint32{1}}, // kernel has no params
+	}
+	for i, l := range cases {
+		l := l
+		if _, err := d.Run(&l); err == nil {
+			t.Errorf("launch case %d accepted", i)
+		} else if _, isTrap := AsTrap(err); isTrap {
+			t.Errorf("launch case %d produced a trap instead of an API error", i)
+		}
+	}
+}
+
+// TestDeviceValidation: devices need at least one SM.
+func TestDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(sass.FamilyVolta, 0); err == nil {
+		t.Error("zero-SM device accepted")
+	}
+	if _, err := NewDevice(sass.FamilyVolta, -1); err == nil {
+		t.Error("negative-SM device accepted")
+	}
+}
+
+// TestDeviceLogReadAndClear: the dmesg analog accumulates and clears.
+func TestDeviceLogReadAndClear(t *testing.T) {
+	d := newTestDevice(t)
+	k := mustKernel(t, ".kernel k\nMOV R1, 0x4\nLDG.32 R2, [R1]\nEXIT\n", "k")
+	_, _ = d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+	})
+	if len(d.LogEvents()) == 0 {
+		t.Fatal("no log events after a trap")
+	}
+	ev := d.ClearLog()
+	if len(ev) == 0 || len(d.LogEvents()) != 0 {
+		t.Fatal("ClearLog did not drain the log")
+	}
+}

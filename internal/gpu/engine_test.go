@@ -1,0 +1,420 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/sass"
+)
+
+// saxpySrc is y[i] = a*x[i] + y[i] over n elements, one thread per element.
+const saxpySrc = `
+.kernel saxpy
+.param n
+.param a
+.param xptr
+.param yptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0           // global thread id
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R3, R0, 0x2               // byte offset
+    IADD R4, R3, c0[xptr]
+    IADD R5, R3, c0[yptr]
+    LDG.32 R6, [R4]
+    LDG.32 R7, [R5]
+    MOV R8, c0[a]
+    FFMA R9, R8, R6, R7
+    STG.32 [R5], R9
+    EXIT
+`
+
+func mustKernel(t *testing.T, src, name string) *sass.Kernel {
+	t.Helper()
+	p, err := sass.Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	k, ok := p.Kernel(name)
+	if !ok {
+		t.Fatalf("kernel %q not found", name)
+	}
+	return k
+}
+
+func newTestDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(sass.FamilyVolta, 4)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return d
+}
+
+func f32slice(vals []float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+func TestSaxpy(t *testing.T) {
+	d := newTestDevice(t)
+	k := mustKernel(t, saxpySrc, "saxpy")
+
+	const n = 1000
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(2 * i)
+	}
+	xp, err := d.Mem.Alloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yp, err := d.Mem.Alloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Mem.WriteBytes(xp, f32slice(x)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Mem.WriteBytes(yp, f32slice(y)); err != nil {
+		t.Fatal(err)
+	}
+
+	const a = float32(3.5)
+	stats, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: (n + 127) / 128, Y: 1, Z: 1},
+		Block:  Dim3{X: 128, Y: 1, Z: 1},
+		Params: []uint32{n, math.Float32bits(a), xp, yp},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.ThreadInstrs == 0 || stats.WarpInstrs == 0 {
+		t.Fatalf("no instructions counted: %+v", stats)
+	}
+
+	out, err := d.Mem.ReadBytes(yp, 4*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(out[4*i:]))
+		want := a*x[i] + y[i]
+		if got != want {
+			t.Fatalf("y[%d] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+// TestDivergence exercises divergent control flow with reconvergence: odd
+// lanes take one path, even lanes another, and both write distinct values.
+func TestDivergence(t *testing.T) {
+	const src = `
+.kernel diverge
+.param outptr
+    S2R R0, SR_TID.X
+    LOP.AND R1, R0, 0x1
+    ISETP.EQ.AND P0, R1, 0x1, PT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[outptr]
+@P0 BRA odd
+    MOV R5, 0x64                  // even lanes: 100
+    BRA store
+odd:
+    MOV R5, 0xc8                  // odd lanes: 200
+store:
+    STG.32 [R4], R5
+    EXIT
+`
+	d := newTestDevice(t)
+	k := mustKernel(t, src, "diverge")
+	out, err := d.Mem.Alloc(4 * 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 64, Y: 1, Z: 1},
+		Params: []uint32{out},
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := d.Mem.ReadBytes(out, 4*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		got := binary.LittleEndian.Uint32(b[4*i:])
+		want := uint32(100)
+		if i%2 == 1 {
+			want = 200
+		}
+		if got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestSharedReduction exercises shared memory, barriers, and a block-level
+// tree reduction.
+func TestSharedReduction(t *testing.T) {
+	const src = `
+.kernel reduce
+.param inptr
+.param outptr
+.shared 1024
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    IADD R2, R1, c0[inptr]
+    LDG.32 R3, [R2]
+    STS.32 [R1], R3
+    BAR.SYNC
+    MOV R4, 0x80                  // stride = 128 threads... start at 128/2*4? stride in elements
+loop:
+    SHR.U32 R4, R4, 0x1
+    ISETP.EQ.AND P1, R4, 0x0, PT
+@P1 BRA done
+    ISETP.GE.AND P0, R0, R4, PT
+@P0 BRA skip
+    SHL R5, R4, 0x2
+    IADD R6, R1, R5               // (tid+stride)*4
+    LDS.32 R7, [R6]
+    LDS.32 R8, [R1]
+    IADD R9, R7, R8
+    STS.32 [R1], R9
+skip:
+    BAR.SYNC
+    BRA loop
+done:
+    ISETP.NE.AND P2, R0, 0x0, PT
+@P2 EXIT
+    LDS.32 R10, [RZ]
+    STG.32 [c0ptr], R10
+    EXIT
+`
+	// The assembler has no syntax for "[constant-pointer]" so patch the
+	// last store: load the out pointer into a register first.
+	fixed := `
+.kernel reduce
+.param inptr
+.param outptr
+.shared 1024
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    IADD R2, R1, c0[inptr]
+    LDG.32 R3, [R2]
+    STS.32 [R1], R3
+    BAR.SYNC
+    MOV R4, 0x100
+loop:
+    SHR.U32 R4, R4, 0x1
+    ISETP.EQ.AND P1, R4, 0x0, PT
+@P1 BRA done
+    ISETP.GE.AND P0, R0, R4, PT
+@P0 BRA skip
+    SHL R5, R4, 0x2
+    IADD R6, R1, R5
+    LDS.32 R7, [R6]
+    LDS.32 R8, [R1]
+    IADD R9, R7, R8
+    STS.32 [R1], R9
+skip:
+    BAR.SYNC
+    BRA loop
+done:
+    ISETP.NE.AND P2, R0, 0x0, PT
+@P2 EXIT
+    MOV R11, c0[outptr]
+    LDS.32 R10, [RZ]
+    STG.32 [R11], R10
+    EXIT
+`
+	_ = src
+	d := newTestDevice(t)
+	k := mustKernel(t, fixed, "reduce")
+
+	const n = 256
+	in := make([]byte, 4*n)
+	want := uint32(0)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(in[4*i:], uint32(i))
+		want += uint32(i)
+	}
+	inp, err := d.Mem.Alloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outp, err := d.Mem.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Mem.WriteBytes(inp, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: n, Y: 1, Z: 1},
+		Params: []uint32{inp, outp},
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := d.Mem.ReadBytes(outp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(b); got != want {
+		t.Fatalf("reduction = %d, want %d", got, want)
+	}
+}
+
+// TestTraps drives each addressing trap.
+func TestTraps(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want TrapKind
+	}{
+		{
+			name: "illegal address",
+			src: `
+.kernel bad
+    MOV R1, 0x4
+    LDG.32 R2, [R1]
+    EXIT
+`,
+			want: TrapIllegalAddress,
+		},
+		{
+			name: "misaligned",
+			src: `
+.kernel bad
+.param p
+    MOV R1, c0[p]
+    IADD R1, R1, 0x2
+    LDG.32 R2, [R1]
+    EXIT
+`,
+			want: TrapMisaligned,
+		},
+		{
+			name: "invalid instruction",
+			src: `
+.kernel bad
+    TEX R1, R2
+    EXIT
+`,
+			want: TrapInvalidInstruction,
+		},
+		{
+			name: "breakpoint",
+			src: `
+.kernel bad
+    BPT
+    EXIT
+`,
+			want: TrapBreakpoint,
+		},
+		{
+			name: "fall off end",
+			src: `
+.kernel bad
+    MOV R1, 0x1
+`,
+			want: TrapBadPC,
+		},
+		{
+			name: "hang",
+			src: `
+.kernel bad
+loop:
+    BRA loop
+`,
+			want: TrapInstrLimit,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newTestDevice(t)
+			k := mustKernel(t, tc.src, "bad")
+			params := make([]uint32, len(k.Params))
+			if len(params) > 0 {
+				p, err := d.Mem.Alloc(64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				params[0] = p
+			}
+			_, err := d.Run(&Launch{
+				Kernel: &ExecKernel{K: k},
+				Grid:   Dim3{X: 1, Y: 1, Z: 1},
+				Block:  Dim3{X: 32, Y: 1, Z: 1},
+				Params: params,
+				Budget: 100000,
+			})
+			trap, ok := AsTrap(err)
+			if !ok {
+				t.Fatalf("expected trap, got %v", err)
+			}
+			if trap.Kind != tc.want {
+				t.Fatalf("trap kind = %v, want %v", trap.Kind, tc.want)
+			}
+			if len(d.LogEvents()) == 0 {
+				t.Fatal("trap did not produce a device-log event")
+			}
+		})
+	}
+}
+
+// TestInstrumentationCallbacks checks that before/after callbacks observe
+// the executing instruction and can modify register state.
+func TestInstrumentationCallbacks(t *testing.T) {
+	d := newTestDevice(t)
+	k := mustKernel(t, saxpySrc, "saxpy")
+
+	const n = 64
+	xp, _ := d.Mem.Alloc(4 * n)
+	yp, _ := d.Mem.Alloc(4 * n)
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i], y[i] = 1, 1
+	}
+	if err := d.Mem.WriteBytes(xp, f32slice(x)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Mem.WriteBytes(yp, f32slice(y)); err != nil {
+		t.Fatal(err)
+	}
+
+	ek := &ExecKernel{K: k}
+	ek.Before = make([][]Callback, len(k.Instrs))
+	ek.After = make([][]Callback, len(k.Instrs))
+	var before, after int
+	for i := range k.Instrs {
+		ek.Before[i] = []Callback{func(c *InstrCtx) { before += c.LaneCount() }}
+		ek.After[i] = []Callback{func(c *InstrCtx) { after += c.LaneCount() }}
+	}
+	stats, err := d.Run(&Launch{
+		Kernel: ek,
+		Grid:   Dim3{X: 2, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Params: []uint32{n, math.Float32bits(1), xp, yp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(before) != stats.ThreadInstrs || uint64(after) != stats.ThreadInstrs {
+		t.Fatalf("callback counts %d/%d, want %d", before, after, stats.ThreadInstrs)
+	}
+}

@@ -1,0 +1,450 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sass"
+)
+
+// snapshot captures architectural state at the end of a probe kernel.
+type snapshot struct {
+	regs  [WarpSize][64]uint32
+	preds [WarpSize][sass.NumPreds]bool
+}
+
+// runBody assembles a kernel from the body (the harness appends EXIT),
+// runs it on one warp, and snapshots registers and predicates just before
+// the exit.
+func runBody(t *testing.T, body string) *snapshot {
+	t.Helper()
+	src := ".kernel probe\n" + body + "\n    EXIT\n"
+	p, err := sass.Assemble("probe", src)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, src)
+	}
+	k := p.Kernels[0]
+	d, err := NewDevice(sass.FamilyVolta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &snapshot{}
+	ek := &ExecKernel{K: k}
+	ek.Before = make([][]Callback, len(k.Instrs))
+	ek.Before[len(k.Instrs)-1] = []Callback{func(c *InstrCtx) {
+		for lane := 0; lane < WarpSize; lane++ {
+			for r := 0; r < 64; r++ {
+				snap.regs[lane][r] = c.ReadReg(lane, sass.RegID(r))
+			}
+			for pr := 0; pr < int(sass.NumPreds); pr++ {
+				snap.preds[lane][pr] = c.ReadPred(lane, sass.PredID(pr))
+			}
+		}
+	}}
+	if _, err := d.Run(&Launch{
+		Kernel: ek,
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: WarpSize, Y: 1, Z: 1},
+		Budget: 1 << 20,
+	}); err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return snap
+}
+
+func (s *snapshot) r(lane, reg int) uint32 { return s.regs[lane][reg] }
+func (s *snapshot) f(lane, reg int) float32 {
+	return math.Float32frombits(s.regs[lane][reg])
+}
+func (s *snapshot) d(lane, reg int) float64 {
+	return math.Float64frombits(uint64(s.regs[lane][reg+1])<<32 | uint64(s.regs[lane][reg]))
+}
+
+// TestALUSemantics is the table-driven single-result semantics check: each
+// case computes into R10 (or P1 for predicates) on every lane.
+func TestALUSemantics(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want uint32
+	}{
+		{"IADD", "MOV R1, 0x5\nIADD R10, R1, 0x7", 12},
+		{"IADD negative", "MOV R1, 0x5\nIADD R10, R1, -0x7", 0xfffffffe},
+		{"IADD neg reg", "MOV R1, 0x5\nMOV R2, 0x3\nIADD R10, R1, -R2", 2},
+		{"IADD3", "MOV R1, 0x1\nMOV R2, 0x2\nIADD3 R10, R1, R2, 0x4", 7},
+		{"IMAD", "MOV R1, 0x6\nMOV R2, 0x7\nIMAD R10, R1, R2, 0x1", 43},
+		{"IMAD.HI", "MOV R1, 0x10000\nMOV R2, 0x10000\nIMAD.HI R10, R1, R2, 0x5", 6},
+		{"IMUL", "MOV R1, 0xffffffff\nIMUL R10, R1, 0x2", 0xfffffffe},
+		{"IMUL.HI signed", "MOV R1, -0x2\nMOV R2, 0x4\nIMUL.HI R10, R1, R2", 0xffffffff},
+		{"IMUL.HI.U32", "MOV R1, -0x2\nMOV R2, 0x4\nIMUL.HI.U32 R10, R1, R2", 3},
+		{"IABS", "MOV R1, -0x2a\nIABS R10, R1", 42},
+		{"IMNMX min", "MOV R1, 0x3\nMOV R2, 0x9\nIMNMX R10, R1, R2, PT", 3},
+		{"IMNMX max", "MOV R1, 0x3\nMOV R2, 0x9\nIMNMX R10, R1, R2, !PT", 9},
+		{"IMNMX signed", "MOV R1, -0x1\nMOV R2, 0x1\nIMNMX R10, R1, R2, PT", 0xffffffff},
+		{"IMNMX.U32", "MOV R1, -0x1\nMOV R2, 0x1\nIMNMX.U32 R10, R1, R2, PT", 1},
+		{"SHL", "MOV R1, 0x3\nSHL R10, R1, 0x4", 48},
+		{"SHL clamp", "MOV R1, 0x3\nSHL R10, R1, 0x20", 0},
+		{"SHR signed", "MOV R1, -0x10\nSHR R10, R1, 0x2", 0xfffffffc},
+		{"SHR.U32", "MOV R1, -0x10\nSHR.U32 R10, R1, 0x2", 0x3ffffffc},
+		{"SHR clamp signed", "MOV R1, -0x10\nSHR R10, R1, 0x3f", 0xffffffff},
+		{"SHF.R funnel", "MOV R1, 0x1\nMOV R2, 0x1\nSHF.R R10, R1, 0x4, R2", 0x10000000},
+		{"SHF.L funnel", "MOV R1, 0x0\nMOV R2, 0x1\nSHF R10, R1, 0x4, R2", 0x10},
+		{"LOP.AND", "MOV R1, 0xff\nLOP.AND R10, R1, 0x0f", 0x0f},
+		{"LOP.OR", "MOV R1, 0xf0\nLOP.OR R10, R1, 0x0f", 0xff},
+		{"LOP.XOR", "MOV R1, 0xff\nLOP.XOR R10, R1, 0x0f", 0xf0},
+		{"LOP.PASS_B", "MOV R1, 0xff\nLOP.PASS_B R10, R1, 0x12", 0x12},
+		{"LOP3 and", "MOV R1, 0xc\nMOV R2, 0xa\nLOP3 R10, R1, R2, RZ, 0xc0", 0x8},
+		{"LOP3 xor3", "MOV R1, 0xc\nMOV R2, 0xa\nMOV R3, 0x9\nLOP3 R10, R1, R2, R3, 0x96", 0xf},
+		{"POPC", "MOV R1, 0xf0f0\nPOPC R10, R1", 8},
+		{"FLO", "MOV R1, 0x1000\nFLO R10, R1", 12},
+		{"FLO zero", "FLO R10, RZ", 0xffffffff},
+		{"BREV", "MOV R1, 0x1\nBREV R10, R1", 0x80000000},
+		{"BMSK", "MOV R1, 0x4\nMOV R2, 0x3\nBMSK R10, R1, R2", 0x70},
+		{"SGXT", "MOV R1, 0x80\nSGXT R10, R1, 0x8", 0xffffff80},
+		{"SGXT positive", "MOV R1, 0x7f\nSGXT R10, R1, 0x8", 0x7f},
+		{"VABSDIFF", "MOV R1, 0x3\nMOV R2, 0x8\nVABSDIFF R10, R1, R2", 5},
+		{"SEL true", "ISETP.EQ.AND P0, RZ, RZ, PT\nMOV R1, 0x1\nMOV R2, 0x2\nSEL R10, R1, R2, P0", 1},
+		{"SEL false", "ISETP.NE.AND P0, RZ, RZ, PT\nMOV R1, 0x1\nMOV R2, 0x2\nSEL R10, R1, R2, P0", 2},
+		{"PRMT", "MOV R1, 0x44332211\nMOV R2, 0x88776655\nPRMT R10, R1, 0x5410, R2", 0x66552211},
+		{"ISCADD", "MOV R1, 0x2\nMOV R2, 0x1\nISCADD R10, R1, R2, 0x4", 0x21},
+		{"LEA", "MOV R1, 0x3\nMOV R2, 0x10\nLEA R10, R1, R2, 0x2", 0x1c},
+		{"MOV imm", "MOV R10, 0xdeadbeef", 0xdeadbeef},
+		{"MOV RZ", "MOV R10, RZ", 0},
+		{"FADD", "MOV R1, 1.5f\nMOV R2, 2.25f\nFADD R10, R1, R2", math.Float32bits(3.75)},
+		{"FADD neg", "MOV R1, 1.5f\nMOV R2, 2.5f\nFADD R10, R1, -R2", math.Float32bits(-1.0)},
+		{"FMUL", "MOV R1, 3.0f\nMOV R2, 0.5f\nFMUL R10, R1, R2", math.Float32bits(1.5)},
+		{"FFMA", "MOV R1, 2.0f\nMOV R2, 3.0f\nMOV R3, 1.0f\nFFMA R10, R1, R2, R3", math.Float32bits(7.0)},
+		{"FMNMX min", "MOV R1, 1.0f\nMOV R2, 2.0f\nFMNMX R10, R1, R2, PT", math.Float32bits(1.0)},
+		{"FMNMX max", "MOV R1, 1.0f\nMOV R2, 2.0f\nFMNMX R10, R1, R2, !PT", math.Float32bits(2.0)},
+		{"FSEL", "ISETP.EQ.AND P0, RZ, RZ, PT\nMOV R1, 5.0f\nMOV R2, 6.0f\nFSEL R10, R1, R2, P0", math.Float32bits(5.0)},
+		{"FSET true", "MOV R1, 2.0f\nMOV R2, 1.0f\nFSET.GT.AND R10, R1, R2, PT", 0xffffffff},
+		{"FSET false", "MOV R1, 0.5f\nMOV R2, 1.0f\nFSET.GT.AND R10, R1, R2, PT", 0},
+		{"MUFU.RCP", "MOV R1, 4.0f\nMUFU.RCP R10, R1", math.Float32bits(0.25)},
+		{"MUFU.SQRT", "MOV R1, 9.0f\nMUFU.SQRT R10, R1", math.Float32bits(3.0)},
+		{"MUFU.EX2", "MOV R1, 3.0f\nMUFU.EX2 R10, R1", math.Float32bits(8.0)},
+		{"MUFU.LG2", "MOV R1, 8.0f\nMUFU.LG2 R10, R1", math.Float32bits(3.0)},
+		{"F2I", "MOV R1, 3.7f\nF2I.TRUNC R10, R1", 3},
+		{"F2I negative", "MOV R1, -3.7f\nF2I.TRUNC R10, R1", 0xfffffffd},
+		{"F2I saturate", "MOV R1, 1e20f\nF2I R10, R1", math.MaxInt32},
+		{"F2I.U32 clamp", "MOV R1, -5.0f\nF2I.U32 R10, R1", 0},
+		{"I2F", "MOV R1, 0x10\nI2F R10, R1", math.Float32bits(16.0)},
+		{"I2F signed", "MOV R1, -0x2\nI2F R10, R1", math.Float32bits(-2.0)},
+		{"I2F.U32", "MOV R1, -0x1\nI2F.U32 R10, R1", math.Float32bits(4294967295.0)},
+		{"I2I.S8", "MOV R1, 0x80\nI2I.S8 R10, R1", 0xffffff80},
+		{"I2I.U16", "MOV R1, 0x12345678\nI2I.U16 R10, R1", 0x5678},
+		{"FRND", "MOV R1, 2.5f\nFRND R10, R1", math.Float32bits(2.0)},
+		{"P2R", "ISETP.EQ.AND P0, RZ, RZ, PT\nISETP.NE.AND P1, RZ, RZ, PT\nP2R R10, -0x1", 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := runBody(t, tc.body)
+			if got := snap.r(0, 10); got != tc.want {
+				t.Fatalf("R10 = 0x%08x, want 0x%08x", got, tc.want)
+			}
+			// SIMT uniformity: every lane computed the same value.
+			for lane := 1; lane < WarpSize; lane++ {
+				if snap.r(lane, 10) != tc.want {
+					t.Fatalf("lane %d diverged: 0x%08x", lane, snap.r(lane, 10))
+				}
+			}
+		})
+	}
+}
+
+func TestPredicateSemantics(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		pred int
+		want bool
+	}{
+		{"ISETP.LT true", "MOV R1, 0x1\nISETP.LT.AND P1, R1, 0x2, PT", 1, true},
+		{"ISETP.LT false", "MOV R1, 0x3\nISETP.LT.AND P1, R1, 0x2, PT", 1, false},
+		{"ISETP signed", "MOV R1, -0x1\nISETP.LT.AND P1, R1, 0x0, PT", 1, true},
+		{"ISETP.U32", "MOV R1, -0x1\nISETP.LT.U32.AND P1, R1, 0x0, PT", 1, false},
+		{"ISETP AND combine", "ISETP.EQ.AND P0, RZ, RZ, PT\nMOV R1, 0x1\nISETP.GE.AND P1, R1, 0x0, P0", 1, true},
+		{"ISETP OR rescue", "MOV R1, 0x5\nISETP.LT.OR P1, R1, 0x2, PT", 1, true},
+		{"ISETP XOR", "ISETP.EQ.XOR P1, RZ, RZ, PT", 1, false},
+		{"FSETP GT", "MOV R1, 2.5f\nFSETP.GT.AND P1, R1, 1.0f, PT", 1, true},
+		{"FSETP NAN", "MOV R1, 0x7fc00000\nFSETP.NAN.AND P1, R1, R1, PT", 1, true},
+		{"FSETP NUM", "MOV R1, 1.0f\nFSETP.NUM.AND P1, R1, R1, PT", 1, true},
+		{"PSETP", "ISETP.EQ.AND P0, RZ, RZ, PT\nISETP.NE.AND P2, RZ, RZ, PT\nPSETP.OR P1, P0, P2", 1, true},
+		{"PLOP3 and", "ISETP.EQ.AND P0, RZ, RZ, PT\nPLOP3 P1, P0, PT, PT, 0x80", 1, true},
+		{"R2P", "MOV R1, 0x2\nR2P P1, R1, 0x2", 1, true},
+		{"R2P clear", "MOV R1, 0x1\nR2P P1, R1, 0x2", 1, false},
+		{"FCHK div by zero", "MOV R1, 1.0f\nFCHK P1, R1, RZ", 1, true},
+		{"FCHK ok", "MOV R1, 1.0f\nMOV R2, 2.0f\nFCHK P1, R1, R2", 1, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := runBody(t, tc.body)
+			if got := snap.preds[0][tc.pred]; got != tc.want {
+				t.Fatalf("P%d = %v, want %v", tc.pred, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFP64Semantics(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want float64
+	}{
+		// Float immediates widen from FP32, so use representable values.
+		{"DADD", "MOV R2, RZ\nMOV R3, RZ\nDADD R10, R2, 1.5f\nDADD R10, R10, 2.25f", 3.75},
+		{"DMUL", "MOV R2, RZ\nMOV R3, RZ\nDADD R2, R2, 3.0f\nDMUL R10, R2, 0.5f", 1.5},
+		{"DFMA", "MOV R2, RZ\nMOV R3, RZ\nDADD R2, R2, 2.0f\nDFMA R10, R2, 4.0f, R2", 10},
+		{"DADD neg", "MOV R2, RZ\nMOV R3, RZ\nDADD R2, R2, 5.0f\nDADD R10, R2, -R2", 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := runBody(t, tc.body)
+			if got := snap.d(0, 10); got != tc.want {
+				t.Fatalf("R10:R11 = %g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDSETP(t *testing.T) {
+	snap := runBody(t, `
+MOV R2, RZ
+MOV R3, RZ
+DADD R2, R2, 2.0f
+DSETP.GT.AND P1, R2, 1.0f, PT
+DSETP.LT.AND P2, R2, 1.0f, PT
+`)
+	if !snap.preds[0][1] || snap.preds[0][2] {
+		t.Fatalf("DSETP: P1=%v P2=%v", snap.preds[0][1], snap.preds[0][2])
+	}
+}
+
+func TestHalfPacked(t *testing.T) {
+	// 1.0h = 0x3c00, 2.0h = 0x4000; packed {hi=2.0, lo=1.0}.
+	snap := runBody(t, `
+MOV R1, 0x40003c00
+MOV R2, 0x40003c00
+HADD2 R10, R1, R2
+HMUL2 R11, R1, R2
+HFMA2 R12, R1, R2, R1
+`)
+	if got := snap.r(0, 10); got != 0x44004000 { // {4.0, 2.0}
+		t.Errorf("HADD2 = 0x%08x, want 0x44004000", got)
+	}
+	if got := snap.r(0, 11); got != 0x44003c00 { // {4.0, 1.0}
+		t.Errorf("HMUL2 = 0x%08x, want 0x44003c00", got)
+	}
+	if got := snap.r(0, 12); got != 0x46004000 { // {6.0, 2.0}
+		t.Errorf("HFMA2 = 0x%08x, want 0x46004000", got)
+	}
+}
+
+func TestLaneSpecials(t *testing.T) {
+	snap := runBody(t, `
+    S2R R1, SR_LANEID
+    S2R R2, SR_EQMASK
+    S2R R3, SR_LTMASK
+    S2R R4, SR_WARPID
+    S2R R5, SR_SMID
+`)
+	for lane := 0; lane < WarpSize; lane++ {
+		if snap.r(lane, 1) != uint32(lane) {
+			t.Fatalf("lane %d: LANEID = %d", lane, snap.r(lane, 1))
+		}
+		if snap.r(lane, 2) != 1<<uint(lane) {
+			t.Fatalf("lane %d: EQMASK = 0x%x", lane, snap.r(lane, 2))
+		}
+		if snap.r(lane, 3) != 1<<uint(lane)-1 {
+			t.Fatalf("lane %d: LTMASK = 0x%x", lane, snap.r(lane, 3))
+		}
+		if snap.r(lane, 4) != 0 || snap.r(lane, 5) != 0 {
+			t.Fatalf("lane %d: warp/sm = %d/%d", lane, snap.r(lane, 4), snap.r(lane, 5))
+		}
+	}
+}
+
+func TestShuffleModes(t *testing.T) {
+	snap := runBody(t, `
+    S2R R1, SR_LANEID
+    SHFL.IDX R10, R1, 0x3, 0x1f
+    SHFL.UP R11, R1, 0x1, 0x1f
+    SHFL.DOWN R12, R1, 0x2, 0x1f
+    SHFL.BFLY R13, R1, 0x1, 0x1f
+`)
+	for lane := 0; lane < WarpSize; lane++ {
+		if got := snap.r(lane, 10); got != 3 {
+			t.Fatalf("SHFL.IDX lane %d = %d", lane, got)
+		}
+		wantUp := uint32(lane)
+		if lane >= 1 {
+			wantUp = uint32(lane - 1)
+		}
+		if got := snap.r(lane, 11); got != wantUp {
+			t.Fatalf("SHFL.UP lane %d = %d, want %d", lane, got, wantUp)
+		}
+		wantDown := uint32(lane)
+		if lane+2 < WarpSize {
+			wantDown = uint32(lane + 2)
+		}
+		if got := snap.r(lane, 12); got != wantDown {
+			t.Fatalf("SHFL.DOWN lane %d = %d, want %d", lane, got, wantDown)
+		}
+		if got := snap.r(lane, 13); got != uint32(lane^1) {
+			t.Fatalf("SHFL.BFLY lane %d = %d, want %d", lane, got, lane^1)
+		}
+	}
+}
+
+func TestVoteBallot(t *testing.T) {
+	snap := runBody(t, `
+    S2R R1, SR_LANEID
+    LOP.AND R2, R1, 0x1
+    ISETP.EQ.AND P0, R2, 0x1, PT
+    VOTE R10, P0
+`)
+	const odd = 0xaaaaaaaa
+	for lane := 0; lane < WarpSize; lane++ {
+		if got := snap.r(lane, 10); got != odd {
+			t.Fatalf("VOTE ballot lane %d = 0x%08x, want 0x%08x", lane, got, odd)
+		}
+	}
+}
+
+func TestMatch(t *testing.T) {
+	snap := runBody(t, `
+    S2R R1, SR_LANEID
+    LOP.AND R2, R1, 0x1
+    MATCH R10, R2
+`)
+	for lane := 0; lane < WarpSize; lane++ {
+		want := uint32(0x55555555)
+		if lane%2 == 1 {
+			want = 0xaaaaaaaa
+		}
+		if got := snap.r(lane, 10); got != want {
+			t.Fatalf("MATCH lane %d = 0x%08x, want 0x%08x", lane, got, want)
+		}
+	}
+}
+
+func TestGuardedExecution(t *testing.T) {
+	snap := runBody(t, `
+    S2R R1, SR_LANEID
+    ISETP.LT.AND P0, R1, 0x10, PT
+    MOV R10, 0x1
+@P0 MOV R10, 0x2
+@!P0 MOV R11, 0x3
+`)
+	for lane := 0; lane < WarpSize; lane++ {
+		wantR10, wantR11 := uint32(1), uint32(0)
+		if lane < 16 {
+			wantR10 = 2
+		} else {
+			wantR11 = 3
+		}
+		if snap.r(lane, 10) != wantR10 || snap.r(lane, 11) != wantR11 {
+			t.Fatalf("lane %d: R10=%d R11=%d", lane, snap.r(lane, 10), snap.r(lane, 11))
+		}
+	}
+}
+
+// TestWritesToRZAndPTDiscarded: architectural sinks stay zero/true.
+func TestWritesToRZAndPTDiscarded(t *testing.T) {
+	snap := runBody(t, `
+    MOV RZ, 0x1234
+    IADD R10, RZ, 0x1
+    ISETP.NE.AND PT, RZ, RZ, PT
+@PT MOV R11, 0x7
+`)
+	if snap.r(0, 10) != 1 {
+		t.Fatalf("RZ was written: R10 = %d", snap.r(0, 10))
+	}
+	if snap.r(0, 11) != 7 {
+		t.Fatalf("PT was clobbered: R11 = %d", snap.r(0, 11))
+	}
+}
+
+// TestClockSpecials: CS2R and SR_CLOCK read monotone per-SM counters.
+func TestClockSpecials(t *testing.T) {
+	snap := runBody(t, `
+    CS2R R10, RZ
+    S2R R12, SR_CLOCK
+    CS2R R14, RZ
+`)
+	lo1 := snap.r(0, 10)
+	clk := snap.r(0, 12)
+	lo2 := snap.r(0, 14)
+	if !(lo1 < clk && clk < lo2) {
+		t.Fatalf("clock not monotone: %d %d %d", lo1, clk, lo2)
+	}
+}
+
+// TestLDCDynamicIndex: LDC with a register base reads the constant bank
+// dynamically.
+func TestLDCDynamicIndex(t *testing.T) {
+	snap := runBody(t, `
+    MOV R1, 0x0
+    LDC R10, [R1]          // c0[NTID_X] = 32 (the probe block width)
+    MOV R2, 0xc
+    LDC R11, [R2]          // c0[NCTAID_X] = 1
+`)
+	if snap.r(0, 10) != 32 || snap.r(0, 11) != 1 {
+		t.Fatalf("LDC dynamic reads = %d, %d", snap.r(0, 10), snap.r(0, 11))
+	}
+}
+
+// TestKillExitsLanes: KILL terminates lanes like EXIT.
+func TestKillExitsLanes(t *testing.T) {
+	snap := runBody(t, `
+    S2R R0, SR_LANEID
+    ISETP.LT.AND P0, R0, 0x10, PT
+    MOV R10, 0x1
+@P0 KILL
+    MOV R10, 0x2
+`)
+	for lane := 0; lane < WarpSize; lane++ {
+		want := uint32(2)
+		if lane < 16 {
+			want = 1 // killed before the second MOV
+		}
+		if snap.r(lane, 10) != want {
+			t.Fatalf("lane %d R10 = %d, want %d", lane, snap.r(lane, 10), want)
+		}
+	}
+}
+
+// TestNopLikesExecute: scheduling/fence opcodes run as no-ops without
+// disturbing state.
+func TestNopLikesExecute(t *testing.T) {
+	snap := runBody(t, `
+    MOV R10, 0x2a
+    NOP
+    MEMBAR.GPU
+    DEPBAR
+    WARPSYNC
+    YIELD
+    NANOSLEEP
+    CCTL
+    SSY done
+done:
+    IADD R10, R10, 0x1
+`)
+	if snap.r(0, 10) != 43 {
+		t.Fatalf("R10 = %d after no-op chain", snap.r(0, 10))
+	}
+}
+
+// TestSemNoneTrapsOnlyWhenExecuted: an unimplemented opcode in dead code is
+// harmless.
+func TestSemNoneTrapsOnlyWhenExecuted(t *testing.T) {
+	snap := runBody(t, `
+    BRA past
+    TEX R1, R2
+past:
+    MOV R10, 0x7
+`)
+	if snap.r(0, 10) != 7 {
+		t.Fatalf("dead TEX disturbed execution")
+	}
+}

@@ -1,0 +1,80 @@
+package gpu
+
+import "math"
+
+// Half-precision conversion helpers for the packed-half (HADD2/HMUL2/HFMA2)
+// instructions. The conversions implement IEEE 754 binary16 with round-to-
+// nearest-even, including subnormals, infinities, and NaN.
+
+// f16ToF32 widens an IEEE binary16 value.
+func f16ToF32(h uint16) float32 {
+	sign := uint32(h>>15) << 31
+	exp := uint32(h>>10) & 0x1f
+	man := uint32(h) & 0x3ff
+	switch exp {
+	case 0:
+		if man == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case 0x1f:
+		if man == 0 {
+			return math.Float32frombits(sign | 0x7f800000) // infinity
+		}
+		return math.Float32frombits(sign | 0x7f800000 | man<<13) // NaN
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+// f32ToF16 narrows to IEEE binary16 with round-to-nearest-even.
+func f32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>31) << 15
+	exp := int32(b>>23) & 0xff
+	man := b & 0x7fffff
+	switch {
+	case exp == 0xff: // inf or NaN
+		if man == 0 {
+			return sign | 0x7c00
+		}
+		return sign | 0x7c00 | uint16(man>>13) | 1 // keep NaN quiet
+	case exp > 127+15: // overflow to infinity
+		return sign | 0x7c00
+	case exp >= 127-14: // normal range
+		e := uint16(exp - 127 + 15)
+		m := uint16(man >> 13)
+		// Round to nearest even on the truncated 13 bits.
+		rem := man & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			m++
+			if m == 0x400 {
+				m = 0
+				e++
+				if e >= 0x1f {
+					return sign | 0x7c00
+				}
+			}
+		}
+		return sign | e<<10 | m
+	case exp >= 127-14-10: // subnormal
+		shift := uint32(127 - 14 - exp)
+		full := man | 0x800000
+		m := uint16(full >> (13 + shift))
+		rem := full & ((1 << (13 + shift)) - 1)
+		half := uint32(1) << (12 + shift)
+		if rem > half || (rem == half && m&1 == 1) {
+			m++
+		}
+		return sign | m
+	default: // underflow to zero
+		return sign
+	}
+}

@@ -1,0 +1,115 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestF16KnownValues(t *testing.T) {
+	tests := []struct {
+		bits uint16
+		val  float32
+	}{
+		{0x0000, 0},
+		{0x3c00, 1},
+		{0x4000, 2},
+		{0xc000, -2},
+		{0x3800, 0.5},
+		{0x7bff, 65504},                 // max normal
+		{0x0400, 6.103515625e-05},       // min normal
+		{0x0001, 5.960464477539063e-08}, // min subnormal
+	}
+	for _, tc := range tests {
+		if got := f16ToF32(tc.bits); got != tc.val {
+			t.Errorf("f16ToF32(0x%04x) = %g, want %g", tc.bits, got, tc.val)
+		}
+		if got := f32ToF16(tc.val); got != tc.bits {
+			t.Errorf("f32ToF16(%g) = 0x%04x, want 0x%04x", tc.val, got, tc.bits)
+		}
+	}
+}
+
+func TestF16Specials(t *testing.T) {
+	inf := float32(math.Inf(1))
+	if f16ToF32(0x7c00) != inf {
+		t.Error("0x7c00 should decode to +inf")
+	}
+	if f16ToF32(0xfc00) != float32(math.Inf(-1)) {
+		t.Error("0xfc00 should decode to -inf")
+	}
+	if !isNaN32(f16ToF32(0x7e00)) {
+		t.Error("0x7e00 should decode to NaN")
+	}
+	if f32ToF16(inf) != 0x7c00 {
+		t.Error("+inf should encode to 0x7c00")
+	}
+	if f32ToF16(1e10) != 0x7c00 {
+		t.Error("overflow should saturate to +inf")
+	}
+	if got := f32ToF16(float32(math.NaN())); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("NaN should stay NaN, got 0x%04x", got)
+	}
+	if f32ToF16(1e-10) != 0 {
+		t.Error("underflow should flush to +0")
+	}
+	if f32ToF16(float32(math.Copysign(0, -1))) != 0x8000 {
+		t.Error("-0 should encode to 0x8000")
+	}
+}
+
+// TestF16RoundTripAllBitPatterns: decode→encode is the identity for every
+// non-NaN half value (NaNs keep their class but may not keep their
+// payload).
+func TestF16RoundTripAllBitPatterns(t *testing.T) {
+	for b := 0; b < 1<<16; b++ {
+		h := uint16(b)
+		f := f16ToF32(h)
+		if isNaN32(f) {
+			if got := f32ToF16(f); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+				t.Fatalf("NaN 0x%04x re-encoded to non-NaN 0x%04x", h, got)
+			}
+			continue
+		}
+		if got := f32ToF16(f); got != h {
+			t.Fatalf("round trip 0x%04x -> %g -> 0x%04x", h, f, got)
+		}
+	}
+}
+
+// TestF16RoundNearestEven: conversion from f32 rounds ties to even.
+func TestF16RoundNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between 1.0 (0x3c00) and the next half
+	// (0x3c01); ties round to even (0x3c00).
+	if got := f32ToF16(1 + 1.0/2048); got != 0x3c00 {
+		t.Errorf("tie rounding = 0x%04x, want 0x3c00", got)
+	}
+	// 1 + 3*2^-11 ties between 0x3c01 and 0x3c02 → 0x3c02.
+	if got := f32ToF16(1 + 3.0/2048); got != 0x3c02 {
+		t.Errorf("tie rounding = 0x%04x, want 0x3c02", got)
+	}
+}
+
+// TestF16MonotoneQuick: encoding preserves order for arbitrary value pairs.
+func TestF16MonotoneQuick(t *testing.T) {
+	f := func(a, b float32) bool {
+		if isNaN32(a) || isNaN32(b) {
+			return true
+		}
+		// Clamp to the half range to avoid both saturating to inf.
+		if a > 65504 || a < -65504 || b > 65504 || b < -65504 {
+			return true
+		}
+		ha, hb := f16ToF32(f32ToF16(a)), f16ToF32(f32ToF16(b))
+		if a < b {
+			return ha <= hb
+		}
+		if a > b {
+			return ha >= hb
+		}
+		return ha == hb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

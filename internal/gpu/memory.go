@@ -1,0 +1,156 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Memory is the device global-memory model: a bump allocator over a 32-bit
+// address space with per-allocation bounds tracking. Accesses outside any
+// live allocation raise TrapIllegalAddress; accesses not aligned to their
+// width raise TrapMisaligned — the two anomalies the paper calls out as
+// non-fatal GPU errors that produce "potential DUE" outcomes.
+type Memory struct {
+	allocs []alloc // sorted by base
+	data   map[uint32][]byte
+	next   uint32
+}
+
+type alloc struct {
+	base uint32
+	size uint32
+}
+
+// allocBase leaves the low addresses unmapped so that computed-to-zero
+// pointers fault, like a CUDA null dereference.
+const allocBase = 0x10000
+
+// allocAlign keeps every allocation 256-byte aligned, matching cudaMalloc.
+const allocAlign = 256
+
+// NewMemory returns an empty device memory.
+func NewMemory() *Memory {
+	return &Memory{data: make(map[uint32][]byte), next: allocBase}
+}
+
+// Alloc reserves size bytes of device memory and returns its base address.
+func (m *Memory) Alloc(size int) (uint32, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("gpu: invalid allocation size %d", size)
+	}
+	sz := (uint32(size) + allocAlign - 1) &^ (allocAlign - 1)
+	if m.next > ^uint32(0)-sz {
+		return 0, fmt.Errorf("gpu: out of device memory")
+	}
+	base := m.next
+	m.next += sz
+	m.allocs = append(m.allocs, alloc{base: base, size: uint32(size)})
+	m.data[base] = make([]byte, size)
+	return base, nil
+}
+
+// Free releases the allocation starting at base.
+func (m *Memory) Free(base uint32) error {
+	for i, a := range m.allocs {
+		if a.base == base {
+			m.allocs = append(m.allocs[:i], m.allocs[i+1:]...)
+			delete(m.data, base)
+			return nil
+		}
+	}
+	return fmt.Errorf("gpu: free of unallocated address 0x%x", base)
+}
+
+// find returns the allocation containing addr, or nil.
+func (m *Memory) find(addr uint32) *alloc {
+	// allocs is append-only sorted (bump allocator), so binary search works.
+	i := sort.Search(len(m.allocs), func(i int) bool { return m.allocs[i].base > addr })
+	if i == 0 {
+		return nil
+	}
+	a := &m.allocs[i-1]
+	if addr-a.base < a.size {
+		return a
+	}
+	return nil
+}
+
+// check validates an access of width bytes at addr and returns the backing
+// slice offset. Trap kinds are reported through the returned values.
+func (m *Memory) check(addr uint32, width uint32) (buf []byte, off uint32, kind TrapKind) {
+	if addr%width != 0 {
+		return nil, 0, TrapMisaligned
+	}
+	a := m.find(addr)
+	if a == nil || addr-a.base+width > a.size {
+		return nil, 0, TrapIllegalAddress
+	}
+	return m.data[a.base], addr - a.base, 0
+}
+
+// Load reads width bytes (1, 2, 4 or 8) at addr, little-endian.
+func (m *Memory) Load(addr uint32, width uint8) (uint64, TrapKind) {
+	buf, off, kind := m.check(addr, uint32(width))
+	if kind != 0 {
+		return 0, kind
+	}
+	switch width {
+	case 1:
+		return uint64(buf[off]), 0
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[off:])), 0
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[off:])), 0
+	case 8:
+		return binary.LittleEndian.Uint64(buf[off:]), 0
+	default:
+		return 0, TrapInvalidInstruction
+	}
+}
+
+// Store writes width bytes (1, 2, 4 or 8) at addr, little-endian.
+func (m *Memory) Store(addr uint32, width uint8, val uint64) TrapKind {
+	buf, off, kind := m.check(addr, uint32(width))
+	if kind != 0 {
+		return kind
+	}
+	switch width {
+	case 1:
+		buf[off] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(buf[off:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(buf[off:], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(buf[off:], val)
+	default:
+		return TrapInvalidInstruction
+	}
+	return 0
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice (device-to-host
+// memcpy). The whole range must lie inside one allocation.
+func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
+	a := m.find(addr)
+	if a == nil || uint32(n) > a.size-(addr-a.base) {
+		return nil, fmt.Errorf("gpu: memcpy DtoH of %d bytes at 0x%x out of bounds", n, addr)
+	}
+	out := make([]byte, n)
+	copy(out, m.data[a.base][addr-a.base:])
+	return out, nil
+}
+
+// WriteBytes copies b into device memory at addr (host-to-device memcpy).
+func (m *Memory) WriteBytes(addr uint32, b []byte) error {
+	a := m.find(addr)
+	if a == nil || uint32(len(b)) > a.size-(addr-a.base) {
+		return fmt.Errorf("gpu: memcpy HtoD of %d bytes at 0x%x out of bounds", len(b), addr)
+	}
+	copy(m.data[a.base][addr-a.base:], b)
+	return nil
+}
+
+// AllocCount returns the number of live allocations, for tests.
+func (m *Memory) AllocCount() int { return len(m.allocs) }

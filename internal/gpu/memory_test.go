@@ -1,0 +1,161 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryAllocFree(t *testing.T) {
+	m := NewMemory()
+	a, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < allocBase || a%allocAlign != 0 {
+		t.Fatalf("allocation at 0x%x not aligned/based", a)
+	}
+	b, err := m.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("bump allocator went backwards: 0x%x after 0x%x", b, a)
+	}
+	if m.AllocCount() != 2 {
+		t.Fatalf("alloc count = %d", m.AllocCount())
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); err == nil {
+		t.Fatal("double free succeeded")
+	}
+	if _, kind := m.Load(a, 4); kind != TrapIllegalAddress {
+		t.Fatalf("load after free: trap %v", kind)
+	}
+	if _, err := m.Alloc(0); err == nil {
+		t.Fatal("zero-size alloc succeeded")
+	}
+	if _, err := m.Alloc(-4); err == nil {
+		t.Fatal("negative alloc succeeded")
+	}
+}
+
+func TestMemoryAccessChecks(t *testing.T) {
+	m := NewMemory()
+	a, err := m.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-bounds round trip at every width.
+	for _, w := range []uint8{1, 2, 4, 8} {
+		if kind := m.Store(a, w, 0x1122334455667788); kind != 0 {
+			t.Fatalf("store width %d: trap %v", w, kind)
+		}
+		v, kind := m.Load(a, w)
+		if kind != 0 {
+			t.Fatalf("load width %d: trap %v", w, kind)
+		}
+		want := uint64(0x1122334455667788) & (1<<(8*uint(w)) - 1)
+		if w == 8 {
+			want = 0x1122334455667788
+		}
+		if v != want {
+			t.Fatalf("width %d round trip = 0x%x, want 0x%x", w, v, want)
+		}
+	}
+	// Misalignment.
+	if _, kind := m.Load(a+2, 4); kind != TrapMisaligned {
+		t.Fatalf("misaligned load: trap %v", kind)
+	}
+	if kind := m.Store(a+1, 2, 0); kind != TrapMisaligned {
+		t.Fatalf("misaligned store: trap %v", kind)
+	}
+	// Out of bounds: beyond the allocation's size (not its rounded size).
+	if _, kind := m.Load(a+64, 4); kind != TrapIllegalAddress {
+		t.Fatalf("oob load: trap %v", kind)
+	}
+	// A store that starts inside an oddly-sized allocation but runs past
+	// its end is illegal even though the address is aligned.
+	odd, err := m.Alloc(62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := m.Store(odd+60, 4, 0); kind != TrapIllegalAddress {
+		t.Fatalf("straddling store: trap %v", kind)
+	}
+	// Null-ish pointers fault.
+	if _, kind := m.Load(4, 4); kind != TrapIllegalAddress {
+		t.Fatalf("null page load: trap %v", kind)
+	}
+}
+
+func TestMemcpyBounds(t *testing.T) {
+	m := NewMemory()
+	a, err := m.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(a, make([]byte, 33)); err == nil {
+		t.Fatal("oversized HtoD succeeded")
+	}
+	if _, err := m.ReadBytes(a, 33); err == nil {
+		t.Fatal("oversized DtoH succeeded")
+	}
+	if _, err := m.ReadBytes(a+1000, 4); err == nil {
+		t.Fatal("unallocated DtoH succeeded")
+	}
+	data := []byte{1, 2, 3, 4, 5}
+	if err := m.WriteBytes(a+8, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(a+8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("memcpy round trip byte %d = %d", i, got[i])
+		}
+	}
+}
+
+// TestMemoryQuickRoundTrip: store/load is the identity for arbitrary
+// aligned offsets and values.
+func TestMemoryQuickRoundTrip(t *testing.T) {
+	m := NewMemory()
+	base, err := m.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, v uint32) bool {
+		addr := base + uint32(off%1024)*4
+		if kind := m.Store(addr, 4, uint64(v)); kind != 0 {
+			return false
+		}
+		got, kind := m.Load(addr, 4)
+		return kind == 0 && uint32(got) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoryQuickOOBAlwaysTraps: accesses beyond every allocation always
+// report illegal address or misalignment, never silently succeed.
+func TestMemoryQuickOOBAlwaysTraps(t *testing.T) {
+	m := NewMemory()
+	a, err := m.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := a + 128
+	f := func(delta uint16) bool {
+		addr := end + uint32(delta)
+		_, kind := m.Load(addr, 4)
+		return kind == TrapIllegalAddress || kind == TrapMisaligned
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

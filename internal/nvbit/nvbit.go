@@ -1,0 +1,252 @@
+// Package nvbit is the dynamic binary instrumentation framework analog:
+// the layer NVBitFI is built on. It attaches to a CUDA context (the
+// LD_PRELOAD analog), intercepts every dynamic kernel launch, decodes the
+// module's *machine code* into the abstract instruction view — never
+// touching source — and lets a tool insert instrumentation callbacks
+// before or after individual instructions. Instrumented kernels are built
+// once per (kernel, tool-config) and cached, so repeat launches reuse the
+// JIT-compiled version; launches the tool does not target run the original,
+// unmodified kernel with zero added dispatch cost.
+//
+// Those three properties — no source required, per-dynamic-kernel
+// selectivity, and a single abstract view over all architecture families'
+// encodings — are exactly the advantages the paper claims for NVBitFI over
+// SASSIFI, LLFI-GPU, GPU-Qin, and Hauberk.
+package nvbit
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+)
+
+// LaunchInfo describes one dynamic kernel launch to the tool.
+type LaunchInfo struct {
+	// Kernel is the decoded kernel (from machine code, not source).
+	Kernel *sass.Kernel
+	// Module is the name of the module the kernel lives in.
+	Module string
+	// LaunchIndex is the 0-based dynamic instance count of this kernel
+	// name — the paper's "kernel count".
+	LaunchIndex int
+	// GlobalLaunch is the 0-based index across all kernels.
+	GlobalLaunch int
+	// Config is the launch shape.
+	Config cuda.LaunchConfig
+}
+
+// Decision is the tool's per-launch instrumentation choice.
+type Decision struct {
+	// Instrument selects whether this dynamic launch runs instrumented.
+	Instrument bool
+	// Key names the instrumentation configuration; cached instrumented
+	// kernels are reused per (module, kernel, key).
+	Key string
+}
+
+// RunOriginal is the decision to run the unmodified kernel.
+var RunOriginal = Decision{}
+
+// Tool is an NVBit tool: a profiler or injector.
+type Tool interface {
+	// Name identifies the tool in diagnostics.
+	Name() string
+	// OnLaunch is invoked before every dynamic kernel launch; the returned
+	// decision selects original or instrumented execution.
+	OnLaunch(info *LaunchInfo) Decision
+	// Instrument is invoked once per (kernel, decision key) cache miss to
+	// build the instrumentation. The callbacks it inserts run on every
+	// dynamic execution of the chosen instructions.
+	Instrument(k *sass.Kernel, key string, ins *Inserter)
+	// OnLaunchDone is invoked after the launch finishes, with execution
+	// statistics and the device trap if one occurred. skipped means the
+	// launch never ran because the context was already poisoned.
+	OnLaunchDone(info *LaunchInfo, stats gpu.LaunchStats, trap *gpu.Trap, skipped bool)
+}
+
+// Inserter collects instrumentation insertions for one kernel build.
+type Inserter struct {
+	k      *sass.Kernel
+	before [][]gpu.Callback
+	after  [][]gpu.Callback
+	step   gpu.Callback
+}
+
+// InsertBefore attaches a callback that runs before instruction idx on
+// every dynamic execution.
+func (ins *Inserter) InsertBefore(idx int, cb gpu.Callback) {
+	if ins.before == nil {
+		ins.before = make([][]gpu.Callback, len(ins.k.Instrs))
+	}
+	ins.before[idx] = append(ins.before[idx], cb)
+}
+
+// InsertAfter attaches a callback that runs after instruction idx, with
+// destination registers already written — the injection point for
+// destination-register fault models.
+func (ins *Inserter) InsertAfter(idx int, cb gpu.Callback) {
+	if ins.after == nil {
+		ins.after = make([][]gpu.Callback, len(ins.k.Instrs))
+	}
+	ins.after[idx] = append(ins.after[idx], cb)
+}
+
+// SetStep installs a single-step hook that runs after every instruction,
+// the mechanism a debugger-based tool (GPU-Qin analog) uses.
+func (ins *Inserter) SetStep(cb gpu.Callback) { ins.step = cb }
+
+// Instrs returns the kernel's instructions for inspection.
+func (ins *Inserter) Instrs() []sass.Instr { return ins.k.Instrs }
+
+// Attachment is an attached tool; Detach removes it.
+type Attachment struct {
+	ctx    *cuda.Context
+	tool   Tool
+	unsub  func()
+	codec  *encoding.Codec
+	funcs  map[*cuda.Function]*sass.Kernel // decoded view per function
+	counts map[string]int                  // dynamic launch count per kernel name
+	global int
+	cache  map[cacheKey]*gpu.ExecKernel
+	live   map[*cuda.Function]*LaunchInfo // in-flight launches
+
+	// Stats for overhead accounting.
+	totalLaunches        int
+	instrumentedLaunches int
+	jitBuilds            int
+}
+
+type cacheKey struct {
+	k   *sass.Kernel
+	key string
+}
+
+// Attach connects a tool to the context — the analog of starting the
+// target program with LD_PRELOAD=<tool>.so. Modules already loaded are
+// decoded immediately; future module loads are decoded as they arrive.
+func Attach(ctx *cuda.Context, tool Tool) (*Attachment, error) {
+	codec, err := encoding.NewCodec(ctx.Device().Family)
+	if err != nil {
+		return nil, fmt.Errorf("nvbit: %w", err)
+	}
+	a := &Attachment{
+		ctx:    ctx,
+		tool:   tool,
+		codec:  codec,
+		funcs:  make(map[*cuda.Function]*sass.Kernel),
+		counts: make(map[string]int),
+		cache:  make(map[cacheKey]*gpu.ExecKernel),
+		live:   make(map[*cuda.Function]*LaunchInfo),
+	}
+	for _, m := range ctx.Modules() {
+		if err := a.decodeModule(m); err != nil {
+			return nil, err
+		}
+	}
+	a.unsub = ctx.Subscribe(a)
+	return a, nil
+}
+
+// Detach removes the tool from the context.
+func (a *Attachment) Detach() {
+	if a.unsub != nil {
+		a.unsub()
+		a.unsub = nil
+	}
+}
+
+// TotalLaunches returns the number of launches observed.
+func (a *Attachment) TotalLaunches() int { return a.totalLaunches }
+
+// InstrumentedLaunches returns how many launches ran instrumented code.
+func (a *Attachment) InstrumentedLaunches() int { return a.instrumentedLaunches }
+
+// JITBuilds returns how many instrumented kernels were built (cache misses).
+func (a *Attachment) JITBuilds() int { return a.jitBuilds }
+
+// decodeModule decodes a module's machine code into abstract kernels. This
+// is where the per-family encoding abstraction pays off: the tool above
+// never sees family-specific bits.
+func (a *Attachment) decodeModule(m *cuda.Module) error {
+	prog, err := a.codec.DecodeProgram(m.Binary())
+	if err != nil {
+		return fmt.Errorf("nvbit: decoding module %q: %w", m.Name(), err)
+	}
+	for _, k := range prog.Kernels {
+		f, err := m.Function(k.Name)
+		if err != nil {
+			return fmt.Errorf("nvbit: module %q: %w", m.Name(), err)
+		}
+		a.funcs[f] = k
+	}
+	return nil
+}
+
+// OnModuleLoad implements cuda.Subscriber.
+func (a *Attachment) OnModuleLoad(m *cuda.Module) {
+	// A decode failure would mean corrupted machine code; surface it on the
+	// device log rather than swallowing it.
+	if err := a.decodeModule(m); err != nil {
+		panic(err)
+	}
+}
+
+// OnLaunchBegin implements cuda.Subscriber: the interception point.
+func (a *Attachment) OnLaunchBegin(ev *cuda.LaunchEvent) {
+	decoded, ok := a.funcs[ev.Function]
+	if !ok {
+		return
+	}
+	name := ev.Function.Name()
+	info := &LaunchInfo{
+		Kernel:       decoded,
+		Module:       ev.Function.Module().Name(),
+		LaunchIndex:  a.counts[name],
+		GlobalLaunch: a.global,
+		Config:       ev.Config,
+	}
+	a.counts[name]++
+	a.global++
+	a.totalLaunches++
+	a.live[ev.Function] = info
+
+	dec := a.tool.OnLaunch(info)
+	if !dec.Instrument {
+		return
+	}
+	a.instrumentedLaunches++
+	ck := cacheKey{k: decoded, key: dec.Key}
+	ek, ok := a.cache[ck]
+	if !ok {
+		ins := &Inserter{k: decoded}
+		a.tool.Instrument(decoded, dec.Key, ins)
+		ek = &gpu.ExecKernel{
+			K:      decoded,
+			Before: ins.before,
+			After:  ins.after,
+			Step:   ins.step,
+		}
+		a.cache[ck] = ek
+		a.jitBuilds++
+	}
+	ev.Exec = ek
+}
+
+// OnLaunchEnd implements cuda.Subscriber.
+func (a *Attachment) OnLaunchEnd(ev *cuda.LaunchEvent) {
+	info := a.live[ev.Function]
+	if info == nil {
+		if ev.Skipped {
+			a.tool.OnLaunchDone(&LaunchInfo{
+				Kernel: ev.Function.Kernel(),
+				Module: ev.Function.Module().Name(),
+			}, ev.Stats, ev.Trap, true)
+		}
+		return
+	}
+	delete(a.live, ev.Function)
+	a.tool.OnLaunchDone(info, ev.Stats, ev.Trap, ev.Skipped)
+}

@@ -1,0 +1,115 @@
+// Package report renders campaign results into the formats a fault-
+// injection study consumes: per-run logs (one line per injection, as
+// NVBitFI's results files), outcome-distribution tables (the Figure 2/3
+// shape), and CSV for downstream analysis.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// WriteRunLog writes one line per injection run: the NVBitFI-style
+// per-experiment log that campaigns archive.
+func WriteRunLog(w io.Writer, res *campaign.CampaignResult) error {
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		rec := run.Injection
+		var line string
+		if rec.Kernel != "" || rec.Activated {
+			line = fmt.Sprintf("run=%d outcome=%v symptom=%q potential_due=%v "+
+				"activated=%v kernel=%s instr=%d opcode=%v sm=%d lane=%d target=%s "+
+				"before=0x%08x after=0x%08x dur=%s",
+				i, run.Class.Outcome, run.Class.Symptom.String(), run.Class.PotentialDUE,
+				rec.Activated, rec.Kernel, rec.InstrIdx, rec.Opcode, rec.SMID, rec.Lane,
+				rec.Target, rec.Before, rec.After, run.Duration.Round(time.Millisecond))
+		} else {
+			line = fmt.Sprintf("run=%d outcome=%v symptom=%q potential_due=%v "+
+				"activations=%d dur=%s",
+				i, run.Class.Outcome, run.Class.Symptom.String(), run.Class.PotentialDUE,
+				run.Activations, run.Duration.Round(time.Millisecond))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteOutcomeCSV writes the campaign's outcome distribution as CSV rows:
+// program, runs, sdc, due, masked, potential_due, sdc_pct, due_pct,
+// masked_pct.
+func WriteOutcomeCSV(w io.Writer, results ...*campaign.CampaignResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"program", "runs", "sdc", "due", "masked",
+		"potential_due", "sdc_pct", "due_pct", "masked_pct"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	pct := func(f float64) string { return strconv.FormatFloat(100*f, 'f', 1, 64) }
+	for _, res := range results {
+		t := res.Tally
+		row := []string{
+			res.Program,
+			strconv.Itoa(t.N),
+			strconv.Itoa(t.Counts[campaign.SDC]),
+			strconv.Itoa(t.Counts[campaign.DUE]),
+			strconv.Itoa(t.Counts[campaign.Masked]),
+			strconv.Itoa(t.PotentialDUEs),
+			pct(t.Fraction(campaign.SDC)),
+			pct(t.Fraction(campaign.DUE)),
+			pct(t.Fraction(campaign.Masked)),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteWeightedCSV writes a permanent campaign's activity-weighted shares:
+// program, opcodes, then one column per category.
+func WriteWeightedCSV(w io.Writer, results ...*campaign.CampaignResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"program", "opcodes", "category", "weighted_pct"}); err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.Weighted == nil {
+			return fmt.Errorf("report: %s has no weighted outcomes (not a permanent campaign)", res.Program)
+		}
+		for _, cat := range res.Weighted.Categories() {
+			row := []string{
+				res.Program,
+				strconv.Itoa(len(res.Runs)),
+				cat,
+				strconv.FormatFloat(100*res.Weighted.Share(cat), 'f', 1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary renders the one-line campaign summary used by the CLI.
+func Summary(res *campaign.CampaignResult) string {
+	t := res.Tally
+	s := fmt.Sprintf("%s: %d runs, %v, potential DUEs %d, median run %v",
+		res.Program, t.N, t, t.PotentialDUEs, res.MedianRunTime.Round(time.Millisecond))
+	if res.Weighted != nil {
+		s = fmt.Sprintf("%s: %d opcodes, weighted SDC %.1f%% DUE %.1f%% Masked %.1f%%",
+			res.Program, len(res.Runs),
+			100*res.Weighted.Share("SDC"), 100*res.Weighted.Share("DUE"),
+			100*res.Weighted.Share("Masked"))
+	}
+	return s
+}

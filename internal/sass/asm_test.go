@@ -1,0 +1,403 @@
+package sass
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	src := `
+// a comment
+.kernel k1
+.param n
+.param ptr
+.shared 256
+start:
+    S2R R0, SR_TID.X          // trailing comment
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R1, R0, 0x2
+    IADD R2, R1, c0[ptr]
+    LDG.32 R3, [R2]
+    FADD R4, R3, -R3
+    STG.32 [R2], R4
+@!P0 BRA start
+    EXIT
+`
+	p, err := Assemble("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Kernels) != 1 {
+		t.Fatalf("got %d kernels", len(p.Kernels))
+	}
+	k := p.Kernels[0]
+	if k.Name != "k1" || k.SharedBytes != 256 {
+		t.Fatalf("kernel header wrong: %+v", k)
+	}
+	if len(k.Params) != 2 || k.Params[0] != "n" {
+		t.Fatalf("params wrong: %v", k.Params)
+	}
+	off, ok := k.ParamOffset("ptr")
+	if !ok || off != ParamBase+4 {
+		t.Fatalf("ParamOffset(ptr) = %d, %v", off, ok)
+	}
+	if idx, ok := k.LabelIndex("start"); !ok || idx != 0 {
+		t.Fatalf("label start = %d, %v", idx, ok)
+	}
+	if len(k.Instrs) != 10 {
+		t.Fatalf("got %d instructions", len(k.Instrs))
+	}
+	// Guard parsing.
+	if k.Instrs[2].Op != MustOp("EXIT") || k.Instrs[2].Guard != (PredRef{Pred: 0}) {
+		t.Fatalf("guarded EXIT parsed wrong: %+v", k.Instrs[2])
+	}
+	if k.Instrs[8].Guard != (PredRef{Pred: 0, Neg: true}) {
+		t.Fatalf("negated guard parsed wrong: %+v", k.Instrs[8])
+	}
+	// Branch target resolution.
+	if tgt := k.Instrs[8].Src[0]; tgt.Kind != OpdLabel || tgt.Target != 0 {
+		t.Fatalf("branch target unresolved: %+v", tgt)
+	}
+	// Negated source.
+	if !k.Instrs[6].Src[1].Neg {
+		t.Fatalf("negated register source lost: %+v", k.Instrs[6])
+	}
+	// Memory width modifier.
+	if k.Instrs[5].Mods.MemWidth() != 4 {
+		t.Fatalf("LDG.32 width = %d", k.Instrs[5].Mods.MemWidth())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "no kernels"},
+		{"instr outside kernel", "MOV R0, R1\n", "outside kernel"},
+		{"param outside kernel", ".param x\n", "outside kernel"},
+		{"shared outside kernel", ".shared 4\n", "outside kernel"},
+		{"label outside kernel", "foo:\n", "outside kernel"},
+		{"unknown opcode", ".kernel k\nFROB R1, R2\n", "unknown opcode"},
+		{"bad register", ".kernel k\nMOV R999, R1\n", "invalid register"},
+		{"undefined label", ".kernel k\nBRA nowhere\n", "undefined label"},
+		{"duplicate label", ".kernel k\nx:\nx:\nEXIT\n", "duplicate label"},
+		{"duplicate param", ".kernel k\n.param a\n.param a\n", "duplicate parameter"},
+		{"bad shared", ".kernel k\n.shared owl\n", "bad .shared"},
+		{"kernel no name", ".kernel\n", "requires a name"},
+		{"bad modifier", ".kernel k\nFADD.WAT R1, R2, R3\n", "unsupported modifier"},
+		{"guard only", ".kernel k\n@P0\n", "guard with no instruction"},
+		{"bad const symbol", ".kernel k\nMOV R1, c0[zap]\n", "unknown constant"},
+		{"unterminated mem", ".kernel k\nLDG.32 R1, [R2\n", "unterminated memory"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("m", tc.src)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("m", "BROKEN")
+}
+
+func TestModifierParsing(t *testing.T) {
+	tests := []struct {
+		line  string
+		check func(in *Instr) bool
+	}{
+		{"LDG.64 R2, [R4]", func(in *Instr) bool { return in.Mods.MemWidth() == 8 }},
+		{"LDG.128 R4, [R8]", func(in *Instr) bool { return in.Mods.MemWidth() == 16 }},
+		{"LDG.8.S8 R2, [R4]", func(in *Instr) bool { return in.Mods.MemWidth() == 1 && in.Mods.Signed }},
+		{"ISETP.LT.U32.AND P0, R1, R2, PT", func(in *Instr) bool {
+			return in.Mods.Cmp == CmpLT && in.Mods.Unsigned && in.Mods.Bool == BoolAnd
+		}},
+		{"FSETP.NAN.OR P1, R1, R2, P0", func(in *Instr) bool {
+			return in.Mods.Cmp == CmpNan && in.Mods.Bool == BoolOr
+		}},
+		{"MUFU.RCP R1, R2", func(in *Instr) bool { return in.Mods.Mufu == MufuRcp }},
+		{"MUFU.SQRT R1, R2", func(in *Instr) bool { return in.Mods.Mufu == MufuSqrt }},
+		{"SHFL.DOWN R1, R2, 0x4, 0x1f", func(in *Instr) bool { return in.Mods.Shfl == ShflDown }},
+		{"SHFL.BFLY R1, R2, 0x1, 0x1f", func(in *Instr) bool { return in.Mods.Shfl == ShflBfly }},
+		{"ATOMG.ADD.F32 R1, [R2], R3", func(in *Instr) bool { return in.Mods.Atom == AtomAdd && in.Mods.Float }},
+		{"ATOMG.CAS R1, [R2], R3, R4", func(in *Instr) bool { return in.Mods.Atom == AtomCAS }},
+		{"LOP.XOR R1, R2, R3", func(in *Instr) bool { return in.Mods.Logic == LogicXor }},
+		{"LOP.PASS_B R1, R2, R3", func(in *Instr) bool { return in.Mods.Logic == LogicPassB }},
+		{"SHF.R R1, R2, R3, R4", func(in *Instr) bool { return in.Mods.Right }},
+		{"IMAD.HI R1, R2, R3, R4", func(in *Instr) bool { return in.Mods.High }},
+		{"F2I.TRUNC R1, R2", func(in *Instr) bool { return in.Mods.FtoI.Trunc }},
+		{"BAR.SYNC", func(in *Instr) bool { return in.Mods.Sync }},
+		{"SHR.U32 R1, R2, 0x4", func(in *Instr) bool { return in.Mods.Unsigned }},
+		// Ignorable modifiers parse without error and set nothing.
+		{"LDG.E.32.STRONG.GPU R1, [R2]", func(in *Instr) bool { return in.Mods.MemWidth() == 4 }},
+	}
+	for _, tc := range tests {
+		p, err := Assemble("m", ".kernel k\n"+tc.line+"\nEXIT\n")
+		if err != nil {
+			t.Errorf("%q: %v", tc.line, err)
+			continue
+		}
+		if !tc.check(&p.Kernels[0].Instrs[0]) {
+			t.Errorf("%q: modifier check failed: %+v", tc.line, p.Kernels[0].Instrs[0])
+		}
+	}
+}
+
+func TestImmediateForms(t *testing.T) {
+	tests := []struct {
+		lit  string
+		want uint32
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"0x10", 16},
+		{"-1", 0xffffffff},
+		{"-0x8", 0xfffffff8},
+		{"1.5f", 0x3fc00000},
+		{"-2.0f", 0xc0000000},
+		{"1e2f", 0x42c80000},
+		{"4294967295", 0xffffffff},
+	}
+	for _, tc := range tests {
+		p, err := Assemble("m", ".kernel k\nMOV R1, "+tc.lit+"\nEXIT\n")
+		if err != nil {
+			t.Errorf("MOV R1, %s: %v", tc.lit, err)
+			continue
+		}
+		if got := p.Kernels[0].Instrs[0].Src[0].Imm; got != tc.want {
+			t.Errorf("immediate %q = 0x%x, want 0x%x", tc.lit, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"99999999999999999999", "1.5.5f"} {
+		if _, err := Assemble("m", ".kernel k\nMOV R1, "+bad+"\nEXIT\n"); err == nil {
+			t.Errorf("immediate %q parsed, want error", bad)
+		}
+	}
+}
+
+func TestBuiltinConstants(t *testing.T) {
+	src := `
+.kernel k
+    MOV R0, c0[NTID_X]
+    MOV R1, c0[NCTAID_Z]
+    MOV R2, c0[0x160]
+    EXIT
+`
+	p, err := Assemble("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.Kernels[0]
+	if k.Instrs[0].Src[0].Off != ConstNtidX {
+		t.Errorf("NTID_X offset = %d", k.Instrs[0].Src[0].Off)
+	}
+	if k.Instrs[1].Src[0].Off != ConstNctaidZ {
+		t.Errorf("NCTAID_Z offset = %d", k.Instrs[1].Src[0].Off)
+	}
+	if k.Instrs[2].Src[0].Off != ParamBase {
+		t.Errorf("raw constant offset = %d", k.Instrs[2].Src[0].Off)
+	}
+}
+
+// TestDisassembleRoundTrip: Disassemble followed by Assemble reproduces the
+// program, for every workload kernel in the repository's test corpus here.
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+.kernel alpha
+.param n
+.param ptr
+loop:
+    S2R R0, SR_TID.X
+    IMAD R0, R0, R0, R0
+    ISETP.LT.AND P1, R0, c0[n], PT
+@P1 BRA loop
+    LDG.64 R2, [R4+0x10]
+    STG.32 [R4-0x4], R2
+    SHFL.IDX R5, R6, 0x3, 0x1f
+    MUFU.COS R7, R8
+    FADD R9, R10, -R11
+    EXIT
+
+.kernel beta
+.shared 128
+    LDS.32 R1, [RZ]
+    BAR.SYNC
+    ATOMS.ADD R2, [R1], R2
+    EXIT
+`
+	p1, err := Assemble("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p1)
+	p2, err := Assemble("m", text)
+	if err != nil {
+		t.Fatalf("re-assembling disassembly: %v\n%s", err, text)
+	}
+	if !programsEquivalent(p1, p2) {
+		t.Fatalf("round trip changed the program:\n--- first\n%s\n--- second\n%s",
+			text, Disassemble(p2))
+	}
+}
+
+// TestDisassembleRoundTripRandom: property test over randomly generated
+// programs.
+func TestDisassembleRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p1 := randomProgram(rng)
+		text := Disassemble(p1)
+		p2, err := Assemble(p1.Name, text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		if !programsEquivalent(p1, p2) {
+			t.Fatalf("trial %d: round trip changed program:\n%s", trial, text)
+		}
+	}
+}
+
+// randomProgram builds a small random (non-executable) program from
+// register/imm/const/mem operand forms.
+func randomProgram(rng *rand.Rand) *Program {
+	ops := []string{"FADD", "FMUL", "IADD", "MOV", "SHL", "LOP", "IMAD", "SEL", "POPC", "BREV"}
+	nk := 1 + rng.Intn(3)
+	p := &Program{Name: "rand"}
+	for ki := 0; ki < nk; ki++ {
+		k := &Kernel{Name: "k" + string(rune('a'+ki)), labels: map[string]int{}}
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			op := MustOp(ops[rng.Intn(len(ops))])
+			nsrc := 2
+			if op.Info().Sem == SemMov || op.Info().Sem == SemPopc || op.Info().Sem == SemBrev {
+				nsrc = 1
+			}
+			if op.Info().Sem == SemIMad || op.Info().Sem == SemSel {
+				nsrc = 3
+			}
+			operands := []Operand{R(RegID(rng.Intn(32)))}
+			for s := 0; s < nsrc; s++ {
+				switch rng.Intn(4) {
+				case 0:
+					o := R(RegID(rng.Intn(32)))
+					o.Neg = rng.Intn(4) == 0
+					operands = append(operands, o)
+				case 1:
+					operands = append(operands, Imm(rng.Uint32()))
+				case 2:
+					operands = append(operands, C0(int32(4*rng.Intn(64))))
+				default:
+					if op.Info().Sem == SemSel && s == 2 {
+						operands = append(operands, P(PredID(rng.Intn(7))))
+					} else {
+						operands = append(operands, R(RegID(rng.Intn(32))))
+					}
+				}
+			}
+			in := NewInstr(op, operands...)
+			if rng.Intn(5) == 0 {
+				in.Guard = PredRef{Pred: PredID(rng.Intn(7)), Neg: rng.Intn(2) == 0}
+			}
+			if op.Info().Sem == SemLop {
+				in.Mods.Logic = LogicOp(1 + rng.Intn(4))
+			}
+			k.Instrs = append(k.Instrs, in)
+		}
+		k.Instrs = append(k.Instrs, NewInstr(MustOp("EXIT")))
+		p.Kernels = append(p.Kernels, k)
+	}
+	return p
+}
+
+// programsEquivalent compares programs ignoring symbolic leftovers (Sym
+// fields differ between constructed and parsed operands).
+func programsEquivalent(a, b *Program) bool {
+	if len(a.Kernels) != len(b.Kernels) {
+		return false
+	}
+	for i := range a.Kernels {
+		ka, kb := a.Kernels[i], b.Kernels[i]
+		if ka.Name != kb.Name || ka.SharedBytes != kb.SharedBytes ||
+			len(ka.Params) != len(kb.Params) || len(ka.Instrs) != len(kb.Instrs) {
+			return false
+		}
+		for j := range ka.Params {
+			if ka.Params[j] != kb.Params[j] {
+				return false
+			}
+		}
+		for j := range ka.Instrs {
+			if !instrEquivalent(&ka.Instrs[j], &kb.Instrs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func instrEquivalent(a, b *Instr) bool {
+	if a.Op != b.Op || a.Guard != b.Guard || a.Mods != b.Mods ||
+		len(a.Dst) != len(b.Dst) || len(a.Src) != len(b.Src) {
+		return false
+	}
+	for i := range a.Dst {
+		if !operandEquivalent(a.Dst[i], b.Dst[i]) {
+			return false
+		}
+	}
+	for i := range a.Src {
+		if !operandEquivalent(a.Src[i], b.Src[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func operandEquivalent(a, b Operand) bool {
+	a.Sym, b.Sym = "", ""
+	return a == b
+}
+
+// TestQuickOperandImmRoundTrip: any uint32 immediate survives print/parse.
+func TestQuickOperandImmRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		o := Imm(v)
+		parsed, err := parseOperand(o.String(), nil)
+		return err == nil && parsed.Kind == OpdImm && parsed.Imm == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMemOperandRoundTrip: memory operands with arbitrary offsets
+// survive print/parse.
+func TestQuickMemOperandRoundTrip(t *testing.T) {
+	f := func(reg uint8, off int32) bool {
+		r := RegID(reg)
+		if reg == 255 {
+			r = RZ
+		}
+		o := Mem(r, off)
+		parsed, err := parseOperand(o.String(), nil)
+		return err == nil && parsed.Kind == OpdMem && parsed.Reg == r && parsed.Off == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package sass
+
+import "fmt"
+
+// Group is the paper's "arch state id" (Table II): the instruction subset a
+// transient fault targets. Values 1..8 match the paper's numbering exactly.
+type Group uint8
+
+// Instruction groups, Table II of the paper.
+const (
+	GroupFP64   Group = 1 // FP64 arithmetic instructions
+	GroupFP32   Group = 2 // FP32 arithmetic instructions
+	GroupLD     Group = 3 // instructions that read from memory
+	GroupPR     Group = 4 // instructions that write to predicate registers only
+	GroupNODEST Group = 5 // instructions with no destination register
+	GroupOTHERS Group = 6 // everything else with a GP destination
+	GroupGPPR   Group = 7 // all - NODEST (writes GP and/or predicate)
+	GroupGP     Group = 8 // all - NODEST - PR (writes GP registers)
+)
+
+var groupNames = [...]string{
+	GroupFP64:   "G_FP64",
+	GroupFP32:   "G_FP32",
+	GroupLD:     "G_LD",
+	GroupPR:     "G_PR",
+	GroupNODEST: "G_NODEST",
+	GroupOTHERS: "G_OTHERS",
+	GroupGPPR:   "G_GPPR",
+	GroupGP:     "G_GP",
+}
+
+func (g Group) String() string {
+	if g >= GroupFP64 && int(g) < len(groupNames) {
+		return groupNames[g]
+	}
+	return fmt.Sprintf("Group(%d)", uint8(g))
+}
+
+// Valid reports whether g is one of the eight defined groups.
+func (g Group) Valid() bool { return g >= GroupFP64 && g <= GroupGP }
+
+// ParseGroup accepts either the numeric arch-state id ("2") or the symbolic
+// name ("G_FP32").
+func ParseGroup(s string) (Group, error) {
+	for g := GroupFP64; g <= GroupGP; g++ {
+		if groupNames[g] == s {
+			return g, nil
+		}
+	}
+	if len(s) == 1 && s[0] >= '1' && s[0] <= '8' {
+		return Group(s[0] - '0'), nil
+	}
+	return 0, fmt.Errorf("sass: unknown instruction group %q", s)
+}
+
+// PrimaryGroups lists the six mutually exclusive groups (1-6); every opcode
+// belongs to exactly one.
+func PrimaryGroups() []Group {
+	return []Group{GroupFP64, GroupFP32, GroupLD, GroupPR, GroupNODEST, GroupOTHERS}
+}
+
+// ClassOf assigns the opcode to its primary (mutually exclusive) group.
+// Precedence follows the paper's definitions: an instruction with no
+// destination is G_NODEST regardless of datatype; one that writes only
+// predicates is G_PR (so FSETP is G_PR, not G_FP32); loads are G_LD; then
+// FP64 and FP32 arithmetic; all remaining GP-writing opcodes are G_OTHERS.
+func ClassOf(op Op) Group {
+	oi := op.Info()
+	switch {
+	case !oi.HasDest():
+		return GroupNODEST
+	case oi.WritesPR() && !oi.WritesGP():
+		return GroupPR
+	case oi.IsLoad():
+		return GroupLD
+	case oi.Flags&FlagFP64 != 0:
+		return GroupFP64
+	case oi.Flags&FlagFP32 != 0:
+		return GroupFP32
+	default:
+		return GroupOTHERS
+	}
+}
+
+// GroupContains reports whether op belongs to group g, handling the union
+// groups: G_GPPR = all - G_NODEST, and G_GP = all - G_NODEST - G_PR.
+func GroupContains(g Group, op Op) bool {
+	c := ClassOf(op)
+	switch g {
+	case GroupGPPR:
+		return c != GroupNODEST
+	case GroupGP:
+		return c != GroupNODEST && c != GroupPR
+	default:
+		return c == g
+	}
+}

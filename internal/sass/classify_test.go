@@ -1,0 +1,114 @@
+package sass
+
+import "testing"
+
+// TestEveryOpcodeInExactlyOnePrimaryGroup: the six primary groups partition
+// the ISA.
+func TestEveryOpcodeInExactlyOnePrimaryGroup(t *testing.T) {
+	for i := 1; i <= NumOpcodes(); i++ {
+		op := Op(i)
+		n := 0
+		for _, g := range PrimaryGroups() {
+			if GroupContains(g, op) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("%v belongs to %d primary groups, want exactly 1", op, n)
+		}
+	}
+}
+
+// TestClassificationExamples pins the classification of representative
+// opcodes per the paper's group definitions.
+func TestClassificationExamples(t *testing.T) {
+	tests := map[string]Group{
+		"DADD":  GroupFP64,
+		"DMUL":  GroupFP64,
+		"DFMA":  GroupFP64,
+		"FADD":  GroupFP32,
+		"FMUL":  GroupFP32,
+		"FFMA":  GroupFP32,
+		"MUFU":  GroupFP32,
+		"LDG":   GroupLD, // reads memory
+		"LDS":   GroupLD,
+		"LDC":   GroupLD,
+		"ATOMG": GroupLD, // atomic with result reads memory
+		"ISETP": GroupPR, // writes predicate only
+		"FSETP": GroupPR, // predicate-only wins over FP32
+		"DSETP": GroupPR, // predicate-only wins over FP64
+		"R2P":   GroupPR,
+		"PLOP3": GroupPR,
+		"STG":   GroupNODEST, // no destination register
+		"BRA":   GroupNODEST,
+		"EXIT":  GroupNODEST,
+		"BAR":   GroupNODEST,
+		"RED":   GroupNODEST,
+		"NOP":   GroupNODEST,
+		"IADD":  GroupOTHERS, // integer with GP destination
+		"MOV":   GroupOTHERS,
+		"S2R":   GroupOTHERS,
+		"SHL":   GroupOTHERS,
+		"F2I":   GroupOTHERS, // conversion, not FP arithmetic
+	}
+	for name, want := range tests {
+		if got := ClassOf(MustOp(name)); got != want {
+			t.Errorf("ClassOf(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestUnionGroups: G_GPPR = all - G_NODEST; G_GP = all - G_NODEST - G_PR.
+func TestUnionGroups(t *testing.T) {
+	var all, nodest, pr, gppr, gp int
+	for i := 1; i <= NumOpcodes(); i++ {
+		op := Op(i)
+		all++
+		c := ClassOf(op)
+		if c == GroupNODEST {
+			nodest++
+		}
+		if c == GroupPR {
+			pr++
+		}
+		if GroupContains(GroupGPPR, op) {
+			gppr++
+			if c == GroupNODEST {
+				t.Errorf("%v is NODEST but in G_GPPR", op)
+			}
+		}
+		if GroupContains(GroupGP, op) {
+			gp++
+			if c == GroupNODEST || c == GroupPR {
+				t.Errorf("%v is %v but in G_GP", op, c)
+			}
+		}
+	}
+	if gppr != all-nodest {
+		t.Errorf("|G_GPPR| = %d, want all-nodest = %d", gppr, all-nodest)
+	}
+	if gp != all-nodest-pr {
+		t.Errorf("|G_GP| = %d, want all-nodest-pr = %d", gp, all-nodest-pr)
+	}
+}
+
+func TestParseGroup(t *testing.T) {
+	for g := GroupFP64; g <= GroupGP; g++ {
+		byName, err := ParseGroup(g.String())
+		if err != nil || byName != g {
+			t.Errorf("ParseGroup(%q) = %v, %v", g.String(), byName, err)
+		}
+		byNum, err := ParseGroup(string('0' + byte(g)))
+		if err != nil || byNum != g {
+			t.Errorf("ParseGroup(%d) = %v, %v", g, byNum, err)
+		}
+	}
+	for _, bad := range []string{"", "0", "9", "G_NOPE", "FP32"} {
+		if _, err := ParseGroup(bad); err == nil {
+			t.Errorf("ParseGroup(%q) succeeded", bad)
+		}
+	}
+	if Group(0).Valid() || Group(9).Valid() {
+		t.Error("out-of-range groups report valid")
+	}
+}

@@ -1,0 +1,593 @@
+// Package encoding implements per-architecture-family binary encodings for
+// SASS programs — the analog of cubin machine code. Instruction *encodings*
+// change across GPU generations even though the abstract operations do not
+// (the paper: "SASS instructions and their encodings can change across GPU
+// generations"); this package reproduces that property:
+//
+//   - Kepler, Maxwell, and Pascal use 8-byte instruction beats with an
+//     interleaved scheduling-control word (one per 7 beats on Kepler, one
+//     per 3 on Maxwell and Pascal), carrying a per-slot parity byte.
+//   - Volta and Ampere use 16-byte instruction beats with in-word control.
+//   - Each family numbers opcodes by its own opcode set, so the same
+//     mnemonic has different binary opcode ids on different families.
+//
+// The NVBit layer (internal/nvbit) uses this package to decode any family's
+// binary into the single abstract sass.Instr view — the "architectural
+// abstraction" the paper credits for NVBitFI working from Kepler to Ampere.
+package encoding
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/sass"
+)
+
+// Codec encodes and decodes programs for one architecture family.
+type Codec struct {
+	family    sass.Family
+	beatSize  int // 8 pre-Volta, 16 Volta+
+	groupSize int // instruction beats per control word; 0 = no control words
+	opToLocal map[sass.Op]uint16
+	localToOp []sass.Op
+}
+
+// NewCodec returns the codec for family f.
+func NewCodec(f sass.Family) (*Codec, error) {
+	c := &Codec{family: f}
+	switch f {
+	case sass.FamilyKepler:
+		c.beatSize, c.groupSize = 8, 7
+	case sass.FamilyMaxwell, sass.FamilyPascal:
+		c.beatSize, c.groupSize = 8, 3
+	case sass.FamilyVolta, sass.FamilyAmpere:
+		c.beatSize, c.groupSize = 16, 0
+	default:
+		return nil, fmt.Errorf("encoding: unknown family %v", f)
+	}
+	set := sass.OpcodeSet(f)
+	c.localToOp = set
+	c.opToLocal = make(map[sass.Op]uint16, len(set))
+	for i, op := range set {
+		c.opToLocal[op] = uint16(i)
+	}
+	return c, nil
+}
+
+// MustCodec is NewCodec for known-good families.
+func MustCodec(f sass.Family) *Codec {
+	c, err := NewCodec(f)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Family returns the codec's architecture family.
+func (c *Codec) Family() sass.Family { return c.family }
+
+const (
+	magic   = "GCUB"
+	version = 1
+
+	ctrlMagic = 0xC7
+)
+
+// EncodeProgram serializes a program to the family's binary format. It
+// fails if the program uses an opcode the family does not implement.
+func (c *Codec) EncodeProgram(p *sass.Program) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteByte(version)
+	buf.WriteByte(byte(c.family))
+	writeString16(&buf, p.Name)
+	writeU16(&buf, uint16(len(p.Kernels)))
+	for _, k := range p.Kernels {
+		if err := c.encodeKernel(&buf, k); err != nil {
+			return nil, fmt.Errorf("encoding: kernel %s: %w", k.Name, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func (c *Codec) encodeKernel(buf *bytes.Buffer, k *sass.Kernel) error {
+	writeString16(buf, k.Name)
+	if len(k.Params) > 255 {
+		return fmt.Errorf("too many parameters (%d)", len(k.Params))
+	}
+	buf.WriteByte(byte(len(k.Params)))
+	for _, p := range k.Params {
+		if len(p) > 255 {
+			return fmt.Errorf("parameter name too long: %q", p)
+		}
+		buf.WriteByte(byte(len(p)))
+		buf.WriteString(p)
+	}
+	writeU32(buf, uint32(k.SharedBytes))
+	writeU32(buf, uint32(len(k.Instrs)))
+
+	// Encode each instruction to beats, interleaving control words on
+	// pre-Volta families.
+	beatsInGroup := 0
+	var group [][]byte
+	flush := func() {
+		if c.groupSize == 0 || len(group) == 0 {
+			return
+		}
+		ctrl := make([]byte, c.beatSize)
+		ctrl[0] = ctrlMagic
+		for i, b := range group {
+			if 1+i < len(ctrl) {
+				ctrl[1+i] = parity(b)
+			}
+		}
+		buf.Write(ctrl)
+		for _, b := range group {
+			buf.Write(b)
+		}
+		group = group[:0]
+		beatsInGroup = 0
+	}
+	for i := range k.Instrs {
+		payload, err := c.encodeInstr(&k.Instrs[i])
+		if err != nil {
+			return fmt.Errorf("instruction %d (%s): %w", i, k.Instrs[i].Op, err)
+		}
+		for off := 0; off < len(payload); off += c.beatSize {
+			end := off + c.beatSize
+			if end > len(payload) {
+				end = len(payload)
+			}
+			beat := make([]byte, c.beatSize)
+			copy(beat, payload[off:end])
+			if c.groupSize > 0 {
+				group = append(group, beat)
+				beatsInGroup++
+				if beatsInGroup == c.groupSize {
+					flush()
+				}
+			} else {
+				buf.Write(beat)
+			}
+		}
+	}
+	flush()
+	return nil
+}
+
+// encodeInstr builds the family-independent instruction payload, prefixed
+// with its byte length, padded to a whole number of beats.
+func (c *Codec) encodeInstr(in *sass.Instr) ([]byte, error) {
+	local, ok := c.opToLocal[in.Op]
+	if !ok {
+		return nil, fmt.Errorf("opcode %s does not exist on %s", in.Op, c.family)
+	}
+	var b bytes.Buffer
+	writeU16(&b, 0) // length placeholder
+	writeU16(&b, local)
+	g := byte(in.Guard.Pred)
+	if in.Guard.Neg {
+		g |= 0x80
+	}
+	b.WriteByte(g)
+	encodeMods(&b, &in.Mods)
+	b.WriteByte(byte(len(in.Dst)))
+	b.WriteByte(byte(len(in.Src)))
+	for i := range in.Dst {
+		if err := encodeOperand(&b, &in.Dst[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range in.Src {
+		if err := encodeOperand(&b, &in.Src[i]); err != nil {
+			return nil, err
+		}
+	}
+	payload := b.Bytes()
+	binary.LittleEndian.PutUint16(payload[:2], uint16(len(payload)))
+	// Pad to beat multiple.
+	if rem := len(payload) % c.beatSize; rem != 0 {
+		payload = append(payload, make([]byte, c.beatSize-rem)...)
+	}
+	return payload, nil
+}
+
+func encodeMods(b *bytes.Buffer, m *sass.Mods) {
+	var flags byte
+	set := func(cond bool, bit byte) {
+		if cond {
+			flags |= bit
+		}
+	}
+	set(m.Signed, 1<<0)
+	set(m.Unsigned, 1<<1)
+	set(m.High, 1<<2)
+	set(m.Right, 1<<3)
+	set(m.FtoI.Trunc, 1<<4)
+	set(m.Sync, 1<<5)
+	set(m.Float, 1<<6)
+	b.WriteByte(m.Width)
+	b.WriteByte(flags)
+	b.WriteByte(byte(m.Cmp))
+	b.WriteByte(byte(m.Bool))
+	b.WriteByte(byte(m.Logic))
+	b.WriteByte(byte(m.Mufu))
+	b.WriteByte(byte(m.Atom))
+	b.WriteByte(byte(m.Shfl))
+}
+
+func decodeMods(r *bytes.Reader) (sass.Mods, error) {
+	var raw [8]byte
+	if _, err := r.Read(raw[:]); err != nil {
+		return sass.Mods{}, err
+	}
+	var m sass.Mods
+	m.Width = raw[0]
+	flags := raw[1]
+	m.Signed = flags&(1<<0) != 0
+	m.Unsigned = flags&(1<<1) != 0
+	m.High = flags&(1<<2) != 0
+	m.Right = flags&(1<<3) != 0
+	m.FtoI.Trunc = flags&(1<<4) != 0
+	m.Sync = flags&(1<<5) != 0
+	m.Float = flags&(1<<6) != 0
+	m.Cmp = sass.CmpOp(raw[2])
+	m.Bool = sass.BoolOp(raw[3])
+	m.Logic = sass.LogicOp(raw[4])
+	m.Mufu = sass.MufuFn(raw[5])
+	m.Atom = sass.AtomOp(raw[6])
+	m.Shfl = sass.ShflMode(raw[7])
+	return m, nil
+}
+
+func encodeOperand(b *bytes.Buffer, o *sass.Operand) error {
+	kind := byte(o.Kind)
+	if o.Neg {
+		kind |= 0x80
+	}
+	b.WriteByte(kind)
+	switch o.Kind {
+	case sass.OpdReg:
+		b.WriteByte(byte(o.Reg))
+	case sass.OpdPred:
+		p := byte(o.Pred.Pred)
+		if o.Pred.Neg {
+			p |= 0x80
+		}
+		b.WriteByte(p)
+	case sass.OpdImm:
+		writeU32(b, o.Imm)
+	case sass.OpdMem:
+		b.WriteByte(byte(o.Reg))
+		writeU32(b, uint32(o.Off))
+	case sass.OpdConst:
+		b.WriteByte(o.Bank)
+		writeU32(b, uint32(o.Off))
+	case sass.OpdSpecial:
+		b.WriteByte(byte(o.SReg))
+	case sass.OpdLabel:
+		if o.Target < 0 {
+			return fmt.Errorf("unresolved label %q", o.Sym)
+		}
+		writeU32(b, uint32(o.Target))
+	default:
+		return fmt.Errorf("cannot encode operand kind %d", o.Kind)
+	}
+	return nil
+}
+
+func decodeOperand(r *bytes.Reader) (sass.Operand, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return sass.Operand{}, err
+	}
+	var o sass.Operand
+	o.Neg = kb&0x80 != 0
+	o.Kind = sass.OperandKind(kb & 0x7f)
+	switch o.Kind {
+	case sass.OpdReg:
+		rb, err := r.ReadByte()
+		if err != nil {
+			return sass.Operand{}, err
+		}
+		o.Reg = sass.RegID(rb)
+	case sass.OpdPred:
+		pb, err := r.ReadByte()
+		if err != nil {
+			return sass.Operand{}, err
+		}
+		o.Pred = sass.PredRef{Pred: sass.PredID(pb & 0x7f), Neg: pb&0x80 != 0}
+	case sass.OpdImm:
+		o.Imm, err = readU32(r)
+		if err != nil {
+			return sass.Operand{}, err
+		}
+	case sass.OpdMem:
+		rb, err := r.ReadByte()
+		if err != nil {
+			return sass.Operand{}, err
+		}
+		off, err := readU32(r)
+		if err != nil {
+			return sass.Operand{}, err
+		}
+		o.Reg, o.Off = sass.RegID(rb), int32(off)
+	case sass.OpdConst:
+		bank, err := r.ReadByte()
+		if err != nil {
+			return sass.Operand{}, err
+		}
+		off, err := readU32(r)
+		if err != nil {
+			return sass.Operand{}, err
+		}
+		o.Bank, o.Off = bank, int32(off)
+	case sass.OpdSpecial:
+		sb, err := r.ReadByte()
+		if err != nil {
+			return sass.Operand{}, err
+		}
+		o.SReg = sass.SpecialReg(sb)
+	case sass.OpdLabel:
+		t, err := readU32(r)
+		if err != nil {
+			return sass.Operand{}, err
+		}
+		o.Target = int32(t)
+	default:
+		return sass.Operand{}, fmt.Errorf("bad operand kind %d", o.Kind)
+	}
+	return o, nil
+}
+
+// DecodeProgram parses a binary module. The binary's embedded family must
+// match the codec's family — loading Volta machine code on a Kepler decoder
+// fails, as on real hardware.
+func (c *Codec) DecodeProgram(data []byte) (*sass.Program, error) {
+	r := bytes.NewReader(data)
+	var hdr [6]byte
+	if _, err := r.Read(hdr[:]); err != nil {
+		return nil, fmt.Errorf("encoding: short header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("encoding: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != version {
+		return nil, fmt.Errorf("encoding: unsupported version %d", hdr[4])
+	}
+	if sass.Family(hdr[5]) != c.family {
+		return nil, fmt.Errorf("encoding: binary is %v machine code, codec is %v",
+			sass.Family(hdr[5]), c.family)
+	}
+	name, err := readString16(r)
+	if err != nil {
+		return nil, err
+	}
+	nk, err := readU16(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &sass.Program{Name: name}
+	for i := 0; i < int(nk); i++ {
+		k, err := c.decodeKernel(r)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: kernel %d: %w", i, err)
+		}
+		p.Kernels = append(p.Kernels, k)
+	}
+	return p, nil
+}
+
+func (c *Codec) decodeKernel(r *bytes.Reader) (*sass.Kernel, error) {
+	name, err := readString16(r)
+	if err != nil {
+		return nil, err
+	}
+	np, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	k := &sass.Kernel{Name: name}
+	for i := 0; i < int(np); i++ {
+		pl, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		pn := make([]byte, pl)
+		if _, err := r.Read(pn); err != nil {
+			return nil, err
+		}
+		k.Params = append(k.Params, string(pn))
+	}
+	shared, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	k.SharedBytes = int(shared)
+	ni, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+
+	beats := newBeatReader(r, c.beatSize, c.groupSize)
+	for i := 0; i < int(ni); i++ {
+		in, err := c.decodeInstr(beats)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		k.Instrs = append(k.Instrs, in)
+	}
+	return k, nil
+}
+
+func (c *Codec) decodeInstr(beats *beatReader) (sass.Instr, error) {
+	first, err := beats.next()
+	if err != nil {
+		return sass.Instr{}, err
+	}
+	plen := binary.LittleEndian.Uint16(first[:2])
+	if int(plen) < 2 {
+		return sass.Instr{}, fmt.Errorf("corrupt instruction length %d", plen)
+	}
+	payload := append([]byte(nil), first...)
+	for len(payload) < int(plen) {
+		b, err := beats.next()
+		if err != nil {
+			return sass.Instr{}, err
+		}
+		payload = append(payload, b...)
+	}
+	pr := bytes.NewReader(payload[2:plen])
+
+	local, err := readU16(pr)
+	if err != nil {
+		return sass.Instr{}, err
+	}
+	if int(local) >= len(c.localToOp) {
+		return sass.Instr{}, fmt.Errorf("opcode id %d out of range for %v", local, c.family)
+	}
+	var in sass.Instr
+	in.Op = c.localToOp[local]
+	g, err := pr.ReadByte()
+	if err != nil {
+		return sass.Instr{}, err
+	}
+	in.Guard = sass.PredRef{Pred: sass.PredID(g & 0x7f), Neg: g&0x80 != 0}
+	in.Mods, err = decodeMods(pr)
+	if err != nil {
+		return sass.Instr{}, err
+	}
+	nd, err := pr.ReadByte()
+	if err != nil {
+		return sass.Instr{}, err
+	}
+	ns, err := pr.ReadByte()
+	if err != nil {
+		return sass.Instr{}, err
+	}
+	for i := 0; i < int(nd); i++ {
+		o, err := decodeOperand(pr)
+		if err != nil {
+			return sass.Instr{}, err
+		}
+		in.Dst = append(in.Dst, o)
+	}
+	for i := 0; i < int(ns); i++ {
+		o, err := decodeOperand(pr)
+		if err != nil {
+			return sass.Instr{}, err
+		}
+		in.Src = append(in.Src, o)
+	}
+	return in, nil
+}
+
+// beatReader yields instruction beats, consuming and verifying control
+// words on pre-Volta families. Beats are read lazily, one per request: the
+// kernel's final control group may be partial, and its unused slots must
+// not be consumed (they belong to the next kernel).
+type beatReader struct {
+	r         *bytes.Reader
+	beatSize  int
+	groupSize int
+	ctrl      []byte
+	groupIdx  int // next beat slot within the current group
+}
+
+func newBeatReader(r *bytes.Reader, beatSize, groupSize int) *beatReader {
+	return &beatReader{r: r, beatSize: beatSize, groupSize: groupSize}
+}
+
+func (br *beatReader) next() ([]byte, error) {
+	if br.groupSize > 0 && (br.ctrl == nil || br.groupIdx == br.groupSize) {
+		ctrl := make([]byte, br.beatSize)
+		if _, err := io.ReadFull(br.r, ctrl); err != nil {
+			return nil, fmt.Errorf("truncated control word: %w", err)
+		}
+		if ctrl[0] != ctrlMagic {
+			return nil, fmt.Errorf("bad control word marker 0x%02x", ctrl[0])
+		}
+		br.ctrl = ctrl
+		br.groupIdx = 0
+	}
+	beat := make([]byte, br.beatSize)
+	if _, err := io.ReadFull(br.r, beat); err != nil {
+		return nil, fmt.Errorf("truncated instruction stream: %w", err)
+	}
+	if br.groupSize > 0 {
+		slot := 1 + br.groupIdx
+		if slot < len(br.ctrl) && br.ctrl[slot] != parity(beat) {
+			return nil, fmt.Errorf("beat %d parity mismatch", br.groupIdx)
+		}
+		br.groupIdx++
+	}
+	return beat, nil
+}
+
+func parity(b []byte) byte {
+	var s byte
+	for _, x := range b {
+		s += x
+	}
+	return s
+}
+
+func writeU16(b *bytes.Buffer, v uint16) {
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func writeString16(b *bytes.Buffer, s string) {
+	writeU16(b, uint16(len(s)))
+	b.WriteString(s)
+}
+
+func readU16(r *bytes.Reader) (uint16, error) {
+	var tmp [2]byte
+	if _, err := r.Read(tmp[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(tmp[:]), nil
+}
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var tmp [4]byte
+	if _, err := r.Read(tmp[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(tmp[:]), nil
+}
+
+func readString16(r *bytes.Reader) (string, error) {
+	n, err := readU16(r)
+	if err != nil {
+		return "", err
+	}
+	s := make([]byte, n)
+	if _, err := r.Read(s); err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+// DetectFamily inspects a binary module's header and returns its family
+// without decoding the body — the analog of reading a cubin's ELF flags.
+func DetectFamily(data []byte) (sass.Family, error) {
+	if len(data) < 6 || string(data[:4]) != magic {
+		return 0, fmt.Errorf("encoding: not a GPU binary")
+	}
+	f := sass.Family(data[5])
+	if f < sass.FamilyKepler || f > sass.FamilyAmpere {
+		return 0, fmt.Errorf("encoding: unknown family byte %d", data[5])
+	}
+	return f, nil
+}

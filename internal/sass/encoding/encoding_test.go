@@ -1,0 +1,302 @@
+package encoding
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sass"
+)
+
+const testSrc = `
+.kernel saxpy
+.param n
+.param a
+.param xptr
+.param yptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[xptr]
+    IADD R5, R3, c0[yptr]
+    LDG.32 R6, [R4]
+    LDG.32 R7, [R5]
+    MOV R8, c0[a]
+    FFMA R9, R8, R6, R7
+    STG.32 [R5], R9
+    EXIT
+
+.kernel reduce
+.shared 1024
+loop:
+    LDS.32 R1, [RZ]
+    BAR.SYNC
+    ISETP.NE.AND P1, R1, 0x0, PT
+@P1 BRA loop
+    EXIT
+`
+
+// TestRoundTripAllFamilies: the same program survives encode/decode on
+// every architecture family, despite the different binary formats.
+func TestRoundTripAllFamilies(t *testing.T) {
+	prog := sass.MustAssemble("m", testSrc)
+	sizes := make(map[sass.Family]int)
+	for _, f := range sass.Families() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			codec := MustCodec(f)
+			bin, err := codec.EncodeProgram(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes[f] = len(bin)
+			got, err := codec.DecodeProgram(bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compare by re-encoding: label symbols are not retained in
+			// machine code, so textual comparison would differ on them.
+			bin2, err := codec.EncodeProgram(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bin, bin2) {
+				t.Fatalf("round trip changed program on %v:\n%s", f, sass.Disassemble(got))
+			}
+		})
+	}
+	// Pre-Volta (8-byte beats + control words) and Volta+ (16-byte beats)
+	// must produce genuinely different binaries.
+	kb := sizes[sass.FamilyKepler]
+	vb := sizes[sass.FamilyVolta]
+	if kb == 0 || vb == 0 || kb == vb {
+		t.Errorf("expected family-dependent binary sizes, got kepler=%d volta=%d", kb, vb)
+	}
+}
+
+// TestCrossFamilyOpcodeNumbering: the same mnemonic encodes to different
+// opcode ids on different families, so binaries are not interchangeable.
+func TestCrossFamilyOpcodeNumbering(t *testing.T) {
+	volta := MustCodec(sass.FamilyVolta)
+	ampere := MustCodec(sass.FamilyAmpere)
+	op := sass.MustOp("STG") // exists on both, different local ids
+	if volta.opToLocal[op] == ampere.opToLocal[op] {
+		t.Skipf("STG happens to share ids; checking the whole table instead")
+	}
+	diff := 0
+	for opc, vid := range volta.opToLocal {
+		if aid, ok := ampere.opToLocal[opc]; ok && aid != vid {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("every opcode has the same id on Volta and Ampere; numbering is not family-specific")
+	}
+}
+
+// TestFamilyMismatch: loading Volta machine code on a Kepler decoder fails
+// cleanly.
+func TestFamilyMismatch(t *testing.T) {
+	prog := sass.MustAssemble("m", testSrc)
+	bin, err := MustCodec(sass.FamilyVolta).EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MustCodec(sass.FamilyKepler).DecodeProgram(bin)
+	if err == nil || !strings.Contains(err.Error(), "machine code") {
+		t.Fatalf("cross-family decode: %v", err)
+	}
+}
+
+// TestEncodeUnsupportedOpcode: an opcode missing from the family cannot be
+// encoded (LOP3 does not exist on Kepler).
+func TestEncodeUnsupportedOpcode(t *testing.T) {
+	prog := sass.MustAssemble("m", `
+.kernel k
+    LOP3 R0, R1, R2, R3, 0x3c
+    EXIT
+`)
+	_, err := MustCodec(sass.FamilyKepler).EncodeProgram(prog)
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("encoding LOP3 for Kepler: %v", err)
+	}
+	if _, err := MustCodec(sass.FamilyVolta).EncodeProgram(prog); err != nil {
+		t.Fatalf("encoding LOP3 for Volta: %v", err)
+	}
+}
+
+// TestCorruptionDetection: pre-Volta control-word parity catches bit rot in
+// instruction beats.
+func TestCorruptionDetection(t *testing.T) {
+	prog := sass.MustAssemble("m", testSrc)
+	codec := MustCodec(sass.FamilyMaxwell)
+	bin, err := codec.EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit near the end of the stream (inside instruction beats).
+	corrupt := append([]byte(nil), bin...)
+	corrupt[len(corrupt)-5] ^= 0x10
+	if _, err := codec.DecodeProgram(corrupt); err == nil {
+		t.Fatal("decoder accepted corrupted machine code")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	codec := MustCodec(sass.FamilyVolta)
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{1, 2, 3}},
+		{"bad magic", []byte("NOPE01xxxxxxxxxx")},
+		{"bad version", append([]byte("GCUB"), 99, byte(sass.FamilyVolta))},
+		{"truncated body", append([]byte("GCUB"), 1, byte(sass.FamilyVolta), 4, 0)},
+	}
+	for _, tc := range tests {
+		if _, err := codec.DecodeProgram(tc.data); err == nil {
+			t.Errorf("%s: decode succeeded", tc.name)
+		}
+	}
+}
+
+func TestDetectFamily(t *testing.T) {
+	prog := sass.MustAssemble("m", testSrc)
+	for _, f := range sass.Families() {
+		bin, err := MustCodec(f).EncodeProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DetectFamily(bin)
+		if err != nil || got != f {
+			t.Errorf("DetectFamily(%v binary) = %v, %v", f, got, err)
+		}
+	}
+	if _, err := DetectFamily([]byte("not a binary at all")); err == nil {
+		t.Error("DetectFamily accepted garbage")
+	}
+	if _, err := DetectFamily(append([]byte("GCUB"), 1, 77)); err == nil {
+		t.Error("DetectFamily accepted an unknown family byte")
+	}
+}
+
+func TestNewCodecUnknownFamily(t *testing.T) {
+	if _, err := NewCodec(sass.Family(42)); err == nil {
+		t.Error("NewCodec accepted an unknown family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCodec did not panic")
+		}
+	}()
+	MustCodec(sass.Family(42))
+}
+
+// TestRoundTripRandomPrograms is the property test: random programs built
+// from the families' common opcodes survive encode/decode on every family.
+func TestRoundTripRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	common := []string{"FADD", "FMUL", "IADD", "MOV", "SHL", "SHR", "LOP", "IMAD",
+		"SEL", "POPC", "BREV", "LDG", "STG", "S2R", "EXIT"}
+	for trial := 0; trial < 100; trial++ {
+		prog := randomEncodableProgram(rng, common)
+		for _, f := range sass.Families() {
+			codec := MustCodec(f)
+			bin, err := codec.EncodeProgram(prog)
+			if err != nil {
+				t.Fatalf("trial %d on %v: %v", trial, f, err)
+			}
+			got, err := codec.DecodeProgram(bin)
+			if err != nil {
+				t.Fatalf("trial %d on %v: %v", trial, f, err)
+			}
+			bin2, err := codec.EncodeProgram(got)
+			if err != nil {
+				t.Fatalf("trial %d on %v: %v", trial, f, err)
+			}
+			if !bytes.Equal(bin, bin2) {
+				t.Fatalf("trial %d on %v: round trip changed program", trial, f)
+			}
+		}
+	}
+}
+
+func randomEncodableProgram(rng *rand.Rand, opNames []string) *sass.Program {
+	var sb bytes.Buffer
+	sb.WriteString(".kernel rk\n")
+	n := 1 + rng.Intn(20)
+	for i := 0; i < n; i++ {
+		name := opNames[rng.Intn(len(opNames))]
+		switch name {
+		case "EXIT":
+			sb.WriteString("    NOP\n")
+		case "LDG":
+			sb.WriteString("    LDG.32 R1, [R2+0x10]\n")
+		case "STG":
+			sb.WriteString("    STG.32 [R2], R1\n")
+		case "S2R":
+			sb.WriteString("    S2R R0, SR_TID.X\n")
+		case "MOV", "POPC", "BREV":
+			sb.WriteString("    " + name + " R1, R2\n")
+		case "IMAD", "SEL":
+			sb.WriteString("    " + name + " R1, R2, R3, R4\n")
+		case "LOP":
+			sb.WriteString("    LOP.XOR R1, R2, R3\n")
+		default:
+			sb.WriteString("    " + name + " R1, R2, R3\n")
+		}
+	}
+	sb.WriteString("    EXIT\n")
+	return sass.MustAssemble("rand", sb.String())
+}
+
+// FuzzDecodeProgram: the decoder must reject arbitrary bytes with an error,
+// never panic or hang — corrupted machine code reaches it in fault
+// campaigns by design.
+func FuzzDecodeProgram(f *testing.F) {
+	prog := sass.MustAssemble("m", testSrc)
+	for _, fam := range sass.Families() {
+		bin, err := MustCodec(fam).EncodeProgram(prog)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bin)
+		// Seed a few systematic corruptions.
+		for _, idx := range []int{6, len(bin) / 2, len(bin) - 3} {
+			c := append([]byte(nil), bin...)
+			c[idx] ^= 0xff
+			f.Add(c)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("GCUB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, fam := range sass.Families() {
+			p, err := MustCodec(fam).DecodeProgram(data)
+			if err == nil && p == nil {
+				t.Fatal("nil program with nil error")
+			}
+		}
+	})
+}
+
+// FuzzAssemble: the assembler must reject arbitrary text with an error,
+// never panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add(testSrc)
+	f.Add(".kernel k\nFADD R1, R2, R3\nEXIT\n")
+	f.Add(".kernel k\n@!P0 BRA nowhere\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := sass.Assemble("fuzz", src)
+		if err == nil && p == nil {
+			t.Fatal("nil program with nil error")
+		}
+	})
+}

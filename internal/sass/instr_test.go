@@ -1,0 +1,128 @@
+package sass
+
+import "testing"
+
+func TestNewInstrSplitsOperands(t *testing.T) {
+	in := NewInstr(MustOp("FADD"), R(1), R(2), R(3))
+	if len(in.Dst) != 1 || len(in.Src) != 2 {
+		t.Fatalf("FADD split %d/%d", len(in.Dst), len(in.Src))
+	}
+	if !in.Guard.True() {
+		t.Fatal("default guard is not @PT")
+	}
+	st := NewInstr(MustOp("STG"), Mem(4, 0), R(5))
+	if len(st.Dst) != 0 || len(st.Src) != 2 {
+		t.Fatalf("STG split %d/%d", len(st.Dst), len(st.Src))
+	}
+	if st.HasDest() {
+		t.Fatal("STG reports a destination")
+	}
+	setp := NewInstr(MustOp("ISETP"), P(0), R(1), Imm(2), P(7))
+	if !setp.HasDest() || !setp.Dst[0].IsPred() {
+		t.Fatalf("ISETP destination wrong: %+v", setp)
+	}
+}
+
+func TestKernelClone(t *testing.T) {
+	p := MustAssemble("m", `
+.kernel k
+.param a
+top:
+    MOV R1, c0[a]
+    IADD R1, R1, 0x1
+    BRA top
+`)
+	k := p.Kernels[0]
+	c := k.Clone()
+	if c == k {
+		t.Fatal("clone aliases the original")
+	}
+	// Mutating the clone's operand must not touch the original.
+	c.Instrs[1].Src[1].Imm = 99
+	if k.Instrs[1].Src[1].Imm == 99 {
+		t.Fatal("clone shares operand storage")
+	}
+	c.Params[0] = "z"
+	if k.Params[0] != "a" {
+		t.Fatal("clone shares the params slice")
+	}
+	if idx, ok := c.LabelIndex("top"); !ok || idx != 0 {
+		t.Fatal("clone lost labels")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{NewInstr(MustOp("FADD"), R(1), R(2), NegReg(3)), "FADD R1, R2, -R3"},
+		{NewInstr(MustOp("EXIT")), "EXIT"},
+		{NewInstr(MustOp("STG"), Mem(4, -8), R(5)), "STG [R4-0x8], R5"},
+		{NewInstr(MustOp("MOV"), R(1), C0(0x160)), "MOV R1, c0[0x160]"},
+		{NewInstr(MustOp("S2R"), R(0), SR(SRTidX)), "S2R R0, SR_TID.X"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	guarded := NewInstr(MustOp("EXIT"))
+	guarded.Guard = PredRef{Pred: 2, Neg: true}
+	if got := guarded.String(); got != "@!P2 EXIT" {
+		t.Errorf("guarded String() = %q", got)
+	}
+}
+
+func TestProgramKernelLookup(t *testing.T) {
+	p := MustAssemble("m", ".kernel a\nEXIT\n.kernel b\nEXIT\n")
+	if _, ok := p.Kernel("a"); !ok {
+		t.Fatal("kernel a missing")
+	}
+	if _, ok := p.Kernel("nope"); ok {
+		t.Fatal("phantom kernel found")
+	}
+}
+
+func TestBoolOpApply(t *testing.T) {
+	if !BoolAnd.Apply(true, true) || BoolAnd.Apply(true, false) {
+		t.Error("AND wrong")
+	}
+	if !BoolOr.Apply(false, true) || BoolOr.Apply(false, false) {
+		t.Error("OR wrong")
+	}
+	if !BoolXor.Apply(true, false) || BoolXor.Apply(true, true) {
+		t.Error("XOR wrong")
+	}
+	if !BoolNone.Apply(true, false) || BoolNone.Apply(false, true) {
+		t.Error("None should pass x through")
+	}
+}
+
+func TestModsSuffixRoundTrip(t *testing.T) {
+	// Every printable modifier combination used by the workloads must
+	// re-parse to the same Mods.
+	lines := []string{
+		"ISETP.LT.U32.AND P0, R1, R2, PT",
+		"LDG.64 R2, [R4]",
+		"STG.128 [R4], R8",
+		"MUFU.SIN R1, R2",
+		"ATOMG.CAS R1, [R2], R3, R4",
+		"SHF.R R1, R2, R3, R4",
+		"F2I.TRUNC R1, R2",
+		"SHFL.UP R1, R2, 0x1, 0x1f",
+		"BAR.SYNC",
+		"I2I.S8 R1, R2",
+	}
+	for _, line := range lines {
+		p1 := MustAssemble("m", ".kernel k\n"+line+"\nEXIT\n")
+		text := p1.Kernels[0].Instrs[0].String()
+		p2, err := Assemble("m", ".kernel k\n"+text+"\nEXIT\n")
+		if err != nil {
+			t.Fatalf("%q -> %q failed to re-parse: %v", line, text, err)
+		}
+		if p1.Kernels[0].Instrs[0].Mods != p2.Kernels[0].Instrs[0].Mods {
+			t.Fatalf("%q mods changed through %q", line, text)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package sass
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVoltaOpcodeCount pins the paper's headline ISA fact: "the Volta ISA
+// contains 171 opcodes" (Table III).
+func TestVoltaOpcodeCount(t *testing.T) {
+	if got := OpcodeCount(FamilyVolta); got != 171 {
+		t.Fatalf("Volta opcode count = %d, want 171", got)
+	}
+}
+
+func TestFamilyOpcodeSets(t *testing.T) {
+	for _, f := range Families() {
+		set := OpcodeSet(f)
+		if len(set) == 0 {
+			t.Fatalf("family %v has an empty opcode set", f)
+		}
+		if len(set) != OpcodeCount(f) {
+			t.Fatalf("family %v: OpcodeSet/OpcodeCount disagree", f)
+		}
+		// Sets are sorted and duplicate-free.
+		for i := 1; i < len(set); i++ {
+			if set[i] <= set[i-1] {
+				t.Fatalf("family %v: opcode set not strictly increasing at %d", f, i)
+			}
+		}
+		for _, op := range set {
+			if !op.Info().In(f) {
+				t.Fatalf("family %v set contains %v, which is not in the family", f, op)
+			}
+		}
+	}
+	// Generational facts the encodings rely on.
+	mustNotHave := func(f Family, name string) {
+		t.Helper()
+		if MustOp(name).Info().In(f) {
+			t.Errorf("%s should not exist on %v", name, f)
+		}
+	}
+	mustHave := func(f Family, name string) {
+		t.Helper()
+		if !MustOp(name).Info().In(f) {
+			t.Errorf("%s should exist on %v", name, f)
+		}
+	}
+	mustNotHave(FamilyKepler, "LOP3")
+	mustNotHave(FamilyVolta, "LDGSTS")
+	mustHave(FamilyAmpere, "LDGSTS")
+	mustHave(FamilyKepler, "TEXDEPBAR")
+	mustNotHave(FamilyMaxwell, "TEXDEPBAR")
+	mustNotHave(FamilyVolta, "DMNMX")
+	mustHave(FamilyPascal, "DMNMX")
+	for _, name := range []string{"FADD", "IADD", "LDG", "STG", "BRA", "EXIT", "BAR", "S2R", "MOV"} {
+		for _, f := range Families() {
+			mustHave(f, name)
+		}
+	}
+}
+
+func TestOpcodeTableConsistency(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 1; i <= NumOpcodes(); i++ {
+		op := Op(i)
+		oi := op.Info()
+		if oi.Name == "" {
+			t.Fatalf("opcode %d has no name", i)
+		}
+		if seen[oi.Name] {
+			t.Fatalf("duplicate opcode name %q", oi.Name)
+		}
+		seen[oi.Name] = true
+		if oi.Cat == CatInvalid {
+			t.Errorf("%s has no category", oi.Name)
+		}
+		if oi.Archs == 0 {
+			t.Errorf("%s exists in no family", oi.Name)
+		}
+		// NumDst must be consistent with the destination flags.
+		if oi.NumDst > 0 && !oi.HasDest() {
+			t.Errorf("%s declares %d destinations but no dest flags", oi.Name, oi.NumDst)
+		}
+		if oi.NumDst == 0 && oi.HasDest() {
+			t.Errorf("%s has dest flags but zero declared destinations", oi.Name)
+		}
+		// Lookup is the inverse of the table.
+		got, ok := LookupOp(oi.Name)
+		if !ok || got != op {
+			t.Errorf("LookupOp(%q) = %v, %v; want %v", oi.Name, got, ok, op)
+		}
+		if op.String() != oi.Name {
+			t.Errorf("Op.String mismatch for %q", oi.Name)
+		}
+		if !op.Valid() {
+			t.Errorf("%s reports invalid", oi.Name)
+		}
+	}
+}
+
+func TestOpcodeExecutability(t *testing.T) {
+	// Every opcode the simulator executes must have its semantic kind's
+	// operand expectations reflected in the table; spot-check the memory
+	// ops' spaces.
+	spaces := map[string]MemSpace{
+		"LDG": SpaceGlobal, "STG": SpaceGlobal,
+		"LDS": SpaceShared, "STS": SpaceShared,
+		"LDL": SpaceLocal, "STL": SpaceLocal,
+		"LD": SpaceGeneric, "ST": SpaceGeneric,
+		"LDC":   SpaceConst,
+		"ATOMS": SpaceShared, "ATOMG": SpaceGlobal,
+	}
+	for name, want := range spaces {
+		if got := MustOp(name).Info().Space; got != want {
+			t.Errorf("%s space = %v, want %v", name, got, want)
+		}
+	}
+	// Executable coverage: a healthy majority of the Volta set the
+	// workloads draw from must be executable.
+	executable := 0
+	for _, op := range OpcodeSet(FamilyVolta) {
+		if op.Info().Sem != SemNone {
+			executable++
+		}
+	}
+	if executable < 80 {
+		t.Errorf("only %d of %d Volta opcodes are executable", executable, OpcodeCount(FamilyVolta))
+	}
+}
+
+func TestLookupUnknownOp(t *testing.T) {
+	if _, ok := LookupOp("NOTANOP"); ok {
+		t.Error("LookupOp accepted an unknown mnemonic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOp did not panic on an unknown mnemonic")
+		}
+	}()
+	MustOp("NOTANOP")
+}
+
+func TestInvalidOp(t *testing.T) {
+	var op Op
+	if op.Valid() {
+		t.Error("zero Op reports valid")
+	}
+	if !strings.HasPrefix(op.String(), "OP(") {
+		t.Errorf("zero Op string = %q", op.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Info() on invalid op did not panic")
+		}
+	}()
+	op.Info()
+}
+
+func TestAllOpcodeNamesSorted(t *testing.T) {
+	names := AllOpcodeNames()
+	if len(names) != NumOpcodes() {
+		t.Fatalf("AllOpcodeNames returned %d names, want %d", len(names), NumOpcodes())
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names not sorted at %d: %q < %q", i, names[i], names[i-1])
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	want := map[Family]string{
+		FamilyKepler: "Kepler", FamilyMaxwell: "Maxwell", FamilyPascal: "Pascal",
+		FamilyVolta: "Volta", FamilyAmpere: "Ampere",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%v.String() = %q, want %q", f, f.String(), s)
+		}
+	}
+	if Family(99).String() == "Volta" {
+		t.Error("unknown family stringifies as a real one")
+	}
+}

@@ -1,0 +1,340 @@
+package sass
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The opcode table. The Volta-class set contains exactly 171 opcodes,
+// matching the count the paper gives for the Volta ISA (Table III: "the
+// Volta ISA contains 171 opcodes"). The roster follows NVIDIA's published
+// SASS opcode listings; a tail of legacy graphics/system opcodes is retained
+// in the Volta-class set (as compatibility listings do) so that the count is
+// exact. Opcodes the simulator cannot execute carry SemNone and trap if
+// reached; they still participate in opcode enumeration, classification, and
+// encoding.
+//
+// NOTE: rows are appended in a fixed order; Op values are stable indexes
+// (starting at 1) used by the per-family binary encodings.
+
+type tableBuilder struct {
+	infos  []OpInfo
+	byName map[string]Op
+}
+
+func (b *tableBuilder) add(name string, cat Category, flags OpFlags, sem SemKind, space MemSpace, archs ArchMask, ndst uint8) {
+	if _, dup := b.byName[name]; dup {
+		panic("sass: duplicate opcode " + name)
+	}
+	b.infos = append(b.infos, OpInfo{
+		Name: name, Cat: cat, Flags: flags, Sem: sem, Space: space, Archs: archs, NumDst: ndst,
+	})
+	b.byName[name] = Op(len(b.infos)) // Op 0 is invalid; first row is Op 1
+}
+
+// buildOpcodeTable constructs the full table. It runs once at package
+// initialization (via the opTable variable below) and is pure.
+func buildOpcodeTable() ([]OpInfo, map[string]Op) {
+	b := &tableBuilder{byName: make(map[string]Op, 200)}
+	const (
+		gp   = FlagWritesGP
+		pr   = FlagWritesPR
+		ld   = FlagLoad
+		st   = FlagStore
+		f32  = FlagFP32
+		f64  = FlagFP64
+		ctl  = FlagControl
+		barr = FlagBarrier
+		pair = FlagPair
+	)
+
+	// --- FP32 (13) ---
+	b.add("FADD", CatFP32, gp|f32, SemFAdd, SpaceNone, ArchAll, 1)
+	b.add("FADD32I", CatFP32, gp|f32, SemFAdd, SpaceNone, ArchAll, 1)
+	b.add("FCHK", CatFP32, pr|f32, SemFChk, SpaceNone, ArchAll, 1)
+	b.add("FFMA", CatFP32, gp|f32, SemFFma, SpaceNone, ArchAll, 1)
+	b.add("FFMA32I", CatFP32, gp|f32, SemFFma, SpaceNone, ArchAll, 1)
+	b.add("FMNMX", CatFP32, gp|f32, SemFMnMx, SpaceNone, ArchAll, 1)
+	b.add("FMUL", CatFP32, gp|f32, SemFMul, SpaceNone, ArchAll, 1)
+	b.add("FMUL32I", CatFP32, gp|f32, SemFMul, SpaceNone, ArchAll, 1)
+	b.add("FSEL", CatFP32, gp|f32, SemFSel, SpaceNone, archVP, 1)
+	b.add("FSET", CatFP32, gp|f32, SemFSet, SpaceNone, ArchAll, 1)
+	b.add("FSETP", CatFP32, pr|f32, SemFSetP, SpaceNone, ArchAll, 1)
+	b.add("FSWZADD", CatFP32, gp|f32, SemNone, SpaceNone, ArchAll, 1)
+	b.add("MUFU", CatFP32, gp|f32, SemMufu, SpaceNone, ArchAll, 1)
+
+	// --- FP16 packed-half (9) ---
+	b.add("HADD2", CatFP16, gp, SemHAdd2, SpaceNone, archVP|ArchPascal, 1)
+	b.add("HADD2_32I", CatFP16, gp, SemHAdd2, SpaceNone, archVP, 1)
+	b.add("HFMA2", CatFP16, gp, SemHFma2, SpaceNone, archVP|ArchPascal, 1)
+	b.add("HFMA2_32I", CatFP16, gp, SemHFma2, SpaceNone, archVP, 1)
+	b.add("HMUL2", CatFP16, gp, SemHMul2, SpaceNone, archVP|ArchPascal, 1)
+	b.add("HMUL2_32I", CatFP16, gp, SemHMul2, SpaceNone, archVP, 1)
+	b.add("HSET2", CatFP16, gp, SemNone, SpaceNone, archVP|ArchPascal, 1)
+	b.add("HSETP2", CatFP16, pr, SemNone, SpaceNone, archVP|ArchPascal, 1)
+	b.add("HMMA", CatFP16, gp, SemNone, SpaceNone, archVP, 1)
+
+	// --- FP64 (4 Volta + 2 legacy pre-Volta) ---
+	b.add("DADD", CatFP64, gp|f64|pair, SemDAdd, SpaceNone, ArchAll, 1)
+	b.add("DFMA", CatFP64, gp|f64|pair, SemDFma, SpaceNone, ArchAll, 1)
+	b.add("DMUL", CatFP64, gp|f64|pair, SemDMul, SpaceNone, ArchAll, 1)
+	b.add("DSETP", CatFP64, pr|f64, SemDSetP, SpaceNone, ArchAll, 1)
+	b.add("DMNMX", CatFP64, gp|f64|pair, SemDMnMx, SpaceNone, archPreV, 1)
+	b.add("DSET", CatFP64, gp|f64, SemNone, SpaceNone, archPreV, 1)
+
+	// --- Integer (28) ---
+	b.add("BMSK", CatInteger, gp, SemBmsk, SpaceNone, archVP, 1)
+	b.add("BREV", CatInteger, gp, SemBrev, SpaceNone, ArchAll, 1)
+	b.add("FLO", CatInteger, gp, SemFlo, SpaceNone, ArchAll, 1)
+	b.add("IABS", CatInteger, gp, SemIAbs, SpaceNone, ArchAll, 1)
+	b.add("IADD", CatInteger, gp, SemIAdd, SpaceNone, ArchAll, 1)
+	b.add("IADD3", CatInteger, gp, SemIAdd3, SpaceNone, ArchAll, 1)
+	b.add("IADD32I", CatInteger, gp, SemIAdd, SpaceNone, ArchAll, 1)
+	b.add("IDP", CatInteger, gp, SemNone, SpaceNone, archVP, 1)
+	b.add("IDP4A", CatInteger, gp, SemNone, SpaceNone, archVP, 1)
+	b.add("IMAD", CatInteger, gp, SemIMad, SpaceNone, ArchAll, 1)
+	b.add("IMAD32I", CatInteger, gp, SemIMad, SpaceNone, ArchAll, 1)
+	b.add("IMMA", CatInteger, gp, SemNone, SpaceNone, archVP, 1)
+	b.add("IMNMX", CatInteger, gp, SemIMnMx, SpaceNone, ArchAll, 1)
+	b.add("IMUL", CatInteger, gp, SemIMul, SpaceNone, ArchAll, 1)
+	b.add("IMUL32I", CatInteger, gp, SemIMul, SpaceNone, ArchAll, 1)
+	b.add("ISCADD", CatInteger, gp, SemISCAdd, SpaceNone, ArchAll, 1)
+	b.add("ISCADD32I", CatInteger, gp, SemISCAdd, SpaceNone, ArchAll, 1)
+	b.add("ISETP", CatInteger, pr, SemISetP, SpaceNone, ArchAll, 1)
+	b.add("LEA", CatInteger, gp, SemLea, SpaceNone, archVP|ArchPascal|ArchMaxwell, 1)
+	b.add("LOP", CatInteger, gp, SemLop, SpaceNone, ArchAll, 1)
+	b.add("LOP3", CatInteger, gp, SemLop3, SpaceNone, ArchAll&^ArchKepler, 1)
+	b.add("LOP32I", CatInteger, gp, SemLop, SpaceNone, ArchAll, 1)
+	b.add("POPC", CatInteger, gp, SemPopc, SpaceNone, ArchAll, 1)
+	b.add("SHF", CatInteger, gp, SemShf, SpaceNone, ArchAll, 1)
+	b.add("SHL", CatInteger, gp, SemShl, SpaceNone, ArchAll, 1)
+	b.add("SHR", CatInteger, gp, SemShr, SpaceNone, ArchAll, 1)
+	b.add("VABSDIFF", CatInteger, gp, SemVAbsDiff, SpaceNone, ArchAll, 1)
+	b.add("VABSDIFF4", CatInteger, gp, SemVAbsDiff, SpaceNone, archVP, 1)
+
+	// --- Conversion (6) ---
+	b.add("F2F", CatConversion, gp, SemF2F, SpaceNone, ArchAll, 1)
+	b.add("F2I", CatConversion, gp, SemF2I, SpaceNone, ArchAll, 1)
+	b.add("I2F", CatConversion, gp, SemI2F, SpaceNone, ArchAll, 1)
+	b.add("I2I", CatConversion, gp, SemI2I, SpaceNone, ArchAll, 1)
+	b.add("I2IP", CatConversion, gp, SemNone, SpaceNone, archVP, 1)
+	b.add("FRND", CatConversion, gp, SemFrnd, SpaceNone, ArchAll, 1)
+
+	// --- Movement (7) ---
+	b.add("MOV", CatMovement, gp, SemMov, SpaceNone, ArchAll, 1)
+	b.add("MOV32I", CatMovement, gp, SemMov, SpaceNone, ArchAll, 1)
+	b.add("MOVM", CatMovement, gp, SemNone, SpaceNone, archVP, 1)
+	b.add("PRMT", CatMovement, gp, SemPrmt, SpaceNone, ArchAll, 1)
+	b.add("SEL", CatMovement, gp, SemSel, SpaceNone, ArchAll, 1)
+	b.add("SGXT", CatMovement, gp, SemSgxt, SpaceNone, archVP, 1)
+	b.add("SHFL", CatMovement, gp, SemShfl, SpaceNone, ArchAll, 1)
+
+	// --- Predicate (4 modern + 3 legacy) ---
+	b.add("PLOP3", CatPredicate, pr, SemPLop3, SpaceNone, archVP, 1)
+	b.add("PSETP", CatPredicate, pr, SemPSetP, SpaceNone, ArchAll, 1)
+	b.add("P2R", CatPredicate, gp, SemP2R, SpaceNone, ArchAll, 1)
+	b.add("R2P", CatPredicate, pr, SemR2P, SpaceNone, ArchAll, 1)
+	b.add("PSET", CatPredicate, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("CSET", CatPredicate, gp, SemNone, SpaceNone, archPreV, 1)
+	b.add("CSETP", CatPredicate, pr, SemNone, SpaceNone, archPreV, 1)
+
+	// --- Load/Store/Atomics (20) ---
+	b.add("LD", CatLoadStore, gp|ld, SemLd, SpaceGeneric, ArchAll, 1)
+	b.add("LDC", CatLoadStore, gp|ld, SemLdc, SpaceConst, ArchAll, 1)
+	b.add("LDG", CatLoadStore, gp|ld, SemLd, SpaceGlobal, ArchAll, 1)
+	b.add("LDL", CatLoadStore, gp|ld, SemLd, SpaceLocal, ArchAll, 1)
+	b.add("LDS", CatLoadStore, gp|ld, SemLd, SpaceShared, ArchAll, 1)
+	b.add("ST", CatLoadStore, st, SemSt, SpaceGeneric, ArchAll, 0)
+	b.add("STG", CatLoadStore, st, SemSt, SpaceGlobal, ArchAll, 0)
+	b.add("STL", CatLoadStore, st, SemSt, SpaceLocal, ArchAll, 0)
+	b.add("STS", CatLoadStore, st, SemSt, SpaceShared, ArchAll, 0)
+	b.add("MATCH", CatLoadStore, gp, SemMatch, SpaceNone, archVP, 1)
+	b.add("QSPC", CatLoadStore, pr, SemNone, SpaceNone, archVP, 1)
+	b.add("ATOM", CatLoadStore, gp|ld|st, SemAtom, SpaceGeneric, ArchAll, 1)
+	b.add("ATOMS", CatLoadStore, gp|ld|st, SemAtom, SpaceShared, ArchAll, 1)
+	b.add("ATOMG", CatLoadStore, gp|ld|st, SemAtom, SpaceGlobal, ArchAll, 1)
+	b.add("RED", CatLoadStore, st, SemRed, SpaceGlobal, ArchAll, 0)
+	b.add("CCTL", CatLoadStore, 0, SemNopLike, SpaceGlobal, ArchAll, 0)
+	b.add("CCTLL", CatLoadStore, 0, SemNopLike, SpaceLocal, ArchAll, 0)
+	b.add("ERRBAR", CatLoadStore, barr, SemNopLike, SpaceNone, archVP, 0)
+	b.add("MEMBAR", CatLoadStore, barr, SemNopLike, SpaceNone, ArchAll, 0)
+	b.add("CCTLT", CatLoadStore, 0, SemNopLike, SpaceNone, ArchAll, 0)
+
+	// --- Texture (6 modern + 4 legacy sampling forms) ---
+	b.add("TEX", CatTexture, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("TLD", CatTexture, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("TLD4", CatTexture, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("TMML", CatTexture, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("TXD", CatTexture, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("TXQ", CatTexture, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("TEXS", CatTexture, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("TLDS", CatTexture, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("TLD4S", CatTexture, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("TXA", CatTexture, gp, SemNone, SpaceNone, ArchAll, 1)
+
+	// --- Surface (9) ---
+	b.add("SUATOM", CatSurface, gp|ld|st, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("SULD", CatSurface, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("SURED", CatSurface, st, SemNone, SpaceGlobal, ArchAll, 0)
+	b.add("SUST", CatSurface, st, SemNone, SpaceGlobal, ArchAll, 0)
+	b.add("SUCLAMP", CatSurface, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("SUBFM", CatSurface, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("SUEAU", CatSurface, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("SULDGA", CatSurface, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("SUSTGA", CatSurface, st, SemNone, SpaceGlobal, ArchAll, 0)
+
+	// --- Control (18 modern + 10 legacy) ---
+	b.add("BMOV", CatControl, gp, SemNopLike, SpaceNone, archVP, 1)
+	b.add("BPT", CatControl, ctl, SemBpt, SpaceNone, ArchAll, 0)
+	b.add("BRA", CatControl, ctl, SemBra, SpaceNone, ArchAll, 0)
+	b.add("BREAK", CatControl, ctl, SemNopLike, SpaceNone, archVP, 0)
+	b.add("BRX", CatControl, ctl, SemBrx, SpaceNone, ArchAll, 0)
+	b.add("BSSY", CatControl, ctl, SemNopLike, SpaceNone, archVP, 0)
+	b.add("BSYNC", CatControl, ctl, SemNopLike, SpaceNone, archVP, 0)
+	b.add("CALL", CatControl, ctl, SemCall, SpaceNone, ArchAll, 0)
+	b.add("EXIT", CatControl, ctl, SemExit, SpaceNone, ArchAll, 0)
+	b.add("JMP", CatControl, ctl, SemJmp, SpaceNone, ArchAll, 0)
+	b.add("JMX", CatControl, ctl, SemBrx, SpaceNone, ArchAll, 0)
+	b.add("KILL", CatControl, ctl, SemKill, SpaceNone, ArchAll, 0)
+	b.add("NANOSLEEP", CatControl, 0, SemNopLike, SpaceNone, archVP, 0)
+	b.add("RET", CatControl, ctl, SemRet, SpaceNone, ArchAll, 0)
+	b.add("RPCMOV", CatControl, gp, SemNopLike, SpaceNone, archVP, 1)
+	b.add("RTT", CatControl, ctl, SemNone, SpaceNone, ArchAll, 0)
+	b.add("WARPSYNC", CatControl, barr, SemNopLike, SpaceNone, archVP, 0)
+	b.add("YIELD", CatControl, 0, SemNopLike, SpaceNone, archVP, 0)
+	b.add("SSY", CatControl, ctl, SemNopLike, SpaceNone, ArchAll, 0)
+	b.add("PBK", CatControl, ctl, SemNopLike, SpaceNone, ArchAll, 0)
+	b.add("PCNT", CatControl, ctl, SemNopLike, SpaceNone, ArchAll, 0)
+	b.add("PEXIT", CatControl, ctl, SemNone, SpaceNone, ArchAll, 0)
+	b.add("PRET", CatControl, ctl, SemNone, SpaceNone, ArchAll, 0)
+	b.add("BRK", CatControl, ctl, SemNopLike, SpaceNone, ArchAll, 0)
+	b.add("CONT", CatControl, ctl, SemNopLike, SpaceNone, ArchAll, 0)
+	b.add("CAL", CatControl, ctl, SemCall, SpaceNone, ArchAll, 0)
+	b.add("JCAL", CatControl, ctl, SemCall, SpaceNone, ArchAll, 0)
+	b.add("PLONGJMP", CatControl, ctl, SemNone, SpaceNone, ArchAll, 0)
+
+	// --- Misc / system (13 modern + legacy tail) ---
+	b.add("B2R", CatMisc, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("BAR", CatMisc, barr, SemBar, SpaceNone, ArchAll, 0)
+	b.add("CS2R", CatMisc, gp, SemCS2R, SpaceNone, ArchAll&^ArchKepler, 1)
+	b.add("CSMTEST", CatMisc, 0, SemNone, SpaceNone, archVP, 0)
+	b.add("DEPBAR", CatMisc, barr, SemNopLike, SpaceNone, ArchAll, 0)
+	b.add("GETLMEMBASE", CatMisc, gp, SemNone, SpaceNone, archVP, 1)
+	b.add("LEPC", CatMisc, gp, SemNone, SpaceNone, archVP, 1)
+	b.add("NOP", CatMisc, 0, SemNop, SpaceNone, ArchAll, 0)
+	b.add("PMTRIG", CatMisc, 0, SemNopLike, SpaceNone, ArchAll, 0)
+	b.add("R2B", CatMisc, 0, SemNone, SpaceNone, ArchAll, 0)
+	b.add("S2R", CatMisc, gp, SemS2R, SpaceNone, ArchAll, 1)
+	b.add("SETCTAID", CatMisc, 0, SemNone, SpaceNone, archVP, 0)
+	b.add("SETLMEMBASE", CatMisc, 0, SemNone, SpaceNone, archVP, 0)
+	b.add("VOTE", CatMisc, gp|pr, SemVote, SpaceNone, ArchAll, 1)
+
+	// --- Legacy graphics / video tail, retained in the Volta-class set ---
+	b.add("AL2P", CatMisc, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("ALD", CatMisc, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("AST", CatMisc, st, SemNone, SpaceGlobal, ArchAll, 0)
+	b.add("IPA", CatMisc, gp|f32, SemNone, SpaceNone, ArchAll, 1)
+	b.add("ISBERD", CatMisc, gp|ld, SemNone, SpaceGlobal, ArchAll, 1)
+	b.add("OUT", CatMisc, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("PIXLD", CatMisc, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("VADD", CatInteger, gp, SemIAdd, SpaceNone, ArchAll, 1)
+	b.add("VMAD", CatInteger, gp, SemIMad, SpaceNone, ArchAll, 1)
+	b.add("VMNMX", CatInteger, gp, SemIMnMx, SpaceNone, ArchAll, 1)
+	b.add("VSET", CatInteger, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("VSETP", CatInteger, pr, SemNone, SpaceNone, ArchAll, 1)
+	b.add("VSHL", CatInteger, gp, SemShl, SpaceNone, ArchAll, 1)
+	b.add("VSHR", CatInteger, gp, SemShr, SpaceNone, ArchAll, 1)
+	b.add("XMAD", CatInteger, gp, SemIMad, SpaceNone, ArchAll, 1)
+	b.add("BFE", CatInteger, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("BFI", CatInteger, gp, SemNone, SpaceNone, ArchAll, 1)
+	b.add("RRO", CatFP32, gp|f32, SemNone, SpaceNone, ArchAll, 1)
+
+	// --- Pre-Volta only (not counted in the Volta set) ---
+	b.add("IMADSP", CatInteger, gp, SemNone, SpaceNone, ArchKepler, 1)
+	b.add("FCMP", CatFP32, gp|f32, SemNone, SpaceNone, archPreV, 1)
+	b.add("ICMP", CatInteger, gp, SemNone, SpaceNone, archPreV, 1)
+	b.add("LDSLK", CatLoadStore, gp|ld, SemNone, SpaceShared, ArchKepler, 1)
+	b.add("TEXDEPBAR", CatTexture, barr, SemNone, SpaceNone, ArchKepler, 0)
+	b.add("STSCUL", CatLoadStore, st, SemNone, SpaceShared, ArchKepler, 0)
+
+	// --- Ampere-only additions ---
+	b.add("LDGSTS", CatLoadStore, ld|st, SemNone, SpaceGlobal, ArchAmpere, 0)
+	b.add("LDSM", CatLoadStore, gp|ld, SemNone, SpaceShared, ArchAmpere, 1)
+	b.add("BMMA", CatInteger, gp, SemNone, SpaceNone, ArchAmpere, 1)
+	b.add("BRXU", CatControl, ctl, SemNone, SpaceNone, ArchAmpere, 0)
+	b.add("JMXU", CatControl, ctl, SemNone, SpaceNone, ArchAmpere, 0)
+	b.add("VOTEU", CatMisc, gp|pr, SemNone, SpaceNone, ArchAmpere, 1)
+	b.add("HMNMX2", CatFP16, gp, SemNone, SpaceNone, ArchAmpere, 1)
+	b.add("REDUX", CatMisc, gp, SemNone, SpaceNone, ArchAmpere, 1)
+
+	return b.infos, b.byName
+}
+
+// opTable holds the rows; opByName maps spellings to Op values. Both are
+// initialized once and never mutated afterwards.
+var opTable, opByName = buildOpcodeTable()
+
+// Info returns the table row for op. It panics on an invalid Op, which can
+// only arise from corrupted instruction memory, not from parsing.
+func (op Op) Info() *OpInfo {
+	if op == 0 || int(op) > len(opTable) {
+		panic(fmt.Sprintf("sass: invalid opcode %d", op))
+	}
+	return &opTable[op-1]
+}
+
+// String returns the opcode mnemonic.
+func (op Op) String() string {
+	if op == 0 || int(op) > len(opTable) {
+		return fmt.Sprintf("OP(%d)", uint16(op))
+	}
+	return opTable[op-1].Name
+}
+
+// Valid reports whether op indexes a real table row.
+func (op Op) Valid() bool { return op >= 1 && int(op) <= len(opTable) }
+
+// LookupOp finds an opcode by mnemonic.
+func LookupOp(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// MustOp is LookupOp for known-good mnemonics; it panics on unknown names
+// and is intended for package initialization and tests.
+func MustOp(name string) Op {
+	op, ok := opByName[name]
+	if !ok {
+		panic("sass: unknown opcode " + name)
+	}
+	return op
+}
+
+// NumOpcodes returns the total number of table rows across all families.
+func NumOpcodes() int { return len(opTable) }
+
+// OpcodeSet returns the opcodes present in family f, ordered by Op value.
+// This is the opcode-id space of the permanent fault model (Table III).
+func OpcodeSet(f Family) []Op {
+	var ops []Op
+	for i := range opTable {
+		if opTable[i].Archs&f.Mask() != 0 {
+			ops = append(ops, Op(i+1))
+		}
+	}
+	return ops
+}
+
+// OpcodeCount returns the number of opcodes in family f. For Volta this is
+// 171, matching the paper.
+func OpcodeCount(f Family) int { return len(OpcodeSet(f)) }
+
+// AllOpcodeNames returns every mnemonic in the table, sorted, for tooling.
+func AllOpcodeNames() []string {
+	names := make([]string, 0, len(opTable))
+	for i := range opTable {
+		names = append(names, opTable[i].Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,118 @@
+package sass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	tests := []struct {
+		reg  RegID
+		want string
+	}{
+		{0, "R0"},
+		{7, "R7"},
+		{100, "R100"},
+		{254, "R254"},
+		{RZ, "RZ"},
+	}
+	for _, tc := range tests {
+		if got := tc.reg.String(); got != tc.want {
+			t.Errorf("RegID(%d).String() = %q, want %q", tc.reg, got, tc.want)
+		}
+	}
+}
+
+func TestParseReg(t *testing.T) {
+	valid := map[string]RegID{
+		"R0": 0, "R1": 1, "R99": 99, "R254": 254, "RZ": RZ,
+	}
+	for in, want := range valid {
+		got, err := ParseReg(in)
+		if err != nil || got != want {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	invalid := []string{"", "R", "R255", "R-1", "R300", "r3", "P0", "Rx"}
+	for _, in := range invalid {
+		if _, err := ParseReg(in); err == nil {
+			t.Errorf("ParseReg(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// TestParseRegRoundTrip: String -> ParseReg is the identity for all
+// registers.
+func TestParseRegRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		r := RegID(raw)
+		if raw == 255 {
+			r = RZ
+		}
+		got, err := ParseReg(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePred(t *testing.T) {
+	valid := map[string]PredID{"P0": 0, "P6": 6, "PT": PT}
+	for in, want := range valid {
+		got, err := ParsePred(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePred(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "P", "P7", "P9", "PP", "R0", "p0"} {
+		if _, err := ParsePred(in); err == nil {
+			t.Errorf("ParsePred(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestPredRef(t *testing.T) {
+	tests := []struct {
+		in   string
+		want PredRef
+	}{
+		{"P0", PredRef{Pred: 0}},
+		{"!P3", PredRef{Pred: 3, Neg: true}},
+		{"PT", PredRef{Pred: PT}},
+		{"!PT", PredRef{Pred: PT, Neg: true}},
+	}
+	for _, tc := range tests {
+		got, err := ParsePredRef(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePredRef(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Errorf("PredRef round trip: %q -> %q", tc.in, got.String())
+		}
+	}
+	if !(PredRef{Pred: PT}).True() {
+		t.Error("PT guard should be always-true")
+	}
+	if (PredRef{Pred: PT, Neg: true}).True() {
+		t.Error("!PT guard should not report always-true")
+	}
+	if (PredRef{Pred: 2}).True() {
+		t.Error("P2 guard should not report always-true")
+	}
+}
+
+func TestSpecialRegs(t *testing.T) {
+	for sr, name := range specialNames {
+		got, err := ParseSpecialReg(name)
+		if err != nil || got != sr {
+			t.Errorf("ParseSpecialReg(%q) = %v, %v; want %v", name, got, err, sr)
+		}
+		if sr.String() != name {
+			t.Errorf("SpecialReg(%d).String() = %q, want %q", sr, sr.String(), name)
+		}
+	}
+	if _, err := ParseSpecialReg("SR_NOPE"); err == nil {
+		t.Error("ParseSpecialReg accepted an unknown name")
+	}
+}

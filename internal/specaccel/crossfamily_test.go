@@ -1,0 +1,98 @@
+package specaccel_test
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/sass"
+	"repro/internal/specaccel"
+)
+
+// TestCrossFamilyGoldenEquivalence: the workloads are written against the
+// abstract ISA, so the same program must produce bit-identical golden
+// output on every architecture family — each family's device compiles the
+// modules into its own machine-code format and decodes them back. This is
+// the end-to-end version of the NVBit architectural-abstraction claim.
+func TestCrossFamilyGoldenEquivalence(t *testing.T) {
+	programs := []string{"303.ostencil", "314.omriq", "352.ep", "360.ilbdc"}
+	for _, name := range programs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := specaccel.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref *campaign.GoldenResult
+			for _, fam := range sass.Families() {
+				r := campaign.Runner{Family: fam}
+				g, err := r.Golden(w)
+				if err != nil {
+					t.Fatalf("%v: %v", fam, err)
+				}
+				if ref == nil {
+					ref = g
+					continue
+				}
+				if !g.Output.Equal(ref.Output) {
+					t.Fatalf("%v output differs from %v", fam, sass.Families()[0])
+				}
+				if g.Stats != ref.Stats {
+					t.Fatalf("%v stats %+v differ from %+v", fam, g.Stats, ref.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossFamilyInjectionEquivalence: the same profiled fault coordinates
+// produce the same outcome on every family — injection campaigns are
+// family-portable, as the paper's "single interface ... on all recent
+// NVIDIA architecture families" claims.
+func TestCrossFamilyInjectionEquivalence(t *testing.T) {
+	w, err := specaccel.ByName("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		class campaign.Classification
+		rec   string
+	}
+	var ref *outcome
+	for _, fam := range sass.Families() {
+		r := campaign.Runner{Family: fam}
+		golden, err := r.Golden(w)
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		res, err := r.RunTransient(w, golden, crossFamilyFault())
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		cur := &outcome{class: res.Class, rec: res.Injection.Target}
+		if !res.Injection.Activated {
+			t.Fatalf("%v: fault did not activate", fam)
+		}
+		if ref == nil {
+			ref = cur
+			continue
+		}
+		if cur.class != ref.class || cur.rec != ref.rec {
+			t.Fatalf("%v: outcome %v/%s differs from %v/%s",
+				fam, cur.class, cur.rec, ref.class, ref.rec)
+		}
+	}
+}
+
+func crossFamilyFault() core.TransientParams {
+	return core.TransientParams{
+		Group:           sass.GroupGP,
+		BitFlip:         core.FlipTwoBits,
+		KernelName:      "compute_q",
+		KernelCount:     0,
+		InstrCount:      5000,
+		DestRegSelect:   0.4,
+		BitPatternValue: 0.6,
+	}
+}

@@ -1,0 +1,277 @@
+package specaccel
+
+import (
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+)
+
+// 352.ep: embarrassingly parallel — the NAS EP pattern: per-thread LCG
+// random streams, Box-Muller Gaussian pairs, histogram binning with global
+// atomics, and atomic partial sums. Seven static kernels as in Table IV;
+// 1 + 12 batches x 5 + 1 = 62 dynamic kernels (paper: 187, scaled ~1/3).
+const epASM = `
+// 352.ep device code
+.kernel init_seed
+.param n
+.param seeds
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    IMUL R3, R0, 0x9e3779b1
+    LOP.OR R3, R3, 0x1             // keep streams odd
+    SHL R4, R0, 0x2
+    IADD R5, R4, c0[seeds]
+    STG.32 [R5], R3
+    EXIT
+
+.kernel lcg_advance
+.param n
+.param seeds
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R4, R0, 0x2
+    IADD R5, R4, c0[seeds]
+    LDG.32 R6, [R5]
+adv:
+    // Rejection-style advance: draw until the low byte accepts. The trip
+    // count is data-dependent and differs across threads AND across
+    // dynamic instances, so approximate profiling genuinely extrapolates
+    // wrong counts for this kernel, as it does for irregular kernels in
+    // the paper's suite.
+    IMAD R6, R6, 0x19660d, RZ
+    IADD R6, R6, 0x3c6ef35f
+    LOP.AND R7, R6, 0xff
+    ISETP.GE.AND P1, R7, 0x80, PT
+@P1 BRA adv
+    STG.32 [R5], R6
+    EXIT
+
+.kernel gauss_pairs
+.param n
+.param seeds
+.param sx
+.param sy
+.param xs
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R4, R0, 0x2
+    IADD R5, R4, c0[seeds]
+    LDG.32 R6, [R5]
+    SHR.U32 R7, R6, 0x8
+    LOP.OR R7, R7, 0x1             // u1 mantissa, nonzero
+    I2F R8, R7
+    FMUL R8, R8, 0x33800000        // u1 in (0,1)
+    IMAD R6, R6, 0x19660d, RZ
+    IADD R6, R6, 0x3c6ef35f        // advance for u2
+    STG.32 [R5], R6
+    SHR.U32 R9, R6, 0x8
+    I2F R10, R9
+    FMUL R10, R10, 0x33800000      // u2 in [0,1)
+    MUFU.LG2 R11, R8               // log2(u1)
+    FMUL R11, R11, 0xbf317218      // * -ln(2): -2*ln(u1)/2... scaled below
+    FADD R11, R11, R11             // -2 ln(u1)
+    MUFU.SQRT R12, R11             // t
+    FMUL R13, R10, 0x40c90fdb      // 2 pi u2
+    MUFU.COS R14, R13
+    MUFU.SIN R15, R13
+    FMUL R14, R14, R12             // x
+    FMUL R15, R15, R12             // y
+    IADD R16, R4, c0[sx]
+    LDG.32 R17, [R16]
+    FADD R17, R17, R14
+    STG.32 [R16], R17
+    IADD R18, R4, c0[sy]
+    LDG.32 R19, [R18]
+    FADD R19, R19, R15
+    STG.32 [R18], R19
+    IADD R20, R4, c0[xs]
+    STG.32 [R20], R14
+    EXIT
+
+.kernel bin_count
+.param n
+.param xs
+.param bins
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R4, R0, 0x2
+    IADD R5, R4, c0[xs]
+    LDG.32 R6, [R5]
+    LOP.AND R6, R6, 0x7fffffff     // |x|
+    F2I.TRUNC R7, R6
+    IMNMX R7, R7, 0x7, PT          // clamp to 0..7 (min with 7)
+    SHL R8, R7, 0x2
+    IADD R9, R8, c0[bins]
+    MOV R10, 0x1
+    RED.ADD [R9], R10
+    EXIT
+
+.kernel partial_sx
+.param n
+.param sx
+.param total
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R4, R0, 0x2
+    IADD R5, R4, c0[sx]
+    LDG.32 R6, [R5]
+    MOV R7, c0[total]
+    ATOMG.ADD.F32 R8, [R7], R6
+    EXIT
+
+.kernel partial_sy
+.param n
+.param sy
+.param total
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R4, R0, 0x2
+    IADD R5, R4, c0[sy]
+    LDG.32 R6, [R5]
+    MOV R7, c0[total]
+    ATOMG.ADD.F32 R8, [R7+0x4], R6
+    EXIT
+
+.kernel finalize
+.param bins
+.param total
+.param outp
+    S2R R0, SR_TID.X               // 0..9, single warp
+    ISETP.GE.AND P0, R0, 0xa, PT
+@P0 EXIT
+    ISETP.GE.AND P1, R0, 0x2, PT
+@P1 BRA dobin
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[total]
+    LDG.32 R5, [R4]                // sums pass through
+    IADD R6, R3, c0[outp]
+    STG.32 [R6], R5
+    EXIT
+dobin:
+    IADD R3, R0, -0x2
+    SHL R3, R3, 0x2
+    IADD R4, R3, c0[bins]
+    LDG.32 R5, [R4]
+    I2F R6, R5                     // counts reported as floats
+    SHL R7, R0, 0x2
+    IADD R8, R7, c0[outp]
+    STG.32 [R8], R6
+    EXIT
+`
+
+// EP builds the 352.ep analog.
+func EP() *Program {
+	const (
+		n       = 256
+		batches = 12
+		block   = 64
+	)
+	return &Program{
+		info: Info{
+			Name:                 "352.ep",
+			Description:          "Embarrassingly parallel",
+			PaperStaticKernels:   7,
+			PaperDynamicKernels:  187,
+			ScaledDynamicKernels: 1 + 5*batches + 1,
+		},
+		policy: Checked,
+		tol:    1e-4,
+		run: func(h *host) error {
+			mod, err := h.module("352.ep", epASM)
+			if err != nil {
+				return err
+			}
+			fns := make(map[string]*cuda.Function, 7)
+			for _, name := range []string{
+				"init_seed", "lcg_advance", "gauss_pairs", "bin_count",
+				"partial_sx", "partial_sy", "finalize",
+			} {
+				f, err := mod.Function(name)
+				if err != nil {
+					return err
+				}
+				fns[name] = f
+			}
+			seeds, err := h.alloc(4 * n)
+			if err != nil {
+				return err
+			}
+			sx, err := h.alloc(4 * n)
+			if err != nil {
+				return err
+			}
+			sy, err := h.alloc(4 * n)
+			if err != nil {
+				return err
+			}
+			xs, err := h.alloc(4 * n)
+			if err != nil {
+				return err
+			}
+			bins, err := h.alloc(4 * 8)
+			if err != nil {
+				return err
+			}
+			total, err := h.alloc(4 * 2)
+			if err != nil {
+				return err
+			}
+			outp, err := h.alloc(4 * 10)
+			if err != nil {
+				return err
+			}
+			h.upload(sx, make([]byte, 4*n))
+			h.upload(sy, make([]byte, 4*n))
+			h.upload(bins, make([]byte, 4*8))
+			h.upload(total, make([]byte, 4*2))
+
+			cfg := cuda.LaunchConfig{
+				Grid:  gpu.Dim3{X: n / block, Y: 1, Z: 1},
+				Block: gpu.Dim3{X: block, Y: 1, Z: 1},
+			}
+			one := cuda.LaunchConfig{
+				Grid:  gpu.Dim3{X: 1, Y: 1, Z: 1},
+				Block: gpu.Dim3{X: 32, Y: 1, Z: 1},
+			}
+			h.launch(fns["init_seed"], cfg, n, seeds)
+			for b := 0; b < batches; b++ {
+				h.launch(fns["lcg_advance"], cfg, n, seeds)
+				h.launch(fns["gauss_pairs"], cfg, n, seeds, sx, sy, xs)
+				h.launch(fns["bin_count"], cfg, n, xs, bins)
+				h.launch(fns["partial_sx"], cfg, n, sx, total)
+				h.launch(fns["partial_sy"], cfg, n, sy, total)
+			}
+			h.launch(fns["finalize"], one, bins, total, outp)
+
+			res := h.readBack(outp, 4*10)
+			h.out.Files["ep.dat"] = res
+			vals := f32From(res)
+			h.out.Printf("352.ep pairs %d batches %d\n", n, batches)
+			h.out.Printf("SX %s SY %s\n", fmtF(float64(vals[0])), fmtF(float64(vals[1])))
+			return nil
+		},
+	}
+}

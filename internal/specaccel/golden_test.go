@@ -1,0 +1,59 @@
+package specaccel_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/specaccel"
+)
+
+// TestGoldenRuns runs every registered program fault-free and validates the
+// basic contract: nonempty deterministic output, zero exit, and profile
+// shape matching the program's declared kernel counts.
+func TestGoldenRuns(t *testing.T) {
+	for _, w := range specaccel.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			r := campaign.Runner{}
+			g1, err := r.Golden(w)
+			if err != nil {
+				t.Fatalf("golden: %v", err)
+			}
+			if g1.Output.Stdout == "" {
+				t.Error("no stdout produced")
+			}
+			if len(g1.Output.Files) == 0 {
+				t.Error("no output files produced")
+			}
+			if !strings.Contains(g1.Output.Stdout, w.Name()) {
+				t.Errorf("stdout does not identify the program: %q", g1.Output.Stdout)
+			}
+			g2, err := r.Golden(w)
+			if err != nil {
+				t.Fatalf("second golden: %v", err)
+			}
+			if !g1.Output.Equal(g2.Output) {
+				t.Error("golden runs are not deterministic")
+			}
+
+			p, _, err := r.Profile(w, core.Exact)
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			prog, err := specaccel.ByName(w.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			info := prog.(*specaccel.Program).Info()
+			if got := len(p.StaticKernels()); got != info.PaperStaticKernels {
+				t.Errorf("static kernels = %d, want %d (Table IV)", got, info.PaperStaticKernels)
+			}
+			if got := p.DynamicKernels(); got != info.ScaledDynamicKernels {
+				t.Errorf("dynamic kernels = %d, want declared %d", got, info.ScaledDynamicKernels)
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package specaccel
+
+import (
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+)
+
+// 303.ostencil: thermodynamics — an iterative 7-point 3D heat-diffusion
+// stencil in FP32. Two static kernels (grid initialization and one stencil
+// step), 1 + 100 = 101 dynamic kernels, matching Table IV exactly.
+const ostencilASM = `
+// 303.ostencil device code
+.kernel init_grid
+.param n
+.param outptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    IMUL R3, R0, 0x9e3779b1        // integer hash of the index
+    SHR.U32 R4, R3, 0x8
+    I2F R5, R4
+    FMUL R5, R5, 0x33800000        // * 2^-24: uniform in [0,1)
+    SHL R6, R0, 0x2
+    IADD R7, R6, c0[outptr]
+    STG.32 [R7], R5
+    EXIT
+
+.kernel stencil_step
+.param n
+.param inptr
+.param outptr
+.param cc
+.param ce
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[inptr]
+    IADD R5, R3, c0[outptr]
+    LDG.32 R6, [R4]                // center point
+    LOP.AND R7, R0, 0xf            // x = i & 15
+    SHR.U32 R8, R0, 0x4
+    LOP.AND R8, R8, 0xf            // y = (i >> 4) & 15
+    SHR.U32 R9, R0, 0x8            // z = i >> 8
+    ISETP.GE.AND P1, R7, 0x1, PT
+    ISETP.LE.AND P1, R7, 0xe, P1
+    ISETP.GE.AND P1, R8, 0x1, P1
+    ISETP.LE.AND P1, R8, 0xe, P1
+    ISETP.GE.AND P1, R9, 0x1, P1
+    ISETP.LE.AND P1, R9, 0x6, P1
+@P1 BRA interior
+    STG.32 [R5], R6                // boundary: copy through
+    EXIT
+interior:
+    LDG.32 R10, [R4+0x4]           // x+1
+    LDG.32 R11, [R4-0x4]           // x-1
+    LDG.32 R12, [R4+0x40]          // y+1
+    LDG.32 R13, [R4-0x40]          // y-1
+    LDG.32 R14, [R4+0x400]         // z+1
+    LDG.32 R15, [R4-0x400]         // z-1
+    FADD R16, R10, R11
+    FADD R17, R12, R13
+    FADD R18, R14, R15
+    FADD R16, R16, R17
+    FADD R16, R16, R18
+    FMUL R19, R6, c0[cc]
+    FFMA R19, R16, c0[ce], R19
+    STG.32 [R5], R19
+    EXIT
+`
+
+// Ostencil builds the 303.ostencil analog.
+func Ostencil() *Program {
+	const (
+		nx, ny, nz = 16, 16, 8
+		n          = nx * ny * nz
+		steps      = 100
+		block      = 128
+		cc         = float32(0.4) // center coefficient
+		ce         = float32(0.1) // edge coefficient
+	)
+	return &Program{
+		info: Info{
+			Name:                 "303.ostencil",
+			Description:          "Thermodynamics",
+			PaperStaticKernels:   2,
+			PaperDynamicKernels:  101,
+			ScaledDynamicKernels: 101,
+		},
+		policy: Unchecked,
+		tol:    1e-4,
+		run: func(h *host) error {
+			mod, err := h.module("303.ostencil", ostencilASM)
+			if err != nil {
+				return err
+			}
+			initFn, err := mod.Function("init_grid")
+			if err != nil {
+				return err
+			}
+			stepFn, err := mod.Function("stencil_step")
+			if err != nil {
+				return err
+			}
+			a, err := h.alloc(4 * n)
+			if err != nil {
+				return err
+			}
+			b, err := h.alloc(4 * n)
+			if err != nil {
+				return err
+			}
+			cfg := cuda.LaunchConfig{
+				Grid:  gpu.Dim3{X: n / block, Y: 1, Z: 1},
+				Block: gpu.Dim3{X: block, Y: 1, Z: 1},
+			}
+			h.launch(initFn, cfg, n, a)
+			src, dst := a, b
+			for s := 0; s < steps; s++ {
+				h.launch(stepFn, cfg, n, src, dst, f32bitsConst(cc), f32bitsConst(ce))
+				src, dst = dst, src
+			}
+			final := h.readBack(src, 4*n)
+			h.out.Files["output.dat"] = final
+			h.out.Printf("303.ostencil grid %dx%dx%d steps %d\n", nx, ny, nz, steps)
+			h.out.Printf("checksum %s\n", fmtF(checksum32(f32From(final))))
+			return nil
+		},
+	}
+}

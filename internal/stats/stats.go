@@ -1,0 +1,138 @@
+// Package stats provides the statistical machinery fault-injection
+// campaigns report with: binomial confidence intervals over outcome
+// proportions (the paper: "100 injections provide results with 90%
+// confidence intervals and ±8% error margins; 1000 injections are necessary
+// for 95% confidence and ±3%"), sample-size planning, and weighted outcome
+// aggregation for permanent-fault campaigns.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// zValue returns the two-sided standard-normal critical value for the given
+// confidence level, via the Acklam rational approximation of the inverse
+// normal CDF (max relative error ~1.15e-9).
+func zValue(confidence float64) (float64, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	p := 1 - (1-confidence)/2
+	return invNormCDF(p), nil
+}
+
+// invNormCDF is Acklam's inverse normal CDF approximation.
+func invNormCDF(p float64) float64 {
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// MarginOfError returns the worst-case (p = 0.5) two-sided error margin of
+// an outcome proportion estimated from n injections at the given confidence
+// level.
+func MarginOfError(n int, confidence float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("stats: sample size %d must be positive", n)
+	}
+	z, err := zValue(confidence)
+	if err != nil {
+		return 0, err
+	}
+	return z * 0.5 / math.Sqrt(float64(n)), nil
+}
+
+// RequiredSamples returns the number of injections needed for the given
+// worst-case margin at the given confidence level.
+func RequiredSamples(margin, confidence float64) (int, error) {
+	if margin <= 0 || margin >= 1 {
+		return 0, fmt.Errorf("stats: margin %v outside (0,1)", margin)
+	}
+	z, err := zValue(confidence)
+	if err != nil {
+		return 0, err
+	}
+	return int(math.Ceil(z * z * 0.25 / (margin * margin))), nil
+}
+
+// Interval is a proportion estimate with its confidence bounds.
+type Interval struct {
+	P, Lo, Hi float64
+}
+
+// ProportionCI returns the normal-approximation confidence interval of a
+// proportion with k successes out of n trials, clamped to [0,1].
+func ProportionCI(k, n int, confidence float64) (Interval, error) {
+	if n <= 0 || k < 0 || k > n {
+		return Interval{}, fmt.Errorf("stats: invalid counts k=%d n=%d", k, n)
+	}
+	z, err := zValue(confidence)
+	if err != nil {
+		return Interval{}, err
+	}
+	p := float64(k) / float64(n)
+	m := z * math.Sqrt(p*(1-p)/float64(n))
+	return Interval{P: p, Lo: math.Max(0, p-m), Hi: math.Min(1, p+m)}, nil
+}
+
+// WeightedTally accumulates category shares with per-observation weights —
+// the aggregation the paper uses for permanent faults, where "the outcome of
+// each run is weighted based on the relative number of dynamic instructions
+// for that opcode".
+type WeightedTally struct {
+	weights map[string]float64
+	total   float64
+}
+
+// Add records an observation of category cat with the given weight.
+func (t *WeightedTally) Add(cat string, weight float64) {
+	if t.weights == nil {
+		t.weights = make(map[string]float64)
+	}
+	t.weights[cat] += weight
+	t.total += weight
+}
+
+// Share returns the weighted share of a category in [0,1].
+func (t *WeightedTally) Share(cat string) float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return t.weights[cat] / t.total
+}
+
+// Total returns the total accumulated weight.
+func (t *WeightedTally) Total() float64 { return t.total }
+
+// Categories returns the recorded categories, sorted.
+func (t *WeightedTally) Categories() []string {
+	cats := make([]string, 0, len(t.weights))
+	for c := range t.weights {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperMargins pins the paper's statistics: "100 injections provide
+// results with 90% confidence intervals and ±8% error margins ... 1000
+// injections are necessary to obtain results with 95% confidence intervals
+// and ±3% error margins".
+func TestPaperMargins(t *testing.T) {
+	m100, err := MarginOfError(100, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m100-0.08) > 0.003 {
+		t.Errorf("margin(100, 90%%) = %.4f, want ~0.08", m100)
+	}
+	m1000, err := MarginOfError(1000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1000-0.031) > 0.002 {
+		t.Errorf("margin(1000, 95%%) = %.4f, want ~0.031", m1000)
+	}
+}
+
+func TestRequiredSamplesInverse(t *testing.T) {
+	for _, conf := range []float64{0.90, 0.95, 0.99} {
+		for _, margin := range []float64{0.08, 0.03, 0.01} {
+			n, err := RequiredSamples(margin, conf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The margin at the required count must be at most the target...
+			got, err := MarginOfError(n, conf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got > margin*1.0001 {
+				t.Errorf("RequiredSamples(%v, %v) = %d gives margin %.5f", margin, conf, n, got)
+			}
+			// ...and one fewer sample must not suffice.
+			if n > 1 {
+				prev, err := MarginOfError(n-1, conf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev <= margin {
+					t.Errorf("RequiredSamples(%v, %v) = %d not minimal", margin, conf, n)
+				}
+			}
+		}
+	}
+}
+
+func TestInvNormCDFQuantiles(t *testing.T) {
+	known := map[float64]float64{
+		0.5:    0,
+		0.8413: 1.0,
+		0.975:  1.95996,
+		0.995:  2.57583,
+		0.9987: 3.01145,
+		0.0228: -1.9991,
+	}
+	for p, want := range known {
+		if got := invNormCDF(p); math.Abs(got-want) > 0.002 {
+			t.Errorf("invNormCDF(%v) = %.5f, want %.5f", p, got, want)
+		}
+	}
+}
+
+func TestInvNormCDFSymmetry(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 0.49)
+		if math.IsNaN(p) || p == 0 {
+			return true
+		}
+		lo, hi := invNormCDF(0.5-p), invNormCDF(0.5+p)
+		return math.Abs(lo+hi) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorsOnBadInputs(t *testing.T) {
+	if _, err := MarginOfError(0, 0.9); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MarginOfError(100, 0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+	if _, err := MarginOfError(100, 1); err == nil {
+		t.Error("confidence 1 accepted")
+	}
+	if _, err := RequiredSamples(0, 0.9); err == nil {
+		t.Error("margin 0 accepted")
+	}
+	if _, err := RequiredSamples(1.5, 0.9); err == nil {
+		t.Error("margin > 1 accepted")
+	}
+	if _, err := ProportionCI(5, 4, 0.9); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := ProportionCI(-1, 4, 0.9); err == nil {
+		t.Error("k < 0 accepted")
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	iv, err := ProportionCI(30, 100, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.P != 0.30 {
+		t.Errorf("P = %v", iv.P)
+	}
+	if iv.Lo >= iv.P || iv.Hi <= iv.P {
+		t.Errorf("interval %+v does not bracket the estimate", iv)
+	}
+	// Degenerate proportions clamp to [0,1].
+	zero, err := ProportionCI(0, 50, 0.95)
+	if err != nil || zero.Lo != 0 {
+		t.Errorf("zero-proportion CI: %+v, %v", zero, err)
+	}
+	one, err := ProportionCI(50, 50, 0.95)
+	if err != nil || one.Hi != 1 {
+		t.Errorf("full-proportion CI: %+v, %v", one, err)
+	}
+}
+
+// TestProportionCIQuick: the interval always brackets the point estimate
+// and stays in [0,1].
+func TestProportionCIQuick(t *testing.T) {
+	f := func(k8 uint8, extra uint8) bool {
+		n := int(k8) + int(extra) + 1
+		k := int(k8)
+		iv, err := ProportionCI(k, n, 0.95)
+		if err != nil {
+			return false
+		}
+		return iv.Lo >= 0 && iv.Hi <= 1 && iv.Lo <= iv.P && iv.P <= iv.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedTally(t *testing.T) {
+	var w WeightedTally
+	w.Add("SDC", 10)
+	w.Add("Masked", 20)
+	w.Add("SDC", 10)
+	if w.Total() != 40 {
+		t.Fatalf("total = %v", w.Total())
+	}
+	if w.Share("SDC") != 0.5 || w.Share("Masked") != 0.5 {
+		t.Fatalf("shares wrong: %v %v", w.Share("SDC"), w.Share("Masked"))
+	}
+	if w.Share("DUE") != 0 {
+		t.Error("missing category share should be 0")
+	}
+	cats := w.Categories()
+	if len(cats) != 2 || cats[0] != "Masked" || cats[1] != "SDC" {
+		t.Fatalf("categories = %v", cats)
+	}
+	var empty WeightedTally
+	if empty.Share("x") != 0 {
+		t.Error("empty tally share should be 0")
+	}
+}
