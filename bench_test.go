@@ -20,7 +20,9 @@ import (
 	"repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/gpu"
 	"repro/internal/nvbit"
+	"repro/internal/sass"
 )
 
 // injectionsPerProgram returns the campaign size.
@@ -597,5 +599,153 @@ func BenchmarkFig5_CampaignTimes(b *testing.B) {
 		printOnce(i, "transient/permanent campaign-time ratio: mean %.1fx, range %.1fx..%.1fx\n",
 			sum/float64(len(ratios)), lo, hi)
 		printOnce(i, "(paper: typically ~2x, ranging from ~5x longer to slightly faster; 16..41 executed opcodes per program)\n")
+	}
+}
+
+// --- Parallel block scheduler and warp hot loop ---------------------------
+
+// assembleBench builds a kernel for the scheduler microbenchmarks.
+func assembleBench(b *testing.B, src, name string) *sass.Kernel {
+	b.Helper()
+	p, err := sass.Assemble("bench", src)
+	if err != nil {
+		b.Fatalf("assemble: %v", err)
+	}
+	k, ok := p.Kernel(name)
+	if !ok {
+		b.Fatalf("kernel %q not found", name)
+	}
+	return k
+}
+
+// benchBusySrc is a compute-bound multi-block kernel: each thread runs a
+// 512-iteration IMAD loop and stores its result.
+const benchBusySrc = `
+.kernel busy
+.param outptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0
+    MOV R5, 0x0
+    MOV R6, 0x1
+loop:
+    IMAD R6, R6, R0, 0x7
+    IADD R5, R5, 0x1
+    ISETP.LT.AND P0, R5, 0x200, PT
+@P0 BRA loop
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[outptr]
+    STG.32 [R4], R6
+    EXIT
+`
+
+// BenchmarkRunParallelBlocks measures a 64-block compute-bound launch under
+// increasing device worker counts. On a single-core host the parallel
+// schedule measures pure dispatch overhead; on a multi-core host it shows
+// block-level speedup (see EXPERIMENTS.md).
+func BenchmarkRunParallelBlocks(b *testing.B) {
+	k := assembleBench(b, benchBusySrc, "busy")
+	const blocks, threads = 64, 128
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			d, err := gpu.NewDevice(nvbitfi.Volta, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Workers = workers
+			outp, err := d.Mem.Alloc(4 * blocks * threads)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l := &gpu.Launch{
+				Kernel: &gpu.ExecKernel{K: k},
+				Grid:   gpu.Dim3{X: blocks, Y: 1, Z: 1},
+				Block:  gpu.Dim3{X: threads, Y: 1, Z: 1},
+				Params: []uint32{outp},
+			}
+			var warpInstrs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := d.Run(l)
+				if err != nil {
+					b.Fatal(err)
+				}
+				warpInstrs = stats.WarpInstrs
+			}
+			b.ReportMetric(float64(warpInstrs)*float64(b.N)/b.Elapsed().Seconds(), "warp-instrs/s")
+		})
+	}
+}
+
+// benchDivergedSrc splits every warp into two PC clusters for the whole
+// run: even lanes spin in one loop, odd lanes in another, reconverging only
+// at the final store. The interpreter must re-scan per-lane PCs on every
+// instruction, which is exactly the work the converged fast path skips.
+const benchDivergedSrc = `
+.kernel div
+.param outptr
+    S2R R0, SR_TID.X
+    LOP.AND R1, R0, 0x1
+    ISETP.EQ.AND P0, R1, 0x1, PT
+    MOV R5, 0x0
+    MOV R6, 0x1
+@P0 BRA oddloop
+evenloop:
+    IMAD R6, R6, R0, 0x7
+    IADD R5, R5, 0x1
+    ISETP.LT.AND P1, R5, 0x200, PT
+@P1 BRA evenloop
+    BRA store
+oddloop:
+    IMAD R6, R6, R0, 0xb
+    IADD R5, R5, 0x1
+    ISETP.LT.AND P2, R5, 0x200, PT
+@P2 BRA oddloop
+store:
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[outptr]
+    STG.32 [R4], R6
+    EXIT
+`
+
+// BenchmarkWarpHotLoop compares the converged fast path (all 32 lanes share
+// one PC, no per-lane scans) against fully divergent execution on the same
+// per-thread workload.
+func BenchmarkWarpHotLoop(b *testing.B) {
+	cases := []struct {
+		name, src, kernel string
+	}{
+		{"converged", benchBusySrc, "busy"},
+		{"divergent", benchDivergedSrc, "div"},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			k := assembleBench(b, tc.src, tc.kernel)
+			d, err := gpu.NewDevice(nvbitfi.Volta, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			outp, err := d.Mem.Alloc(4 * 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l := &gpu.Launch{
+				Kernel: &gpu.ExecKernel{K: k},
+				Grid:   gpu.Dim3{X: 1, Y: 1, Z: 1},
+				Block:  gpu.Dim3{X: 32, Y: 1, Z: 1},
+				Params: []uint32{outp},
+			}
+			var threadInstrs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := d.Run(l)
+				if err != nil {
+					b.Fatal(err)
+				}
+				threadInstrs = stats.ThreadInstrs
+			}
+			b.ReportMetric(float64(threadInstrs)*float64(b.N)/b.Elapsed().Seconds(), "thread-instrs/s")
+		})
 	}
 }

@@ -258,6 +258,9 @@ func cmdCampaign(args []string) error {
 	bitflip := fs.Int("bitflip", 1, "bit-flip model 1..4")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	permanent := fs.Bool("permanent", false, "run a permanent campaign instead")
+	parallel := fs.Int("parallel", 0, "concurrent injection experiments (0 = one per CPU)")
+	workers := fs.Int("workers", 0, "per-device block-parallel workers for uninstrumented launches (0 or 1 = sequential)")
+	timing := fs.Bool("timing", false, "timing-fidelity mode: run experiments sequentially so durations are meaningful")
 	csvPath := fs.String("csv", "", "write the outcome distribution as CSV to this file")
 	runlogPath := fs.String("runlog", "", "write one line per injection run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -281,7 +284,7 @@ func cmdCampaign(args []string) error {
 		}
 		programs = []nvbitfi.Workload{w}
 	}
-	r := nvbitfi.Runner{}
+	r := nvbitfi.Runner{Workers: *workers}
 	var results []*nvbitfi.CampaignResult
 	for _, w := range programs {
 		golden, err := r.Golden(w)
@@ -294,14 +297,23 @@ func cmdCampaign(args []string) error {
 		}
 		var res *nvbitfi.CampaignResult
 		if *permanent {
+			p := *parallel
+			if *timing {
+				p = 1
+			}
 			res, err = nvbitfi.RunPermanentCampaign(r, w, golden, profile,
-				nvbitfi.BitFlipModel(*bitflip), *seed, 1)
+				nvbitfi.BitFlipModel(*bitflip), *seed, p)
 		} else {
 			res, err = nvbitfi.RunTransientCampaign(r, w, golden, profile, nvbitfi.TransientCampaignConfig{
 				Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
+				Parallel: *parallel, TimingFidelity: *timing,
 			})
 		}
 		if err != nil {
+			if res != nil {
+				// Degraded campaign: print what completed, then fail.
+				fmt.Println(report.Summary(res))
+			}
 			return err
 		}
 		results = append(results, res)

@@ -1,8 +1,11 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,6 +27,15 @@ type Runner struct {
 	// BudgetFactor multiplies the golden run's warp-instruction count to
 	// form the hang-detection budget (default 10).
 	BudgetFactor uint64
+	// Workers is the per-device block-parallelism degree plumbed into
+	// gpu.Device.Workers: uninstrumented launches (golden runs, non-target
+	// kernels) dispatch independent thread blocks across this many
+	// goroutines. 0 or 1 keeps the sequential reference schedule.
+	// Instrumented launches always run sequentially — callback order is
+	// injection semantics — so campaign throughput usually comes from
+	// experiment-level parallelism (TransientCampaignConfig.Parallel)
+	// instead.
+	Workers int
 }
 
 // applyDefaults fills zero fields.
@@ -47,6 +59,7 @@ func (r Runner) newContext() (*cuda.Context, error) {
 	if err != nil {
 		return nil, err
 	}
+	dev.Workers = r.Workers
 	return cuda.NewContext(dev)
 }
 
@@ -208,9 +221,15 @@ type TransientCampaignConfig struct {
 	BitFlip core.BitFlipModel
 	// Seed makes site selection reproducible.
 	Seed int64
-	// Parallel bounds concurrent experiments (default 1; timing results
-	// are only meaningful sequentially).
+	// Parallel bounds concurrent experiments. Zero defaults to
+	// runtime.NumCPU(), or 1 when TimingFidelity is set. Outcomes are
+	// independent of Parallel: every experiment gets a fresh device and
+	// its fault parameters are selected up front from the seed.
 	Parallel int
+	// TimingFidelity forces sequential experiments by default so per-run
+	// durations measure interpreter time, not scheduler contention — the
+	// mode for Figure 4-style overhead measurements.
+	TimingFidelity bool
 }
 
 func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
@@ -224,7 +243,11 @@ func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
 		c.BitFlip = core.FlipSingleBit
 	}
 	if c.Parallel <= 0 {
-		c.Parallel = 1
+		if c.TimingFidelity {
+			c.Parallel = 1
+		} else {
+			c.Parallel = runtime.NumCPU()
+		}
 	}
 	return c
 }
@@ -259,12 +282,14 @@ func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 	results := make([]RunResult, len(params))
 	errs := make([]error, len(params))
 	var wg sync.WaitGroup
+	// Acquire the semaphore before spawning so a 1000-injection campaign
+	// keeps at most Parallel goroutines alive instead of parking them all.
 	sem := make(chan struct{}, cfg.Parallel)
 	for i := range params {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			res, err := r.RunTransient(w, golden, params[i])
 			if err != nil {
@@ -275,12 +300,23 @@ func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		// Degrade gracefully: summarize the runs that completed and return
+		// the aggregated per-run errors alongside the partial result.
+		return summarize(w.Name(), golden, filterOK(results, errs), nil), err
 	}
 	return summarize(w.Name(), golden, results, nil), nil
+}
+
+// filterOK returns the results whose runs completed without error.
+func filterOK(results []RunResult, errs []error) []RunResult {
+	ok := make([]RunResult, 0, len(results))
+	for i := range results {
+		if errs[i] == nil {
+			ok = append(ok, results[i])
+		}
+	}
+	return ok
 }
 
 // RunPermanentCampaign runs one permanent fault per executed opcode and
@@ -292,7 +328,7 @@ func RunPermanentCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 		bf = core.FlipSingleBit
 	}
 	if parallel <= 0 {
-		parallel = 1
+		parallel = runtime.NumCPU()
 	}
 	rr := r.applyDefaults()
 	rng := rand.New(rand.NewSource(seed))
@@ -309,10 +345,10 @@ func RunPermanentCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallel)
 	for i := range faults {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			res, err := rr.RunPermanent(w, golden, *faults[i], nil, nil)
 			if err != nil {
@@ -324,15 +360,15 @@ func RunPermanentCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 
 	weighted := &stats.WeightedTally{}
 	for i := range results {
-		weighted.Add(results[i].Class.Outcome.String(), weights[i])
+		if errs[i] == nil {
+			weighted.Add(results[i].Class.Outcome.String(), weights[i])
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return summarize(w.Name(), golden, filterOK(results, errs), weighted), err
 	}
 	return summarize(w.Name(), golden, results, weighted), nil
 }
@@ -365,11 +401,7 @@ func median(d []time.Duration) time.Duration {
 		return 0
 	}
 	s := append([]time.Duration(nil), d...)
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	return s[len(s)/2]
 }
 

@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/campaign"
@@ -73,6 +74,86 @@ func TestCampaignParallelEquivalence(t *testing.T) {
 			t.Fatalf("run %d: sequential %v vs parallel %v",
 				i, seq.Runs[i].Class, par.Runs[i].Class)
 		}
+	}
+}
+
+// TestDeviceWorkersEquivalence: running each experiment's thread blocks
+// across parallel device workers must not change the golden output, the
+// launch statistics, or any injection outcome relative to the sequential
+// per-device schedule. Injection runs themselves are instrumented (and thus
+// forced sequential), so this primarily exercises golden and profiling
+// launches plus the campaign plumbing of Runner.Workers.
+func TestDeviceWorkersEquivalence(t *testing.T) {
+	w, err := specaccel.ByName("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (*campaign.GoldenResult, *campaign.CampaignResult) {
+		t.Helper()
+		r := campaign.Runner{Workers: workers}
+		golden, err := r.Golden(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profile, _, err := r.Profile(w, core.Exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := campaign.RunTransientCampaign(r, w, golden, profile,
+			campaign.TransientCampaignConfig{Injections: 10, Seed: 5, Parallel: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return golden, res
+	}
+	seqGolden, seq := run(1)
+	parGolden, par := run(4)
+	if seqGolden.Output.Stdout != parGolden.Output.Stdout {
+		t.Fatalf("golden stdout differs between Workers=1 and Workers=4")
+	}
+	if seqGolden.Stats != parGolden.Stats {
+		t.Fatalf("golden stats: Workers=4 %+v, Workers=1 %+v", parGolden.Stats, seqGolden.Stats)
+	}
+	for i := range seq.Runs {
+		if seq.Runs[i].Class != par.Runs[i].Class || seq.Runs[i].Injection != par.Runs[i].Injection {
+			t.Fatalf("run %d: Workers=4 %+v vs Workers=1 %+v", i, par.Runs[i], seq.Runs[i])
+		}
+	}
+	if !reflect.DeepEqual(seq.Tally, par.Tally) {
+		t.Fatalf("tally: Workers=4 %+v, Workers=1 %+v", par.Tally, seq.Tally)
+	}
+}
+
+// TestCampaignPartialResult: when every experiment fails with an
+// infrastructure error, the campaign must return the joined error together
+// with a partial (zero-run) result rather than discarding the summary.
+func TestCampaignPartialResult(t *testing.T) {
+	w, err := specaccel.ByName("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := campaign.Runner{}
+	golden, err := good.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := good.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NumSMs < 0 survives default-filling and makes every device
+	// construction — hence every experiment — fail.
+	broken := campaign.Runner{NumSMs: -1}
+	res, err := campaign.RunTransientCampaign(broken, w, golden, profile,
+		campaign.TransientCampaignConfig{Injections: 4, Seed: 7})
+	if err == nil {
+		t.Fatal("campaign with a broken runner reported no error")
+	}
+	if res == nil {
+		t.Fatal("campaign error did not come with a partial result")
+	}
+	if res.Tally.N != 0 {
+		t.Fatalf("partial tally counted %d runs, want 0", res.Tally.N)
 	}
 }
 

@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/sass"
 )
@@ -34,11 +35,22 @@ type Device struct {
 	Family sass.Family
 	NumSMs int
 
+	// Workers is the number of goroutines Run may use to execute
+	// independent thread blocks concurrently, mirroring how real hardware
+	// runs blocks across SMs. 0 or 1 selects the sequential reference
+	// schedule. Instrumented launches always run sequentially regardless:
+	// injection and profiling tools count dynamic instructions globally, so
+	// callback order is part of the injection semantics. The effective
+	// worker count is capped at NumSMs so every SM's clock has exactly one
+	// owner (see runParallel).
+	Workers int
+
 	// Mem is global device memory.
 	Mem *Memory
 
 	log      []LogEvent
-	smClocks []uint64 // per-SM executed-instruction counters (CS2R/SR_CLOCK)
+	smClocks []uint64   // per-SM executed-instruction counters (CS2R/SR_CLOCK)
+	atomMu   sync.Mutex // serializes global-memory atomics across parallel blocks
 }
 
 // NewDevice creates a device of the given family with numSMs streaming

@@ -1,10 +1,12 @@
 package gpu
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/bits"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -124,3 +126,315 @@ func randomALUProgram(rng *rand.Rand) (string, [16]uint32) {
 // including NaN propagation from Float32bits round trips, so this is an
 // identity in practice; it documents the expectation).
 func normalizeNaNs(r [16]uint32) [16]uint32 { return r }
+
+// ---------------------------------------------------------------------------
+// Parallel block scheduler determinism: Workers=N must be bit-identical to
+// the Workers=1 reference schedule — output memory, LaunchStats, traps, and
+// device log — for every workload class the simulator supports.
+// ---------------------------------------------------------------------------
+
+// clockMixSrc is a multi-block kernel mixing divergent control flow with
+// per-SM clock reads (S2R SR_CLOCK and CS2R). Clock values depend on the
+// exact per-SM instruction schedule, so storing them to global memory makes
+// any scheduling difference between sequential and parallel mode visible in
+// the output bytes.
+const clockMixSrc = `
+.kernel clockmix
+.param outptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0           // global thread id
+    SHL R3, R0, 0x2
+    IADD R4, R3, c0[outptr]
+    LOP.AND R5, R0, 0x3
+    ISETP.EQ.AND P0, R5, 0x0, PT
+@P0 BRA clk
+    IMAD R6, R0, R0, 0x7          // most lanes: tid*tid + 7
+    BRA store
+clk:
+    S2R R6, SR_CLOCK              // every 4th lane: the per-SM clock
+store:
+    CS2R R8, RZ
+    IADD R6, R6, R8
+    STG.32 [R4], R6
+    EXIT
+`
+
+// gridReduceSrc reduces a 256-element slice per block through shared memory
+// and barriers, writing one partial sum per block: barriers, shared memory,
+// and looping control flow under the parallel scheduler.
+const gridReduceSrc = `
+.kernel gridreduce
+.param inptr
+.param outptr
+.shared 1024
+    S2R R0, SR_TID.X
+    S2R R12, SR_CTAID.X
+    MOV R13, c0[NTID_X]
+    IMAD R14, R12, R13, R0        // global thread id
+    SHL R1, R0, 0x2               // local byte offset
+    SHL R15, R14, 0x2
+    IADD R2, R15, c0[inptr]
+    LDG.32 R3, [R2]
+    STS.32 [R1], R3
+    BAR.SYNC
+    MOV R4, 0x100
+loop:
+    SHR.U32 R4, R4, 0x1
+    ISETP.EQ.AND P1, R4, 0x0, PT
+@P1 BRA done
+    ISETP.GE.AND P0, R0, R4, PT
+@P0 BRA skip
+    SHL R5, R4, 0x2
+    IADD R6, R1, R5
+    LDS.32 R7, [R6]
+    LDS.32 R8, [R1]
+    IADD R9, R7, R8
+    STS.32 [R1], R9
+skip:
+    BAR.SYNC
+    BRA loop
+done:
+    ISETP.NE.AND P2, R0, 0x0, PT
+@P2 EXIT
+    SHL R16, R12, 0x2
+    IADD R11, R16, c0[outptr]
+    LDS.32 R10, [RZ]
+    STG.32 [R11], R10
+    EXIT
+`
+
+// parRun captures everything a launch can observably produce.
+type parRun struct {
+	out   []byte
+	stats LaunchStats
+	err   error
+	log   []LogEvent
+}
+
+// runWithWorkers builds a fresh device (so allocations land at identical
+// addresses in every run), sets the worker count, runs the launch the setup
+// function describes, and snapshots the observable state.
+func runWithWorkers(t *testing.T, src, name string, workers int,
+	setup func(t *testing.T, d *Device) (Launch, uint32, int)) parRun {
+	t.Helper()
+	d := newTestDevice(t)
+	d.Workers = workers
+	k := mustKernel(t, src, name)
+	l, outp, outLen := setup(t, d)
+	l.Kernel = &ExecKernel{K: k}
+	stats, err := d.Run(&l)
+	r := parRun{stats: stats, err: err, log: d.LogEvents()}
+	if outLen > 0 {
+		b, rerr := d.Mem.ReadBytes(outp, outLen)
+		if rerr != nil {
+			t.Fatalf("ReadBytes: %v", rerr)
+		}
+		r.out = b
+	}
+	return r
+}
+
+// mustAllocWrite allocates n bytes and, if data is non-nil, writes it.
+func mustAllocWrite(t *testing.T, d *Device, n int, data []byte) uint32 {
+	t.Helper()
+	p, err := d.Mem.Alloc(n)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if data != nil {
+		if err := d.Mem.WriteBytes(p, data); err != nil {
+			t.Fatalf("WriteBytes: %v", err)
+		}
+	}
+	return p
+}
+
+// expectSame asserts two runs are observably bit-identical.
+func expectSame(t *testing.T, label string, ref, got parRun) {
+	t.Helper()
+	refErr, gotErr := fmt.Sprint(ref.err), fmt.Sprint(got.err)
+	if refErr != gotErr {
+		t.Errorf("%s: error %q, want %q", label, gotErr, refErr)
+	}
+	if rt, ok := AsTrap(ref.err); ok {
+		gt, gok := AsTrap(got.err)
+		if !gok || !reflect.DeepEqual(rt, gt) {
+			t.Errorf("%s: trap %+v, want %+v", label, gt, rt)
+		}
+	}
+	if !reflect.DeepEqual(ref.stats, got.stats) {
+		t.Errorf("%s: stats %+v, want %+v", label, got.stats, ref.stats)
+	}
+	if !bytes.Equal(ref.out, got.out) {
+		for i := 0; i < len(ref.out) && i < len(got.out); i += 4 {
+			if !bytes.Equal(ref.out[i:i+4], got.out[i:i+4]) {
+				t.Errorf("%s: output word %d = %x, want %x", label, i/4, got.out[i:i+4], ref.out[i:i+4])
+				break
+			}
+		}
+		t.Errorf("%s: output bytes differ from sequential reference", label)
+	}
+	if !reflect.DeepEqual(ref.log, got.log) {
+		t.Errorf("%s: device log %+v, want %+v", label, got.log, ref.log)
+	}
+}
+
+// TestParallelBlockDeterminism runs multi-block workloads — divergent
+// control flow with per-SM clock reads, and a barrier-synchronized shared
+// memory reduction grid — under every interesting worker count, including
+// one above the NumSMs cap, and requires bit-identical results against the
+// sequential reference schedule.
+func TestParallelBlockDeterminism(t *testing.T) {
+	cases := []struct {
+		name, src, kernel string
+		setup             func(t *testing.T, d *Device) (Launch, uint32, int)
+	}{
+		{
+			name: "clockmix", src: clockMixSrc, kernel: "clockmix",
+			setup: func(t *testing.T, d *Device) (Launch, uint32, int) {
+				const n = 8 * 64
+				outp := mustAllocWrite(t, d, 4*n, nil)
+				return Launch{
+					Grid:   Dim3{X: 8, Y: 1, Z: 1},
+					Block:  Dim3{X: 64, Y: 1, Z: 1},
+					Params: []uint32{outp},
+				}, outp, 4 * n
+			},
+		},
+		{
+			name: "gridreduce", src: gridReduceSrc, kernel: "gridreduce",
+			setup: func(t *testing.T, d *Device) (Launch, uint32, int) {
+				const blocks, threads = 6, 256
+				in := make([]byte, 4*blocks*threads)
+				for i := 0; i < blocks*threads; i++ {
+					in[4*i] = byte(i)
+					in[4*i+1] = byte(i >> 8)
+				}
+				inp := mustAllocWrite(t, d, len(in), in)
+				outp := mustAllocWrite(t, d, 4*blocks, nil)
+				return Launch{
+					Grid:   Dim3{X: blocks, Y: 1, Z: 1},
+					Block:  Dim3{X: threads, Y: 1, Z: 1},
+					Params: []uint32{inp, outp},
+				}, outp, 4 * blocks
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runWithWorkers(t, tc.src, tc.kernel, 1, tc.setup)
+			if ref.err != nil {
+				t.Fatalf("sequential reference: %v", ref.err)
+			}
+			// 16 exceeds the NumSMs=4 cap and must behave like 4.
+			for _, w := range []int{2, 4, 16} {
+				got := runWithWorkers(t, tc.src, tc.kernel, w, tc.setup)
+				expectSame(t, fmt.Sprintf("workers=%d", w), ref, got)
+			}
+		})
+	}
+}
+
+// concurrentFaultSrc faults in every block with ctaid >= 2, each at a
+// different address, while blocks 0 and 1 complete real work. Several
+// workers hit their traps concurrently; the reported trap must always be
+// the one sequential execution reports (lowest block linear index).
+const concurrentFaultSrc = `
+.kernel faulty
+.param outptr
+    S2R R0, SR_CTAID.X
+    ISETP.GE.AND P0, R0, 0x2, PT
+@P0 BRA bad
+    S2R R1, SR_TID.X
+    MOV R2, c0[NTID_X]
+    IMAD R1, R0, R2, R1
+    SHL R3, R1, 0x2
+    IADD R4, R3, c0[outptr]
+    IADD R5, R1, 0x2a
+    STG.32 [R4], R5
+    EXIT
+bad:
+    SHL R6, R0, 0x4
+    IADD R7, R6, 0x3              // per-block distinct unmapped address
+    LDG.32 R8, [R7]
+    EXIT
+`
+
+// TestParallelTrapDeterminism: with six blocks faulting concurrently, the
+// parallel scheduler must report the exact trap (kind, PC, SM, address) and
+// LaunchStats the sequential schedule reports, on every run.
+func TestParallelTrapDeterminism(t *testing.T) {
+	setup := func(t *testing.T, d *Device) (Launch, uint32, int) {
+		const n = 2 * 32
+		outp := mustAllocWrite(t, d, 4*n, nil)
+		return Launch{
+			Grid:   Dim3{X: 8, Y: 1, Z: 1},
+			Block:  Dim3{X: 32, Y: 1, Z: 1},
+			Params: []uint32{outp},
+		}, outp, 4 * n
+	}
+	ref := runWithWorkers(t, concurrentFaultSrc, "faulty", 1, setup)
+	trap, ok := AsTrap(ref.err)
+	if !ok {
+		t.Fatalf("sequential run did not trap: %v", ref.err)
+	}
+	// The winner must be block 2, the lowest faulting block.
+	if want := uint32(2<<4 + 3); trap.Addr != want {
+		t.Fatalf("sequential trap address = %#x, want %#x (block 2)", trap.Addr, want)
+	}
+	if ref.stats.Blocks != 2 {
+		t.Fatalf("sequential stats counted %d completed blocks, want 2", ref.stats.Blocks)
+	}
+	if len(ref.log) != 1 {
+		t.Fatalf("sequential run logged %d events, want 1", len(ref.log))
+	}
+	// The race is re-rolled every run; repeat to shake out unlucky
+	// schedules (under -race this is also a data-race probe).
+	for i := 0; i < 10; i++ {
+		got := runWithWorkers(t, concurrentFaultSrc, "faulty", 4, setup)
+		expectSame(t, fmt.Sprintf("run %d", i), ref, got)
+		if t.Failed() {
+			break
+		}
+	}
+}
+
+// TestParallelBudgetHang: the launch budget is one shared counter, so a
+// spinning grid must exhaust it and trap as a hang under both schedules.
+// With a single-instruction kernel the trap site is fully deterministic
+// even though which block drains the final token is schedule-dependent.
+func TestParallelBudgetHang(t *testing.T) {
+	const src = `
+.kernel spin
+loop:
+    BRA loop
+`
+	setup := func(t *testing.T, d *Device) (Launch, uint32, int) {
+		return Launch{
+			Grid:   Dim3{X: 8, Y: 1, Z: 1},
+			Block:  Dim3{X: 32, Y: 1, Z: 1},
+			Budget: 10000,
+		}, 0, 0
+	}
+	ref := runWithWorkers(t, src, "spin", 1, setup)
+	rt, ok := AsTrap(ref.err)
+	if !ok || rt.Kind != TrapInstrLimit {
+		t.Fatalf("sequential spin: %v, want instruction-limit trap", ref.err)
+	}
+	if ref.stats.WarpInstrs != 10000 {
+		t.Fatalf("sequential spin issued %d warp instructions, want the full budget 10000", ref.stats.WarpInstrs)
+	}
+	got := runWithWorkers(t, src, "spin", 4, setup)
+	gt, ok := AsTrap(got.err)
+	if !ok || gt.Kind != TrapInstrLimit {
+		t.Fatalf("parallel spin: %v, want instruction-limit trap", got.err)
+	}
+	if !reflect.DeepEqual(rt, gt) {
+		t.Errorf("parallel trap %+v, want %+v", gt, rt)
+	}
+	if got.stats.WarpInstrs > 10000 {
+		t.Errorf("parallel spin counted %d warp instructions, exceeding the shared budget", got.stats.WarpInstrs)
+	}
+}

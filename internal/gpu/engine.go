@@ -3,6 +3,9 @@ package gpu
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/sass"
 )
@@ -11,18 +14,109 @@ import (
 // per-lane program counters and min-PC scheduling: each step executes the
 // instruction at the smallest live PC for every lane currently at that PC,
 // which reconverges diverged lanes naturally and deterministically.
+//
+// Lane liveness is tracked with bitmasks rather than per-lane bool arrays
+// so the hot loop never scans 32 lanes for bookkeeping. While every live
+// lane sits at the same PC the warp is "converged": convPC is authoritative
+// and the per-lane pc array is stale. Control-flow instructions materialize
+// the per-lane PCs before executing (see blockCtx.step).
 type warp struct {
-	id       int
-	pc       [WarpSize]int32
-	exited   [WarpSize]bool
-	regs     [WarpSize][sass.NumRegs]uint32
-	preds    [WarpSize][sass.NumPreds]bool
-	tid      [WarpSize]Dim3
-	local    [WarpSize][]byte
-	stack    [WarpSize][]int32
-	liveMask uint32 // lanes that exist in this warp (partial last warp)
-	barWait  bool
-	done     bool
+	id         int
+	pc         [WarpSize]int32
+	regs       [WarpSize][sass.NumRegs]uint32
+	preds      [WarpSize][sass.NumPreds]bool
+	tid        [WarpSize]Dim3
+	local      [WarpSize][]byte
+	stack      [WarpSize][]int32
+	liveMask   uint32 // lanes that exist in this warp (partial last warp)
+	exitedMask uint32 // lanes that have executed EXIT
+	converged  bool   // all live lanes share one PC; pc[] may be stale
+	convPC     int32  // the shared PC while converged
+	barWait    bool
+	done       bool
+}
+
+// activeMask returns the lanes that exist and have not exited.
+func (w *warp) activeMask() uint32 { return w.liveMask &^ w.exitedMask }
+
+// schedule returns the next PC to issue and the set of live lanes at it,
+// or done when every lane has exited. On the converged fast path this is
+// two loads; otherwise it is the min-PC scan, which also re-detects
+// reconvergence so the warp drops back onto the fast path.
+func (w *warp) schedule() (minPC int32, atPC uint32, done bool) {
+	active := w.liveMask &^ w.exitedMask
+	if active == 0 {
+		return 0, 0, true
+	}
+	if w.converged {
+		return w.convPC, active, false
+	}
+	first := true
+	for m := active; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		if first || w.pc[lane] < minPC {
+			minPC = w.pc[lane]
+			first = false
+		}
+	}
+	for m := active; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		if w.pc[lane] == minPC {
+			atPC |= 1 << uint(lane)
+		}
+	}
+	if atPC == active {
+		// Every live lane reconverged at one PC: back to the fast path.
+		w.converged = true
+		w.convPC = minPC
+	}
+	return minPC, atPC, false
+}
+
+// guardMask evaluates the instruction guard for the lanes in atPC.
+func guardMask(w *warp, in *sass.Instr, atPC uint32) uint32 {
+	if in.Guard.Pred == sass.PT {
+		if in.Guard.Neg {
+			return 0
+		}
+		return atPC
+	}
+	var execMask uint32
+	for m := atPC; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		if w.preds[lane][in.Guard.Pred] != in.Guard.Neg {
+			execMask |= 1 << uint(lane)
+		}
+	}
+	return execMask
+}
+
+// semAltersFlow reports whether the semantic can write per-lane PCs, which
+// forces the converged fast path to materialize them first. EXIT and BAR
+// are not flow-altering in this sense: they change only liveness and
+// scheduling state, never the surviving lanes' PCs.
+func semAltersFlow(sem sass.SemKind) bool {
+	switch sem {
+	case sass.SemBra, sass.SemJmp, sass.SemBrx, sass.SemCall, sass.SemRet:
+		return true
+	}
+	return false
+}
+
+// budgetCounter is the launch instruction budget. The parallel scheduler
+// shares one counter across its workers and draws from it atomically, so
+// exactly the budgeted number of warp instructions issue in either mode.
+type budgetCounter struct {
+	remaining int64
+	shared    bool
+}
+
+func (b *budgetCounter) take() bool {
+	if b.shared {
+		return atomic.AddInt64(&b.remaining, -1) >= 0
+	}
+	b.remaining--
+	return b.remaining >= 0
 }
 
 // blockCtx is the per-block execution state.
@@ -36,6 +130,7 @@ type blockCtx struct {
 	smID      int
 	blockIdx  Dim3
 	blockLin  int
+	parallel  bool  // block runs concurrently with others (gates atomics locking)
 	scratch   *warp // trampoline execution state
 }
 
@@ -90,13 +185,16 @@ func (blk *blockCtx) runTrampoline() {
 	}
 	w := blk.scratch
 	for i := range trampolineInstrs {
-		blk.exec(w, &trampolineInstrs[i], 0, ^uint32(0), ^uint32(0))
+		blk.exec(w, &trampolineInstrs[i], 0, ^uint32(0))
 	}
 }
 
 // Run executes a kernel launch to completion, a trap, or budget exhaustion.
-// Blocks are scheduled round-robin across SMs and executed in a fixed,
-// deterministic order.
+// With Workers <= 1, or when the kernel carries instrumentation, blocks are
+// scheduled round-robin across SMs on one goroutine in a fixed,
+// deterministic order. Otherwise independent blocks are dispatched across a
+// worker pool (see runParallel); results are bit-identical to the
+// sequential schedule for race-free workloads.
 func (d *Device) Run(l *Launch) (LaunchStats, error) {
 	var stats LaunchStats
 	if l.Kernel == nil || l.Kernel.K == nil {
@@ -117,14 +215,47 @@ func (d *Device) Run(l *Launch) (LaunchStats, error) {
 	if budget == 0 {
 		budget = DefaultBudget
 	}
+	if budget > math.MaxInt64 {
+		budget = math.MaxInt64
+	}
 
 	constBank := buildConstBank(l)
+	workers := d.Workers
+	if workers > d.NumSMs {
+		workers = d.NumSMs
+	}
+	if workers > l.Grid.Count() {
+		workers = l.Grid.Count()
+	}
+
+	var err error
+	if workers <= 1 || l.Kernel.Instrumented() {
+		// Instrumented launches always take the sequential path: injection
+		// and profiling tools count dynamic instructions globally across
+		// blocks, so callback order is part of the injection semantics.
+		stats, err = d.runSequential(l, constBank, budget)
+	} else {
+		stats, err = d.runParallel(l, constBank, budget, workers)
+	}
+	if t, ok := AsTrap(err); ok {
+		// The device log is the dmesg analog; log the (deterministically
+		// selected) trap once, after all workers have quiesced.
+		d.logf("Xid", "%s", t.Error())
+	}
+	return stats, err
+}
+
+// runSequential is the Workers=1 reference schedule: blocks execute one at
+// a time in linear block order.
+func (d *Device) runSequential(l *Launch, constBank []byte, budgetN uint64) (LaunchStats, error) {
+	var stats LaunchStats
+	budget := &budgetCounter{remaining: int64(budgetN)}
 	blockLin := 0
 	for bz := 0; bz < l.Grid.Z; bz++ {
 		for by := 0; by < l.Grid.Y; by++ {
 			for bx := 0; bx < l.Grid.X; bx++ {
 				blk := newBlockCtx(d, l, constBank, Dim3{bx, by, bz}, blockLin)
-				if err := blk.run(&budget, &stats); err != nil {
+				if err := blk.run(budget, &stats); err != nil {
 					return stats, err
 				}
 				stats.Blocks++
@@ -164,11 +295,10 @@ func newBlockCtx(d *Device, l *Launch, constBank []byte, blockIdx Dim3, blockLin
 		blockLin:  blockLin,
 	}
 	for w := 0; w < numWarps; w++ {
-		wp := &warp{id: w}
+		wp := &warp{id: w, converged: true}
 		for lane := 0; lane < WarpSize; lane++ {
 			t := w*WarpSize + lane
 			if t >= blockSize {
-				wp.exited[lane] = true
 				continue
 			}
 			wp.liveMask |= 1 << uint(lane)
@@ -178,6 +308,7 @@ func newBlockCtx(d *Device, l *Launch, constBank []byte, blockIdx Dim3, blockLin
 				Z: t / (l.Block.X * l.Block.Y),
 			}
 		}
+		wp.exitedMask = ^wp.liveMask
 		blk.warps = append(blk.warps, wp)
 	}
 	return blk
@@ -186,7 +317,11 @@ func newBlockCtx(d *Device, l *Launch, constBank []byte, blockIdx Dim3, blockLin
 // run executes all warps of the block. Warps run round-robin; a warp yields
 // at barriers and when it finishes. All warps waiting at a barrier releases
 // it; a barrier that can never be satisfied is a hang.
-func (blk *blockCtx) run(budget *uint64, stats *LaunchStats) error {
+func (blk *blockCtx) run(budget *budgetCounter, stats *LaunchStats) error {
+	runWarp := blk.runWarpFast
+	if blk.ek.Instrumented() {
+		runWarp = blk.runWarpInstrumented
+	}
 	for {
 		progressed := false
 		allDone := true
@@ -198,7 +333,7 @@ func (blk *blockCtx) run(budget *uint64, stats *LaunchStats) error {
 				continue
 			}
 			allDone = false
-			if err := blk.runWarp(w, budget, stats); err != nil {
+			if err := runWarp(w, budget, stats); err != nil {
 				return err
 			}
 			progressed = true
@@ -243,8 +378,69 @@ func (blk *blockCtx) releaseBarrier() bool {
 	return true
 }
 
-// runWarp steps the warp until it exits, reaches a barrier, or traps.
-func (blk *blockCtx) runWarp(w *warp, budget *uint64, stats *LaunchStats) error {
+// step advances PCs for the lanes at this instruction and executes it,
+// maintaining the warp's convergence cache. On the converged fast path no
+// per-lane PC is written at all; control flow materializes the per-lane
+// PCs (guard-suppressed lanes fall through to next) and lets the branch
+// semantics override the taken lanes.
+func (blk *blockCtx) step(w *warp, in *sass.Instr, pc int32, atPC, execMask uint32) (barrier bool, kind TrapKind, faultAddr uint32) {
+	if w.converged && !semAltersFlow(in.Op.Info().Sem) {
+		w.convPC = pc + 1
+		return blk.exec(w, in, int(pc), execMask)
+	}
+	next := pc + 1
+	for m := atPC; m != 0; m &= m - 1 {
+		w.pc[bits.TrailingZeros32(m)] = next
+	}
+	w.converged = false
+	return blk.exec(w, in, int(pc), execMask)
+}
+
+// runWarpFast steps an uninstrumented warp until it exits, reaches a
+// barrier, or traps. This is the interpreter's hot loop: scheduling is two
+// loads while converged, and there is no instrumentation dispatch at all.
+func (blk *blockCtx) runWarpFast(w *warp, budget *budgetCounter, stats *LaunchStats) error {
+	instrs := blk.ek.K.Instrs
+	for {
+		minPC, atPC, done := w.schedule()
+		if done {
+			w.done = true
+			return nil
+		}
+		if minPC < 0 || int(minPC) >= len(instrs) {
+			return blk.trapErr(TrapBadPC, int(minPC), 0, "control transfer outside the kernel")
+		}
+		in := &instrs[minPC]
+		execMask := atPC
+		if !in.Guard.True() {
+			execMask = guardMask(w, in, atPC)
+		}
+
+		if !budget.take() {
+			return blk.trapErr(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+		}
+		stats.WarpInstrs++
+		stats.ThreadInstrs += uint64(popcount(execMask))
+		blk.dev.smClocks[blk.smID]++
+
+		barrier, kind, faultAddr := blk.step(w, in, minPC, atPC, execMask)
+		if kind != 0 {
+			return blk.trapErr(kind, int(minPC), faultAddr, "")
+		}
+		if barrier {
+			if execMask != w.activeMask() {
+				return blk.trapErr(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
+			}
+			w.barWait = true
+			return nil
+		}
+	}
+}
+
+// runWarpInstrumented is the instrumented twin of runWarpFast: identical
+// scheduling and accounting, plus the trampoline and Before/After/Step
+// callback dispatch around every instruction.
+func (blk *blockCtx) runWarpInstrumented(w *warp, budget *budgetCounter, stats *LaunchStats) error {
 	instrs := blk.ek.K.Instrs
 	ctx := InstrCtx{
 		Dev:      blk.dev,
@@ -256,97 +452,58 @@ func (blk *blockCtx) runWarp(w *warp, budget *uint64, stats *LaunchStats) error 
 		w:        w,
 		blk:      blk,
 	}
-	instrumented := blk.ek.Instrumented()
 
 	for {
-		// Find the minimum live PC and the lanes at it.
-		minPC := int32(0)
-		anyLive := false
-		for lane := 0; lane < WarpSize; lane++ {
-			if w.exited[lane] {
-				continue
-			}
-			if !anyLive || w.pc[lane] < minPC {
-				minPC = w.pc[lane]
-			}
-			anyLive = true
-		}
-		if !anyLive {
+		minPC, atPC, done := w.schedule()
+		if done {
 			w.done = true
 			return nil
 		}
 		if minPC < 0 || int(minPC) >= len(instrs) {
-			return blk.trap(TrapBadPC, int(minPC), 0, "control transfer outside the kernel")
+			return blk.trapErr(TrapBadPC, int(minPC), 0, "control transfer outside the kernel")
 		}
 		in := &instrs[minPC]
-
-		var atPC uint32
-		for lane := 0; lane < WarpSize; lane++ {
-			if !w.exited[lane] && w.pc[lane] == minPC {
-				atPC |= 1 << uint(lane)
-			}
-		}
-		// Evaluate the guard per lane.
 		execMask := atPC
 		if !in.Guard.True() {
-			execMask = 0
-			for lane := 0; lane < WarpSize; lane++ {
-				if atPC&(1<<uint(lane)) == 0 {
-					continue
-				}
-				v := w.preds[lane][in.Guard.Pred]
-				if in.Guard.Pred == sass.PT {
-					v = true
-				}
-				if v != in.Guard.Neg {
-					execMask |= 1 << uint(lane)
-				}
-			}
+			execMask = guardMask(w, in, atPC)
 		}
 
-		if *budget == 0 {
-			return blk.trap(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+		if !budget.take() {
+			return blk.trapErr(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
 		}
-		*budget--
 		stats.WarpInstrs++
 		stats.ThreadInstrs += uint64(popcount(execMask))
 		blk.dev.smClocks[blk.smID]++
 
-		if instrumented {
-			ctx.Instr = in
-			ctx.InstrIdx = int(minPC)
-			ctx.ActiveMask = execMask
-			if blk.ek.Before != nil && len(blk.ek.Before[minPC]) > 0 {
-				blk.runTrampoline()
-				for _, cb := range blk.ek.Before[minPC] {
-					cb(&ctx)
-				}
+		ctx.Instr = in
+		ctx.InstrIdx = int(minPC)
+		ctx.ActiveMask = execMask
+		if blk.ek.Before != nil && len(blk.ek.Before[minPC]) > 0 {
+			blk.runTrampoline()
+			for _, cb := range blk.ek.Before[minPC] {
+				cb(&ctx)
 			}
 		}
 
-		// Execute, then advance PCs. Guard-suppressed lanes at this PC fall
-		// through; branch semantics override nextPC for taken lanes.
-		barrier, kind, faultAddr := blk.exec(w, in, int(minPC), execMask, atPC)
+		barrier, kind, faultAddr := blk.step(w, in, minPC, atPC, execMask)
 		if kind != 0 {
-			return blk.trap(kind, int(minPC), faultAddr, "")
+			return blk.trapErr(kind, int(minPC), faultAddr, "")
 		}
 
-		if instrumented {
-			if blk.ek.After != nil && len(blk.ek.After[minPC]) > 0 {
-				blk.runTrampoline()
-				for _, cb := range blk.ek.After[minPC] {
-					cb(&ctx)
-				}
+		if blk.ek.After != nil && len(blk.ek.After[minPC]) > 0 {
+			blk.runTrampoline()
+			for _, cb := range blk.ek.After[minPC] {
+				cb(&ctx)
 			}
-			if blk.ek.Step != nil {
-				blk.runTrampoline()
-				blk.ek.Step(&ctx)
-			}
+		}
+		if blk.ek.Step != nil {
+			blk.runTrampoline()
+			blk.ek.Step(&ctx)
 		}
 
 		if barrier {
-			if execMask != w.liveMask&^exitedMask(w) {
-				return blk.trap(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
+			if execMask != w.activeMask() {
+				return blk.trapErr(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
 			}
 			w.barWait = true
 			return nil
@@ -354,18 +511,11 @@ func (blk *blockCtx) runWarp(w *warp, budget *uint64, stats *LaunchStats) error 
 	}
 }
 
-func exitedMask(w *warp) uint32 {
-	var m uint32
-	for lane := 0; lane < WarpSize; lane++ {
-		if w.exited[lane] {
-			m |= 1 << uint(lane)
-		}
-	}
-	return m
-}
-
-func (blk *blockCtx) trap(kind TrapKind, pc int, addr uint32, detail string) error {
-	t := &Trap{
+// trapErr builds the trap error for this block. Logging happens once in
+// Device.Run after the winning trap is selected, so the parallel scheduler
+// produces the same device log as the sequential one.
+func (blk *blockCtx) trapErr(kind TrapKind, pc int, addr uint32, detail string) error {
+	return &Trap{
 		Kind:   kind,
 		Kernel: blk.ek.K.Name,
 		PC:     pc,
@@ -373,6 +523,4 @@ func (blk *blockCtx) trap(kind TrapKind, pc int, addr uint32, detail string) err
 		Addr:   addr,
 		Detail: detail,
 	}
-	blk.dev.logf("Xid", "%s", t.Error())
-	return t
 }

@@ -8,21 +8,12 @@ import (
 	"repro/internal/sass"
 )
 
-// exec executes one instruction for the lanes in execMask. atPC is the set
-// of live lanes whose PC points at this instruction: guard-suppressed lanes
-// (in atPC but not execMask) still fall through to the next instruction.
-// It returns whether the warp reached a barrier, and a trap kind with
-// faulting address when execution faults.
-func (blk *blockCtx) exec(w *warp, in *sass.Instr, pc int, execMask, atPC uint32) (barrier bool, kind TrapKind, faultAddr uint32) {
-	// Default PC advance for every live lane at this instruction; control
-	// semantics below override the taken lanes.
-	next := int32(pc + 1)
-	for lane := 0; lane < WarpSize; lane++ {
-		if atPC&(1<<uint(lane)) != 0 {
-			w.pc[lane] = next
-		}
-	}
-
+// exec executes one instruction for the lanes in execMask. The caller
+// (blockCtx.step) has already advanced the PC of every live lane at this
+// instruction, so guard-suppressed lanes fall through; control semantics
+// below override the taken lanes. It returns whether the warp reached a
+// barrier, and a trap kind with faulting address when execution faults.
+func (blk *blockCtx) exec(w *warp, in *sass.Instr, pc int, execMask uint32) (barrier bool, kind TrapKind, faultAddr uint32) {
 	info := in.Op.Info()
 	e := evalCtx{blk: blk, w: w, in: in}
 
@@ -420,25 +411,20 @@ func (blk *blockCtx) exec(w *warp, in *sass.Instr, pc int, execMask, atPC uint32
 		return true, 0, 0
 	case sass.SemBra, sass.SemJmp:
 		t := in.Src[0].Target
-		for lane := 0; lane < WarpSize; lane++ {
-			if execMask&(1<<uint(lane)) != 0 {
-				w.pc[lane] = t
-			}
+		for m := execMask; m != 0; m &= m - 1 {
+			w.pc[bits.TrailingZeros32(m)] = t
 		}
 		return false, 0, 0
 	case sass.SemBrx:
-		for lane := 0; lane < WarpSize; lane++ {
-			if execMask&(1<<uint(lane)) != 0 {
-				w.pc[lane] = int32(e.usrc(lane, 0))
-			}
+		for m := execMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			w.pc[lane] = int32(e.usrc(lane, 0))
 		}
 		return false, 0, 0
 	case sass.SemCall:
 		t := in.Src[0].Target
-		for lane := 0; lane < WarpSize; lane++ {
-			if execMask&(1<<uint(lane)) == 0 {
-				continue
-			}
+		for m := execMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
 			if len(w.stack[lane]) >= maxCallDepth {
 				return false, TrapCallStack, 0
 			}
@@ -447,10 +433,8 @@ func (blk *blockCtx) exec(w *warp, in *sass.Instr, pc int, execMask, atPC uint32
 		}
 		return false, 0, 0
 	case sass.SemRet:
-		for lane := 0; lane < WarpSize; lane++ {
-			if execMask&(1<<uint(lane)) == 0 {
-				continue
-			}
+		for m := execMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
 			st := w.stack[lane]
 			if len(st) == 0 {
 				return false, TrapCallStack, 0
@@ -460,11 +444,7 @@ func (blk *blockCtx) exec(w *warp, in *sass.Instr, pc int, execMask, atPC uint32
 		}
 		return false, 0, 0
 	case sass.SemExit, sass.SemKill:
-		for lane := 0; lane < WarpSize; lane++ {
-			if execMask&(1<<uint(lane)) != 0 {
-				w.exited[lane] = true
-			}
-		}
+		w.exitedMask |= execMask
 		return false, 0, 0
 	case sass.SemBpt:
 		if execMask != 0 {
