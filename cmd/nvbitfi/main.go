@@ -26,6 +26,7 @@ import (
 	"repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/modcache"
 	"repro/internal/nvbit"
 	"repro/internal/report"
 	"repro/internal/sass"
@@ -319,6 +320,9 @@ func cmdCampaign(args []string) error {
 		results = append(results, res)
 		fmt.Println(report.Summary(res))
 	}
+	st := modcache.Shared.Stats()
+	fmt.Printf("module cache: assemble %d hits / %d builds, decode %d hits / %d builds, codec %d hits / %d builds\n",
+		st.AssembleHits, st.AssembleBuilds, st.DecodeHits, st.DecodeBuilds, st.CodecHits, st.CodecBuilds)
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {

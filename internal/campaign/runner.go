@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -36,7 +36,26 @@ type Runner struct {
 	// experiment-level parallelism (TransientCampaignConfig.Parallel)
 	// instead.
 	Workers int
+	// GoldenBudget is the per-launch warp-instruction cap for golden and
+	// profiling runs, which execute before any workload-derived budget can
+	// be calibrated. Default DefaultGoldenBudget: a buggy or
+	// non-terminating workload then traps with TrapInstrLimit instead of
+	// hanging the campaign.
+	GoldenBudget uint64
+	// InterpretTrampolines and DisableDisarm are plumbed to the matching
+	// gpu.Device knobs on every device this runner builds. Both select
+	// legacy slow paths that are observably identical to the defaults;
+	// they exist for the differential tests that prove it.
+	InterpretTrampolines bool
+	DisableDisarm        bool
 }
+
+// DefaultGoldenBudget is the Runner.GoldenBudget default: large enough
+// that no real workload in the suite comes near it (the biggest golden
+// runs execute a few million warp instructions), small enough that an
+// accidental infinite loop traps in seconds rather than hanging for the
+// 2^32 instructions of the device's own last-resort budget.
+const DefaultGoldenBudget = 1 << 28
 
 // applyDefaults fills zero fields.
 func (r Runner) applyDefaults() Runner {
@@ -49,6 +68,9 @@ func (r Runner) applyDefaults() Runner {
 	if r.BudgetFactor == 0 {
 		r.BudgetFactor = 10
 	}
+	if r.GoldenBudget == 0 {
+		r.GoldenBudget = DefaultGoldenBudget
+	}
 	return r
 }
 
@@ -60,6 +82,8 @@ func (r Runner) newContext() (*cuda.Context, error) {
 		return nil, err
 	}
 	dev.Workers = r.Workers
+	dev.InterpretTrampolines = r.InterpretTrampolines
+	dev.DisableDisarm = r.DisableDisarm
 	return cuda.NewContext(dev)
 }
 
@@ -74,10 +98,12 @@ type GoldenResult struct {
 // Golden runs the workload with no tool attached and records the reference
 // output.
 func (r Runner) Golden(w Workload) (*GoldenResult, error) {
+	r = r.applyDefaults()
 	ctx, err := r.newContext()
 	if err != nil {
 		return nil, err
 	}
+	ctx.SetDefaultBudget(r.GoldenBudget)
 	start := time.Now()
 	out, err := w.Run(ctx)
 	if err != nil {
@@ -100,10 +126,12 @@ func (r Runner) Golden(w Workload) (*GoldenResult, error) {
 // instruction profile together with the profiling run's duration (the
 // profiling-overhead axis of Figure 4).
 func (r Runner) Profile(w Workload, mode core.ProfileMode) (*core.Profile, time.Duration, error) {
+	r = r.applyDefaults()
 	ctx, err := r.newContext()
 	if err != nil {
 		return nil, 0, err
 	}
+	ctx.SetDefaultBudget(r.GoldenBudget)
 	prof, err := core.NewProfiler(w.Name(), mode)
 	if err != nil {
 		return nil, 0, err
@@ -143,7 +171,7 @@ func (r Runner) RunTransient(w Workload, golden *GoldenResult, p core.TransientP
 		return nil, err
 	}
 	r = r.applyDefaults()
-	ctx.SetDefaultBudget(r.BudgetFactor * max64(golden.Stats.WarpInstrs, 1000))
+	ctx.SetDefaultBudget(r.BudgetFactor * max(golden.Stats.WarpInstrs, 1000))
 	inj, err := core.NewTransientInjector(p)
 	if err != nil {
 		return nil, err
@@ -178,7 +206,7 @@ func (r Runner) RunPermanent(w Workload, golden *GoldenResult, p core.PermanentP
 	if err != nil {
 		return nil, err
 	}
-	ctx.SetDefaultBudget(r.BudgetFactor * max64(golden.Stats.WarpInstrs, 1000))
+	ctx.SetDefaultBudget(r.BudgetFactor * max(golden.Stats.WarpInstrs, 1000))
 	inj, err := core.NewPermanentInjector(p, r.Family, r.NumSMs)
 	if err != nil {
 		return nil, err
@@ -400,14 +428,7 @@ func median(d []time.Duration) time.Duration {
 	if len(d) == 0 {
 		return 0
 	}
-	s := append([]time.Duration(nil), d...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	s := slices.Clone(d)
+	slices.Sort(s)
 	return s[len(s)/2]
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -127,7 +127,11 @@ func (t *TransientInjector) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
 	}
 	t.active = true
 	t.counter = 0
-	return nvbit.Decision{Instrument: true, Key: fmt.Sprintf("inject:%v:%d", t.P.Group, t.P.InstrCount)}
+	// The key deliberately omits InstrCount: the inserted callbacks are
+	// identical for every count (the countdown lives in the injector, not
+	// in the instrumentation), so keying on it would only defeat JIT-cache
+	// reuse across repeat launches of the target kernel.
+	return nvbit.Decision{Instrument: true, Key: fmt.Sprintf("inject:%v", t.P.Group)}
 }
 
 // Instrument implements nvbit.Tool: attach the countdown-and-corrupt
@@ -183,9 +187,15 @@ func (t *TransientInjector) step(c *gpu.InstrCtx, instrIdx int) {
 
 // corrupt applies the bit-flip model to the selected destination
 // register(s) of one lane, immediately after the instruction wrote them.
+// The injector corrupts exactly one dynamic instruction, so once it has
+// fired (including the no-destination case, which also sets Activated)
+// every remaining callback in this launch is inert — step returns
+// immediately. Disarm tells the engine to stop dispatching them while
+// keeping trampoline accounting, so modeled time is unchanged.
 func (t *TransientInjector) corrupt(c *gpu.InstrCtx, instrIdx, lane int) {
 	CorruptDestN(&t.rec, c, instrIdx, lane, t.P.BitFlip, t.P.DestRegSelect,
 		t.P.BitPatternValue, t.P.MultiRegCount)
+	c.Disarm()
 }
 
 // CorruptDest applies the Table II destination-register corruption to one

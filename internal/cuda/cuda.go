@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/gpu"
+	"repro/internal/modcache"
 	"repro/internal/sass"
 	"repro/internal/sass/encoding"
 )
@@ -107,8 +108,11 @@ type Context struct {
 func (c *Context) AccumulatedStats() gpu.LaunchStats { return c.total }
 
 // NewContext creates a context on dev (the cuInit + cuCtxCreate analog).
+// The per-family codec comes from the shared module cache: it is immutable
+// and safe to share across contexts, so a campaign's N contexts build it
+// once.
 func NewContext(dev *gpu.Device) (*Context, error) {
-	codec, err := encoding.NewCodec(dev.Family)
+	codec, err := modcache.Shared.Codec(dev.Family)
 	if err != nil {
 		return nil, err
 	}
@@ -220,13 +224,13 @@ func (m *Module) Binary() []byte { return m.binary }
 func (m *Module) Family() sass.Family { return m.ctx.dev.Family }
 
 // LoadModule compiles assembly source and loads it — the analog of
-// compiling a .cu file and cuModuleLoad'ing the result.
+// compiling a .cu file and cuModuleLoad'ing the result. Compilation is
+// memoized in the shared module cache: repeat loads of the same source
+// (the common case across a campaign's per-experiment contexts) reuse one
+// assembled program and one encoded binary. The decoded kernels are shared
+// read-only state; instrumentation always rewrites Clone()d copies.
 func (c *Context) LoadModule(name, asmSource string) (*Module, error) {
-	prog, err := sass.Assemble(name, asmSource)
-	if err != nil {
-		return nil, fmt.Errorf("cuModuleLoad %q: %w", name, err)
-	}
-	bin, err := c.codec.EncodeProgram(prog)
+	prog, bin, _, err := modcache.Shared.Assemble(c.dev.Family, name, asmSource)
 	if err != nil {
 		return nil, fmt.Errorf("cuModuleLoad %q: %w", name, err)
 	}
@@ -245,7 +249,7 @@ func (c *Context) LoadModuleBinary(data []byte) (*Module, error) {
 		return nil, fmt.Errorf("cuModuleLoadData: %w: binary targets %v, device is %v",
 			ErrNoBinaryForGPU, fam, c.dev.Family)
 	}
-	prog, err := c.codec.DecodeProgram(data)
+	prog, _, err := modcache.Shared.Decode(fam, data)
 	if err != nil {
 		return nil, fmt.Errorf("cuModuleLoadData: %w", err)
 	}
@@ -274,6 +278,14 @@ func (c *Context) registerModule(name, source string, bin []byte, prog *sass.Pro
 
 // Modules returns the loaded modules in load order.
 func (c *Context) Modules() []*Module { return c.modules }
+
+// Kernels returns the module's decoded kernels in program order. With the
+// shared module cache these are read-only state, potentially aliased by
+// every context that loaded the same code; the immutability tests in
+// internal/campaign snapshot them through this accessor.
+func (m *Module) Kernels() []*sass.Kernel {
+	return append([]*sass.Kernel(nil), m.prog.Kernels...)
+}
 
 // Function looks up a kernel in the module (cuModuleGetFunction).
 func (m *Module) Function(name string) (*Function, error) {
@@ -410,6 +422,7 @@ func (c *Context) Launch(f *Function, cfg LaunchConfig, params ...uint32) error 
 	ev.Stats = stats
 	c.total.WarpInstrs += stats.WarpInstrs
 	c.total.ThreadInstrs += stats.ThreadInstrs
+	c.total.TrampolineInstrs += stats.TrampolineInstrs
 	c.total.Blocks += stats.Blocks
 	if err != nil {
 		if t, ok := gpu.AsTrap(err); ok {

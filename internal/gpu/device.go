@@ -45,6 +45,20 @@ type Device struct {
 	// owner (see runParallel).
 	Workers int
 
+	// InterpretTrampolines selects the legacy trampoline path that
+	// interprets the 28 canned ALU instructions on the scratch warp instead
+	// of charging them arithmetically. The two paths are observably
+	// identical — the trampoline's architectural effects never leave the
+	// scratch warp — so this exists only for the differential tests that
+	// prove it.
+	InterpretTrampolines bool
+
+	// DisableDisarm makes InstrCtx.Disarm a no-op, keeping full callback
+	// dispatch for the remainder of every launch. Like
+	// InterpretTrampolines, this exists for the differential tests that
+	// prove disarmed execution is observably identical to armed execution.
+	DisableDisarm bool
+
 	// Mem is global device memory.
 	Mem *Memory
 
@@ -124,13 +138,22 @@ type Launch struct {
 	SharedBytes int      // dynamic shared memory on top of the kernel's static amount
 	Params      []uint32 // 4-byte parameter words, in kernel parameter order
 	Budget      uint64   // max warp-instructions; 0 means DefaultBudget
+
+	// disarmed is set by InstrCtx.Disarm: the remainder of this launch
+	// skips callback dispatch while keeping trampoline accounting.
+	// Instrumented launches always run sequentially, so no lock is needed.
+	disarmed bool
 }
 
 // LaunchStats reports execution counts for a completed (or trapped) launch.
 type LaunchStats struct {
 	WarpInstrs   uint64 // warp-level instructions issued
 	ThreadInstrs uint64 // thread-level executions (active, guard-passing lanes)
-	Blocks       int
+	// TrampolineInstrs counts instrumentation-trampoline instructions
+	// (TrampolineLen per callback site per dynamic execution) — tool
+	// overhead, charged to neither the launch budget nor the profile.
+	TrampolineInstrs uint64
+	Blocks           int
 }
 
 // InstrCtx is the view an instrumentation callback gets of the executing
@@ -154,6 +177,21 @@ type InstrCtx struct {
 
 // LaneActive reports whether lane participates in this execution.
 func (c *InstrCtx) LaneActive(lane int) bool { return c.ActiveMask&(1<<uint(lane)) != 0 }
+
+// Disarm tells the engine this tool is done with the current launch: the
+// remaining instructions run through a callback-free loop that keeps
+// trampoline *accounting* — modeled time, budgets, and LaunchStats are
+// unchanged — but skips closure dispatch. A transient injector calls this
+// right after corrupting its one dynamic instruction, when a G_GPPR
+// instrumentation still covers nearly every instruction after the fault
+// point. Callbacks already scheduled for the current instruction still run.
+// Disarm is per-launch; the next launch of the same kernel is armed again.
+func (c *InstrCtx) Disarm() {
+	if c.Dev.DisableDisarm {
+		return
+	}
+	c.blk.launch.disarmed = true
+}
 
 // ReadReg returns lane's general-purpose register r.
 func (c *InstrCtx) ReadReg(lane int, r sass.RegID) uint32 {

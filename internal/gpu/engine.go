@@ -175,10 +175,24 @@ func buildTrampoline() []sass.Instr {
 	return instrs
 }
 
-// runTrampoline executes the instrumentation trampoline on the block's
-// scratch warp. Trampoline instructions are tool code: they burn execution
-// time like any other instruction but are charged to neither the launch
-// budget nor the profile counts.
+// chargeTrampoline accounts for one trampoline execution. Trampoline
+// instructions are tool code: they model the register-save/call/restore
+// cost around a callback but are charged to neither the launch budget nor
+// the profile counts, and their architectural effects are confined to the
+// block's scratch warp — state nothing else ever reads. Interpreting them
+// is therefore pure arithmetic in disguise, so the default path just bumps
+// the TrampolineInstrs counter by what interpretation would have executed.
+// Device.InterpretTrampolines keeps the legacy interpreted path for the
+// differential test proving the two are observably identical.
+func (blk *blockCtx) chargeTrampoline(stats *LaunchStats) {
+	stats.TrampolineInstrs += TrampolineLen
+	if blk.dev.InterpretTrampolines {
+		blk.runTrampoline()
+	}
+}
+
+// runTrampoline interprets the trampoline body on the block's scratch warp
+// — the legacy path kept behind Device.InterpretTrampolines.
 func (blk *blockCtx) runTrampoline() {
 	if blk.scratch == nil {
 		blk.scratch = &warp{liveMask: ^uint32(0)}
@@ -454,6 +468,11 @@ func (blk *blockCtx) runWarpInstrumented(w *warp, budget *budgetCounter, stats *
 	}
 
 	for {
+		if blk.launch.disarmed {
+			// A tool signalled it is done with this launch: fall through to
+			// the callback-free twin, which keeps identical accounting.
+			return blk.runWarpDisarmed(w, budget, stats)
+		}
 		minPC, atPC, done := w.schedule()
 		if done {
 			w.done = true
@@ -479,7 +498,7 @@ func (blk *blockCtx) runWarpInstrumented(w *warp, budget *budgetCounter, stats *
 		ctx.InstrIdx = int(minPC)
 		ctx.ActiveMask = execMask
 		if blk.ek.Before != nil && len(blk.ek.Before[minPC]) > 0 {
-			blk.runTrampoline()
+			blk.chargeTrampoline(stats)
 			for _, cb := range blk.ek.Before[minPC] {
 				cb(&ctx)
 			}
@@ -491,14 +510,69 @@ func (blk *blockCtx) runWarpInstrumented(w *warp, budget *budgetCounter, stats *
 		}
 
 		if blk.ek.After != nil && len(blk.ek.After[minPC]) > 0 {
-			blk.runTrampoline()
+			blk.chargeTrampoline(stats)
 			for _, cb := range blk.ek.After[minPC] {
 				cb(&ctx)
 			}
 		}
 		if blk.ek.Step != nil {
-			blk.runTrampoline()
+			blk.chargeTrampoline(stats)
 			blk.ek.Step(&ctx)
+		}
+
+		if barrier {
+			if execMask != w.activeMask() {
+				return blk.trapErr(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
+			}
+			w.barWait = true
+			return nil
+		}
+	}
+}
+
+// runWarpDisarmed executes the remainder of an instrumented launch after a
+// tool called InstrCtx.Disarm: identical scheduling, budget, stats, clock,
+// and trampoline accounting to runWarpInstrumented — so modeled time and
+// every LaunchStats field match the armed path bit for bit — but with no
+// closure dispatch at all.
+func (blk *blockCtx) runWarpDisarmed(w *warp, budget *budgetCounter, stats *LaunchStats) error {
+	instrs := blk.ek.K.Instrs
+	for {
+		minPC, atPC, done := w.schedule()
+		if done {
+			w.done = true
+			return nil
+		}
+		if minPC < 0 || int(minPC) >= len(instrs) {
+			return blk.trapErr(TrapBadPC, int(minPC), 0, "control transfer outside the kernel")
+		}
+		in := &instrs[minPC]
+		execMask := atPC
+		if !in.Guard.True() {
+			execMask = guardMask(w, in, atPC)
+		}
+
+		if !budget.take() {
+			return blk.trapErr(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+		}
+		stats.WarpInstrs++
+		stats.ThreadInstrs += uint64(popcount(execMask))
+		blk.dev.smClocks[blk.smID]++
+
+		if blk.ek.Before != nil && len(blk.ek.Before[minPC]) > 0 {
+			blk.chargeTrampoline(stats)
+		}
+
+		barrier, kind, faultAddr := blk.step(w, in, minPC, atPC, execMask)
+		if kind != 0 {
+			return blk.trapErr(kind, int(minPC), faultAddr, "")
+		}
+
+		if blk.ek.After != nil && len(blk.ek.After[minPC]) > 0 {
+			blk.chargeTrampoline(stats)
+		}
+		if blk.ek.Step != nil {
+			blk.chargeTrampoline(stats)
 		}
 
 		if barrier {

@@ -457,6 +457,18 @@ func TestInstrumentationTrampolineCost(t *testing.T) {
 	}
 	nativeStats, nativeOut := run(false)
 	instrStats, instrOut := run(true)
+	// Target-program counters are unchanged by instrumentation; only the
+	// trampoline counter (tool overhead) differs, by exactly TrampolineLen
+	// per callback site per dynamic execution — here one After per
+	// instruction, so TrampolineLen per warp instruction issued.
+	if nativeStats.TrampolineInstrs != 0 {
+		t.Errorf("native run charged %d trampoline instructions", nativeStats.TrampolineInstrs)
+	}
+	if want := instrStats.WarpInstrs * TrampolineLen; instrStats.TrampolineInstrs != want {
+		t.Errorf("instrumented run charged %d trampoline instructions, want %d",
+			instrStats.TrampolineInstrs, want)
+	}
+	instrStats.TrampolineInstrs = 0
 	if nativeStats != instrStats {
 		t.Errorf("instrumentation changed launch stats: %+v vs %+v", nativeStats, instrStats)
 	}

@@ -1,0 +1,198 @@
+// Package modcache is the cross-context module cache: the amortization
+// layer that lets an N-experiment campaign pay the fixed
+// assemble/encode/decode cost once instead of N times.
+//
+// A fault-injection campaign creates a fresh cuda.Context per experiment
+// (isolation is the point), but every experiment loads the same modules:
+// without a cache each run repeats sass.Assemble + Codec.EncodeProgram,
+// re-decodes every module binary in the NVBit attach path, and builds two
+// fresh per-family Codecs. All of those are pure functions of their inputs,
+// so their results are memoized here, content-addressed by
+// (family, SHA-256 of the input):
+//
+//   - Codec(family) pools the per-family encoding.Codec, which is immutable
+//     after construction.
+//   - Assemble(family, name, source) memoizes sass.Assemble followed by
+//     EncodeProgram.
+//   - Decode(family, binary) memoizes Codec.DecodeProgram.
+//
+// The cached *sass.Program values (and the encoded binaries) are shared,
+// read-only state: callers on any context or goroutine receive the same
+// pointers and must not mutate them. This matches the existing engine
+// contract — instrumentation and fault injection rewrite Clone()d kernels,
+// never the decoded originals — and is guarded by race-mode differential
+// tests in internal/campaign.
+//
+// Concurrent callers of the same key block on a per-entry sync.Once, so a
+// parallel campaign's first wave builds each module exactly once.
+package modcache
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+)
+
+// Stats reports cache effectiveness: hits are calls served from a
+// previously created entry, builds are calls that created one. A call that
+// arrives while another goroutine is still building the same entry counts
+// as a hit (it reuses that build).
+type Stats struct {
+	CodecHits, CodecBuilds       uint64
+	AssembleHits, AssembleBuilds uint64
+	DecodeHits, DecodeBuilds     uint64
+}
+
+// Cache memoizes codec construction, assembly+encoding, and decoding.
+// The zero value is not usable; call New.
+type Cache struct {
+	mu     sync.Mutex
+	codecs map[sass.Family]*codecEntry
+	asm    map[asmKey]*asmEntry
+	dec    map[decKey]*decEntry
+	stats  Stats
+}
+
+// Shared is the process-wide cache used by the cuda and nvbit layers.
+var Shared = New()
+
+// New creates an empty cache.
+func New() *Cache {
+	return &Cache{
+		codecs: make(map[sass.Family]*codecEntry),
+		asm:    make(map[asmKey]*asmEntry),
+		dec:    make(map[decKey]*decEntry),
+	}
+}
+
+type codecEntry struct {
+	once  sync.Once
+	codec *encoding.Codec
+	err   error
+}
+
+type asmKey struct {
+	family sass.Family
+	name   string
+	src    [sha256.Size]byte
+}
+
+type asmEntry struct {
+	once sync.Once
+	prog *sass.Program
+	bin  []byte
+	err  error
+}
+
+type decKey struct {
+	family sass.Family
+	bin    [sha256.Size]byte
+}
+
+type decEntry struct {
+	once sync.Once
+	prog *sass.Program
+	err  error
+}
+
+// Codec returns the shared per-family codec, building it on first use.
+// Codecs are immutable after construction and safe for concurrent use.
+func (c *Cache) Codec(f sass.Family) (*encoding.Codec, error) {
+	c.mu.Lock()
+	e, ok := c.codecs[f]
+	if !ok {
+		e = &codecEntry{}
+		c.codecs[f] = e
+		c.stats.CodecBuilds++
+	} else {
+		c.stats.CodecHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.codec, e.err = encoding.NewCodec(f) })
+	return e.codec, e.err
+}
+
+// Assemble memoizes sass.Assemble + Codec.EncodeProgram for the given
+// family and source. The returned program and binary are shared read-only
+// state; hit reports whether the entry already existed. Errors are cached
+// too: assembly is deterministic, so a failing source fails identically on
+// every retry.
+func (c *Cache) Assemble(f sass.Family, name, src string) (prog *sass.Program, bin []byte, hit bool, err error) {
+	key := asmKey{family: f, name: name, src: sha256.Sum256([]byte(src))}
+	c.mu.Lock()
+	e, ok := c.asm[key]
+	if !ok {
+		e = &asmEntry{}
+		c.asm[key] = e
+		c.stats.AssembleBuilds++
+	} else {
+		c.stats.AssembleHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		p, err := sass.Assemble(name, src)
+		if err != nil {
+			e.err = err
+			return
+		}
+		codec, err := c.Codec(f)
+		if err != nil {
+			e.err = err
+			return
+		}
+		b, err := codec.EncodeProgram(p)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.prog, e.bin = p, b
+	})
+	return e.prog, e.bin, ok, e.err
+}
+
+// Decode memoizes Codec.DecodeProgram for the given family and machine
+// code. The returned program is shared read-only state; hit reports whether
+// the entry already existed.
+func (c *Cache) Decode(f sass.Family, bin []byte) (prog *sass.Program, hit bool, err error) {
+	key := decKey{family: f, bin: sha256.Sum256(bin)}
+	c.mu.Lock()
+	e, ok := c.dec[key]
+	if !ok {
+		e = &decEntry{}
+		c.dec[key] = e
+		c.stats.DecodeBuilds++
+	} else {
+		c.stats.DecodeHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		codec, err := c.Codec(f)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.prog, e.err = codec.DecodeProgram(bin)
+	})
+	return e.prog, ok, e.err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset drops every entry and zeroes the counters. Outstanding programs
+// remain valid (they are never mutated); Reset only forgets them, so
+// subsequent loads rebuild. Tests use this to measure cold paths.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.codecs = make(map[sass.Family]*codecEntry)
+	c.asm = make(map[asmKey]*asmEntry)
+	c.dec = make(map[decKey]*decEntry)
+	c.stats = Stats{}
+}

@@ -1,0 +1,209 @@
+package modcache
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+)
+
+const testSrc = `
+.kernel probe
+.param n
+    S2R R0, SR_TID.X
+    IADD R1, R0, 0x1
+    SHL R2, R1, 0x2
+    EXIT
+`
+
+// TestAssembleMatchesDirect: the cached path must be bit- and
+// structure-identical to calling sass.Assemble + EncodeProgram directly —
+// the exact sequence cuda.LoadModule ran before the cache existed.
+func TestAssembleMatchesDirect(t *testing.T) {
+	c := New()
+	prog, bin, hit, err := c.Assemble(sass.FamilyVolta, "probe", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first Assemble reported a cache hit")
+	}
+
+	directProg, err := sass.Assemble("probe", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := encoding.NewCodec(sass.FamilyVolta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directBin, err := codec.EncodeProgram(directProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prog, directProg) {
+		t.Error("cached program differs from direct assembly")
+	}
+	if !reflect.DeepEqual(bin, directBin) {
+		t.Error("cached binary differs from direct encoding")
+	}
+
+	// The second call is a hit returning the same shared objects.
+	prog2, bin2, hit, err := c.Assemble(sass.FamilyVolta, "probe", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second Assemble missed the cache")
+	}
+	if prog2 != prog || &bin2[0] != &bin[0] {
+		t.Error("cache hit returned different objects")
+	}
+}
+
+// TestDecodeMatchesDirect: cached decode equals a direct DecodeProgram, and
+// repeat decodes of the same bytes share one program.
+func TestDecodeMatchesDirect(t *testing.T) {
+	c := New()
+	_, bin, _, err := c.Assemble(sass.FamilyVolta, "probe", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, hit, err := c.Decode(sass.FamilyVolta, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first Decode reported a cache hit")
+	}
+	codec, err := encoding.NewCodec(sass.FamilyVolta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := codec.DecodeProgram(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prog, direct) {
+		t.Error("cached decode differs from direct decode")
+	}
+	prog2, hit, err := c.Decode(sass.FamilyVolta, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || prog2 != prog {
+		t.Errorf("repeat decode: hit=%v, shared=%v", hit, prog2 == prog)
+	}
+}
+
+// TestCodecShared: one codec per family, shared by every caller.
+func TestCodecShared(t *testing.T) {
+	c := New()
+	a, err := c.Codec(sass.FamilyVolta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Codec(sass.FamilyVolta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same family produced two codecs")
+	}
+	st := c.Stats()
+	if st.CodecBuilds != 1 || st.CodecHits != 1 {
+		t.Errorf("codec stats = %+v, want 1 build / 1 hit", st)
+	}
+}
+
+// TestErrorsCached: assembly is deterministic, so a bad source fails
+// identically — and from the cache — on every retry.
+func TestErrorsCached(t *testing.T) {
+	c := New()
+	_, _, _, err1 := c.Assemble(sass.FamilyVolta, "bad", ".kernel k\n NOTANOP R0\n")
+	if err1 == nil {
+		t.Fatal("bad source assembled")
+	}
+	_, _, hit, err2 := c.Assemble(sass.FamilyVolta, "bad", ".kernel k\n NOTANOP R0\n")
+	if !hit {
+		t.Error("retry of failing source missed the cache")
+	}
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Errorf("cached error %v, first error %v", err2, err1)
+	}
+}
+
+// TestConcurrentAssemble: N goroutines racing on the same key must produce
+// exactly one build and share one program; distinct keys stay distinct.
+// Run under -race this also proves the cache's synchronization.
+func TestConcurrentAssemble(t *testing.T) {
+	c := New()
+	const goroutines = 16
+	progs := make([]*sass.Program, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, _, err := c.Assemble(sass.FamilyVolta, "probe", testSrc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("goroutine %d got a different program", i)
+		}
+	}
+	st := c.Stats()
+	if st.AssembleBuilds != 1 {
+		t.Errorf("%d builds for one key, want 1", st.AssembleBuilds)
+	}
+	if st.AssembleHits != goroutines-1 {
+		t.Errorf("%d hits, want %d", st.AssembleHits, goroutines-1)
+	}
+
+	// A different source is a different key.
+	other := testSrc + "// distinct\n"
+	p, _, hit, err := c.Assemble(sass.FamilyVolta, "probe", other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || p == progs[0] {
+		t.Error("distinct source collided with the cached entry")
+	}
+}
+
+// TestReset: after Reset the next load rebuilds, and previously returned
+// programs remain usable.
+func TestReset(t *testing.T) {
+	c := New()
+	p1, _, _, err := c.Assemble(sass.FamilyVolta, "probe", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("stats after Reset = %+v", st)
+	}
+	p2, _, hit, err := c.Assemble(sass.FamilyVolta, "probe", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("post-Reset load reported a hit")
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("rebuild differs from the pre-Reset program")
+	}
+	if fmt.Sprint(p1.Kernels[0].Instrs[0]) == "" {
+		t.Error("pre-Reset program no longer readable")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cuda"
 	"repro/internal/gpu"
+	"repro/internal/modcache"
 	"repro/internal/sass"
 	"repro/internal/sass/encoding"
 )
@@ -117,6 +118,8 @@ type Attachment struct {
 	totalLaunches        int
 	instrumentedLaunches int
 	jitBuilds            int
+	moduleDecodeHits     int
+	moduleDecodeBuilds   int
 }
 
 type cacheKey struct {
@@ -128,7 +131,7 @@ type cacheKey struct {
 // target program with LD_PRELOAD=<tool>.so. Modules already loaded are
 // decoded immediately; future module loads are decoded as they arrive.
 func Attach(ctx *cuda.Context, tool Tool) (*Attachment, error) {
-	codec, err := encoding.NewCodec(ctx.Device().Family)
+	codec, err := modcache.Shared.Codec(ctx.Device().Family)
 	if err != nil {
 		return nil, fmt.Errorf("nvbit: %w", err)
 	}
@@ -167,13 +170,28 @@ func (a *Attachment) InstrumentedLaunches() int { return a.instrumentedLaunches 
 // JITBuilds returns how many instrumented kernels were built (cache misses).
 func (a *Attachment) JITBuilds() int { return a.jitBuilds }
 
+// ModuleDecodeHits returns how many module decodes were served from the
+// shared module cache — for a campaign's Nth experiment, all of them.
+func (a *Attachment) ModuleDecodeHits() int { return a.moduleDecodeHits }
+
+// ModuleDecodeBuilds returns how many module decodes actually ran the
+// decoder (shared-cache misses).
+func (a *Attachment) ModuleDecodeBuilds() int { return a.moduleDecodeBuilds }
+
 // decodeModule decodes a module's machine code into abstract kernels. This
 // is where the per-family encoding abstraction pays off: the tool above
-// never sees family-specific bits.
+// never sees family-specific bits. Decodes are memoized in the shared
+// module cache, so attachments across a campaign's contexts share one
+// read-only decoded view per distinct binary.
 func (a *Attachment) decodeModule(m *cuda.Module) error {
-	prog, err := a.codec.DecodeProgram(m.Binary())
+	prog, hit, err := modcache.Shared.Decode(m.Family(), m.Binary())
 	if err != nil {
 		return fmt.Errorf("nvbit: decoding module %q: %w", m.Name(), err)
+	}
+	if hit {
+		a.moduleDecodeHits++
+	} else {
+		a.moduleDecodeBuilds++
 	}
 	for _, k := range prog.Kernels {
 		f, err := m.Function(k.Name)

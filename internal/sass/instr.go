@@ -345,7 +345,10 @@ func (k *Kernel) LabelIndex(name string) (int, bool) {
 }
 
 // Clone returns a deep copy of the kernel. Instrumentation and fault
-// injection rewrite cloned kernels, never the module's originals.
+// injection rewrite cloned kernels, never the module's originals. The copy
+// is reflect.DeepEqual to the original (nil and empty operand slices are
+// preserved as such), so clones also serve as snapshots for the
+// shared-kernel immutability tests.
 func (k *Kernel) Clone() *Kernel {
 	nk := &Kernel{
 		Name:        k.Name,
@@ -356,11 +359,19 @@ func (k *Kernel) Clone() *Kernel {
 	}
 	for i := range k.Instrs {
 		in := k.Instrs[i]
-		in.Dst = append([]Operand(nil), in.Dst...)
-		in.Src = append([]Operand(nil), in.Src...)
+		in.Dst = cloneOperands(in.Dst)
+		in.Src = cloneOperands(in.Src)
 		nk.Instrs[i] = in
 	}
 	return nk
+}
+
+// cloneOperands copies an operand slice, preserving nil-ness and emptiness.
+func cloneOperands(ops []Operand) []Operand {
+	if ops == nil {
+		return nil
+	}
+	return append(make([]Operand, 0, len(ops)), ops...)
 }
 
 // Program is a compilation unit: a named collection of kernels, the analog

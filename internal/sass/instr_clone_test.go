@@ -1,0 +1,45 @@
+package sass
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCloneDeepEqual: a clone must be reflect.DeepEqual to the original —
+// including nil versus empty operand slices (EXIT has neither, STG and BRA
+// have sources but no destinations) — because the shared-kernel
+// immutability tests use clones as snapshots. And it must be deep: writing
+// the clone's operands must not reach the original.
+func TestCloneDeepEqual(t *testing.T) {
+	p, err := Assemble("t", `
+.kernel k
+.param out
+    S2R R0, SR_TID.X
+    ISETP.GE.AND P0, R0, 0x10, PT
+@P0 BRA done
+    SHL R1, R0, 0x2
+    IADD R1, R1, c0[out]
+    STG [R1], R0
+done:
+    EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.Kernels[0]
+	c := k.Clone()
+	if c == k {
+		t.Fatal("Clone returned the receiver")
+	}
+	if !reflect.DeepEqual(k, c) {
+		t.Fatalf("clone is not DeepEqual to the original:\n%+v\n%+v", k, c)
+	}
+	for i := range c.Instrs {
+		if len(c.Instrs[i].Src) > 0 {
+			c.Instrs[i].Src[0].Imm ^= 0xdead
+		}
+	}
+	if reflect.DeepEqual(k.Instrs, c.Instrs) {
+		t.Fatal("mutating the clone's operands reached the original")
+	}
+}
