@@ -8,7 +8,7 @@
 //	nvbitfi select    -profile profile.txt [-group G_GPPR] [-bitflip 1] [-seed 1] [-o params.txt]
 //	nvbitfi inject    -program 303.ostencil -params params.txt
 //	nvbitfi pf-inject -program 303.ostencil -sm 0 -lane 3 -mask 0x400 -opcode 12
-//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1]
+//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1] [-prune] [-verify]
 //	nvbitfi profdiff  -a exact.txt -b approx.txt [-group G_GPPR] [-min 0.01]
 //	nvbitfi report    -table1 | -table4
 //	nvbitfi list
@@ -262,6 +262,8 @@ func cmdCampaign(args []string) error {
 	parallel := fs.Int("parallel", 0, "concurrent injection experiments (0 = one per CPU)")
 	workers := fs.Int("workers", 0, "per-device block-parallel workers for uninstrumented launches (0 or 1 = sequential)")
 	timing := fs.Bool("timing", false, "timing-fidelity mode: run experiments sequentially so durations are meaningful")
+	prune := fs.Bool("prune", false, "statically prune transient injections with provably dead destinations (tallied as Masked without running)")
+	verify := fs.Bool("verify", false, "verify modules at load and reject programs with static errors")
 	csvPath := fs.String("csv", "", "write the outcome distribution as CSV to this file")
 	runlogPath := fs.String("runlog", "", "write one line per injection run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -285,7 +287,10 @@ func cmdCampaign(args []string) error {
 		}
 		programs = []nvbitfi.Workload{w}
 	}
-	r := nvbitfi.Runner{Workers: *workers}
+	if *prune && *permanent {
+		return fmt.Errorf("campaign: -prune applies to transient campaigns only")
+	}
+	r := nvbitfi.Runner{Workers: *workers, VerifyModules: *verify}
 	var results []*nvbitfi.CampaignResult
 	for _, w := range programs {
 		golden, err := r.Golden(w)
@@ -307,7 +312,7 @@ func cmdCampaign(args []string) error {
 		} else {
 			res, err = nvbitfi.RunTransientCampaign(r, w, golden, profile, nvbitfi.TransientCampaignConfig{
 				Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
-				Parallel: *parallel, TimingFidelity: *timing,
+				Parallel: *parallel, TimingFidelity: *timing, Prune: *prune,
 			})
 		}
 		if err != nil {

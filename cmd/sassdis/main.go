@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sassdis -in kernel.sass [-family volta] [-hex] [-stats]
+//	sassdis -in kernel.sass [-family volta] [-hex] [-stats] [-lint]
 //	sassdis -demo
 package main
 
@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/sass"
 	"repro/internal/sass/encoding"
+	"repro/internal/sassan"
 )
 
 const demoSrc = `
@@ -47,6 +48,7 @@ func main() {
 	family := flag.String("family", "volta", "architecture family: kepler|maxwell|pascal|volta|ampere")
 	hexDump := flag.Bool("hex", false, "dump the encoded machine code")
 	stats := flag.Bool("stats", false, "print per-opcode and per-group statistics")
+	lint := flag.Bool("lint", false, "run the static verifier over the decoded program")
 	demo := flag.Bool("demo", false, "use a built-in SAXPY kernel")
 	flag.Parse()
 
@@ -108,6 +110,18 @@ func main() {
 	}
 	if *stats {
 		printStats(decoded, fam)
+	}
+	if *lint {
+		// Lint the decoded view — the same machine-code-derived program the
+		// instrumentation layer sees, not the source text.
+		diags := sassan.VerifyProgram(decoded)
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if sassan.HasErrors(diags) {
+			os.Exit(1)
+		}
+		fmt.Printf("// lint: %d warning(s), 0 errors\n", sassan.CountWarnings(diags))
 	}
 }
 

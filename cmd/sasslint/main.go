@@ -1,0 +1,91 @@
+// Command sasslint runs the static SASS verifier (internal/sassan) over
+// assembly files or over every workload the repository ships. It is the
+// CI gate that keeps the embedded kernels free of dead writes, unreachable
+// code, and malformed control flow.
+//
+// Usage:
+//
+//	sasslint file.sass [file2.sass ...]   lint assembly files (errors fail; -strict fails on warnings too)
+//	sasslint -workloads                   lint every embedded workload (any diagnostic fails)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	nvbitfi "repro"
+	"repro/internal/sass"
+	"repro/internal/sassan"
+)
+
+func main() {
+	workloads := flag.Bool("workloads", false, "lint every embedded workload instead of files")
+	strict := flag.Bool("strict", false, "treat warnings as failures in file mode")
+	flag.Parse()
+
+	if *workloads {
+		os.Exit(lintWorkloads())
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(lintFiles(flag.Args(), *strict))
+}
+
+// lintFiles assembles and verifies each file; returns the process exit code.
+func lintFiles(paths []string, strict bool) int {
+	fail := false
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sasslint:", err)
+			fail = true
+			continue
+		}
+		prog, err := sass.Assemble(path, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sasslint:", err)
+			fail = true
+			continue
+		}
+		diags := sassan.VerifyProgram(prog)
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", path, d)
+		}
+		if sassan.HasErrors(diags) || (strict && len(diags) > 0) {
+			fail = true
+		}
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// lintWorkloads runs every shipped workload under a verifying context and
+// reports each diagnostic its modules produce. Shipped kernels must be
+// completely clean: any diagnostic — warning or error — fails.
+func lintWorkloads() int {
+	works := nvbitfi.SpecACCEL()
+	works = append(works, nvbitfi.NewAVPipeline(nvbitfi.AVConfig{}))
+	r := nvbitfi.Runner{}
+	fail := false
+	for _, w := range works {
+		diags, err := r.LintWorkload(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasslint: %s: %v\n", w.Name(), err)
+			fail = true
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", w.Name(), d)
+			fail = true
+		}
+	}
+	if fail {
+		return 1
+	}
+	fmt.Println("all workloads lint clean")
+	return 0
+}

@@ -209,8 +209,8 @@ spin:
 // spinWorkload never terminates: the Golden safety-budget test target.
 type spinWorkload struct{}
 
-func (spinWorkload) Name() string        { return "spin" }
-func (spinWorkload) Description() string { return "loops forever" }
+func (spinWorkload) Name() string                     { return "spin" }
+func (spinWorkload) Description() string              { return "loops forever" }
 func (spinWorkload) Check(_, _ *campaign.Output) bool { return true }
 
 func (spinWorkload) Run(ctx *cuda.Context) (*campaign.Output, error) {

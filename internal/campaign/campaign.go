@@ -220,6 +220,11 @@ type Tally struct {
 	Counts        map[Outcome]int
 	PotentialDUEs int
 	NotActivated  int // transient runs whose fault never activated
+	// Pruned counts experiments classified statically instead of run: the
+	// injection target was proven dead (never read on any path), so the
+	// outcome is Masked without executing the workload. Pruned runs are
+	// included in N and Counts like any other run.
+	Pruned int
 }
 
 // NewTally returns an empty tally.

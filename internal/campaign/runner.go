@@ -14,6 +14,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/nvbit"
 	"repro/internal/sass"
+	"repro/internal/sassan"
 	"repro/internal/stats"
 )
 
@@ -48,6 +49,11 @@ type Runner struct {
 	// they exist for the differential tests that prove it.
 	InterpretTrampolines bool
 	DisableDisarm        bool
+	// VerifyModules makes every context this runner builds verify modules
+	// at load time (cuda.VerifyEnforce): a module whose static verification
+	// produces errors fails to load, so a broken workload is rejected
+	// before any experiment wastes a run on it.
+	VerifyModules bool
 }
 
 // DefaultGoldenBudget is the Runner.GoldenBudget default: large enough
@@ -84,7 +90,36 @@ func (r Runner) newContext() (*cuda.Context, error) {
 	dev.Workers = r.Workers
 	dev.InterpretTrampolines = r.InterpretTrampolines
 	dev.DisableDisarm = r.DisableDisarm
-	return cuda.NewContext(dev)
+	ctx, err := cuda.NewContext(dev)
+	if err != nil {
+		return nil, err
+	}
+	if r.VerifyModules {
+		ctx.SetVerifyMode(cuda.VerifyEnforce)
+	}
+	return ctx, nil
+}
+
+// LintWorkload runs the workload once on a context in VerifyWarn mode and
+// returns every static-verification diagnostic its modules produced — the
+// campaign-level entry point behind `sasslint -workloads`. The run itself
+// must succeed; lint findings are returned, not treated as failures.
+func (r Runner) LintWorkload(w Workload) ([]sassan.Diagnostic, error) {
+	r = r.applyDefaults()
+	ctx, err := r.newContext()
+	if err != nil {
+		return nil, err
+	}
+	ctx.SetVerifyMode(cuda.VerifyWarn)
+	ctx.SetDefaultBudget(r.GoldenBudget)
+	out, err := w.Run(ctx)
+	if err != nil {
+		return ctx.VerifyDiagnostics(), fmt.Errorf("campaign: lint run of %s failed: %w", w.Name(), err)
+	}
+	if out.ExitCode != 0 {
+		return ctx.VerifyDiagnostics(), fmt.Errorf("campaign: lint run of %s exited with %d", w.Name(), out.ExitCode)
+	}
+	return ctx.VerifyDiagnostics(), nil
 }
 
 // GoldenResult is a reference run: the fault-free output plus the execution
@@ -93,6 +128,18 @@ type GoldenResult struct {
 	Output   *Output
 	Stats    gpu.LaunchStats
 	Duration time.Duration
+
+	// Kernels maps kernel name to the decoded kernel of every module the
+	// golden run loaded — the static view campaign pruning analyzes. A name
+	// defined by more than one module is dropped: injection parameters
+	// address kernels by name, so an ambiguous name cannot be reasoned
+	// about statically.
+	Kernels map[string]*sass.Kernel
+	// BaselineClass is the classification of the fault-free run against its
+	// own output. A pruned experiment reuses it verbatim: a provably-masked
+	// injection leaves the program on exactly the golden path, anomalies
+	// (device-log events, unconsumed errors) included.
+	BaselineClass Classification
 }
 
 // Golden runs the workload with no tool attached and records the reference
@@ -115,10 +162,25 @@ func (r Runner) Golden(w Workload) (*GoldenResult, error) {
 	if out.ExitCode != 0 {
 		return nil, fmt.Errorf("campaign: golden run of %s exited with %d", w.Name(), out.ExitCode)
 	}
+	kernels := make(map[string]*sass.Kernel)
+	dup := make(map[string]bool)
+	for _, m := range ctx.Modules() {
+		for _, k := range m.Kernels() {
+			if _, seen := kernels[k.Name]; seen {
+				dup[k.Name] = true
+			}
+			kernels[k.Name] = k
+		}
+	}
+	for name := range dup {
+		delete(kernels, name)
+	}
 	return &GoldenResult{
-		Output:   out,
-		Stats:    ctx.AccumulatedStats(),
-		Duration: time.Since(start),
+		Output:        out,
+		Stats:         ctx.AccumulatedStats(),
+		Duration:      time.Since(start),
+		Kernels:       kernels,
+		BaselineClass: Classify(w, out, out, nil, ctx),
 	}, nil
 }
 
@@ -161,6 +223,10 @@ type RunResult struct {
 	Activations uint64
 	Duration    time.Duration
 	Stats       gpu.LaunchStats
+	// Pruned marks an experiment that never executed: static liveness
+	// analysis proved the injection target dead, so the classification was
+	// synthesized (Masked, golden-run anomaly state) instead of measured.
+	Pruned bool
 }
 
 // RunTransient performs one transient-fault experiment: fresh context,
@@ -258,6 +324,17 @@ type TransientCampaignConfig struct {
 	// durations measure interpreter time, not scheduler contention — the
 	// mode for Figure 4-style overhead measurements.
 	TimingFidelity bool
+	// ResolveSites selects faults with core.SelectTransientFaultSite: the
+	// same seeded stream and the same site distribution, but every parameter
+	// tuple carries the static instruction index it landed on. Requires a
+	// profile with site data.
+	ResolveSites bool
+	// Prune statically pre-classifies experiments whose injection target is
+	// provably dead (see internal/sassan): those are tallied as Masked
+	// without running the workload. Implies ResolveSites. Outcome tallies
+	// are identical to an unpruned campaign with the same seed — the
+	// differential test in prune_test.go holds the two byte-equal.
+	Prune bool
 }
 
 func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
@@ -298,13 +375,28 @@ func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 	cfg TransientCampaignConfig) (*CampaignResult, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	resolve := cfg.ResolveSites || cfg.Prune
 	params := make([]core.TransientParams, cfg.Injections)
 	for i := range params {
-		p, err := core.SelectTransientFault(profile, cfg.Group, cfg.BitFlip, rng)
+		var p *core.TransientParams
+		var err error
+		if resolve {
+			p, err = core.SelectTransientFaultSite(profile, cfg.Group, cfg.BitFlip, rng)
+		} else {
+			p, err = core.SelectTransientFault(profile, cfg.Group, cfg.BitFlip, rng)
+		}
 		if err != nil {
 			return nil, err
 		}
 		params[i] = *p
+	}
+
+	var pr *pruner
+	if cfg.Prune {
+		if golden.Kernels == nil {
+			return nil, fmt.Errorf("campaign: prune requested but the golden result carries no kernels; rebuild it with Runner.Golden")
+		}
+		pr = newPruner(golden.Kernels)
 	}
 
 	results := make([]RunResult, len(params))
@@ -314,6 +406,10 @@ func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 	// keeps at most Parallel goroutines alive instead of parking them all.
 	sem := make(chan struct{}, cfg.Parallel)
 	for i := range params {
+		if pr != nil && pr.prunable(params[i]) {
+			results[i] = prunedResult(golden, params[i])
+			continue
+		}
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
@@ -407,6 +503,13 @@ func summarize(name string, golden *GoldenResult, results []RunResult, weighted 
 	durs := make([]time.Duration, 0, len(results))
 	for i := range results {
 		tally.Add(results[i].Class)
+		if results[i].Pruned {
+			// A pruned experiment never ran: its outcome is static, the
+			// fault provably activates-and-masks, and it has no measured
+			// duration to fold into the timing figures.
+			tally.Pruned++
+			continue
+		}
 		if !results[i].Injection.Activated && results[i].Activations == 0 && weighted == nil {
 			tally.NotActivated++
 		}

@@ -597,3 +597,107 @@ func TestDiffExactVsApproximateReal(t *testing.T) {
 		t.Fatalf("profiles disagree on dynamic kernels: %v %v", d.OnlyA, d.OnlyB)
 	}
 }
+
+// TestSiteResolvedInjection: site mode instruments only the named static
+// instruction and counts its executions, hitting the same coordinates as
+// the equivalent legacy parameters.
+func TestSiteResolvedInjection(t *testing.T) {
+	inj, err := core.NewTransientInjector(core.TransientParams{
+		Group:           sass.GroupGP,
+		BitFlip:         core.FlipSingleBit,
+		KernelName:      "tiny",
+		KernelCount:     0,
+		InstrCount:      6, // 7th execution of instruction 2 = lane 6
+		SiteResolved:    true,
+		StaticInstrIdx:  2,
+		DestRegSelect:   0,
+		BitPatternValue: 0.5, // bit 16
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := runTiny(t, inj, 1)
+	rec := inj.Record()
+	if !rec.Activated || rec.NoDestination {
+		t.Fatalf("injection record: %+v", rec)
+	}
+	if rec.Lane != 6 || rec.InstrIdx != 2 || rec.Target != "R2" {
+		t.Fatalf("injection hit the wrong site: %+v", rec)
+	}
+	for i, v := range vals {
+		want := uint32(i + 3)
+		if i == 6 {
+			want ^= 1 << 16
+		}
+		if v != want {
+			t.Fatalf("out[%d] = 0x%x, want 0x%x", i, v, want)
+		}
+	}
+}
+
+// TestSiteResolvedOutOfRange: a static index beyond the kernel (or naming
+// an instruction outside the group) instruments nothing and never
+// activates, like any other site that does not exist at run time.
+func TestSiteResolvedOutOfRange(t *testing.T) {
+	inj, err := core.NewTransientInjector(core.TransientParams{
+		Group: sass.GroupGP, BitFlip: core.FlipSingleBit,
+		KernelName: "tiny", KernelCount: 0, InstrCount: 0,
+		SiteResolved: true, StaticInstrIdx: 99,
+		DestRegSelect: 0, BitPatternValue: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := runTiny(t, inj, 1)
+	if rec := inj.Record(); rec.Activated {
+		t.Fatalf("out-of-range site activated: %+v", rec)
+	}
+	for i, v := range vals {
+		if v != uint32(i+3) {
+			t.Fatalf("out[%d] = 0x%x, want clean run", i, v)
+		}
+	}
+}
+
+// TestProfilerSiteCounts: a live profiler run fills the per-static-
+// instruction breakdown consistently with the per-opcode totals.
+func TestProfilerSiteCounts(t *testing.T) {
+	prof, err := core.NewProfiler("tiny", core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTiny(t, prof, 2)
+	p := prof.Finish()
+	if len(p.Records) != 2 {
+		t.Fatalf("records = %d", len(p.Records))
+	}
+	for ri := range p.Records {
+		rec := &p.Records[ri]
+		if !rec.HasSites() || len(rec.SiteCounts) != 7 {
+			t.Fatalf("record %d: site breakdown missing or wrong length: %+v", ri, rec)
+		}
+		// Every instruction executes all 32 lanes once per launch.
+		for i, c := range rec.SiteCounts {
+			if c != 32 {
+				t.Fatalf("record %d site %d count = %d, want 32", ri, i, c)
+			}
+		}
+		perOp := make(map[sass.Op]uint64)
+		for i, op := range rec.SiteOps {
+			perOp[op] += rec.SiteCounts[i]
+		}
+		for op, c := range rec.OpCounts {
+			if perOp[op] != c {
+				t.Fatalf("record %d: site sum for %v = %d, opcode count %d", ri, op, perOp[op], c)
+			}
+		}
+	}
+	// The breakdown survives serialization.
+	got, err := core.ParseProfile(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Records[1].HasSites() || got.Records[1].SiteCounts[0] != 32 {
+		t.Fatalf("site data lost in round trip: %+v", got.Records[1])
+	}
+}

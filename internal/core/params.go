@@ -32,6 +32,16 @@ type TransientParams struct {
 	// BitPatternValue in [0,1) parameterizes the bit-error mask.
 	BitPatternValue float64
 
+	// SiteResolved marks a parameter set whose selection was resolved to a
+	// static instruction at selection time (SelectTransientFaultSite):
+	// StaticInstrIdx names the instruction and InstrCount counts eligible
+	// executions of that instruction only, rather than of the whole group.
+	// The zero value preserves the paper's dynamic-index semantics.
+	SiteResolved bool
+	// StaticInstrIdx is the target's static instruction index within the
+	// kernel; meaningful only when SiteResolved is set.
+	StaticInstrIdx int
+
 	// Thread optionally restricts eligible executions to one thread — the
 	// paper's "targeting a specified thread" future direction. Nil means
 	// any thread.
@@ -80,6 +90,12 @@ func (p *TransientParams) Validate() error {
 	if p.MultiRegCount < 0 {
 		return fmt.Errorf("core: negative multi-register count %d", p.MultiRegCount)
 	}
+	if p.SiteResolved && p.StaticInstrIdx < 0 {
+		return fmt.Errorf("core: negative static instruction index %d", p.StaticInstrIdx)
+	}
+	if !p.SiteResolved && p.StaticInstrIdx != 0 {
+		return fmt.Errorf("core: static instruction index set without site resolution")
+	}
 	return nil
 }
 
@@ -95,6 +111,9 @@ func (p *TransientParams) WriteTo(w io.Writer) (int64, error) {
 	}
 	if p.MultiRegCount > 1 {
 		s += fmt.Sprintf("multiregs %d\n", p.MultiRegCount)
+	}
+	if p.SiteResolved {
+		s += fmt.Sprintf("site %d\n", p.StaticInstrIdx)
 	}
 	n, err := io.WriteString(w, s)
 	return int64(n), err
@@ -166,6 +185,13 @@ func ParseTransientParams(r io.Reader) (*TransientParams, error) {
 				return nil, fmt.Errorf("core: bad multiregs line %q", extra)
 			}
 			p.MultiRegCount = n
+		case len(fields) == 2 && fields[0] == "site":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("core: bad site line %q", extra)
+			}
+			p.SiteResolved = true
+			p.StaticInstrIdx = n
 		}
 	}
 	if err := p.Validate(); err != nil {

@@ -149,3 +149,33 @@ func TestParsePermanentParamsErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestTransientParamsSiteRoundTrip(t *testing.T) {
+	p := &TransientParams{
+		Group: sass.GroupGP, BitFlip: FlipSingleBit,
+		KernelName: "k", KernelCount: 2, InstrCount: 9,
+		SiteResolved: true, StaticInstrIdx: 4,
+		DestRegSelect: 0.25, BitPatternValue: 0.5,
+	}
+	got, err := ParseTransientParams(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *p {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", *got, *p)
+	}
+	if !strings.Contains(p.String(), "site 4") {
+		t.Fatalf("serialized form missing site line:\n%s", p)
+	}
+	// Legacy parameter files (no site line) stay site-unresolved.
+	legacy := *p
+	legacy.SiteResolved = false
+	legacy.StaticInstrIdx = 0
+	got, err = ParseTransientParams(strings.NewReader(legacy.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SiteResolved || got.StaticInstrIdx != 0 {
+		t.Fatalf("legacy file parsed as site-resolved: %+v", *got)
+	}
+}

@@ -48,10 +48,23 @@ type KernelRecord struct {
 	LaunchIndex int
 	OpCounts    map[sass.Op]uint64
 
+	// SiteOps and SiteCounts, when present, break the record down per
+	// static instruction: SiteOps[i] is the opcode of instruction i of the
+	// kernel and SiteCounts[i] its thread-level dynamic execution count.
+	// They let injection-site selection resolve a dynamic index to a static
+	// instruction without replaying the program, which is what campaign
+	// pruning needs. Older profiles lack them.
+	SiteOps    []sass.Op
+	SiteCounts []uint64
+
 	// Extrapolated marks approximate-mode records copied from the first
 	// dynamic instance of the static kernel rather than measured.
 	Extrapolated bool
 }
+
+// HasSites reports whether the record carries the per-static-instruction
+// breakdown.
+func (r *KernelRecord) HasSites() bool { return len(r.SiteCounts) > 0 }
 
 // Total returns the record's thread-level instruction count over a group.
 func (r *KernelRecord) Total(g sass.Group) uint64 {
@@ -161,6 +174,21 @@ func (p *Profile) WriteTo(w io.Writer) (int64, error) {
 		if err := count(fmt.Fprintln(bw)); err != nil {
 			return n, err
 		}
+		if r.HasSites() {
+			// The per-site breakdown rides in a comment line so that older
+			// parsers (which skip comments) still read the profile.
+			if err := count(fmt.Fprintf(bw, "# sites:")); err != nil {
+				return n, err
+			}
+			for i, c := range r.SiteCounts {
+				if err := count(fmt.Fprintf(bw, " %d:%s=%d", i, r.SiteOps[i], c)); err != nil {
+					return n, err
+				}
+			}
+			if err := count(fmt.Fprintln(bw)); err != nil {
+				return n, err
+			}
+		}
 	}
 	return n, bw.Flush()
 }
@@ -197,6 +225,33 @@ func ParseProfile(r io.Reader) (*Profile, error) {
 				p.Mode = Approximate
 			default:
 				return nil, fmt.Errorf("core: profile line %d: unknown mode", lineNo)
+			}
+			continue
+		case strings.HasPrefix(line, "# sites:"):
+			if len(p.Records) == 0 {
+				return nil, fmt.Errorf("core: profile line %d: sites before any record", lineNo)
+			}
+			rec := &p.Records[len(p.Records)-1]
+			for i, tok := range strings.Fields(strings.TrimPrefix(line, "# sites:")) {
+				colon := strings.IndexByte(tok, ':')
+				eq := strings.IndexByte(tok, '=')
+				if colon < 0 || eq < colon {
+					return nil, fmt.Errorf("core: profile line %d: bad site token %q", lineNo, tok)
+				}
+				idx, err := strconv.Atoi(tok[:colon])
+				if err != nil || idx != i {
+					return nil, fmt.Errorf("core: profile line %d: bad site index in %q", lineNo, tok)
+				}
+				op, ok := sass.LookupOp(tok[colon+1 : eq])
+				if !ok {
+					return nil, fmt.Errorf("core: profile line %d: unknown opcode %q", lineNo, tok[colon+1:eq])
+				}
+				c, err := strconv.ParseUint(tok[eq+1:], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("core: profile line %d: bad site count %q: %v", lineNo, tok, err)
+				}
+				rec.SiteOps = append(rec.SiteOps, op)
+				rec.SiteCounts = append(rec.SiteCounts, c)
 			}
 			continue
 		case strings.HasPrefix(line, "#"):

@@ -149,3 +149,26 @@ func TestParseProfileErrors(t *testing.T) {
 		t.Fatalf("benign profile rejected: %v", err)
 	}
 }
+
+func TestProfileSitesRoundTrip(t *testing.T) {
+	p := siteProfile()
+	got, err := ParseProfile(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(p.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(p.Records))
+	}
+	for i := range p.Records {
+		want, g := &p.Records[i], &got.Records[i]
+		if !g.HasSites() || len(g.SiteCounts) != len(want.SiteCounts) {
+			t.Fatalf("record %d lost site data: %+v", i, g)
+		}
+		for j := range want.SiteCounts {
+			if g.SiteOps[j] != want.SiteOps[j] || g.SiteCounts[j] != want.SiteCounts[j] {
+				t.Fatalf("record %d site %d: got %v=%d, want %v=%d", i, j,
+					g.SiteOps[j], g.SiteCounts[j], want.SiteOps[j], want.SiteCounts[j])
+			}
+		}
+	}
+}

@@ -46,6 +46,11 @@ func (p *Profiler) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
 		Kernel:      info.Kernel.Name,
 		LaunchIndex: info.LaunchIndex,
 		OpCounts:    make(map[sass.Op]uint64),
+		SiteOps:     make([]sass.Op, len(info.Kernel.Instrs)),
+		SiteCounts:  make([]uint64, len(info.Kernel.Instrs)),
+	}
+	for i := range info.Kernel.Instrs {
+		rec.SiteOps[i] = info.Kernel.Instrs[i].Op
 	}
 	if p.mode == Approximate && p.instrumented[info.Kernel.Name] {
 		rec.Extrapolated = true
@@ -65,9 +70,14 @@ func (p *Profiler) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
 func (p *Profiler) Instrument(k *sass.Kernel, _ string, ins *nvbit.Inserter) {
 	for i := range k.Instrs {
 		op := k.Instrs[i].Op
+		idx := i
 		ins.InsertAfter(i, func(c *gpu.InstrCtx) {
 			if p.current != nil {
-				p.current.OpCounts[op] += uint64(c.LaneCount())
+				n := uint64(c.LaneCount())
+				p.current.OpCounts[op] += n
+				if idx < len(p.current.SiteCounts) {
+					p.current.SiteCounts[idx] += n
+				}
 			}
 		})
 	}
@@ -101,6 +111,8 @@ func (p *Profiler) Finish() *Profile {
 					counts[op] = c
 				}
 				r.OpCounts = counts
+				r.SiteOps = append([]sass.Op(nil), first.SiteOps...)
+				r.SiteCounts = append([]uint64(nil), first.SiteCounts...)
 			}
 		}
 		out.Records[i] = r

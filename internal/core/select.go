@@ -43,6 +43,65 @@ func SelectTransientFault(p *Profile, g sass.Group, bf BitFlipModel, rng *rand.R
 	return nil, fmt.Errorf("core: internal error: fault index %d beyond profile total %d", n, total)
 }
 
+// SelectTransientFaultSite is SelectTransientFault with the selection
+// resolved down to a static instruction: it draws from the same RNG stream
+// (one Int63n, then the two Float64s) but uses the profile's per-site
+// breakdown to name the static instruction the dynamic index lands on, so
+// consumers — the campaign pruner above all — can reason statically about
+// the target without replaying the program. The dynamic index is
+// interpreted in static-instruction order within the record, and the
+// injector in site mode counts executions of that one instruction, so a
+// fixed seed maps to a fixed site either way. Requires a profile with site
+// data (a current profiler run, or a profile file with "# sites:" lines).
+func SelectTransientFaultSite(p *Profile, g sass.Group, bf BitFlipModel, rng *rand.Rand) (*TransientParams, error) {
+	total := p.TotalInstrs(g)
+	if total == 0 {
+		return nil, fmt.Errorf("core: profile of %q has no %v instructions to inject", p.Program, g)
+	}
+	n := uint64(rng.Int63n(int64(total))) // 0-based index into the group's executions
+	var cum uint64
+	for i := range p.Records {
+		r := &p.Records[i]
+		t := r.Total(g)
+		if n >= cum+t {
+			cum += t
+			continue
+		}
+		if !r.HasSites() {
+			return nil, fmt.Errorf("core: profile record %s;%d has no site data; re-profile or use SelectTransientFault",
+				r.Kernel, r.LaunchIndex)
+		}
+		rem := n - cum
+		for idx, c := range r.SiteCounts {
+			if !sass.GroupContains(g, r.SiteOps[idx]) {
+				continue
+			}
+			if rem >= c {
+				rem -= c
+				continue
+			}
+			params := &TransientParams{
+				Group:           g,
+				BitFlip:         bf,
+				KernelName:      r.Kernel,
+				KernelCount:     r.LaunchIndex,
+				InstrCount:      rem,
+				SiteResolved:    true,
+				StaticInstrIdx:  idx,
+				DestRegSelect:   rng.Float64(),
+				BitPatternValue: rng.Float64(),
+			}
+			if err := params.Validate(); err != nil {
+				return nil, err
+			}
+			return params, nil
+		}
+		return nil, fmt.Errorf("core: profile record %s;%d: site counts sum below the record total for %v",
+			r.Kernel, r.LaunchIndex, g)
+	}
+	return nil, fmt.Errorf("core: internal error: fault index %d beyond profile total %d", n, total)
+}
+
 // SelectPermanentFaults enumerates one permanent-fault experiment per
 // executed opcode (the campaign described in Section IV-B: "permanent fault
 // experiments can be skipped for unused opcodes"). The SM, lane, and mask

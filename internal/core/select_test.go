@@ -127,3 +127,97 @@ func TestSelectDeterminism(t *testing.T) {
 		t.Fatalf("same seed selected different faults:\n%+v\n%+v", *a, *b)
 	}
 }
+
+// siteProfile builds a profile carrying the per-static-instruction
+// breakdown that site-resolved selection needs.
+func siteProfile() *Profile {
+	fadd := sass.MustOp("FADD")
+	iadd := sass.MustOp("IADD")
+	stg := sass.MustOp("STG")
+	exit := sass.MustOp("EXIT")
+	return &Profile{
+		Program: "prog",
+		Mode:    Exact,
+		Records: []KernelRecord{
+			{
+				Kernel: "k1", LaunchIndex: 0,
+				OpCounts:   map[sass.Op]uint64{fadd: 130, iadd: 50, stg: 30, exit: 10},
+				SiteOps:    []sass.Op{fadd, iadd, fadd, stg, exit},
+				SiteCounts: []uint64{100, 50, 30, 30, 10},
+			},
+			{
+				Kernel: "k2", LaunchIndex: 0,
+				OpCounts:   map[sass.Op]uint64{fadd: 40, exit: 8},
+				SiteOps:    []sass.Op{fadd, exit},
+				SiteCounts: []uint64{40, 8},
+			},
+		},
+	}
+}
+
+// TestSelectSiteSameStream: site-resolved selection consumes the RNG
+// stream exactly like the legacy selector, so a fixed seed picks the same
+// dynamic kernel and the same register/bit-pattern draws.
+func TestSelectSiteSameStream(t *testing.T) {
+	p := siteProfile()
+	for seed := int64(0); seed < 200; seed++ {
+		legacy, err := SelectTransientFault(p, sass.GroupGP, FlipSingleBit, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		site, err := SelectTransientFaultSite(p, sass.GroupGP, FlipSingleBit, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !site.SiteResolved {
+			t.Fatal("site selection not marked SiteResolved")
+		}
+		if site.KernelName != legacy.KernelName || site.KernelCount != legacy.KernelCount {
+			t.Fatalf("seed %d: site picked %s/%d, legacy %s/%d", seed,
+				site.KernelName, site.KernelCount, legacy.KernelName, legacy.KernelCount)
+		}
+		if site.DestRegSelect != legacy.DestRegSelect || site.BitPatternValue != legacy.BitPatternValue {
+			t.Fatalf("seed %d: RNG streams diverged", seed)
+		}
+		// The resolved site must be an in-range instruction of the group.
+		var rec *KernelRecord
+		for i := range p.Records {
+			if p.Records[i].Kernel == site.KernelName && p.Records[i].LaunchIndex == site.KernelCount {
+				rec = &p.Records[i]
+			}
+		}
+		if site.StaticInstrIdx < 0 || site.StaticInstrIdx >= len(rec.SiteOps) {
+			t.Fatalf("seed %d: static index %d out of range", seed, site.StaticInstrIdx)
+		}
+		op := rec.SiteOps[site.StaticInstrIdx]
+		if !sass.GroupContains(sass.GroupGP, op) {
+			t.Fatalf("seed %d: resolved site opcode %v outside group", seed, op)
+		}
+		if site.InstrCount >= rec.SiteCounts[site.StaticInstrIdx] {
+			t.Fatalf("seed %d: per-site count %d beyond site total %d", seed,
+				site.InstrCount, rec.SiteCounts[site.StaticInstrIdx])
+		}
+	}
+}
+
+func TestSelectSiteDeterminism(t *testing.T) {
+	p := siteProfile()
+	a, err := SelectTransientFaultSite(p, sass.GroupGPPR, FlipSingleBit, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectTransientFaultSite(p, sass.GroupGPPR, FlipSingleBit, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed selected different faults:\n%+v\n%+v", *a, *b)
+	}
+}
+
+func TestSelectSiteRequiresSiteData(t *testing.T) {
+	p := sampleProfile() // no site breakdown
+	if _, err := SelectTransientFaultSite(p, sass.GroupGP, FlipSingleBit, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("site selection succeeded on a profile without site data")
+	}
+}

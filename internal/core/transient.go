@@ -130,13 +130,28 @@ func (t *TransientInjector) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
 	// The key deliberately omits InstrCount: the inserted callbacks are
 	// identical for every count (the countdown lives in the injector, not
 	// in the instrumentation), so keying on it would only defeat JIT-cache
-	// reuse across repeat launches of the target kernel.
+	// reuse across repeat launches of the target kernel. A site-resolved
+	// experiment instruments a single instruction, so its key carries the
+	// static index instead.
+	if t.P.SiteResolved {
+		return nvbit.Decision{Instrument: true, Key: fmt.Sprintf("inject:%v@%d", t.P.Group, t.P.StaticInstrIdx)}
+	}
 	return nvbit.Decision{Instrument: true, Key: fmt.Sprintf("inject:%v", t.P.Group)}
 }
 
 // Instrument implements nvbit.Tool: attach the countdown-and-corrupt
 // callback to every instruction in the target group.
 func (t *TransientInjector) Instrument(k *sass.Kernel, _ string, ins *nvbit.Inserter) {
+	if t.P.SiteResolved {
+		// Site mode: the countdown runs over executions of one static
+		// instruction, so only that instruction is instrumented.
+		i := t.P.StaticInstrIdx
+		if i >= len(k.Instrs) || !sass.GroupContains(t.P.Group, k.Instrs[i].Op) {
+			return
+		}
+		ins.InsertAfter(i, func(c *gpu.InstrCtx) { t.step(c, i) })
+		return
+	}
 	for i := range k.Instrs {
 		if !sass.GroupContains(t.P.Group, k.Instrs[i].Op) {
 			continue

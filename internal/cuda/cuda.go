@@ -19,6 +19,7 @@ import (
 	"repro/internal/modcache"
 	"repro/internal/sass"
 	"repro/internal/sass/encoding"
+	"repro/internal/sassan"
 )
 
 // Error is a CUDA-style error code.
@@ -100,7 +101,34 @@ type Context struct {
 	subIDs        []int
 	defaultBudget uint64
 
+	verifyMode  VerifyMode
+	verifyDiags []sassan.Diagnostic
+
 	total gpu.LaunchStats // cumulative execution counts across launches
+}
+
+// VerifyMode controls static verification of modules at load time.
+type VerifyMode uint8
+
+// Verification modes. VerifyOff (the zero value) skips analysis entirely;
+// VerifyWarn runs the verifier and accumulates its diagnostics without
+// changing load behaviour; VerifyEnforce additionally rejects modules whose
+// verification produced errors, before they become loadable or visible to
+// subscribers.
+const (
+	VerifyOff VerifyMode = iota
+	VerifyWarn
+	VerifyEnforce
+)
+
+// SetVerifyMode selects the load-time verification mode. It applies to
+// modules loaded after the call.
+func (c *Context) SetVerifyMode(m VerifyMode) { c.verifyMode = m }
+
+// VerifyDiagnostics returns every diagnostic accumulated by load-time
+// verification, in load order.
+func (c *Context) VerifyDiagnostics() []sassan.Diagnostic {
+	return append([]sassan.Diagnostic(nil), c.verifyDiags...)
 }
 
 // AccumulatedStats returns cumulative execution counts across every launch
@@ -257,6 +285,18 @@ func (c *Context) LoadModuleBinary(data []byte) (*Module, error) {
 }
 
 func (c *Context) registerModule(name, source string, bin []byte, prog *sass.Program, hasSource bool) (*Module, error) {
+	if c.verifyMode != VerifyOff {
+		diags := sassan.VerifyProgram(prog)
+		c.verifyDiags = append(c.verifyDiags, diags...)
+		if c.verifyMode == VerifyEnforce && sassan.HasErrors(diags) {
+			for _, d := range diags {
+				if d.Sev == sassan.SevError {
+					return nil, fmt.Errorf("cuModuleLoad %q: %w: verification failed: %s",
+						name, ErrInvalidValue, d)
+				}
+			}
+		}
+	}
 	m := &Module{
 		ctx:       c,
 		name:      name,

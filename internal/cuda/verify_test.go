@@ -1,0 +1,111 @@
+package cuda_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/sass"
+	"repro/internal/sass/encoding"
+	"repro/internal/sassan"
+)
+
+// badSpanSrc assembles but fails static verification: LDG.128 into R252
+// spans R252..RZ.
+const badSpanSrc = `
+.kernel badspan
+.param ptr
+    IADD R0, RZ, c0[ptr]
+    LDG.128 R252, [R0]
+    EXIT
+`
+
+// warnSrc is valid but carries two dead-write warnings (R0 and R10 are
+// never read).
+const warnSrc = `
+.kernel warns
+    S2R R0, SR_TID.X
+    MOV R10, RZ
+    EXIT
+`
+
+// TestVerifyOffIsDefault: without opting in, even an erroring module loads.
+func TestVerifyOffIsDefault(t *testing.T) {
+	ctx := newCtx(t)
+	if _, err := ctx.LoadModule("bad", badSpanSrc); err != nil {
+		t.Fatalf("default context rejected module: %v", err)
+	}
+	if diags := ctx.VerifyDiagnostics(); len(diags) != 0 {
+		t.Fatalf("VerifyOff accumulated diagnostics: %v", diags)
+	}
+}
+
+// TestVerifyEnforceRejectsSourceModule: enforce mode fails the load with a
+// driver-style error wrapping ErrInvalidValue.
+func TestVerifyEnforceRejectsSourceModule(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.SetVerifyMode(cuda.VerifyEnforce)
+	_, err := ctx.LoadModule("bad", badSpanSrc)
+	if err == nil {
+		t.Fatal("enforce mode loaded a module with a verification error")
+	}
+	if !errors.Is(err, cuda.ErrInvalidValue) {
+		t.Fatalf("error does not wrap ErrInvalidValue: %v", err)
+	}
+	if !strings.Contains(err.Error(), "verification failed") {
+		t.Fatalf("error does not name verification: %v", err)
+	}
+	// The rejected module must not be registered.
+	if len(ctx.Modules()) != 0 {
+		t.Fatalf("rejected module was registered: %d modules", len(ctx.Modules()))
+	}
+	// A clean module still loads on the same context.
+	if _, err := ctx.LoadModule("good", modSrc); err != nil {
+		t.Fatalf("enforce mode rejected a clean module: %v", err)
+	}
+}
+
+// TestVerifyEnforceRejectsBinaryModule: the verifier runs on the decoded
+// machine-code view, so binary-only modules are covered too.
+func TestVerifyEnforceRejectsBinaryModule(t *testing.T) {
+	prog, err := sass.Assemble("bad", badSpanSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := encoding.MustCodec(sass.FamilyVolta).EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newCtx(t)
+	ctx.SetVerifyMode(cuda.VerifyEnforce)
+	if _, err := ctx.LoadModuleBinary(bin); err == nil {
+		t.Fatal("enforce mode loaded a binary-only module with a verification error")
+	}
+}
+
+// TestVerifyWarnAccumulates: warn mode loads everything and collects every
+// diagnostic across module loads.
+func TestVerifyWarnAccumulates(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.SetVerifyMode(cuda.VerifyWarn)
+	if _, err := ctx.LoadModule("w1", warnSrc); err != nil {
+		t.Fatalf("warn mode rejected module: %v", err)
+	}
+	first := len(ctx.VerifyDiagnostics())
+	if first == 0 {
+		t.Fatal("warn mode collected no diagnostics from a dead-write module")
+	}
+	for _, d := range ctx.VerifyDiagnostics() {
+		if d.Sev != sassan.SevWarning {
+			t.Fatalf("unexpected severity in warn module: %v", d)
+		}
+	}
+	// Even error-level findings don't block loads in warn mode.
+	if _, err := ctx.LoadModule("w2", badSpanSrc); err != nil {
+		t.Fatalf("warn mode rejected erroring module: %v", err)
+	}
+	if got := len(ctx.VerifyDiagnostics()); got <= first {
+		t.Fatalf("diagnostics did not accumulate: %d then %d", first, got)
+	}
+}

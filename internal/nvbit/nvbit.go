@@ -22,6 +22,7 @@ import (
 	"repro/internal/modcache"
 	"repro/internal/sass"
 	"repro/internal/sass/encoding"
+	"repro/internal/sassan"
 )
 
 // LaunchInfo describes one dynamic kernel launch to the tool.
@@ -120,6 +121,23 @@ type Attachment struct {
 	jitBuilds            int
 	moduleDecodeHits     int
 	moduleDecodeBuilds   int
+
+	// Static verification of decoded modules (WithVerify).
+	verify      bool
+	verifyDiags []sassan.Diagnostic
+}
+
+// Option configures an attachment.
+type Option func(*Attachment)
+
+// WithVerify makes the attachment run the sassan static verifier over every
+// module it decodes — the decoded machine-code view, not source, so it
+// covers binary-only modules the assembler never checked. A module whose
+// verification produces errors fails the attach (or, for modules loaded
+// while attached, fails the load by panicking like a decode failure);
+// warnings are accumulated and readable via VerifyDiagnostics.
+func WithVerify() Option {
+	return func(a *Attachment) { a.verify = true }
 }
 
 type cacheKey struct {
@@ -130,7 +148,7 @@ type cacheKey struct {
 // Attach connects a tool to the context — the analog of starting the
 // target program with LD_PRELOAD=<tool>.so. Modules already loaded are
 // decoded immediately; future module loads are decoded as they arrive.
-func Attach(ctx *cuda.Context, tool Tool) (*Attachment, error) {
+func Attach(ctx *cuda.Context, tool Tool, opts ...Option) (*Attachment, error) {
 	codec, err := modcache.Shared.Codec(ctx.Device().Family)
 	if err != nil {
 		return nil, fmt.Errorf("nvbit: %w", err)
@@ -143,6 +161,9 @@ func Attach(ctx *cuda.Context, tool Tool) (*Attachment, error) {
 		counts: make(map[string]int),
 		cache:  make(map[cacheKey]*gpu.ExecKernel),
 		live:   make(map[*cuda.Function]*LaunchInfo),
+	}
+	for _, o := range opts {
+		o(a)
 	}
 	for _, m := range ctx.Modules() {
 		if err := a.decodeModule(m); err != nil {
@@ -193,6 +214,17 @@ func (a *Attachment) decodeModule(m *cuda.Module) error {
 	} else {
 		a.moduleDecodeBuilds++
 	}
+	if a.verify {
+		diags := sassan.VerifyProgram(prog)
+		a.verifyDiags = append(a.verifyDiags, diags...)
+		if sassan.HasErrors(diags) {
+			for _, d := range diags {
+				if d.Sev == sassan.SevError {
+					return fmt.Errorf("nvbit: module %q failed verification: %s", m.Name(), d)
+				}
+			}
+		}
+	}
 	for _, k := range prog.Kernels {
 		f, err := m.Function(k.Name)
 		if err != nil {
@@ -202,6 +234,16 @@ func (a *Attachment) decodeModule(m *cuda.Module) error {
 	}
 	return nil
 }
+
+// VerifyDiagnostics returns the diagnostics accumulated by WithVerify
+// across every module this attachment decoded.
+func (a *Attachment) VerifyDiagnostics() []sassan.Diagnostic {
+	return append([]sassan.Diagnostic(nil), a.verifyDiags...)
+}
+
+// VerifyWarnings returns how many of the accumulated diagnostics are
+// warnings.
+func (a *Attachment) VerifyWarnings() int { return sassan.CountWarnings(a.verifyDiags) }
 
 // OnModuleLoad implements cuda.Subscriber.
 func (a *Attachment) OnModuleLoad(m *cuda.Module) {

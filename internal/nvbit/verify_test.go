@@ -1,0 +1,67 @@
+package nvbit_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nvbit"
+	"repro/internal/sass"
+)
+
+// deadWriteSrc is valid but carries dead-write warnings.
+const deadWriteSrc = `
+.kernel warns
+    S2R R0, SR_TID.X
+    MOV R10, RZ
+    EXIT
+`
+
+// spanErrSrc fails verification: LDG.128 into R252 spans R252..RZ.
+const spanErrSrc = `
+.kernel badspan
+    MOV R0, 0x0
+    LDG.128 R252, [R0]
+    EXIT
+`
+
+// TestAttachWithVerifyCollectsWarnings: WithVerify lints every decoded
+// module and exposes the findings without blocking warning-only modules.
+func TestAttachWithVerifyCollectsWarnings(t *testing.T) {
+	ctx := newCtx(t, sass.FamilyVolta)
+	if _, err := ctx.LoadModule("m", deadWriteSrc); err != nil {
+		t.Fatal(err)
+	}
+	att, err := nvbit.Attach(ctx, &countingTool{}, nvbit.WithVerify())
+	if err != nil {
+		t.Fatalf("attach with warning-only module failed: %v", err)
+	}
+	defer att.Detach()
+	if att.VerifyWarnings() == 0 {
+		t.Fatal("WithVerify found no warnings in a dead-write module")
+	}
+	if len(att.VerifyDiagnostics()) != att.VerifyWarnings() {
+		t.Fatalf("diagnostics %d != warnings %d on an error-free module",
+			len(att.VerifyDiagnostics()), att.VerifyWarnings())
+	}
+}
+
+// TestAttachWithVerifyRejectsErrors: a module with verification errors
+// fails the attach; without WithVerify the same context attaches fine.
+func TestAttachWithVerifyRejectsErrors(t *testing.T) {
+	ctx := newCtx(t, sass.FamilyVolta)
+	if _, err := ctx.LoadModule("m", spanErrSrc); err != nil {
+		t.Fatal(err)
+	}
+	_, err := nvbit.Attach(ctx, &countingTool{}, nvbit.WithVerify())
+	if err == nil {
+		t.Fatal("attach accepted a module that fails verification")
+	}
+	if !strings.Contains(err.Error(), "failed verification") {
+		t.Fatalf("error does not name verification: %v", err)
+	}
+	att, err := nvbit.Attach(ctx, &countingTool{})
+	if err != nil {
+		t.Fatalf("attach without verify rejected the module: %v", err)
+	}
+	att.Detach()
+}

@@ -21,7 +21,12 @@ func WriteRunLog(w io.Writer, res *campaign.CampaignResult) error {
 		run := &res.Runs[i]
 		rec := run.Injection
 		var line string
-		if rec.Kernel != "" || rec.Activated {
+		if run.Pruned {
+			line = fmt.Sprintf("run=%d outcome=%v symptom=%q potential_due=%v "+
+				"pruned=true kernel=%s instr=%d opcode=%v",
+				i, run.Class.Outcome, run.Class.Symptom.String(), run.Class.PotentialDUE,
+				rec.Kernel, rec.InstrIdx, rec.Opcode)
+		} else if rec.Kernel != "" || rec.Activated {
 			line = fmt.Sprintf("run=%d outcome=%v symptom=%q potential_due=%v "+
 				"activated=%v kernel=%s instr=%d opcode=%v sm=%d lane=%d target=%s "+
 				"before=0x%08x after=0x%08x dur=%s",
@@ -105,6 +110,9 @@ func Summary(res *campaign.CampaignResult) string {
 	t := res.Tally
 	s := fmt.Sprintf("%s: %d runs, %v, potential DUEs %d, median run %v",
 		res.Program, t.N, t, t.PotentialDUEs, res.MedianRunTime.Round(time.Millisecond))
+	if t.Pruned > 0 {
+		s += fmt.Sprintf(", %d statically pruned", t.Pruned)
+	}
 	if res.Weighted != nil {
 		s = fmt.Sprintf("%s: %d opcodes, weighted SDC %.1f%% DUE %.1f%% Masked %.1f%%",
 			res.Program, len(res.Runs),

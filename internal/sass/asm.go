@@ -59,6 +59,11 @@ func Assemble(moduleName, src string) (*Program, error) {
 			if name == "" {
 				return nil, fmt.Errorf("sass: line %d: .kernel requires a name", lineNo+1)
 			}
+			for _, k := range p.Kernels {
+				if k.Name == name {
+					return nil, fmt.Errorf("sass: line %d: duplicate kernel %q", lineNo+1, name)
+				}
+			}
 			cur = &Kernel{Name: name, labels: make(map[string]int)}
 			params = make(map[string]int32)
 			p.Kernels = append(p.Kernels, cur)

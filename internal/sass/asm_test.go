@@ -87,6 +87,7 @@ func TestAssembleErrors(t *testing.T) {
 		{"undefined label", ".kernel k\nBRA nowhere\n", "undefined label"},
 		{"duplicate label", ".kernel k\nx:\nx:\nEXIT\n", "duplicate label"},
 		{"duplicate param", ".kernel k\n.param a\n.param a\n", "duplicate parameter"},
+		{"duplicate kernel", ".kernel k\nEXIT\n.kernel k\nEXIT\n", "line 3: duplicate kernel"},
 		{"bad shared", ".kernel k\n.shared owl\n", "bad .shared"},
 		{"kernel no name", ".kernel\n", "requires a name"},
 		{"bad modifier", ".kernel k\nFADD.WAT R1, R2, R3\n", "unsupported modifier"},

@@ -1,0 +1,52 @@
+package sass_test
+
+import (
+	"testing"
+
+	"repro/internal/sass"
+	"repro/internal/sassan"
+)
+
+// FuzzAssembleDisassemble feeds arbitrary text through the assembler and
+// checks the invariants that hold for every accepted program:
+//
+//   - Disassemble(Assemble(src)) is a fixpoint: disassembling and
+//     re-assembling the result reproduces the same text byte-for-byte.
+//   - Neither the assembler, the disassembler, nor the static verifier
+//     panics, whatever the input.
+//
+// Rejected inputs simply return an error, which is fine — the target is
+// crash- and drift-freedom, not acceptance.
+func FuzzAssembleDisassemble(f *testing.F) {
+	seeds := []string{
+		"",
+		".kernel k\nEXIT\n",
+		".kernel tiny\n.param outptr\n    S2R R0, SR_TID.X\n    IADD R1, R0, 0x1\n    SHL R3, R0, 0x2\n    IADD R4, R3, c0[outptr]\n    STG.32 [R4], R1\n    EXIT\n",
+		".kernel saxpy\n.param n\n.param a\n.param xptr\n.param yptr\n    S2R R0, SR_TID.X\n    S2R R1, SR_CTAID.X\n    MOV R2, c0[NTID_X]\n    IMAD R0, R1, R2, R0\n    ISETP.GE.AND P0, R0, c0[n], PT\n@P0 EXIT\n    SHL R3, R0, 0x2\n    IADD R4, R3, c0[xptr]\n    IADD R5, R3, c0[yptr]\n    LDG.32 R6, [R4]\n    LDG.32 R7, [R5]\n    MOV R8, c0[a]\n    FFMA R9, R8, R6, R7\n    STG.32 [R5], R9\n    EXIT\n",
+		".kernel diamond\n    ISETP.GE.AND P0, R0, 0x5, PT\n@P0 BRA alt\n    MOV R1, 0x1\n    BRA join\nalt:\n    MOV R1, 0x2\njoin:\n    STG.32 [R2], R1\n    EXIT\n",
+		".kernel wide\n.shared 64\n    LDG.128 R4, [R0]\n    DADD R8, R4, R6\n    STG.64 [R2], R8\n    RED.ADD.F32 [R2+0x8], R4\n    BAR.SYNC\n    EXIT\n",
+		".kernel loop\n    MOV R0, 0x0\ntop:\n    IADD R0, R0, 0x1\n    ISETP.GE.AND P1, R0, 0xa, PT\n@!P1 BRA top\n    EXIT\n",
+		".kernel a\nEXIT\n.kernel a\nEXIT\n",
+		".kernel bad\n    BRA nowhere\n",
+		"@P9 MOV R1, R2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := sass.Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		// The verifier must tolerate anything the assembler accepts.
+		_ = sassan.VerifyProgram(p)
+		d1 := sass.Disassemble(p)
+		p2, err := sass.Assemble("fuzz", d1)
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v\nsource:\n%s\ndisassembly:\n%s", err, src, d1)
+		}
+		if d2 := sass.Disassemble(p2); d2 != d1 {
+			t.Fatalf("disassembly is not a fixpoint\nfirst:\n%s\nsecond:\n%s", d1, d2)
+		}
+	})
+}

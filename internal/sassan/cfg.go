@@ -1,0 +1,219 @@
+package sassan
+
+import (
+	"sort"
+
+	"repro/internal/sass"
+)
+
+// CFG is the control-flow graph of one kernel, kept at two granularities:
+// per-instruction successor lists (what the dataflow passes iterate over)
+// and basic blocks (what reachability diagnostics report). Successor edges
+// are conservative over-approximations of the executor's control transfers:
+// a guarded branch keeps both the taken and fall-through edges, an indirect
+// branch (BRX/JMX) may reach any instruction, and RET may resume at any
+// point following a CALL.
+type CFG struct {
+	// N is the kernel's instruction count.
+	N int
+	// Succs lists each instruction's successor instruction indexes. The
+	// sentinel value N marks execution falling past the last instruction
+	// (a bad-PC trap at run time). Indirect transfers are not expanded
+	// here; see Indirect.
+	Succs [][]int
+	// Indirect marks instructions whose successor set is every instruction
+	// in the kernel (register-indirect branches).
+	Indirect []bool
+	// Blocks is the basic-block partition in instruction order.
+	Blocks []Block
+	// BlockOf maps each instruction index to its block index.
+	BlockOf []int
+	// Reachable marks instructions reachable from the kernel entry.
+	Reachable []bool
+}
+
+// Block is a maximal straight-line instruction sequence [Start, End).
+type Block struct {
+	Start, End int
+	// Succs lists successor block indexes (deduplicated, ascending). An
+	// off-the-end edge is not represented at block level.
+	Succs []int
+}
+
+// branchTarget returns the resolved target of a direct control transfer,
+// or -1 when the operand is missing or not a label.
+func branchTarget(in *sass.Instr) int {
+	if len(in.Src) == 0 || in.Src[0].Kind != sass.OpdLabel {
+		return -1
+	}
+	return int(in.Src[0].Target)
+}
+
+// BuildCFG constructs the kernel's control-flow graph.
+func BuildCFG(k *sass.Kernel) *CFG {
+	n := len(k.Instrs)
+	cfg := &CFG{
+		N:         n,
+		Succs:     make([][]int, n),
+		Indirect:  make([]bool, n),
+		BlockOf:   make([]int, n),
+		Reachable: make([]bool, n),
+	}
+
+	// Return points: every instruction following a CALL is a potential
+	// resume point for every RET.
+	var retPoints []int
+	for i := range k.Instrs {
+		if k.Instrs[i].Op.Info().Sem == sass.SemCall && i+1 < n {
+			retPoints = append(retPoints, i+1)
+		}
+	}
+
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		guarded := !in.Guard.True()
+		var succs []int
+		switch in.Op.Info().Sem {
+		case sass.SemBra, sass.SemJmp:
+			if t := branchTarget(in); t >= 0 && t < n {
+				succs = append(succs, t)
+			}
+			if guarded {
+				succs = append(succs, i+1)
+			}
+		case sass.SemBrx:
+			cfg.Indirect[i] = true
+		case sass.SemCall:
+			if t := branchTarget(in); t >= 0 && t < n {
+				succs = append(succs, t)
+			}
+			if guarded {
+				succs = append(succs, i+1)
+			}
+		case sass.SemRet:
+			succs = append(succs, retPoints...)
+			if guarded {
+				succs = append(succs, i+1)
+			}
+		case sass.SemExit, sass.SemKill:
+			if guarded {
+				succs = append(succs, i+1)
+			}
+		case sass.SemBpt:
+			// An unguarded breakpoint always traps; a guarded one can fall
+			// through when the guard suppresses it.
+			if guarded {
+				succs = append(succs, i+1)
+			}
+		case sass.SemNone:
+			// Architecturally defined but not executable: traps if reached.
+		default:
+			succs = append(succs, i+1)
+		}
+		cfg.Succs[i] = succs
+	}
+
+	cfg.buildBlocks(k)
+	cfg.markReachable()
+	return cfg
+}
+
+// buildBlocks partitions the instructions into basic blocks.
+func (c *CFG) buildBlocks(k *sass.Kernel) {
+	n := c.N
+	if n == 0 {
+		return
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range k.Instrs {
+		switch k.Instrs[i].Op.Info().Sem {
+		case sass.SemBra, sass.SemJmp, sass.SemBrx, sass.SemCall,
+			sass.SemRet, sass.SemExit, sass.SemKill, sass.SemBpt, sass.SemNone:
+			// A control transfer ends its block, and its possible targets
+			// start theirs. Ordinary fall-through edges do not split blocks.
+			if i+1 < n {
+				leader[i+1] = true
+			}
+			for _, s := range c.Succs[i] {
+				if s < n {
+					leader[s] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			c.Blocks = append(c.Blocks, Block{Start: i})
+		}
+		c.BlockOf[i] = len(c.Blocks) - 1
+	}
+	for bi := range c.Blocks {
+		if bi+1 < len(c.Blocks) {
+			c.Blocks[bi].End = c.Blocks[bi+1].Start
+		} else {
+			c.Blocks[bi].End = n
+		}
+		last := c.Blocks[bi].End - 1
+		set := make(map[int]bool)
+		if c.Indirect[last] {
+			for sb := range c.Blocks {
+				set[sb] = true
+			}
+		}
+		for _, s := range c.Succs[last] {
+			if s < n {
+				set[c.BlockOf[s]] = true
+			}
+		}
+		for sb := range set {
+			c.Blocks[bi].Succs = append(c.Blocks[bi].Succs, sb)
+		}
+		sort.Ints(c.Blocks[bi].Succs)
+	}
+}
+
+// markReachable flood-fills instruction reachability from the entry.
+func (c *CFG) markReachable() {
+	if c.N == 0 {
+		return
+	}
+	work := []int{0}
+	c.Reachable[0] = true
+	push := func(s int) {
+		if s < c.N && !c.Reachable[s] {
+			c.Reachable[s] = true
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		if c.Indirect[i] {
+			for s := 0; s < c.N; s++ {
+				push(s)
+			}
+			continue
+		}
+		for _, s := range c.Succs[i] {
+			push(s)
+		}
+	}
+}
+
+// FallsOffEnd reports whether a reachable instruction can transfer control
+// past the last instruction (the executor's bad-PC trap), returning the
+// first such instruction index.
+func (c *CFG) FallsOffEnd() (int, bool) {
+	for i := 0; i < c.N; i++ {
+		if !c.Reachable[i] {
+			continue
+		}
+		for _, s := range c.Succs[i] {
+			if s == c.N {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}

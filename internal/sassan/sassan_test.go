@@ -1,0 +1,619 @@
+package sassan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sass"
+)
+
+// kern assembles a single-kernel module and returns the kernel.
+func kern(t *testing.T, src string) *sass.Kernel {
+	t.Helper()
+	p, err := sass.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p.Kernels[0]
+}
+
+func regs(rs ...sass.RegID) RegSet {
+	var s RegSet
+	for _, r := range rs {
+		s.Add(r)
+	}
+	return s
+}
+
+func preds(ps ...sass.PredID) PredSet {
+	var s PredSet
+	for _, p := range ps {
+		s.Add(p)
+	}
+	return s
+}
+
+func TestRegSetOps(t *testing.T) {
+	a := regs(0, 63, 64, 200, 254)
+	for _, r := range []sass.RegID{0, 63, 64, 200, 254} {
+		if !a.Has(r) {
+			t.Errorf("Has(%v) = false", r)
+		}
+	}
+	if a.Has(1) || a.Has(128) {
+		t.Error("spurious members")
+	}
+	b := regs(63, 64, 7)
+	u := a
+	u.Union(b)
+	if got := len(u.Regs()); got != 6 {
+		t.Errorf("union size = %d, want 6", got)
+	}
+	if d := a.Minus(b); d.Has(63) || d.Has(64) || !d.Has(0) {
+		t.Errorf("Minus wrong: %v", d)
+	}
+	if !a.Intersects(b) || a.Intersects(regs(5)) {
+		t.Error("Intersects wrong")
+	}
+	if !regs(63, 64).ContainedIn(a) || regs(1).ContainedIn(a) {
+		t.Error("ContainedIn wrong")
+	}
+	if !(RegSet{}).Empty() || a.Empty() {
+		t.Error("Empty wrong")
+	}
+	if got := regs(0, 4).String(); got != "{R0,R4}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPredSetOps(t *testing.T) {
+	a := preds(0, 2, 6)
+	if !a.Has(0) || a.Has(1) {
+		t.Error("Has wrong")
+	}
+	if d := a.Minus(preds(2)); d.Has(2) || !d.Has(0) {
+		t.Error("Minus wrong")
+	}
+	if !a.Intersects(preds(6)) || a.Intersects(preds(5)) {
+		t.Error("Intersects wrong")
+	}
+	if got := a.String(); got != "{P0,P2,P6}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := a.Preds(); len(got) != 3 || got[0] != 0 || got[2] != 6 {
+		t.Errorf("Preds = %v", got)
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	k := kern(t, `
+.kernel k
+.param n
+    S2R R0, SR_TID.X
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 MOV R1, 0x7
+    DADD R2, R4, R6
+    LDG.64 R8, [R10]
+    LDG.128 R12, [R10]
+    STG.128 [R10], R20
+    LDC.64 R30, c0[0x0]
+    P2R R31, 0x7f
+    MOV R40, RZ
+@!P1 BRA done
+done:
+    EXIT
+`)
+	tests := []struct {
+		i        int
+		gpR, gpW RegSet
+		prR, prW PredSet
+		guarded  bool
+	}{
+		// S2R R0: no register reads, writes R0.
+		{0, RegSet{}, regs(0), 0, 0, false},
+		// ISETP P0, R0, c0[n], PT: reads R0; the PT combine operand is a
+		// default, not a use; writes P0.
+		{1, regs(0), RegSet{}, 0, preds(0), false},
+		// @P0 MOV: guarded, reads P0, writes R1 conditionally.
+		{2, RegSet{}, regs(1), preds(0), 0, true},
+		// DADD: FP64 reads source pairs, writes the destination pair.
+		{3, regs(4, 5, 6, 7), regs(2, 3), 0, 0, false},
+		// LDG.64: address base read, pair write.
+		{4, regs(10), regs(8, 9), 0, 0, false},
+		// LDG.128: four-register write span.
+		{5, regs(10), regs(12, 13, 14, 15), 0, 0, false},
+		// STG.128: the value operand is a four-register read span.
+		{6, regs(10, 20, 21, 22, 23), RegSet{}, 0, 0, false},
+		// LDC.64: the executor writes a single register despite the width.
+		{7, RegSet{}, regs(30), 0, 0, false},
+		// P2R: reads every predicate P0..P6.
+		{8, RegSet{}, regs(31), allPreds, 0, false},
+		// MOV R40, RZ: RZ is constant zero, not a read.
+		{9, RegSet{}, regs(40), 0, 0, false},
+		// @!P1 BRA: negated guard still reads P1.
+		{10, RegSet{}, RegSet{}, preds(1), 0, true},
+	}
+	for _, tc := range tests {
+		du := DefsUses(&k.Instrs[tc.i])
+		if du.GPReads != tc.gpR || du.GPWrites != tc.gpW ||
+			du.PRReads != tc.prR || du.PRWrites != tc.prW || du.Guarded != tc.guarded {
+			t.Errorf("#%d %v: got reads %v%v writes %v%v guarded %v, want %v%v %v%v %v",
+				tc.i, k.Instrs[tc.i].Op,
+				du.GPReads, du.PRReads, du.GPWrites, du.PRWrites, du.Guarded,
+				tc.gpR, tc.prR, tc.gpW, tc.prW, tc.guarded)
+		}
+	}
+}
+
+func TestDefsUsesSpanWrap(t *testing.T) {
+	// A 128-bit load based at R253 wraps exactly like the executor's
+	// d.Reg + RegID(i): R253, R254, skip RZ, R0.
+	in := sass.Instr{
+		Op:   sass.MustOp("LDG"),
+		Dst:  []sass.Operand{sass.R(253)},
+		Src:  []sass.Operand{sass.Mem(2, 0)},
+		Mods: sass.Mods{Width: 16},
+	}
+	du := DefsUses(&in)
+	if want := regs(253, 254, 0); du.GPWrites != want {
+		t.Errorf("wrap span = %v, want %v", du.GPWrites, want)
+	}
+}
+
+func TestCorruptTargetsLDCWidth(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    LDC.64 R4, c0[0x0]
+    EXIT
+`)
+	gp, pr := CorruptTargets(&k.Instrs[0])
+	// The injector expands LDC.64 to two fault targets even though the
+	// executor writes one register; pruning must prove both dead.
+	if want := regs(4, 5); gp != want || pr != 0 {
+		t.Errorf("CorruptTargets = %v %v, want %v {}", gp, pr, want)
+	}
+	if du := DefsUses(&k.Instrs[0]); du.GPWrites != regs(4) {
+		t.Errorf("exec write set = %v, want %v", du.GPWrites, regs(4))
+	}
+}
+
+func TestBuildCFG(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    S2R R0, SR_TID.X
+    ISETP.GE.AND P0, R0, 0x4, PT
+@P0 BRA skip
+    IADD R1, R0, 0x1
+skip:
+    MOV R2, R1
+    EXIT
+`)
+	cfg := BuildCFG(k)
+	if cfg.N != 6 {
+		t.Fatalf("N = %d", cfg.N)
+	}
+	// Guarded branch keeps both edges.
+	want := map[int][]int{0: {1}, 1: {2}, 2: {4, 3}, 3: {4}, 4: {5}, 5: nil}
+	for i, ws := range want {
+		got := cfg.Succs[i]
+		if len(got) != len(ws) {
+			t.Fatalf("Succs[%d] = %v, want %v", i, got, ws)
+		}
+		for j := range ws {
+			if got[j] != ws[j] {
+				t.Fatalf("Succs[%d] = %v, want %v", i, got, ws)
+			}
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if !cfg.Reachable[i] {
+			t.Errorf("instr %d unreachable", i)
+		}
+	}
+	// Blocks: [0,3) [3,4) [4,6).
+	if len(cfg.Blocks) != 3 {
+		t.Fatalf("blocks = %+v", cfg.Blocks)
+	}
+	b0 := cfg.Blocks[0]
+	if b0.Start != 0 || b0.End != 3 || len(b0.Succs) != 2 {
+		t.Errorf("block 0 = %+v", b0)
+	}
+	if cfg.BlockOf[4] != 2 {
+		t.Errorf("BlockOf[4] = %d", cfg.BlockOf[4])
+	}
+	if _, off := cfg.FallsOffEnd(); off {
+		t.Error("FallsOffEnd on a kernel ending in EXIT")
+	}
+}
+
+func TestCFGUnconditionalBranch(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    BRA out
+    MOV R0, 0x1
+out:
+    EXIT
+`)
+	cfg := BuildCFG(k)
+	if len(cfg.Succs[0]) != 1 || cfg.Succs[0][0] != 2 {
+		t.Errorf("Succs[0] = %v", cfg.Succs[0])
+	}
+	if cfg.Reachable[1] {
+		t.Error("instr 1 should be unreachable")
+	}
+}
+
+func TestCFGCallRet(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    CALL fn
+    EXIT
+fn:
+    RET
+`)
+	cfg := BuildCFG(k)
+	// RET resumes at every post-CALL point.
+	if len(cfg.Succs[2]) != 1 || cfg.Succs[2][0] != 1 {
+		t.Errorf("RET succs = %v, want [1]", cfg.Succs[2])
+	}
+	for i := 0; i < 3; i++ {
+		if !cfg.Reachable[i] {
+			t.Errorf("instr %d unreachable", i)
+		}
+	}
+}
+
+func TestCFGIndirect(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    MOV R0, 0x4
+    BRX R0
+    EXIT
+    EXIT
+`)
+	cfg := BuildCFG(k)
+	if !cfg.Indirect[1] {
+		t.Fatal("BRX not marked indirect")
+	}
+	for i := range k.Instrs {
+		if !cfg.Reachable[i] {
+			t.Errorf("instr %d unreachable despite indirect branch", i)
+		}
+	}
+}
+
+func TestCFGFallsOffEnd(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    MOV R0, RZ
+`)
+	cfg := BuildCFG(k)
+	if i, off := cfg.FallsOffEnd(); !off || i != 0 {
+		t.Errorf("FallsOffEnd = %d, %v; want 0, true", i, off)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    MOV R0, 0x1
+    ISETP.GE.AND P0, R0, 0x2, PT
+@P0 MOV R0, 0x2
+    MOV R1, R0
+    STG.32 [R2], R1
+    EXIT
+`)
+	a := Analyze(k)
+	// R0 is read at #3, and the guarded write at #2 must not kill it.
+	if !a.LiveOutGP[0].Has(0) || !a.LiveInGP[2].Has(0) || !a.LiveOutGP[2].Has(0) {
+		t.Errorf("R0 liveness broken: out0=%v in2=%v out2=%v",
+			a.LiveOutGP[0], a.LiveInGP[2], a.LiveOutGP[2])
+	}
+	// The unguarded write at #0 kills R0 above it.
+	if a.LiveInGP[0].Has(0) {
+		t.Errorf("R0 live before its defining write: %v", a.LiveInGP[0])
+	}
+	// R2 (the store address) is live all the way from the entry.
+	if !a.LiveInGP[0].Has(2) {
+		t.Errorf("address register not live at entry: %v", a.LiveInGP[0])
+	}
+	// P0 is live between its def and its guard use.
+	if !a.LiveOutPR[1].Has(0) || a.LiveOutPR[2].Has(0) {
+		t.Errorf("P0 liveness broken: out1=%v out2=%v", a.LiveOutPR[1], a.LiveOutPR[2])
+	}
+	// Nothing is live after the store consumes R1.
+	if !a.LiveOutGP[4].Empty() {
+		t.Errorf("LiveOutGP[4] = %v, want empty", a.LiveOutGP[4])
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    MOV R0, 0x0
+loop:
+    IADD R0, R0, 0x1
+    ISETP.GE.AND P0, R0, 0x8, PT
+@!P0 BRA loop
+    STG.32 [R1], R0
+    EXIT
+`)
+	a := Analyze(k)
+	// R0 stays live around the back edge.
+	if !a.LiveOutGP[3].Has(0) || !a.LiveInGP[1].Has(0) {
+		t.Errorf("loop-carried R0 not live: out3=%v in1=%v", a.LiveOutGP[3], a.LiveInGP[1])
+	}
+}
+
+func TestDeadDests(t *testing.T) {
+	k := kern(t, `
+.kernel k
+    MOV R3, 0x7
+    MOV R0, 0x1
+    STG.32 [R1], R0
+    EXIT
+`)
+	a := Analyze(k)
+	if !a.DeadDests(0) {
+		t.Error("MOV R3 (never read) should have dead destinations")
+	}
+	if a.DeadDests(1) {
+		t.Error("MOV R0 (read by the store) should not be dead")
+	}
+	// STG has no destination register: nothing to corrupt, never prunable.
+	if a.DeadDests(2) {
+		t.Error("STG should not be prunable")
+	}
+	if a.DeadDests(3) {
+		t.Error("EXIT should not be prunable")
+	}
+}
+
+func TestDeadDestsLDCWidthDivergence(t *testing.T) {
+	// The executor writes only R4 for LDC.64, but the injector may corrupt
+	// R5 too. R5 is read later, so even though the exec-accurate write set
+	// is dead-ish, pruning must refuse.
+	k := kern(t, `
+.kernel k
+    LDC.64 R4, c0[0x0]
+    MOV R0, R5
+    STG.32 [R2], R0
+    EXIT
+`)
+	a := Analyze(k)
+	if a.DeadDests(0) {
+		t.Error("LDC.64 with a live high fault target must not be prunable")
+	}
+	// With the high half dead as well, it becomes prunable: R4 and R5 both
+	// unread below.
+	k2 := kern(t, `
+.kernel k
+    LDC.64 R4, c0[0x0]
+    STG.32 [R2], R0
+    EXIT
+`)
+	if !Analyze(k2).DeadDests(0) {
+		t.Error("LDC.64 with both fault targets dead should be prunable")
+	}
+}
+
+func diagCodes(diags []Diagnostic) map[Code]int {
+	m := make(map[Code]int)
+	for _, d := range diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+// TestVerifyNegative exercises every diagnostic class the verifier can
+// produce, one table row per class.
+func TestVerifyNegative(t *testing.T) {
+	mk := func(instrs ...sass.Instr) *sass.Kernel {
+		return &sass.Kernel{Name: "neg", Instrs: instrs}
+	}
+	pt := sass.PredRef{Pred: sass.PT}
+	exit := sass.Instr{Op: sass.MustOp("EXIT"), Guard: pt}
+	tests := []struct {
+		name    string
+		kernel  *sass.Kernel
+		code    Code
+		sev     Severity
+		instr   int
+		msgPart string
+	}{
+		{
+			name: "bad register: guard predicate out of range",
+			kernel: mk(sass.Instr{
+				Op:    sass.MustOp("MOV"),
+				Guard: sass.PredRef{Pred: 9},
+				Dst:   []sass.Operand{sass.R(0)},
+				Src:   []sass.Operand{sass.Imm(1)},
+			}, exit),
+			code: CodeBadRegister, sev: SevError, instr: 0, msgPart: "P9",
+		},
+		{
+			name: "bad register: destination span overflows",
+			kernel: mk(sass.Instr{
+				Op:   sass.MustOp("LDG"),
+				Dst:  []sass.Operand{sass.R(253)},
+				Src:  []sass.Operand{sass.Mem(2, 0)},
+				Mods: sass.Mods{Width: 16},
+			}, exit),
+			code: CodeBadRegister, sev: SevError, instr: 0, msgPart: "span",
+		},
+		{
+			name: "bad branch target: unresolved operand",
+			kernel: mk(sass.Instr{
+				Op:  sass.MustOp("BRA"),
+				Src: []sass.Operand{sass.R(0)},
+			}, exit),
+			code: CodeBadBranchTarget, sev: SevError, instr: 0, msgPart: "not a resolved label",
+		},
+		{
+			name: "bad branch target: out of bounds",
+			kernel: mk(sass.Instr{
+				Op:  sass.MustOp("BRA"),
+				Src: []sass.Operand{{Kind: sass.OpdLabel, Target: 99}},
+			}, exit),
+			code: CodeBadBranchTarget, sev: SevError, instr: 0, msgPart: "99",
+		},
+		{
+			name: "fall off end",
+			kernel: mk(sass.Instr{
+				Op:  sass.MustOp("MOV"),
+				Dst: []sass.Operand{sass.R(0)},
+				Src: []sass.Operand{sass.Imm(1)},
+			}),
+			code: CodeFallOffEnd, sev: SevError, instr: 0, msgPart: "EXIT",
+		},
+		{
+			name: "unreachable block",
+			kernel: mk(exit, sass.Instr{
+				Op:  sass.MustOp("MOV"),
+				Dst: []sass.Operand{sass.R(0)},
+				Src: []sass.Operand{sass.Imm(1)},
+			}, exit),
+			code: CodeUnreachable, sev: SevWarning, instr: 1, msgPart: "unreachable",
+		},
+		{
+			name: "undefined read",
+			kernel: mk(sass.Instr{
+				Op:  sass.MustOp("IADD"),
+				Dst: []sass.Operand{sass.R(1)},
+				Src: []sass.Operand{sass.R(0), sass.Imm(1)},
+			}, sass.Instr{
+				Op:  sass.MustOp("STG"),
+				Src: []sass.Operand{sass.Mem(1, 0), sass.R(1)},
+			}, exit),
+			code: CodeUndefinedRead, sev: SevWarning, instr: 0, msgPart: "{R0}",
+		},
+		{
+			name: "dead write",
+			kernel: mk(sass.Instr{
+				Op:  sass.MustOp("MOV"),
+				Dst: []sass.Operand{sass.R(3)},
+				Src: []sass.Operand{sass.Imm(7)},
+			}, exit),
+			code: CodeDeadWrite, sev: SevWarning, instr: 0, msgPart: "{R3}",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := VerifyKernel(tc.kernel)
+			var hit *Diagnostic
+			for i := range diags {
+				if diags[i].Code == tc.code && diags[i].Instr == tc.instr {
+					hit = &diags[i]
+					break
+				}
+			}
+			if hit == nil {
+				t.Fatalf("no %v diagnostic at #%d; got %v", tc.code, tc.instr, diags)
+			}
+			if hit.Sev != tc.sev {
+				t.Errorf("severity = %v, want %v", hit.Sev, tc.sev)
+			}
+			if !strings.Contains(hit.Msg, tc.msgPart) {
+				t.Errorf("message %q missing %q", hit.Msg, tc.msgPart)
+			}
+			if hit.Kernel != "neg" {
+				t.Errorf("kernel = %q", hit.Kernel)
+			}
+		})
+	}
+}
+
+func TestVerifyClean(t *testing.T) {
+	k := kern(t, `
+.kernel k
+.param n
+.param ptr
+start:
+    S2R R0, SR_TID.X
+    ISETP.GE.AND P0, R0, c0[n], PT
+@P0 EXIT
+    SHL R1, R0, 0x2
+    IADD R2, R1, c0[ptr]
+    LDG.32 R3, [R2]
+    FADD R4, R3, -R3
+    STG.32 [R2], R4
+    EXIT
+`)
+	if diags := VerifyKernel(k); len(diags) != 0 {
+		t.Errorf("clean kernel produced diagnostics: %v", diags)
+	}
+}
+
+func TestVerifyUnreachableSkipsDataflow(t *testing.T) {
+	// Dataflow diagnostics (undefined read, dead write) must not fire on
+	// unreachable code; only the unreachable warning should.
+	pt := sass.PredRef{Pred: sass.PT}
+	k := &sass.Kernel{Name: "k", Instrs: []sass.Instr{
+		{Op: sass.MustOp("EXIT"), Guard: pt},
+		{Op: sass.MustOp("IADD"), Guard: pt,
+			Dst: []sass.Operand{sass.R(1)},
+			Src: []sass.Operand{sass.R(9), sass.Imm(1)}},
+		{Op: sass.MustOp("EXIT"), Guard: pt},
+	}}
+	diags := VerifyKernel(k)
+	codes := diagCodes(diags)
+	if codes[CodeUnreachable] != 1 {
+		t.Errorf("want one unreachable warning, got %v", diags)
+	}
+	if codes[CodeUndefinedRead] != 0 || codes[CodeDeadWrite] != 0 {
+		t.Errorf("dataflow diagnostics on unreachable code: %v", diags)
+	}
+}
+
+func TestVerifyProgramDuplicateKernel(t *testing.T) {
+	pt := sass.PredRef{Pred: sass.PT}
+	p := &sass.Program{
+		Name: "m",
+		Kernels: []*sass.Kernel{
+			{Name: "k", Instrs: []sass.Instr{{Op: sass.MustOp("EXIT"), Guard: pt}}},
+			{Name: "k", Instrs: []sass.Instr{{Op: sass.MustOp("EXIT"), Guard: pt}}},
+		},
+	}
+	diags := VerifyProgram(p)
+	if diagCodes(diags)[CodeDuplicateKernel] != 1 {
+		t.Fatalf("want one duplicate-kernel error, got %v", diags)
+	}
+	if !HasErrors(diags) {
+		t.Error("HasErrors = false")
+	}
+	var dup *Diagnostic
+	for i := range diags {
+		if diags[i].Code == CodeDuplicateKernel {
+			dup = &diags[i]
+		}
+	}
+	if dup.Instr != -1 {
+		t.Errorf("module-level diagnostic has Instr = %d", dup.Instr)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Kernel: "saxpy", Instr: 3, Sev: SevError, Code: CodeBadBranchTarget, Msg: "boom"}
+	if got := d.String(); got != "saxpy:#3: error: bad-branch-target: boom" {
+		t.Errorf("String = %q", got)
+	}
+	d = Diagnostic{Instr: -1, Sev: SevWarning, Code: CodeDeadWrite, Msg: "m"}
+	if got := d.String(); !strings.HasPrefix(got, "<module>: warning") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHasErrorsAndCountWarnings(t *testing.T) {
+	diags := []Diagnostic{
+		{Sev: SevWarning}, {Sev: SevWarning},
+	}
+	if HasErrors(diags) {
+		t.Error("HasErrors on warnings only")
+	}
+	if CountWarnings(diags) != 2 {
+		t.Error("CountWarnings wrong")
+	}
+	if !HasErrors(append(diags, Diagnostic{Sev: SevError})) {
+		t.Error("HasErrors missed an error")
+	}
+}

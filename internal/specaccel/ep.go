@@ -135,7 +135,7 @@ adv:
     IADD R5, R4, c0[sx]
     LDG.32 R6, [R5]
     MOV R7, c0[total]
-    ATOMG.ADD.F32 R8, [R7], R6
+    RED.ADD.F32 [R7], R6
     EXIT
 
 .kernel partial_sy
@@ -152,7 +152,7 @@ adv:
     IADD R5, R4, c0[sy]
     LDG.32 R6, [R5]
     MOV R7, c0[total]
-    ATOMG.ADD.F32 R8, [R7+0x4], R6
+    RED.ADD.F32 [R7+0x4], R6
     EXIT
 
 .kernel finalize

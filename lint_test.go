@@ -1,0 +1,29 @@
+package nvbitfi_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestShippedWorkloadsLintClean pins the static cleanliness of every
+// embedded workload: the SpecACCEL suite and the AV pipeline must produce
+// zero verifier diagnostics — no errors, and no warnings either (dead
+// writes, unreachable code, undefined reads). This is the same gate
+// `sasslint -workloads` enforces in CI; a kernel edit that introduces a
+// diagnostic fails here first.
+func TestShippedWorkloadsLintClean(t *testing.T) {
+	works := nvbitfi.SpecACCEL()
+	works = append(works, nvbitfi.NewAVPipeline(nvbitfi.AVConfig{}))
+	r := nvbitfi.Runner{}
+	for _, w := range works {
+		diags, err := r.LintWorkload(w)
+		if err != nil {
+			t.Errorf("%s: lint run failed: %v", w.Name(), err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", w.Name(), d)
+		}
+	}
+}
