@@ -8,7 +8,7 @@
 //	nvbitfi select    -profile profile.txt [-group G_GPPR] [-bitflip 1] [-seed 1] [-o params.txt]
 //	nvbitfi inject    -program 303.ostencil -params params.txt
 //	nvbitfi pf-inject -program 303.ostencil -sm 0 -lane 3 -mask 0x400 -opcode 12
-//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1] [-prune] [-verify]
+//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1] [-prune] [-ckpt [-ckpt-stride N] [-no-early-exit]] [-verify]
 //	nvbitfi profdiff  -a exact.txt -b approx.txt [-group G_GPPR] [-min 0.01]
 //	nvbitfi report    -table1 | -table4
 //	nvbitfi list
@@ -263,6 +263,9 @@ func cmdCampaign(args []string) error {
 	workers := fs.Int("workers", 0, "per-device block-parallel workers for uninstrumented launches (0 or 1 = sequential)")
 	timing := fs.Bool("timing", false, "timing-fidelity mode: run experiments sequentially so durations are meaningful")
 	prune := fs.Bool("prune", false, "statically prune transient injections with provably dead destinations (tallied as Masked without running)")
+	ckpt := fs.Bool("ckpt", false, "checkpoint-and-fork: record the golden trajectory once and start each experiment from the snapshot nearest its injection point")
+	ckptStride := fs.Uint64("ckpt-stride", 0, "checkpoint stride in warp instructions (0 = derive from the golden run length)")
+	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification at checkpoint boundaries")
 	verify := fs.Bool("verify", false, "verify modules at load and reject programs with static errors")
 	csvPath := fs.String("csv", "", "write the outcome distribution as CSV to this file")
 	runlogPath := fs.String("runlog", "", "write one line per injection run to this file")
@@ -290,6 +293,12 @@ func cmdCampaign(args []string) error {
 	if *prune && *permanent {
 		return fmt.Errorf("campaign: -prune applies to transient campaigns only")
 	}
+	if *ckpt && *permanent {
+		return fmt.Errorf("campaign: -ckpt applies to transient campaigns only")
+	}
+	if (*ckptStride != 0 || *noEarlyExit) && !*ckpt {
+		return fmt.Errorf("campaign: -ckpt-stride and -no-early-exit require -ckpt")
+	}
 	r := nvbitfi.Runner{Workers: *workers, VerifyModules: *verify}
 	var results []*nvbitfi.CampaignResult
 	for _, w := range programs {
@@ -313,6 +322,7 @@ func cmdCampaign(args []string) error {
 			res, err = nvbitfi.RunTransientCampaign(r, w, golden, profile, nvbitfi.TransientCampaignConfig{
 				Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
 				Parallel: *parallel, TimingFidelity: *timing, Prune: *prune,
+				Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
 			})
 		}
 		if err != nil {

@@ -1,0 +1,38 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// TestExperimentBudgetFloor pins the experiment hang-budget calibration:
+// BudgetFactor times the golden warp-instruction count, floored at
+// MinBudgetCalibration so near-empty golden runs don't turn legitimate
+// fault behaviour into instant instruction-limit traps.
+func TestExperimentBudgetFloor(t *testing.T) {
+	r := Runner{}.applyDefaults()
+	cases := []struct {
+		goldenWI uint64
+		want     uint64
+	}{
+		{0, r.BudgetFactor * MinBudgetCalibration},
+		{1, r.BudgetFactor * MinBudgetCalibration},
+		{MinBudgetCalibration - 1, r.BudgetFactor * MinBudgetCalibration},
+		{MinBudgetCalibration, r.BudgetFactor * MinBudgetCalibration},
+		{MinBudgetCalibration + 1, r.BudgetFactor * (MinBudgetCalibration + 1)},
+		{5_000_000, r.BudgetFactor * 5_000_000},
+	}
+	for _, c := range cases {
+		g := &GoldenResult{Stats: gpu.LaunchStats{WarpInstrs: c.goldenWI}}
+		if got := r.experimentBudget(g); got != c.want {
+			t.Errorf("experimentBudget(golden %d warp instrs) = %d, want %d", c.goldenWI, got, c.want)
+		}
+	}
+	// A custom factor scales the floored value, not just the raw count.
+	r2 := Runner{BudgetFactor: 3}.applyDefaults()
+	g := &GoldenResult{}
+	if got, want := r2.experimentBudget(g), uint64(3*MinBudgetCalibration); got != want {
+		t.Errorf("experimentBudget with factor 3 = %d, want %d", got, want)
+	}
+}

@@ -225,6 +225,13 @@ type Tally struct {
 	// outcome is Masked without executing the workload. Pruned runs are
 	// included in N and Counts like any other run.
 	Pruned int
+	// Restored counts checkpointed experiments that started from a
+	// mid-trajectory snapshot instead of re-executing their golden prefix.
+	Restored int
+	// EarlyExits counts checkpointed experiments whose state digest
+	// re-converged with the golden trajectory, settling their tail from the
+	// recording.
+	EarlyExits int
 }
 
 // NewTally returns an empty tally.

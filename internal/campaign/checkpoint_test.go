@@ -1,0 +1,315 @@
+package campaign_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/report"
+)
+
+// iterSrc is an iterative kernel built so the checkpoint engine has
+// something to bite on: each loop iteration recomputes its temporaries from
+// the live accumulator R8, and the LOP.AND masks the top 24 bits of R9 —
+// so a large share of injections into the XOR's destination are masked and
+// the state re-converges with the golden trajectory within one iteration
+// (the early-exit case), while accumulator and address corruptions still
+// produce SDCs and traps.
+const iterSrc = `
+.kernel iterk
+.param inptr
+.param outptr
+.param iters
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c0[NTID_X]
+    IMAD R0, R1, R2, R0           // global thread id
+    SHL R3, R0, 0x2
+    IADD R10, R3, c0[inptr]
+    LDG.32 R8, [R10]              // live accumulator, seeded from input
+    MOV R5, c0[iters]             // loop counter
+loop:
+    IADD R6, R8, 0x5              // fresh temps, recomputed every iteration
+    SHL R7, R6, 0x1
+    LOP.XOR R9, R7, R8
+    LOP.AND R9, R9, 0xff          // masks upper-bit corruption of the XOR
+    IADD R8, R9, 0x3
+    IADD R5, R5, -0x1
+    ISETP.NE.AND P0, R5, 0x0, PT
+@P0 BRA loop
+    IADD R11, R3, c0[outptr]
+    STG.32 [R11], R8
+    EXIT
+`
+
+const (
+	iterThreads  = 64
+	iterLaunches = 12
+)
+
+// iterWorkload chains iterLaunches launches of iterk with a growing
+// iteration count, ping-ponging between two buffers, so the dynamic
+// instruction stream is dominated by the later launches: the
+// late-injection-heavy shape where re-executing golden prefixes costs the
+// most and checkpoint restores save the most.
+type iterWorkload struct{}
+
+func (iterWorkload) Name() string { return "iterchain" }
+func (iterWorkload) Description() string {
+	return "iterative kernel chain, late-instruction-heavy"
+}
+
+func (iterWorkload) Run(ctx *cuda.Context) (*campaign.Output, error) {
+	out := campaign.NewOutput()
+	mod, err := ctx.LoadModule("iter", iterSrc)
+	if err != nil {
+		return out, err
+	}
+	fn, err := mod.Function("iterk")
+	if err != nil {
+		return out, err
+	}
+	a, err := ctx.Malloc(4 * iterThreads)
+	if err != nil {
+		return out, err
+	}
+	b, err := ctx.Malloc(4 * iterThreads)
+	if err != nil {
+		return out, err
+	}
+	seed := make([]byte, 4*iterThreads)
+	for i := 0; i < iterThreads; i++ {
+		binary.LittleEndian.PutUint32(seed[4*i:], uint32(i)*2654435761+12345)
+	}
+	if err := ctx.MemcpyHtoD(a, seed); err != nil {
+		return out, err
+	}
+	cfg := cuda.LaunchConfig{Grid: gpu.Dim3{X: 1, Y: 1, Z: 1}, Block: gpu.Dim3{X: iterThreads, Y: 1, Z: 1}}
+	src, dst := a, b
+	for i := 0; i < iterLaunches; i++ {
+		// Unchecked-style host code: launch errors surface as stale output.
+		_ = ctx.Launch(fn, cfg, src, dst, uint32(4+8*i))
+		src, dst = dst, src
+	}
+	res, err := ctx.MemcpyDtoH(src, 4*iterThreads)
+	if err != nil {
+		return out, nil
+	}
+	for i := 0; i+4 <= len(res); i += 4 {
+		out.Printf("%08x ", binary.LittleEndian.Uint32(res[i:]))
+	}
+	return out, nil
+}
+
+func (iterWorkload) Check(golden, observed *campaign.Output) bool { return golden.Equal(observed) }
+
+// iterCampaignInputs builds the golden result and site-resolved profile the
+// checkpoint tests share.
+func iterCampaignInputs(tb testing.TB) (campaign.Runner, *campaign.GoldenResult, *core.Profile) {
+	tb.Helper()
+	w := iterWorkload{}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r, golden, profile
+}
+
+// TestCheckpointDifferential is the checkpoint soundness proof the design
+// demands: a >=200-injection campaign with checkpointed restores and
+// early-exit classification must produce byte-identical per-run
+// classifications to the from-scratch campaign with the same seed, while
+// actually restoring and early-exiting a nonzero number of experiments.
+func TestCheckpointDifferential(t *testing.T) {
+	w := iterWorkload{}
+	r, golden, profile := iterCampaignInputs(t)
+	base := campaign.TransientCampaignConfig{Injections: 200, Seed: 31, ResolveSites: true}
+	scratch, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCkpt := base
+	withCkpt.Checkpoint = true
+	ckpt, err := campaign.RunTransientCampaign(r, w, golden, profile, withCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ckpt.Tally.Restored == 0 {
+		t.Fatal("checkpointed campaign restored nothing")
+	}
+	if ckpt.Tally.EarlyExits == 0 {
+		t.Fatal("checkpointed campaign early-exited nothing")
+	}
+	if scratch.Tally.Restored != 0 || scratch.Tally.EarlyExits != 0 {
+		t.Fatalf("from-scratch campaign reports %d restored, %d early exits",
+			scratch.Tally.Restored, scratch.Tally.EarlyExits)
+	}
+	if ckpt.Tally.N != scratch.Tally.N {
+		t.Fatalf("run counts differ: checkpointed %d, from-scratch %d", ckpt.Tally.N, scratch.Tally.N)
+	}
+	for i := range ckpt.Runs {
+		if ckpt.Runs[i].Class != scratch.Runs[i].Class {
+			t.Fatalf("run %d classified %+v checkpointed vs %+v from scratch (injection %+v)",
+				i, ckpt.Runs[i].Class, scratch.Runs[i].Class, ckpt.Runs[i].Injection)
+		}
+	}
+	for _, o := range []campaign.Outcome{campaign.Masked, campaign.SDC, campaign.DUE} {
+		if ckpt.Tally.Counts[o] != scratch.Tally.Counts[o] {
+			t.Errorf("%v count: checkpointed %d, from-scratch %d",
+				o, ckpt.Tally.Counts[o], scratch.Tally.Counts[o])
+		}
+	}
+	if ckpt.Tally.PotentialDUEs != scratch.Tally.PotentialDUEs {
+		t.Errorf("potential DUEs: checkpointed %d, from-scratch %d",
+			ckpt.Tally.PotentialDUEs, scratch.Tally.PotentialDUEs)
+	}
+	if sum := report.Summary(ckpt); !strings.Contains(sum, "restored") {
+		t.Errorf("CLI summary does not surface the checkpoint counts: %q", sum)
+	}
+	t.Logf("restored %d/%d, early-exited %d; tallies %v",
+		ckpt.Tally.Restored, ckpt.Tally.N, ckpt.Tally.EarlyExits, ckpt.Tally)
+}
+
+// TestCheckpointNoEarlyExit: disabling early exit must not change any
+// classification, only force every experiment to run to completion.
+func TestCheckpointNoEarlyExit(t *testing.T) {
+	w := iterWorkload{}
+	r, golden, profile := iterCampaignInputs(t)
+	base := campaign.TransientCampaignConfig{Injections: 60, Seed: 7, Checkpoint: true}
+	withExit, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noExit := base
+	noExit.NoEarlyExit = true
+	full, err := campaign.RunTransientCampaign(r, w, golden, profile, noExit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Tally.EarlyExits != 0 {
+		t.Fatalf("NoEarlyExit campaign early-exited %d runs", full.Tally.EarlyExits)
+	}
+	if withExit.Tally.EarlyExits == 0 {
+		t.Fatal("early-exit campaign early-exited nothing; the comparison is vacuous")
+	}
+	if full.Tally.Restored == 0 {
+		t.Fatal("NoEarlyExit campaign restored nothing")
+	}
+	for i := range full.Runs {
+		if full.Runs[i].Class != withExit.Runs[i].Class {
+			t.Fatalf("run %d classified %+v without early exit vs %+v with",
+				i, full.Runs[i].Class, withExit.Runs[i].Class)
+		}
+	}
+}
+
+// TestCheckpointPruneInteraction: pruning and checkpointing compose — the
+// pruned sites are classified statically and must not consume checkpoint
+// work (no restore, no early exit on a pruned run), and the combined
+// campaign still matches the plain same-seed campaign run for run.
+func TestCheckpointPruneInteraction(t *testing.T) {
+	w := deadWorkload{}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := campaign.TransientCampaignConfig{Injections: 200, Seed: 31, ResolveSites: true}
+	plain, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := base
+	both.Prune = true
+	both.Checkpoint = true
+	// The dead-write workload is tiny; force a stride small enough that
+	// checkpoints exist at all.
+	both.CkptStride = 64
+	combined, err := campaign.RunTransientCampaign(r, w, golden, profile, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Tally.Pruned == 0 {
+		t.Fatal("combined campaign pruned nothing")
+	}
+	for i := range combined.Runs {
+		if combined.Runs[i].Class != plain.Runs[i].Class {
+			t.Fatalf("run %d classified %+v combined vs %+v plain",
+				i, combined.Runs[i].Class, plain.Runs[i].Class)
+		}
+		if combined.Runs[i].Pruned && (combined.Runs[i].Restored || combined.Runs[i].EarlyExit) {
+			t.Fatalf("run %d is pruned but consumed checkpoint work: %+v", i, combined.Runs[i])
+		}
+	}
+}
+
+// TestCheckpointParallelRace: a checkpointed campaign with experiment-level
+// parallelism forks the shared trace snapshots concurrently; under -race
+// this proves the copy-on-write pages and journal are safe to share, and
+// the outcomes must still match the sequential campaign exactly.
+func TestCheckpointParallelRace(t *testing.T) {
+	w := iterWorkload{}
+	r, golden, profile := iterCampaignInputs(t)
+	base := campaign.TransientCampaignConfig{Injections: 48, Seed: 13, Checkpoint: true, Parallel: 1}
+	seq, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Parallel = 8
+	conc, err := campaign.RunTransientCampaign(r, w, golden, profile, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range conc.Runs {
+		if conc.Runs[i].Class != seq.Runs[i].Class {
+			t.Fatalf("run %d classified %+v parallel vs %+v sequential",
+				i, conc.Runs[i].Class, seq.Runs[i].Class)
+		}
+		if conc.Runs[i].Restored != seq.Runs[i].Restored || conc.Runs[i].EarlyExit != seq.Runs[i].EarlyExit {
+			t.Fatalf("run %d checkpoint flags differ: parallel %+v vs sequential %+v",
+				i, conc.Runs[i], seq.Runs[i])
+		}
+	}
+	if conc.Tally.Restored == 0 {
+		t.Fatal("parallel checkpointed campaign restored nothing")
+	}
+}
+
+// benchCheckpointCampaign times a 200-injection site-resolved campaign over
+// the late-injection-heavy workload with and without the checkpoint engine.
+func benchCheckpointCampaign(b *testing.B, checkpoint bool) {
+	w := iterWorkload{}
+	r, golden, profile := iterCampaignInputs(b)
+	cfg := campaign.TransientCampaignConfig{
+		Injections: 200, Seed: 31, ResolveSites: true,
+		Checkpoint: checkpoint, TimingFidelity: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if checkpoint && res.Tally.Restored == 0 {
+			b.Fatal("checkpointed campaign restored nothing")
+		}
+	}
+}
+
+func BenchmarkTransientCampaignBaseline(b *testing.B)     { benchCheckpointCampaign(b, false) }
+func BenchmarkTransientCampaignCheckpointed(b *testing.B) { benchCheckpointCampaign(b, true) }

@@ -63,6 +63,21 @@ type Runner struct {
 // 2^32 instructions of the device's own last-resort budget.
 const DefaultGoldenBudget = 1 << 28
 
+// MinBudgetCalibration floors the golden warp-instruction count when
+// calibrating per-experiment hang budgets: a near-empty workload (a golden
+// run of a handful of instructions) would otherwise get a budget so tight
+// that legitimate fault behaviour — a corrupted loop bound iterating a few
+// hundred extra times — is misclassified as a hang instead of running to
+// its real outcome.
+const MinBudgetCalibration = 1000
+
+// experimentBudget is the per-launch warp-instruction cap applied to every
+// injection experiment: BudgetFactor times the golden run's count, floored
+// by MinBudgetCalibration. Must be called on a defaults-applied Runner.
+func (r Runner) experimentBudget(golden *GoldenResult) uint64 {
+	return r.BudgetFactor * max(golden.Stats.WarpInstrs, MinBudgetCalibration)
+}
+
 // applyDefaults fills zero fields.
 func (r Runner) applyDefaults() Runner {
 	if r.Family == 0 {
@@ -227,6 +242,13 @@ type RunResult struct {
 	// analysis proved the injection target dead, so the classification was
 	// synthesized (Masked, golden-run anomaly state) instead of measured.
 	Pruned bool
+	// Restored marks a checkpointed experiment that started from a
+	// mid-trajectory device snapshot instead of replaying its golden prefix.
+	Restored bool
+	// EarlyExit marks a checkpointed experiment whose post-fault state
+	// digest re-converged with the golden trajectory at a checkpoint
+	// boundary, so its tail was settled from the recording.
+	EarlyExit bool
 }
 
 // RunTransient performs one transient-fault experiment: fresh context,
@@ -237,7 +259,7 @@ func (r Runner) RunTransient(w Workload, golden *GoldenResult, p core.TransientP
 		return nil, err
 	}
 	r = r.applyDefaults()
-	ctx.SetDefaultBudget(r.BudgetFactor * max(golden.Stats.WarpInstrs, 1000))
+	ctx.SetDefaultBudget(r.experimentBudget(golden))
 	inj, err := core.NewTransientInjector(p)
 	if err != nil {
 		return nil, err
@@ -272,7 +294,7 @@ func (r Runner) RunPermanent(w Workload, golden *GoldenResult, p core.PermanentP
 	if err != nil {
 		return nil, err
 	}
-	ctx.SetDefaultBudget(r.BudgetFactor * max(golden.Stats.WarpInstrs, 1000))
+	ctx.SetDefaultBudget(r.experimentBudget(golden))
 	inj, err := core.NewPermanentInjector(p, r.Family, r.NumSMs)
 	if err != nil {
 		return nil, err
@@ -335,6 +357,22 @@ type TransientCampaignConfig struct {
 	// are identical to an unpruned campaign with the same seed — the
 	// differential test in prune_test.go holds the two byte-equal.
 	Prune bool
+	// Checkpoint enables the checkpoint-and-fork engine: the golden
+	// trajectory is recorded once with device snapshots, and every
+	// experiment restores from the snapshot nearest its injection point
+	// instead of re-executing the fault-free prefix, with early-exit
+	// classification at later checkpoint boundaries. Implies ResolveSites.
+	// Per-run classifications are identical to a from-scratch campaign with
+	// the same seed — the differential test in checkpoint_test.go holds the
+	// two byte-equal.
+	Checkpoint bool
+	// CkptStride overrides the automatic checkpoint stride (in global warp
+	// instructions). Zero derives it from the golden run's length
+	// (autoCheckpointStride).
+	CkptStride uint64
+	// NoEarlyExit keeps checkpointed restores but disables early-exit
+	// classification, forcing every experiment to run to completion.
+	NoEarlyExit bool
 }
 
 func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
@@ -375,7 +413,7 @@ func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 	cfg TransientCampaignConfig) (*CampaignResult, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	resolve := cfg.ResolveSites || cfg.Prune
+	resolve := cfg.ResolveSites || cfg.Prune || cfg.Checkpoint
 	params := make([]core.TransientParams, cfg.Injections)
 	for i := range params {
 		var p *core.TransientParams
@@ -399,6 +437,19 @@ func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 		pr = newPruner(golden.Kernels)
 	}
 
+	var trace *cuda.Trace
+	if cfg.Checkpoint {
+		stride := cfg.CkptStride
+		if stride == 0 {
+			stride = autoCheckpointStride(golden.Stats.WarpInstrs)
+		}
+		var err error
+		trace, err = r.RecordTrace(w, golden, stride)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	results := make([]RunResult, len(params))
 	errs := make([]error, len(params))
 	var wg sync.WaitGroup
@@ -406,6 +457,8 @@ func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 	// keeps at most Parallel goroutines alive instead of parking them all.
 	sem := make(chan struct{}, cfg.Parallel)
 	for i := range params {
+		// Pruning comes before checkpoint planning: a statically-dead site
+		// never runs, so it must not touch the trace at all.
 		if pr != nil && pr.prunable(params[i]) {
 			results[i] = prunedResult(golden, params[i])
 			continue
@@ -415,7 +468,13 @@ func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := r.RunTransient(w, golden, params[i])
+			var res *RunResult
+			var err error
+			if trace != nil {
+				res, err = r.runTransientCheckpointed(w, golden, trace, params[i], cfg.NoEarlyExit)
+			} else {
+				res, err = r.RunTransient(w, golden, params[i])
+			}
 			if err != nil {
 				errs[i] = err
 				return
@@ -512,6 +571,12 @@ func summarize(name string, golden *GoldenResult, results []RunResult, weighted 
 		}
 		if !results[i].Injection.Activated && results[i].Activations == 0 && weighted == nil {
 			tally.NotActivated++
+		}
+		if results[i].Restored {
+			tally.Restored++
+		}
+		if results[i].EarlyExit {
+			tally.EarlyExits++
 		}
 		total += results[i].Duration
 		durs = append(durs, results[i].Duration)

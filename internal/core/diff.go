@@ -1,9 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/sass"
 )
@@ -124,4 +129,124 @@ func (d *ProfileDiff) WriteReport(w io.Writer, minRel float64) error {
 		return fmt.Errorf("core: corrupt diff")
 	}
 	return nil
+}
+
+// The helpers below are the output-comparison primitives behind the SDC
+// check every experiment classification runs. A campaign calls them once
+// per experiment, overwhelmingly on identical outputs (Masked runs), so
+// they take the byte-equality fast path first and allocate nothing on any
+// passing comparison.
+
+// FloatClose reports whether two floats match within relative tolerance
+// tol: NaN only matches NaN, a zero difference always matches, and values
+// with magnitude below 1e-30 are compared absolutely to avoid dividing by
+// a denormal scale.
+func FloatClose(x, y, tol float64) bool {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return math.IsNaN(x) && math.IsNaN(y)
+	}
+	d := math.Abs(x - y)
+	if d == 0 {
+		return true
+	}
+	scale := math.Max(math.Abs(x), math.Abs(y))
+	if scale < 1e-30 {
+		return d < tol
+	}
+	return d/scale <= tol
+}
+
+// FloatBytesClose32 compares two byte buffers as little-endian float32
+// arrays with relative tolerance.
+func FloatBytesClose32(a, b []byte, tol float64) bool {
+	if len(a) != len(b) || len(a)%4 != 0 {
+		return false
+	}
+	if bytes.Equal(a, b) {
+		return true
+	}
+	for i := 0; i+4 <= len(a); i += 4 {
+		x := float64(math.Float32frombits(binary.LittleEndian.Uint32(a[i:])))
+		y := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i:])))
+		if !FloatClose(x, y, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// FloatBytesClose64 compares two byte buffers as little-endian float64
+// arrays with relative tolerance.
+func FloatBytesClose64(a, b []byte, tol float64) bool {
+	if len(a) != len(b) || len(a)%8 != 0 {
+		return false
+	}
+	if bytes.Equal(a, b) {
+		return true
+	}
+	for i := 0; i+8 <= len(a); i += 8 {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(a[i:]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(b[i:]))
+		if !FloatClose(x, y, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextToken returns the bounds of the next whitespace-separated token of s
+// at or after i, using the same space definition as strings.Fields. A start
+// of len(s) means no token remains.
+func nextToken(s string, i int) (start, end int) {
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	start = i
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	return start, i
+}
+
+// StdoutTokensClose compares two stdout streams token-wise: numeric tokens
+// must match within relative tolerance, anything else byte-exactly. The two
+// streams are walked with a cursor each rather than split into token
+// slices, and identical tokens skip numeric parsing entirely, so a passing
+// comparison performs no allocation.
+func StdoutTokensClose(a, b string, tol float64) bool {
+	ai, bi := 0, 0
+	for {
+		as, ae := nextToken(a, ai)
+		bs, be := nextToken(b, bi)
+		if as == len(a) || bs == len(b) {
+			return as == len(a) && bs == len(b)
+		}
+		ai, bi = ae, be
+		at, bt := a[as:ae], b[bs:be]
+		if at == bt {
+			continue
+		}
+		// Differing tokens can only still match as numbers within
+		// tolerance; a parse failure on either side is a mismatch exactly
+		// as it would be comparing token kinds first.
+		x, errx := strconv.ParseFloat(at, 64)
+		if errx != nil {
+			return false
+		}
+		y, erry := strconv.ParseFloat(bt, 64)
+		if erry != nil {
+			return false
+		}
+		if !FloatClose(x, y, tol) {
+			return false
+		}
+	}
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// compareInputs builds a pair of float32 buffers and stdout streams that
+// differ within tolerance but not byte-wise, forcing the slow comparison
+// paths, plus byte-identical twins for the fast path.
+func compareInputs() (fa, fb []byte, sa, sb string) {
+	const n = 4096
+	fa = make([]byte, 4*n)
+	fb = make([]byte, 4*n)
+	var a, b strings.Builder
+	for i := 0; i < n; i++ {
+		x := float32(i)*1.5 + 0.25
+		binary.LittleEndian.PutUint32(fa[4*i:], math.Float32bits(x))
+		binary.LittleEndian.PutUint32(fb[4*i:], math.Float32bits(x*(1+1e-6)))
+		if i < 256 {
+			fmt.Fprintf(&a, "tok%d %.6f ", i, x)
+			fmt.Fprintf(&b, "tok%d %.7f ", i, x*(1+1e-6))
+		}
+	}
+	return fa, fb, a.String(), b.String()
+}
+
+// TestOutputCompareZeroAlloc pins the allocation contract of the
+// classification comparison path: a passing comparison allocates nothing,
+// whether it takes the byte-equal fast path or the tolerance path.
+func TestOutputCompareZeroAlloc(t *testing.T) {
+	fa, fb, sa, sb := compareInputs()
+	checks := map[string]func(){
+		"FloatBytesClose32/equal":  func() { FloatBytesClose32(fa, fa, 1e-4) },
+		"FloatBytesClose32/close":  func() { FloatBytesClose32(fa, fb, 1e-4) },
+		"FloatBytesClose64/equal":  func() { FloatBytesClose64(fa, fa, 1e-4) },
+		"StdoutTokensClose/equal":  func() { StdoutTokensClose(sa, sa, 1e-4) },
+		"StdoutTokensClose/close":  func() { StdoutTokensClose(sa, sb, 1e-4) },
+		"StdoutTokensClose/length": func() { StdoutTokensClose("alpha 1.5 beta", "alpha 1.5", 1e-4) },
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// legacyStdoutClose is the pre-optimization comparison (strings.Fields plus
+// per-token ParseFloat), kept here so the benchmark delta the optimization
+// claims stays measurable.
+func legacyStdoutClose(a, b string, tol float64) bool {
+	at, bt := strings.Fields(a), strings.Fields(b)
+	if len(at) != len(bt) {
+		return false
+	}
+	for i := range at {
+		x, errx := strconv.ParseFloat(at[i], 64)
+		y, erry := strconv.ParseFloat(bt[i], 64)
+		switch {
+		case errx == nil && erry == nil:
+			if !FloatClose(x, y, tol) {
+				return false
+			}
+		case errx == nil || erry == nil:
+			return false
+		default:
+			if at[i] != bt[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func BenchmarkStdoutTokensClose(b *testing.B) {
+	_, _, sa, sb := compareInputs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !StdoutTokensClose(sa, sb, 1e-4) {
+			b.Fatal("streams should compare close")
+		}
+	}
+}
+
+func BenchmarkStdoutCloseLegacy(b *testing.B) {
+	_, _, sa, sb := compareInputs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !legacyStdoutClose(sa, sb, 1e-4) {
+			b.Fatal("streams should compare close")
+		}
+	}
+}
+
+func BenchmarkFloatBytesClose32(b *testing.B) {
+	fa, fb, _, _ := compareInputs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !FloatBytesClose32(fa, fb, 1e-4) {
+			b.Fatal("buffers should compare close")
+		}
+	}
+}

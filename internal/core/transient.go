@@ -98,8 +98,12 @@ type TransientInjector struct {
 	P TransientParams
 
 	counter uint64 // eligible thread-level executions seen in the target launch
-	active  bool   // the in-flight launch is the target
-	rec     InjectionRecord
+	// counterBase primes counter when the target launch begins. The
+	// checkpoint engine sets it to the eligible executions that happened
+	// before the restore point, which a restored run never re-executes.
+	counterBase uint64
+	active      bool // the in-flight launch is the target
+	rec         InjectionRecord
 }
 
 var _ nvbit.Tool = (*TransientInjector)(nil)
@@ -119,6 +123,12 @@ func (t *TransientInjector) Name() string { return "injector" }
 // Record returns the injection outcome after the run.
 func (t *TransientInjector) Record() InjectionRecord { return t.rec }
 
+// SetCounterBase primes the eligible-execution counter for a run restored
+// from a mid-launch checkpoint: n is the number of eligible executions the
+// golden prefix already performed, so the countdown to InstrCount continues
+// where the snapshot left off. It must be called before the target launch.
+func (t *TransientInjector) SetCounterBase(n uint64) { t.counterBase = n }
+
 // OnLaunch implements nvbit.Tool: only the targeted dynamic kernel instance
 // is instrumented.
 func (t *TransientInjector) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
@@ -126,7 +136,7 @@ func (t *TransientInjector) OnLaunch(info *nvbit.LaunchInfo) nvbit.Decision {
 		return nvbit.RunOriginal
 	}
 	t.active = true
-	t.counter = 0
+	t.counter = t.counterBase
 	// The key deliberately omits InstrCount: the inserted callbacks are
 	// identical for every count (the countdown lives in the injector, not
 	// in the instrumentation), so keying on it would only defeat JIT-cache

@@ -105,6 +105,11 @@ type Context struct {
 	verifyDiags []sassan.Diagnostic
 
 	total gpu.LaunchStats // cumulative execution counts across launches
+
+	// rec/rep select the checkpoint engine's recording or replaying mode
+	// (see trace.go); both nil on an ordinary context.
+	rec *recorder
+	rep *replayer
 }
 
 // VerifyMode controls static verification of modules at load time.
@@ -183,6 +188,12 @@ func (c *Context) poison(t *gpu.Trap) {
 
 // Malloc allocates device memory.
 func (c *Context) Malloc(size int) (DevPtr, error) {
+	if c.rec != nil {
+		return c.recMalloc(size)
+	}
+	if c.rep != nil {
+		return c.repMalloc(size)
+	}
 	if c.sticky != Success {
 		return 0, c.sticky
 	}
@@ -195,6 +206,12 @@ func (c *Context) Malloc(size int) (DevPtr, error) {
 
 // Free releases device memory.
 func (c *Context) Free(p DevPtr) error {
+	if c.rec != nil {
+		return c.recFree(p)
+	}
+	if c.rep != nil {
+		return c.repFree(p)
+	}
 	if err := c.dev.Mem.Free(p); err != nil {
 		return fmt.Errorf("cuMemFree: %w", err)
 	}
@@ -203,6 +220,12 @@ func (c *Context) Free(p DevPtr) error {
 
 // MemcpyHtoD copies host bytes to device memory.
 func (c *Context) MemcpyHtoD(dst DevPtr, src []byte) error {
+	if c.rec != nil {
+		return c.recHtoD(dst, src)
+	}
+	if c.rep != nil {
+		return c.repHtoD(dst, src)
+	}
 	if c.sticky != Success {
 		return c.sticky
 	}
@@ -213,6 +236,12 @@ func (c *Context) MemcpyHtoD(dst DevPtr, src []byte) error {
 // context it fails like CUDA does; callers that ignore the error see their
 // stale host buffer, the classic unchecked-error SDC path.
 func (c *Context) MemcpyDtoH(src DevPtr, n int) ([]byte, error) {
+	if c.rec != nil {
+		return c.recDtoH(src, n)
+	}
+	if c.rep != nil {
+		return c.repDtoH(src, n)
+	}
 	if c.sticky != Success {
 		return nil, c.sticky
 	}
@@ -430,6 +459,27 @@ func (c *Context) Launch(f *Function, cfg LaunchConfig, params ...uint32) error 
 		Config:   cfg,
 		Params:   params,
 		Exec:     &gpu.ExecKernel{K: f.k},
+	}
+	if c.rec != nil || c.rep != nil {
+		if len(params) != len(f.k.Params) {
+			return fmt.Errorf("cuLaunchKernel %q: %w: want %d parameter words, got %d",
+				f.k.Name, ErrInvalidValue, len(f.k.Params), len(params))
+		}
+		if c.rep != nil {
+			return c.launchReplayed(ev, f, cfg, params)
+		}
+		if c.sticky != Success {
+			c.rec.fail("cuLaunchKernel on a poisoned context")
+			ev.Skipped = true
+			for _, s := range c.subscribers {
+				s.OnLaunchEnd(ev)
+			}
+			return c.sticky
+		}
+		for _, s := range c.subscribers {
+			s.OnLaunchBegin(ev)
+		}
+		return c.launchRecorded(ev, f, cfg, params)
 	}
 	if c.sticky != Success {
 		ev.Skipped = true

@@ -91,6 +91,13 @@ func (d *Device) ClearLog() []LogEvent {
 	return ev
 }
 
+// SetLog replaces the device log wholesale — the restore/replay path's hook
+// for installing a snapshot's log, or the recorded end-of-run log when a
+// replay exits early.
+func (d *Device) SetLog(ev []LogEvent) {
+	d.log = append([]LogEvent(nil), ev...)
+}
+
 func (d *Device) logf(kind, format string, args ...any) {
 	d.log = append(d.log, LogEvent{Kind: kind, Msg: fmt.Sprintf(format, args...)})
 }

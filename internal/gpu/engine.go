@@ -132,6 +132,14 @@ type blockCtx struct {
 	blockLin  int
 	parallel  bool  // block runs concurrently with others (gates atomics locking)
 	scratch   *warp // trampoline execution state
+
+	// Checkpoint-engine state, all zero on ordinary runs. pause makes the
+	// block interruptible at warp-instruction boundaries (LaunchRun);
+	// counts accumulates per-static-instruction thread executions for
+	// recording runs; resumeWarp is where a paused sweep picks back up.
+	pause      *pauseCtl
+	counts     []uint64
+	resumeWarp int
 }
 
 // TrampolineLen is the length of the instrumentation trampoline: the
@@ -331,15 +339,30 @@ func newBlockCtx(d *Device, l *Launch, constBank []byte, blockIdx Dim3, blockLin
 // run executes all warps of the block. Warps run round-robin; a warp yields
 // at barriers and when it finishes. All warps waiting at a barrier releases
 // it; a barrier that can never be satisfied is a hang.
+//
+// When blk.pause is armed, run can also return errLaunchPaused mid-sweep;
+// resumeWarp records where the sweep stopped so the next call continues
+// from the exact same warp, making pause/resume invisible to the executed
+// instruction sequence.
 func (blk *blockCtx) run(budget *budgetCounter, stats *LaunchStats) error {
 	runWarp := blk.runWarpFast
-	if blk.ek.Instrumented() {
+	switch {
+	case blk.ek.Instrumented():
 		runWarp = blk.runWarpInstrumented
+	case blk.pause != nil || blk.counts != nil:
+		runWarp = blk.runWarpCkpt
 	}
+	start := blk.resumeWarp
+	blk.resumeWarp = 0
+	// A resumed sweep covers only the tail of the warp list, so its
+	// progress and completion observations are partial: defer the done /
+	// deadlock decisions to the next full sweep.
+	partial := start > 0
 	for {
 		progressed := false
 		allDone := true
-		for _, w := range blk.warps {
+		for wi := start; wi < len(blk.warps); wi++ {
+			w := blk.warps[wi]
 			if w.done || w.barWait {
 				if !w.done {
 					allDone = false
@@ -348,17 +371,22 @@ func (blk *blockCtx) run(budget *budgetCounter, stats *LaunchStats) error {
 			}
 			allDone = false
 			if err := runWarp(w, budget, stats); err != nil {
+				if err == errLaunchPaused {
+					blk.resumeWarp = wi
+				}
 				return err
 			}
 			progressed = true
 		}
-		if allDone {
+		start = 0
+		if allDone && !partial {
 			return nil
 		}
 		if blk.releaseBarrier() {
+			partial = false
 			continue
 		}
-		if !progressed {
+		if !progressed && !partial {
 			// Some warps wait at a barrier that the rest of the block can
 			// never reach: on hardware this hangs until the watchdog fires.
 			return &Trap{
@@ -368,6 +396,7 @@ func (blk *blockCtx) run(budget *budgetCounter, stats *LaunchStats) error {
 				Detail: "barrier deadlock: not all warps can reach BAR.SYNC",
 			}
 		}
+		partial = false
 	}
 }
 
@@ -451,6 +480,57 @@ func (blk *blockCtx) runWarpFast(w *warp, budget *budgetCounter, stats *LaunchSt
 	}
 }
 
+// runWarpCkpt is runWarpFast plus the checkpoint-engine hooks: an optional
+// per-static-instruction execution tally (recording runs) and the pause
+// tick that lets LaunchRun.Resume stop the launch at an exact dynamic
+// warp-instruction boundary. It is a separate twin so the ordinary hot
+// loop pays nothing for the feature.
+func (blk *blockCtx) runWarpCkpt(w *warp, budget *budgetCounter, stats *LaunchStats) error {
+	instrs := blk.ek.K.Instrs
+	for {
+		minPC, atPC, done := w.schedule()
+		if done {
+			w.done = true
+			return nil
+		}
+		if minPC < 0 || int(minPC) >= len(instrs) {
+			return blk.trapErr(TrapBadPC, int(minPC), 0, "control transfer outside the kernel")
+		}
+		in := &instrs[minPC]
+		execMask := atPC
+		if !in.Guard.True() {
+			execMask = guardMask(w, in, atPC)
+		}
+
+		if !budget.take() {
+			return blk.trapErr(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+		}
+		stats.WarpInstrs++
+		stats.ThreadInstrs += uint64(popcount(execMask))
+		blk.dev.smClocks[blk.smID]++
+		if blk.counts != nil {
+			blk.counts[minPC] += uint64(popcount(execMask))
+		}
+
+		barrier, kind, faultAddr := blk.step(w, in, minPC, atPC, execMask)
+		if kind != 0 {
+			return blk.trapErr(kind, int(minPC), faultAddr, "")
+		}
+		if barrier {
+			if execMask != w.activeMask() {
+				return blk.trapErr(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
+			}
+			w.barWait = true
+		}
+		if blk.pause != nil && blk.pause.tick() {
+			return errLaunchPaused
+		}
+		if barrier {
+			return nil
+		}
+	}
+}
+
 // runWarpInstrumented is the instrumented twin of runWarpFast: identical
 // scheduling and accounting, plus the trampoline and Before/After/Step
 // callback dispatch around every instruction.
@@ -525,6 +605,11 @@ func (blk *blockCtx) runWarpInstrumented(w *warp, budget *budgetCounter, stats *
 				return blk.trapErr(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
 			}
 			w.barWait = true
+		}
+		if blk.pause != nil && blk.pause.tick() {
+			return errLaunchPaused
+		}
+		if barrier {
 			return nil
 		}
 	}
@@ -580,6 +665,11 @@ func (blk *blockCtx) runWarpDisarmed(w *warp, budget *budgetCounter, stats *Laun
 				return blk.trapErr(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
 			}
 			w.barWait = true
+		}
+		if blk.pause != nil && blk.pause.tick() {
+			return errLaunchPaused
+		}
+		if barrier {
 			return nil
 		}
 	}

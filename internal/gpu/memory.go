@@ -11,15 +11,62 @@ import (
 // live allocation raise TrapIllegalAddress; accesses not aligned to their
 // width raise TrapMisaligned — the two anomalies the paper calls out as
 // non-fatal GPU errors that produce "potential DUE" outcomes.
+//
+// Backing storage is paged at memPageSize granularity with copy-on-write
+// sharing: Device.Snapshot marks every materialized page shared, and the N
+// runs later restored from one checkpoint alias the clean pages until the
+// first write. Pages never written at all stay nil and read as zeros, so a
+// large untouched buffer costs only its page table.
 type Memory struct {
 	allocs []alloc // sorted by base
-	data   map[uint32][]byte
 	next   uint32
 }
+
+// memPageSize is the copy-on-write page granularity. It is a multiple of
+// allocAlign and of the widest single access (8 bytes), so a width-aligned
+// access never straddles a page boundary.
+const memPageSize = 4096
+
+// zeroPage backs reads of pages that were never written.
+var zeroPage [memPageSize]byte
 
 type alloc struct {
 	base uint32
 	size uint32
+	// pages backs the allocation at memPageSize granularity, indexed by
+	// (addr-base)/memPageSize. A nil page reads as zeros and is
+	// materialized on first write. shared[i] marks a page aliased by at
+	// least one snapshot: it is copied before the next write so the
+	// snapshot's view never changes.
+	pages  [][]byte
+	shared []bool
+}
+
+// readPage returns the bytes backing page pg for reading; never-written
+// pages read as zeros.
+func (a *alloc) readPage(pg uint32) []byte {
+	if p := a.pages[pg]; p != nil {
+		return p
+	}
+	return zeroPage[:]
+}
+
+// writePage returns the bytes backing page pg for writing, materializing
+// never-written pages and copying snapshot-shared ones (the copy-on-write
+// fault path).
+func (a *alloc) writePage(pg uint32) []byte {
+	p := a.pages[pg]
+	if p == nil {
+		p = make([]byte, memPageSize)
+		a.pages[pg] = p
+	} else if a.shared[pg] {
+		c := make([]byte, memPageSize)
+		copy(c, p)
+		a.pages[pg] = c
+		p = c
+	}
+	a.shared[pg] = false
+	return p
 }
 
 // allocBase leaves the low addresses unmapped so that computed-to-zero
@@ -31,7 +78,7 @@ const allocAlign = 256
 
 // NewMemory returns an empty device memory.
 func NewMemory() *Memory {
-	return &Memory{data: make(map[uint32][]byte), next: allocBase}
+	return &Memory{next: allocBase}
 }
 
 // Alloc reserves size bytes of device memory and returns its base address.
@@ -45,8 +92,13 @@ func (m *Memory) Alloc(size int) (uint32, error) {
 	}
 	base := m.next
 	m.next += sz
-	m.allocs = append(m.allocs, alloc{base: base, size: uint32(size)})
-	m.data[base] = make([]byte, size)
+	n := (uint32(size) + memPageSize - 1) / memPageSize
+	m.allocs = append(m.allocs, alloc{
+		base:   base,
+		size:   uint32(size),
+		pages:  make([][]byte, n),
+		shared: make([]bool, n),
+	})
 	return base, nil
 }
 
@@ -55,7 +107,6 @@ func (m *Memory) Free(base uint32) error {
 	for i, a := range m.allocs {
 		if a.base == base {
 			m.allocs = append(m.allocs[:i], m.allocs[i+1:]...)
-			delete(m.data, base)
 			return nil
 		}
 	}
@@ -76,34 +127,38 @@ func (m *Memory) find(addr uint32) *alloc {
 	return nil
 }
 
-// check validates an access of width bytes at addr and returns the backing
-// slice offset. Trap kinds are reported through the returned values.
-func (m *Memory) check(addr uint32, width uint32) (buf []byte, off uint32, kind TrapKind) {
+// check validates an access of width bytes at addr and returns the
+// allocation and the offset within it. Trap kinds are reported through the
+// returned values. A width-aligned access never straddles a page: base is
+// allocAlign-aligned and both widths divide memPageSize.
+func (m *Memory) check(addr uint32, width uint32) (a *alloc, off uint32, kind TrapKind) {
 	if addr%width != 0 {
 		return nil, 0, TrapMisaligned
 	}
-	a := m.find(addr)
+	a = m.find(addr)
 	if a == nil || addr-a.base+width > a.size {
 		return nil, 0, TrapIllegalAddress
 	}
-	return m.data[a.base], addr - a.base, 0
+	return a, addr - a.base, 0
 }
 
 // Load reads width bytes (1, 2, 4 or 8) at addr, little-endian.
 func (m *Memory) Load(addr uint32, width uint8) (uint64, TrapKind) {
-	buf, off, kind := m.check(addr, uint32(width))
+	a, off, kind := m.check(addr, uint32(width))
 	if kind != 0 {
 		return 0, kind
 	}
+	buf := a.readPage(off / memPageSize)
+	o := off % memPageSize
 	switch width {
 	case 1:
-		return uint64(buf[off]), 0
+		return uint64(buf[o]), 0
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(buf[off:])), 0
+		return uint64(binary.LittleEndian.Uint16(buf[o:])), 0
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(buf[off:])), 0
+		return uint64(binary.LittleEndian.Uint32(buf[o:])), 0
 	case 8:
-		return binary.LittleEndian.Uint64(buf[off:]), 0
+		return binary.LittleEndian.Uint64(buf[o:]), 0
 	default:
 		return 0, TrapInvalidInstruction
 	}
@@ -111,19 +166,21 @@ func (m *Memory) Load(addr uint32, width uint8) (uint64, TrapKind) {
 
 // Store writes width bytes (1, 2, 4 or 8) at addr, little-endian.
 func (m *Memory) Store(addr uint32, width uint8, val uint64) TrapKind {
-	buf, off, kind := m.check(addr, uint32(width))
+	a, off, kind := m.check(addr, uint32(width))
 	if kind != 0 {
 		return kind
 	}
+	buf := a.writePage(off / memPageSize)
+	o := off % memPageSize
 	switch width {
 	case 1:
-		buf[off] = byte(val)
+		buf[o] = byte(val)
 	case 2:
-		binary.LittleEndian.PutUint16(buf[off:], uint16(val))
+		binary.LittleEndian.PutUint16(buf[o:], uint16(val))
 	case 4:
-		binary.LittleEndian.PutUint32(buf[off:], uint32(val))
+		binary.LittleEndian.PutUint32(buf[o:], uint32(val))
 	case 8:
-		binary.LittleEndian.PutUint64(buf[off:], val)
+		binary.LittleEndian.PutUint64(buf[o:], val)
 	default:
 		return TrapInvalidInstruction
 	}
@@ -138,7 +195,11 @@ func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
 		return nil, fmt.Errorf("gpu: memcpy DtoH of %d bytes at 0x%x out of bounds", n, addr)
 	}
 	out := make([]byte, n)
-	copy(out, m.data[a.base][addr-a.base:])
+	off := addr - a.base
+	for done := 0; done < n; {
+		p := off + uint32(done)
+		done += copy(out[done:], a.readPage(p / memPageSize)[p%memPageSize:])
+	}
 	return out, nil
 }
 
@@ -148,9 +209,64 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 	if a == nil || uint32(len(b)) > a.size-(addr-a.base) {
 		return fmt.Errorf("gpu: memcpy HtoD of %d bytes at 0x%x out of bounds", len(b), addr)
 	}
-	copy(m.data[a.base][addr-a.base:], b)
+	off := addr - a.base
+	for done := 0; done < len(b); {
+		p := off + uint32(done)
+		done += copy(a.writePage(p / memPageSize)[p%memPageSize:], b[done:])
+	}
 	return nil
 }
 
 // AllocCount returns the number of live allocations, for tests.
 func (m *Memory) AllocCount() int { return len(m.allocs) }
+
+// memSnap is an immutable copy-on-write view of a Memory, shared between
+// the snapshotted memory and every fork restored from it.
+type memSnap struct {
+	next   uint32
+	allocs []memSnapAlloc
+}
+
+type memSnapAlloc struct {
+	base  uint32
+	size  uint32
+	pages [][]byte
+}
+
+// snapshot captures the memory's current contents without copying page
+// data: every materialized page is marked shared on the live memory, so
+// the next write to it copies first and the snapshot's view never changes.
+func (m *Memory) snapshot() *memSnap {
+	s := &memSnap{next: m.next, allocs: make([]memSnapAlloc, len(m.allocs))}
+	for i := range m.allocs {
+		a := &m.allocs[i]
+		pages := make([][]byte, len(a.pages))
+		copy(pages, a.pages)
+		for pg, p := range a.pages {
+			if p != nil {
+				a.shared[pg] = true
+			}
+		}
+		s.allocs[i] = memSnapAlloc{base: a.base, size: a.size, pages: pages}
+	}
+	return s
+}
+
+// restore builds a fresh Memory whose pages all start shared with the
+// snapshot. It only reads the snapshot, so any number of forks can restore
+// from one memSnap concurrently and then diverge via copy-on-write without
+// ever observing each other.
+func (s *memSnap) restore() *Memory {
+	m := &Memory{next: s.next, allocs: make([]alloc, len(s.allocs))}
+	for i := range s.allocs {
+		sa := &s.allocs[i]
+		pages := make([][]byte, len(sa.pages))
+		copy(pages, sa.pages)
+		shared := make([]bool, len(pages))
+		for pg, p := range pages {
+			shared[pg] = p != nil
+		}
+		m.allocs[i] = alloc{base: sa.base, size: sa.size, pages: pages, shared: shared}
+	}
+	return m
+}

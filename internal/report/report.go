@@ -113,6 +113,9 @@ func Summary(res *campaign.CampaignResult) string {
 	if t.Pruned > 0 {
 		s += fmt.Sprintf(", %d statically pruned", t.Pruned)
 	}
+	if t.Restored > 0 {
+		s += fmt.Sprintf(", %d restored from checkpoints (%d early exits)", t.Restored, t.EarlyExits)
+	}
 	if res.Weighted != nil {
 		s = fmt.Sprintf("%s: %d opcodes, weighted SDC %.1f%% DUE %.1f%% Masked %.1f%%",
 			res.Program, len(res.Runs),

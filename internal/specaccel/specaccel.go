@@ -15,10 +15,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/cuda"
 )
 
@@ -107,76 +107,26 @@ func (p *Program) Check(golden, observed *campaign.Output) bool {
 }
 
 // floatBytesClose64 compares two byte buffers as float64 arrays with
-// relative tolerance.
+// relative tolerance. It delegates to the allocation-free comparison
+// primitives in internal/core shared by every classification path.
 func floatBytesClose64(a, b []byte, tol float64) bool {
-	if len(a) != len(b) || len(a)%8 != 0 {
-		return false
-	}
-	for i := 0; i+8 <= len(a); i += 8 {
-		x := math.Float64frombits(binary.LittleEndian.Uint64(a[i:]))
-		y := math.Float64frombits(binary.LittleEndian.Uint64(b[i:]))
-		if !close64(x, y, tol) {
-			return false
-		}
-	}
-	return true
+	return core.FloatBytesClose64(a, b, tol)
 }
 
 // floatBytesClose compares two byte buffers as float32 arrays with relative
 // tolerance.
 func floatBytesClose(a, b []byte, tol float64) bool {
-	if len(a) != len(b) || len(a)%4 != 0 {
-		return false
-	}
-	for i := 0; i+4 <= len(a); i += 4 {
-		x := float64(math.Float32frombits(binary.LittleEndian.Uint32(a[i:])))
-		y := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i:])))
-		if !close64(x, y, tol) {
-			return false
-		}
-	}
-	return true
+	return core.FloatBytesClose32(a, b, tol)
 }
 
 func close64(x, y, tol float64) bool {
-	if math.IsNaN(x) || math.IsNaN(y) {
-		return math.IsNaN(x) && math.IsNaN(y)
-	}
-	d := math.Abs(x - y)
-	if d == 0 {
-		return true
-	}
-	scale := math.Max(math.Abs(x), math.Abs(y))
-	if scale < 1e-30 {
-		return d < tol
-	}
-	return d/scale <= tol
+	return core.FloatClose(x, y, tol)
 }
 
 // stdoutClose compares stdout token streams: non-numeric tokens must match
 // exactly, numeric tokens within tolerance.
 func stdoutClose(a, b string, tol float64) bool {
-	at, bt := strings.Fields(a), strings.Fields(b)
-	if len(at) != len(bt) {
-		return false
-	}
-	for i := range at {
-		x, errx := strconv.ParseFloat(at[i], 64)
-		y, erry := strconv.ParseFloat(bt[i], 64)
-		switch {
-		case errx == nil && erry == nil:
-			if !close64(x, y, tol) {
-				return false
-			}
-		case errx == nil || erry == nil:
-			return false
-		default:
-			if at[i] != bt[i] {
-				return false
-			}
-		}
-	}
-	return true
+	return core.StdoutTokensClose(a, b, tol)
 }
 
 // host wraps the context with the per-policy error handling the programs

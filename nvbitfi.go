@@ -98,6 +98,13 @@ type (
 	TransientCampaignConfig = campaign.TransientCampaignConfig
 	// Tally counts outcomes.
 	Tally = campaign.Tally
+	// Trace is a recorded golden trajectory with device snapshots — the
+	// checkpoint-and-fork engine's record of one fault-free execution.
+	Trace = cuda.Trace
+	// Checkpoint is one mid-trajectory device snapshot inside a Trace.
+	Checkpoint = cuda.Checkpoint
+	// ReplayPlan tells a replay where to restore and when early exit applies.
+	ReplayPlan = cuda.ReplayPlan
 
 	// Context is the mini CUDA-driver context.
 	Context = cuda.Context
