@@ -7,6 +7,7 @@
 package nvbitfi_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -40,7 +41,7 @@ func BenchmarkAblation_SelectiveInstrumentation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Selective (NVBitFI): only the target dynamic kernel instance is
 		// instrumented.
-		selRes, err := state.runner.RunTransient(w, golden, *params)
+		selRes, err := state.runner.RunTransient(context.Background(), w, golden, *params)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package nvbitfi_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -30,7 +31,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.RunTransient(w, golden, *params)
+	res, err := r.RunTransient(context.Background(), w, golden, *params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestPublicAPICampaigns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tc, err := nvbitfi.RunTransientCampaign(r, w, golden, profile, nvbitfi.TransientCampaignConfig{
+	tc, err := nvbitfi.RunTransientCampaign(context.Background(), r, w, golden, profile, nvbitfi.TransientCampaignConfig{
 		Injections: 8,
 		Seed:       3,
 	})
@@ -138,7 +139,7 @@ func TestPublicAPICampaigns(t *testing.T) {
 	if tc.Tally.N != 8 {
 		t.Fatalf("transient campaign ran %d", tc.Tally.N)
 	}
-	pc, err := nvbitfi.RunPermanentCampaign(r, w, golden, profile, nvbitfi.RandomValue, 4, 1)
+	pc, err := nvbitfi.RunPermanentCampaign(context.Background(), r, w, golden, profile, nvbitfi.RandomValue, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

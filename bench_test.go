@@ -8,6 +8,7 @@
 package nvbitfi_test
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -233,7 +234,7 @@ func BenchmarkTableII_TransientModels(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := state.runner.RunTransient(w, golden, *params)
+				res, err := state.runner.RunTransient(context.Background(), w, golden, *params)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -278,7 +279,7 @@ func BenchmarkTableIII_PermanentModels(b *testing.B) {
 				fmt.Printf("... (%d more opcodes; Figure 3 runs them all)\n", len(faults)-fi)
 				break
 			}
-			res, err := state.runner.RunPermanent(w, golden, *pf, nil, nil)
+			res, err := state.runner.RunPermanent(context.Background(), w, golden, *pf, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -333,7 +334,7 @@ func BenchmarkTableV_Outcomes(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := state.runner.RunTransient(w, golden, *params)
+			res, err := state.runner.RunTransient(context.Background(), w, golden, *params)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -375,7 +376,7 @@ func BenchmarkFig1_InjectionProcedure(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := state.runner.RunTransient(w, golden, *params) // steps 3-4
+		res, err := state.runner.RunTransient(context.Background(), w, golden, *params) // steps 3-4
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -403,7 +404,7 @@ func BenchmarkFig2_ExactVsApproxProfiling(b *testing.B) {
 			line := fmt.Sprintf("%-14s |", w.Name())
 			for _, mode := range []nvbitfi.ProfileMode{nvbitfi.Exact, nvbitfi.Approximate} {
 				profile, _ := state.profileFor(b, w, mode)
-				res, err := nvbitfi.RunTransientCampaign(state.runner, w, golden, profile,
+				res, err := nvbitfi.RunTransientCampaign(context.Background(), state.runner, w, golden, profile,
 					nvbitfi.TransientCampaignConfig{
 						Injections: n,
 						Group:      nvbitfi.GroupGPPR,
@@ -451,7 +452,7 @@ func BenchmarkFig3_PermanentOutcomes(b *testing.B) {
 		for _, w := range nvbitfi.SpecACCEL() {
 			golden := state.goldenFor(b, w)
 			profile, _ := state.profileFor(b, w, nvbitfi.Exact)
-			res, err := nvbitfi.RunPermanentCampaign(state.runner, w, golden, profile,
+			res, err := nvbitfi.RunPermanentCampaign(context.Background(), state.runner, w, golden, profile,
 				nvbitfi.RandomValue, 3, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -497,7 +498,7 @@ func BenchmarkFig4_ExecutionOverheads(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := state.runner.RunTransient(w, golden, *params)
+				res, err := state.runner.RunTransient(context.Background(), w, golden, *params)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -510,7 +511,7 @@ func BenchmarkFig4_ExecutionOverheads(b *testing.B) {
 			}
 			pfDurs := make([]time.Duration, 0, 5)
 			for k := 0; k < len(faults) && k < 5; k++ {
-				res, err := state.runner.RunPermanent(w, golden, *faults[k], nil, nil)
+				res, err := state.runner.RunPermanent(context.Background(), w, golden, *faults[k], nil, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -559,7 +560,7 @@ func BenchmarkFig5_CampaignTimes(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				trRes, err := state.runner.RunTransient(w, golden, *params)
+				trRes, err := state.runner.RunTransient(context.Background(), w, golden, *params)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -571,7 +572,7 @@ func BenchmarkFig5_CampaignTimes(b *testing.B) {
 			}
 			pfDurs := make([]time.Duration, 0, 5)
 			for k := 0; k < len(faults) && k < 5; k++ {
-				pfRes, err := state.runner.RunPermanent(w, golden, *faults[k], nil, nil)
+				pfRes, err := state.runner.RunPermanent(context.Background(), w, golden, *faults[k], nil, nil)
 				if err != nil {
 					b.Fatal(err)
 				}

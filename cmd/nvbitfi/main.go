@@ -11,10 +11,14 @@
 //	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1] [-prune] [-ckpt [-ckpt-stride N] [-no-early-exit]] [-verify]
 //	nvbitfi profdiff  -a exact.txt -b approx.txt [-group G_GPPR] [-min 0.01]
 //	nvbitfi report    -table1 | -table4
+//	nvbitfi serve     [-addr 127.0.0.1:8077] [-journal nvbitfi-journal.jsonl] [-workers N]
+//	nvbitfi worker    [-coordinator http://host:8077] [-name NAME]
+//	nvbitfi submit    -program 303.ostencil [-coordinator URL] [-n 100] [-seed 1] [-prune] [-ckpt] [-json]
 //	nvbitfi list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -53,6 +57,12 @@ func main() {
 		err = cmdProfDiff(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
 	case "list":
 		err = cmdList()
 	default:
@@ -66,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: nvbitfi <profile|select|inject|pf-inject|campaign|profdiff|report|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: nvbitfi <profile|select|inject|pf-inject|campaign|profdiff|report|serve|worker|submit|list> [flags]
 run "nvbitfi <subcommand> -h" for subcommand flags`)
 }
 
@@ -190,7 +200,7 @@ func cmdInject(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := r.RunTransient(w, golden, *params)
+	res, err := r.RunTransient(context.Background(), w, golden, *params)
 	if err != nil {
 		return err
 	}
@@ -240,7 +250,7 @@ func cmdPFInject(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := r.RunPermanent(w, golden, p, nil, nil)
+	res, err := r.RunPermanent(context.Background(), w, golden, p, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -258,6 +268,7 @@ func cmdCampaign(args []string) error {
 	group := fs.String("group", "G_GPPR", "instruction group")
 	bitflip := fs.Int("bitflip", 1, "bit-flip model 1..4")
 	seed := fs.Int64("seed", 1, "campaign seed")
+	shardSize := fs.Int("shard-size", 0, "experiments per selection shard (0 = default; part of the campaign's identity, matches 'submit -shard-size')")
 	permanent := fs.Bool("permanent", false, "run a permanent campaign instead")
 	parallel := fs.Int("parallel", 0, "concurrent injection experiments (0 = one per CPU)")
 	workers := fs.Int("workers", 0, "per-device block-parallel workers for uninstrumented launches (0 or 1 = sequential)")
@@ -269,6 +280,7 @@ func cmdCampaign(args []string) error {
 	verify := fs.Bool("verify", false, "verify modules at load and reject programs with static errors")
 	csvPath := fs.String("csv", "", "write the outcome distribution as CSV to this file")
 	runlogPath := fs.String("runlog", "", "write one line per injection run to this file")
+	jsonOut := fs.Bool("json", false, "print one stable JSON summary line per program to stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -316,12 +328,13 @@ func cmdCampaign(args []string) error {
 			if *timing {
 				p = 1
 			}
-			res, err = nvbitfi.RunPermanentCampaign(r, w, golden, profile,
+			res, err = nvbitfi.RunPermanentCampaign(context.Background(), r, w, golden, profile,
 				nvbitfi.BitFlipModel(*bitflip), *seed, p)
 		} else {
-			res, err = nvbitfi.RunTransientCampaign(r, w, golden, profile, nvbitfi.TransientCampaignConfig{
+			res, err = nvbitfi.RunTransientCampaign(context.Background(), r, w, golden, profile, nvbitfi.TransientCampaignConfig{
 				Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
-				Parallel: *parallel, TimingFidelity: *timing, Prune: *prune,
+				ShardSize: *shardSize,
+				Parallel:  *parallel, TimingFidelity: *timing, Prune: *prune,
 				Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
 			})
 		}
@@ -334,6 +347,11 @@ func cmdCampaign(args []string) error {
 		}
 		results = append(results, res)
 		fmt.Println(report.Summary(res))
+	}
+	if *jsonOut {
+		if err := report.WriteSummaryJSON(os.Stdout, results...); err != nil {
+			return err
+		}
 	}
 	st := modcache.Shared.Stats()
 	fmt.Printf("module cache: assemble %d hits / %d builds, decode %d hits / %d builds, codec %d hits / %d builds\n",

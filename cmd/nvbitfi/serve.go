@@ -1,0 +1,200 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/campaign"
+	"repro/internal/report"
+	"repro/internal/sass"
+	"repro/internal/serve"
+)
+
+// cmdServe runs the campaign coordinator: HTTP API plus an optional
+// in-process worker pool, with an on-disk journal so a restart resumes
+// unfinished jobs.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	journal := fs.String("journal", "nvbitfi-journal.jsonl", "job journal path ('' disables persistence)")
+	workers := fs.Int("workers", 0, "in-process workers to run alongside the coordinator")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "shard lease TTL")
+	maxAttempts := fs.Int("max-attempts", 3, "attempts before a shard is quarantined")
+	backoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	coord, err := serve.NewCoordinator(serve.Options{
+		JournalPath:  *journal,
+		LeaseTTL:     *leaseTTL,
+		MaxAttempts:  *maxAttempts,
+		RetryBackoff: *backoff,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewServer(coord)}
+	log.Printf("nvbitfi serve: listening on http://%s (journal %s, %d local workers)",
+		ln.Addr(), *journal, *workers)
+
+	// Sweep expired leases even while no worker is polling, so status
+	// requests see reclaims promptly.
+	go func() {
+		t := time.NewTicker(*leaseTTL / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				coord.ReclaimTick()
+			}
+		}
+	}()
+
+	var pool interface{ Wait() }
+	if *workers > 0 {
+		pool = serve.Pool(ctx, coord, campaign.Runner{}, *workers, log.Printf)
+	}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+	err = srv.Serve(ln)
+	if pool != nil {
+		pool.Wait()
+	}
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// cmdWorker runs a remote worker against a coordinator.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "http://127.0.0.1:8077", "coordinator base URL")
+	name := fs.String("name", "", "worker name (for events and logs)")
+	deviceWorkers := fs.Int("device-workers", 0, "per-device block-parallel workers for uninstrumented launches")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := &serve.Worker{
+		Backend: serve.NewClient(*coordinator),
+		Runner:  campaign.Runner{Workers: *deviceWorkers},
+		Name:    *name,
+		Logf:    log.Printf,
+	}
+	log.Printf("nvbitfi worker: serving %s", *coordinator)
+	err := w.Run(ctx)
+	if ctx.Err() != nil {
+		return nil // clean shutdown
+	}
+	return err
+}
+
+// cmdSubmit submits a campaign to a coordinator and follows its progress.
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "http://127.0.0.1:8077", "coordinator base URL")
+	program := fs.String("program", "", "target program name")
+	n := fs.Int("n", 100, "number of transient injections")
+	group := fs.String("group", "G_GPPR", "instruction group")
+	bitflip := fs.Int("bitflip", 1, "bit-flip model 1..4")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	shardSize := fs.Int("shard-size", 0, "experiments per shard (0 = default; part of the campaign's identity)")
+	prune := fs.Bool("prune", false, "statically prune provably-dead injections")
+	ckpt := fs.Bool("ckpt", false, "checkpoint-and-fork experiment engine")
+	ckptStride := fs.Uint64("ckpt-stride", 0, "checkpoint stride in warp instructions")
+	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification")
+	noWait := fs.Bool("no-wait", false, "submit and print the job id without following progress")
+	jsonOut := fs.Bool("json", false, "print the final tally as stable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := sass.ParseGroup(*group)
+	if err != nil {
+		return err
+	}
+	spec := serve.CampaignSpec{
+		Schema:   serve.JobSchema,
+		Workload: *program,
+		Config: nvbitfi.TransientCampaignConfig{
+			Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
+			ShardSize: *shardSize, Prune: *prune,
+			Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
+		},
+	}
+	client := serve.NewClient(*coordinator)
+	st, err := client.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s: %s over %d shards (golden %.12s)\n",
+		st.Workload, st.ID, st.NumShards, st.GoldenDigest)
+	if *noWait {
+		fmt.Println(st.ID)
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	final, err := client.Watch(ctx, st.ID, 0, func(ev serve.Event) {
+		switch ev.Type {
+		case "shard":
+			line := fmt.Sprintf("shard %d %s (attempt %d, %d/%d done)",
+				ev.Shard, ev.State, ev.Attempt, ev.Done, ev.NumShards)
+			if ev.Reason != "" {
+				line += ": " + ev.Reason
+			}
+			if ev.Tally != nil {
+				line += " — " + ev.Tally.String()
+			}
+			fmt.Fprintln(os.Stderr, line)
+		case "job":
+			fmt.Fprintf(os.Stderr, "job %s (%d/%d shards)\n", ev.State, ev.Done, ev.NumShards)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return report.WriteSummaryJSON(os.Stdout, &campaign.CampaignResult{
+			Program: final.Workload, Tally: final.Tally,
+		})
+	}
+	fmt.Printf("%s: %d runs, %s", final.Workload, final.Tally.N, final.Tally)
+	if final.Tally.Pruned > 0 {
+		fmt.Printf(", %d statically pruned", final.Tally.Pruned)
+	}
+	if final.Tally.Restored > 0 {
+		fmt.Printf(", %d restored from checkpoints (%d early exits)",
+			final.Tally.Restored, final.Tally.EarlyExits)
+	}
+	fmt.Println()
+	if final.State != serve.JobDone {
+		return fmt.Errorf("job settled %s with %d quarantined shards", final.State, final.Quarantined)
+	}
+	return nil
+}

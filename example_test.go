@@ -1,6 +1,7 @@
 package nvbitfi_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -52,7 +53,7 @@ func ExampleRunner_RunTransient() {
 		DestRegSelect:   0.5,
 		BitPatternValue: 0.5,
 	}
-	res, err := r.RunTransient(w, golden, params)
+	res, err := r.RunTransient(context.Background(), w, golden, params)
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -60,7 +61,7 @@ func main() {
 			if mode == nvbitfi.Exact {
 				exactProfile = profile
 			}
-			res, err := nvbitfi.RunTransientCampaign(r, w, golden, profile,
+			res, err := nvbitfi.RunTransientCampaign(context.Background(), r, w, golden, profile,
 				nvbitfi.TransientCampaignConfig{Injections: *n, Seed: int64(mode)})
 			if err != nil {
 				log.Fatal(err)
@@ -70,7 +71,7 @@ func main() {
 				100*t.Fraction(nvbitfi.SDC), 100*t.Fraction(nvbitfi.DUE),
 				100*t.Fraction(nvbitfi.Masked))
 		}
-		perm, err := nvbitfi.RunPermanentCampaign(r, w, golden, exactProfile,
+		perm, err := nvbitfi.RunPermanentCampaign(context.Background(), r, w, golden, exactProfile,
 			nvbitfi.RandomValue, 7, 1)
 		if err != nil {
 			log.Fatal(err)

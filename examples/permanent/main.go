@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -45,7 +46,7 @@ func main() {
 
 	fmt.Println("permanent faults (every activation corrupts):")
 	for _, pf := range faults[:4] {
-		res, err := r.RunPermanent(w, golden, *pf, nil, nil)
+		res, err := r.RunPermanent(context.Background(), w, golden, *pf, nil, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func main() {
 		{"bursty 8/64", nvbitfi.BurstGate{Period: 64, BurstLen: 8}},
 	}
 	for _, g := range gates {
-		res, err := r.RunPermanent(w, golden, *pf, g.gate, nil)
+		res, err := r.RunPermanent(context.Background(), w, golden, *pf, g.gate, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func main() {
 		}
 	}
 	if faddFault != nil {
-		res, err := r.RunPermanent(w, golden, *faddFault, nil, dict)
+		res, err := r.RunPermanent(context.Background(), w, golden, *faddFault, nil, dict)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func main() {
 		SMID: 1, Lane: 5, BitMask: 0x00400000,
 		OpcodeID: ids[0], ExtraOpcodeIDs: ids[1:],
 	}
-	res, err := r.RunPermanent(w, golden, multi, nil, nil)
+	res, err := r.RunPermanent(context.Background(), w, golden, multi, nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,7 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := r.RunTransient(w, golden, *params)
+		res, err := r.RunTransient(context.Background(), w, golden, *params)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package nvbitfi_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -33,7 +34,7 @@ func TestIntegrationMiniCampaigns(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := nvbitfi.RunTransientCampaign(r, w, golden, profile,
+			res, err := nvbitfi.RunTransientCampaign(context.Background(), r, w, golden, profile,
 				nvbitfi.TransientCampaignConfig{Injections: 6, Seed: 7})
 			if err != nil {
 				t.Fatal(err)
@@ -90,7 +91,7 @@ func TestIntegrationPermanentAcrossSuite(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := nvbitfi.RunPermanentCampaign(r, w, golden, profile,
+			res, err := nvbitfi.RunPermanentCampaign(context.Background(), r, w, golden, profile,
 				nvbitfi.RandomValue, 13, 1)
 			if err != nil {
 				t.Fatal(err)

@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -66,7 +67,7 @@ func TestLegacyPathCampaignEquivalence(t *testing.T) {
 	cfg := campaign.TransientCampaignConfig{Injections: 20, Seed: 11}
 	base := campaign.Runner{}
 	w, golden, profile := setupCampaign(t, base, "303.ostencil")
-	ref, err := campaign.RunTransientCampaign(base, w, golden, profile, cfg)
+	ref, err := campaign.RunTransientCampaign(context.Background(), base, w, golden, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestLegacyPathCampaignEquivalence(t *testing.T) {
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {
-			got, err := campaign.RunTransientCampaign(v.r, w, golden, profile, cfg)
+			got, err := campaign.RunTransientCampaign(context.Background(), v.r, w, golden, profile, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -114,7 +115,7 @@ func TestWarmColdExperimentEquivalence(t *testing.T) {
 
 	modcache.Shared.Reset()
 	before := modcache.Shared.Stats()
-	cold, err := r.RunTransient(w, golden, *p)
+	cold, err := r.RunTransient(context.Background(), w, golden, *p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestWarmColdExperimentEquivalence(t *testing.T) {
 		t.Error("cold experiment built nothing; Reset did not empty the cache")
 	}
 
-	warm, err := r.RunTransient(w, golden, *p)
+	warm, err := r.RunTransient(context.Background(), w, golden, *p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestSharedKernelImmutabilityRace(t *testing.T) {
 		snaps[i] = k.Clone()
 	}
 
-	if _, err := campaign.RunTransientCampaign(r, w, golden, profile,
+	if _, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile,
 		campaign.TransientCampaignConfig{Injections: 16, Seed: 3, Parallel: 8}); err != nil {
 		t.Fatal(err)
 	}

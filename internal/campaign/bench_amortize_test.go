@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -50,7 +51,7 @@ func BenchmarkTransientExperiment(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.RunTransient(w, golden, *p); err != nil {
+		if _, err := r.RunTransient(context.Background(), w, golden, *p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,7 +82,7 @@ func BenchmarkTransientCampaignE2E(b *testing.B) {
 		setupNS += time.Since(start).Nanoseconds()
 
 		start = time.Now()
-		res, err := campaign.RunTransientCampaign(r, w, golden, profile,
+		res, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile,
 			campaign.TransientCampaignConfig{
 				Injections: injections, Seed: 7, TimingFidelity: true,
 			})

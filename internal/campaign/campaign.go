@@ -7,7 +7,12 @@
 package campaign
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"slices"
 
 	"repro/internal/cuda"
 )
@@ -43,6 +48,37 @@ func (o *Output) Equal(other *Output) bool {
 		}
 	}
 	return true
+}
+
+// Digest returns a hex SHA-256 over the output's three observable channels
+// — stdout, the output files (in name order), and the exit code — with
+// length framing so distinct outputs cannot collide by concatenation. Two
+// outputs are Equal if and only if their digests match, which is what lets
+// a campaign coordinator hand workers a golden digest instead of the full
+// golden output: a worker whose locally computed golden run digests
+// differently has diverged from the submitting coordinator and must not
+// classify experiments against it.
+func (o *Output) Digest() string {
+	h := sha256.New()
+	var n [8]byte
+	put := func(b []byte) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	put([]byte(o.Stdout))
+	names := make([]string, 0, len(o.Files))
+	for name := range o.Files {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		put([]byte(name))
+		put(o.Files[name])
+	}
+	binary.LittleEndian.PutUint64(n[:], uint64(int64(o.ExitCode)))
+	h.Write(n[:])
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Workload is one benchmark program: it runs against a CUDA context and
@@ -260,4 +296,89 @@ func (t *Tally) Fraction(o Outcome) float64 {
 func (t *Tally) String() string {
 	return fmt.Sprintf("SDC %.1f%% DUE %.1f%% Masked %.1f%%",
 		100*t.Fraction(SDC), 100*t.Fraction(DUE), 100*t.Fraction(Masked))
+}
+
+// Merge folds another tally into this one. Every Tally field is an additive
+// per-run counter, so merging per-shard tallies in any order reproduces the
+// tally a single process would have computed over the union of the runs —
+// the identity the campaign service's coordinator relies on.
+func (t *Tally) Merge(o *Tally) {
+	if o == nil {
+		return
+	}
+	t.N += o.N
+	for outcome, n := range o.Counts {
+		t.Counts[outcome] += n
+	}
+	t.PotentialDUEs += o.PotentialDUEs
+	t.NotActivated += o.NotActivated
+	t.Pruned += o.Pruned
+	t.Restored += o.Restored
+	t.EarlyExits += o.EarlyExits
+}
+
+// TallySchema versions the stable JSON encoding of Tally. The same encoding
+// is used by the campaign service API, the JSON run summary, and the
+// benchmark tooling, so a consumer can check one field to know the shape.
+const TallySchema = "nvbitfi.tally/v1"
+
+// tallyJSON is the wire form: fixed field order, outcome counts flattened
+// out of the map so the encoding is byte-stable across processes.
+type tallyJSON struct {
+	Schema        string `json:"schema"`
+	N             int    `json:"n"`
+	SDC           int    `json:"sdc"`
+	DUE           int    `json:"due"`
+	Masked        int    `json:"masked"`
+	PotentialDUEs int    `json:"potential_dues"`
+	NotActivated  int    `json:"not_activated"`
+	Pruned        int    `json:"pruned"`
+	Restored      int    `json:"restored"`
+	EarlyExits    int    `json:"early_exits"`
+}
+
+// MarshalJSON renders the stable, schema-versioned encoding. Two tallies
+// with equal counts marshal to identical bytes.
+func (t *Tally) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tallyJSON{
+		Schema:        TallySchema,
+		N:             t.N,
+		SDC:           t.Counts[SDC],
+		DUE:           t.Counts[DUE],
+		Masked:        t.Counts[Masked],
+		PotentialDUEs: t.PotentialDUEs,
+		NotActivated:  t.NotActivated,
+		Pruned:        t.Pruned,
+		Restored:      t.Restored,
+		EarlyExits:    t.EarlyExits,
+	})
+}
+
+// UnmarshalJSON accepts the versioned encoding (and, leniently, documents
+// written before the schema field existed).
+func (t *Tally) UnmarshalJSON(b []byte) error {
+	var w tallyJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.Schema != "" && w.Schema != TallySchema {
+		return fmt.Errorf("campaign: unsupported tally schema %q (want %q)", w.Schema, TallySchema)
+	}
+	t.N = w.N
+	t.Counts = map[Outcome]int{}
+	if w.SDC != 0 {
+		t.Counts[SDC] = w.SDC
+	}
+	if w.DUE != 0 {
+		t.Counts[DUE] = w.DUE
+	}
+	if w.Masked != 0 {
+		t.Counts[Masked] = w.Masked
+	}
+	t.PotentialDUEs = w.PotentialDUEs
+	t.NotActivated = w.NotActivated
+	t.Pruned = w.Pruned
+	t.Restored = w.Restored
+	t.EarlyExits = w.EarlyExits
+	return nil
 }

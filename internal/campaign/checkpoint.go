@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,14 +71,19 @@ func (r Runner) RecordTrace(w Workload, golden *GoldenResult, stride uint64) (*c
 // and execution is real from then on, with early-exit probing at recorded
 // boundaries. If the workload's calls diverge from the journal before the
 // restore point — a nondeterministic host — the experiment transparently
-// falls back to a from-scratch run.
-func (r Runner) runTransientCheckpointed(w Workload, golden *GoldenResult, trace *cuda.Trace,
-	p core.TransientParams, noEarlyExit bool) (*RunResult, error) {
+// falls back to a from-scratch run. A cancelled hostCtx aborts the
+// experiment promptly, as in RunTransient.
+func (r Runner) runTransientCheckpointed(hostCtx context.Context, w Workload, golden *GoldenResult,
+	trace *cuda.Trace, p core.TransientParams, noEarlyExit bool) (*RunResult, error) {
+	if err := hostCtx.Err(); err != nil {
+		return nil, err
+	}
 	r = r.applyDefaults()
 	ctx, err := r.newContext()
 	if err != nil {
 		return nil, err
 	}
+	ctx.SetCancel(hostCtx)
 	ctx.SetDefaultBudget(r.experimentBudget(golden))
 	inj, err := core.NewTransientInjector(p)
 	if err != nil {
@@ -103,11 +109,16 @@ func (r Runner) runTransientCheckpointed(w Workload, golden *GoldenResult, trace
 	out, runErr := w.Run(ctx)
 	d := time.Since(start)
 	att.Detach()
+	if err := hostCtx.Err(); err != nil {
+		// The run was cut short by cancellation; whatever output it produced
+		// does not describe the fault's behaviour, so classify nothing.
+		return nil, err
+	}
 	if repErr := ctx.ReplayErr(); repErr != nil {
 		// The host did not repeat the recorded call sequence, so the
 		// snapshot does not describe this execution. Classify nothing;
 		// rerun the experiment from scratch.
-		return r.RunTransient(w, golden, p)
+		return r.RunTransient(hostCtx, w, golden, p)
 	}
 	if out == nil {
 		out = NewOutput()

@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"context"
 	"encoding/binary"
 	"strings"
 	"testing"
@@ -133,13 +134,13 @@ func TestCheckpointDifferential(t *testing.T) {
 	w := iterWorkload{}
 	r, golden, profile := iterCampaignInputs(t)
 	base := campaign.TransientCampaignConfig{Injections: 200, Seed: 31, ResolveSites: true}
-	scratch, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	scratch, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	withCkpt := base
 	withCkpt.Checkpoint = true
-	ckpt, err := campaign.RunTransientCampaign(r, w, golden, profile, withCkpt)
+	ckpt, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, withCkpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,13 +187,13 @@ func TestCheckpointNoEarlyExit(t *testing.T) {
 	w := iterWorkload{}
 	r, golden, profile := iterCampaignInputs(t)
 	base := campaign.TransientCampaignConfig{Injections: 60, Seed: 7, Checkpoint: true}
-	withExit, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	withExit, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	noExit := base
 	noExit.NoEarlyExit = true
-	full, err := campaign.RunTransientCampaign(r, w, golden, profile, noExit)
+	full, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, noExit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestCheckpointPruneInteraction(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := campaign.TransientCampaignConfig{Injections: 200, Seed: 31, ResolveSites: true}
-	plain, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	plain, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestCheckpointPruneInteraction(t *testing.T) {
 	// The dead-write workload is tiny; force a stride small enough that
 	// checkpoints exist at all.
 	both.CkptStride = 64
-	combined, err := campaign.RunTransientCampaign(r, w, golden, profile, both)
+	combined, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, both)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,13 +266,13 @@ func TestCheckpointParallelRace(t *testing.T) {
 	w := iterWorkload{}
 	r, golden, profile := iterCampaignInputs(t)
 	base := campaign.TransientCampaignConfig{Injections: 48, Seed: 13, Checkpoint: true, Parallel: 1}
-	seq, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	seq, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := base
 	par.Parallel = 8
-	conc, err := campaign.RunTransientCampaign(r, w, golden, profile, par)
+	conc, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func benchCheckpointCampaign(b *testing.B, checkpoint bool) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+		res, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

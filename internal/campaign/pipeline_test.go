@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 
 	// A deterministic campaign of 20 single-bit flips.
-	res, err := campaign.RunTransientCampaign(r, w, golden, profile, campaign.TransientCampaignConfig{
+	res, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, campaign.TransientCampaignConfig{
 		Injections: 20,
 		Group:      sass.GroupGPPR,
 		BitFlip:    core.FlipSingleBit,
@@ -96,11 +97,11 @@ func TestDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := r.RunTransient(w, golden, *p)
+	a, err := r.RunTransient(context.Background(), w, golden, *p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.RunTransient(w, golden, *p)
+	b, err := r.RunTransient(context.Background(), w, golden, *p)
 	if err != nil {
 		t.Fatal(err)
 	}

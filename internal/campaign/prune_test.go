@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"context"
 	"encoding/binary"
 	"strings"
 	"testing"
@@ -85,13 +86,13 @@ func TestPruneDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := campaign.TransientCampaignConfig{Injections: 200, Seed: 31, ResolveSites: true}
-	unpruned, err := campaign.RunTransientCampaign(r, w, golden, profile, base)
+	unpruned, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	withPrune := base
 	withPrune.Prune = true
-	pruned, err := campaign.RunTransientCampaign(r, w, golden, profile, withPrune)
+	pruned, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, withPrune)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func benchPruneCampaign(b *testing.B, prune bool) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+		res, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func TestPruneRequiresKernels(t *testing.T) {
 	}
 	stale := *golden
 	stale.Kernels = nil
-	_, err = campaign.RunTransientCampaign(r, w, &stale, profile,
+	_, err = campaign.RunTransientCampaign(context.Background(), r, w, &stale, profile,
 		campaign.TransientCampaignConfig{Injections: 4, Seed: 1, Prune: true})
 	if err == nil || !strings.Contains(err.Error(), "no kernels") {
 		t.Fatalf("prune with kernel-less golden result: err = %v", err)

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -252,49 +253,65 @@ type RunResult struct {
 }
 
 // RunTransient performs one transient-fault experiment: fresh context,
-// injector attached, workload run, outcome classified against golden.
-func (r Runner) RunTransient(w Workload, golden *GoldenResult, p core.TransientParams) (*RunResult, error) {
-	ctx, err := r.newContext()
+// injector attached, workload run, outcome classified against golden. A
+// cancelled ctx aborts the experiment promptly — in-flight launches trap
+// with gpu.TrapCancelled instead of draining the hang budget — and the
+// context's error is returned in place of a classification.
+func (r Runner) RunTransient(ctx context.Context, w Workload, golden *GoldenResult, p core.TransientParams) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cctx, err := r.newContext()
 	if err != nil {
 		return nil, err
 	}
+	cctx.SetCancel(ctx)
 	r = r.applyDefaults()
-	ctx.SetDefaultBudget(r.experimentBudget(golden))
+	cctx.SetDefaultBudget(r.experimentBudget(golden))
 	inj, err := core.NewTransientInjector(p)
 	if err != nil {
 		return nil, err
 	}
-	att, err := nvbit.Attach(ctx, inj)
+	att, err := nvbit.Attach(cctx, inj)
 	if err != nil {
 		return nil, err
 	}
 	defer att.Detach()
 
 	start := time.Now()
-	out, runErr := w.Run(ctx)
+	out, runErr := w.Run(cctx)
 	d := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		// The run was cut short by cancellation; whatever output it produced
+		// does not describe the fault's behaviour, so classify nothing.
+		return nil, err
+	}
 	if out == nil {
 		out = NewOutput()
 	}
 	return &RunResult{
-		Class:     Classify(w, golden.Output, out, runErr, ctx),
+		Class:     Classify(w, golden.Output, out, runErr, cctx),
 		Injection: inj.Record(),
 		Duration:  d,
-		Stats:     ctx.AccumulatedStats(),
+		Stats:     cctx.AccumulatedStats(),
 	}, nil
 }
 
 // RunPermanent performs one permanent-fault experiment. gate, when non-nil,
 // makes the fault intermittent; dict, when non-nil, overrides corruption
-// per opcode.
-func (r Runner) RunPermanent(w Workload, golden *GoldenResult, p core.PermanentParams,
+// per opcode. Cancellation behaves as in RunTransient.
+func (r Runner) RunPermanent(ctx context.Context, w Workload, golden *GoldenResult, p core.PermanentParams,
 	gate core.ActivationGate, dict core.FaultDictionary) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r = r.applyDefaults()
-	ctx, err := r.newContext()
+	cctx, err := r.newContext()
 	if err != nil {
 		return nil, err
 	}
-	ctx.SetDefaultBudget(r.experimentBudget(golden))
+	cctx.SetCancel(ctx)
+	cctx.SetDefaultBudget(r.experimentBudget(golden))
 	inj, err := core.NewPermanentInjector(p, r.Family, r.NumSMs)
 	if err != nil {
 		return nil, err
@@ -305,23 +322,26 @@ func (r Runner) RunPermanent(w Workload, golden *GoldenResult, p core.PermanentP
 	if dict != nil {
 		inj.SetDictionary(dict)
 	}
-	att, err := nvbit.Attach(ctx, inj)
+	att, err := nvbit.Attach(cctx, inj)
 	if err != nil {
 		return nil, err
 	}
 	defer att.Detach()
 
 	start := time.Now()
-	out, runErr := w.Run(ctx)
+	out, runErr := w.Run(cctx)
 	d := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if out == nil {
 		out = NewOutput()
 	}
 	return &RunResult{
-		Class:       Classify(w, golden.Output, out, runErr, ctx),
+		Class:       Classify(w, golden.Output, out, runErr, cctx),
 		Activations: inj.Activations(),
 		Duration:    d,
-		Stats:       ctx.AccumulatedStats(),
+		Stats:       cctx.AccumulatedStats(),
 	}, nil
 }
 
@@ -373,6 +393,15 @@ type TransientCampaignConfig struct {
 	// NoEarlyExit keeps checkpointed restores but disables early-exit
 	// classification, forcing every experiment to run to completion.
 	NoEarlyExit bool
+	// ShardSize is the number of experiments per selection shard (default
+	// DefaultShardSize). Fault selection is blocked by shard: experiments
+	// [s*ShardSize, (s+1)*ShardSize) draw their parameters from a dedicated
+	// RNG seeded with ShardSeed(Seed, s), so a distributed campaign whose
+	// workers select their own shards produces exactly the parameter list —
+	// hence exactly the tally — of a single process with the same Seed and
+	// ShardSize. Changing ShardSize changes which faults a given seed
+	// selects; it is part of the campaign's identity, like Seed.
+	ShardSize int
 }
 
 func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
@@ -392,7 +421,24 @@ func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
 			c.Parallel = runtime.NumCPU()
 		}
 	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = DefaultShardSize
+	}
 	return c
+}
+
+// NumShards returns how many selection shards the campaign splits into.
+func (c TransientCampaignConfig) NumShards() int {
+	c = c.withDefaults()
+	return (c.Injections + c.ShardSize - 1) / c.ShardSize
+}
+
+// ShardRange returns the half-open experiment range [lo, hi) of one shard.
+func (c TransientCampaignConfig) ShardRange(shard int) (lo, hi int) {
+	c = c.withDefaults()
+	lo = shard * c.ShardSize
+	hi = min(lo+c.ShardSize, c.Injections)
+	return lo, hi
 }
 
 // CampaignResult aggregates one campaign.
@@ -408,81 +454,22 @@ type CampaignResult struct {
 
 // RunTransientCampaign selects cfg.Injections faults from the profile and
 // runs one experiment per fault (Figure 1 repeated N times; the data behind
-// Figure 2).
-func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *core.Profile,
-	cfg TransientCampaignConfig) (*CampaignResult, error) {
+// Figure 2). Selection is blocked by shard (see ShardSeed), so the same
+// campaign distributed over internal/serve workers produces a byte-identical
+// tally. Cancelling ctx stops in-flight experiments promptly and returns
+// the partial result alongside the context error.
+func RunTransientCampaign(ctx context.Context, r Runner, w Workload, golden *GoldenResult,
+	profile *core.Profile, cfg TransientCampaignConfig) (*CampaignResult, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	resolve := cfg.ResolveSites || cfg.Prune || cfg.Checkpoint
-	params := make([]core.TransientParams, cfg.Injections)
-	for i := range params {
-		var p *core.TransientParams
-		var err error
-		if resolve {
-			p, err = core.SelectTransientFaultSite(profile, cfg.Group, cfg.BitFlip, rng)
-		} else {
-			p, err = core.SelectTransientFault(profile, cfg.Group, cfg.BitFlip, rng)
-		}
-		if err != nil {
-			return nil, err
-		}
-		params[i] = *p
+	plan, err := NewShardPlan(r, w, golden, profile, cfg)
+	if err != nil {
+		return nil, err
 	}
-
-	var pr *pruner
-	if cfg.Prune {
-		if golden.Kernels == nil {
-			return nil, fmt.Errorf("campaign: prune requested but the golden result carries no kernels; rebuild it with Runner.Golden")
-		}
-		pr = newPruner(golden.Kernels)
+	params, err := plan.selectAll()
+	if err != nil {
+		return nil, err
 	}
-
-	var trace *cuda.Trace
-	if cfg.Checkpoint {
-		stride := cfg.CkptStride
-		if stride == 0 {
-			stride = autoCheckpointStride(golden.Stats.WarpInstrs)
-		}
-		var err error
-		trace, err = r.RecordTrace(w, golden, stride)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	results := make([]RunResult, len(params))
-	errs := make([]error, len(params))
-	var wg sync.WaitGroup
-	// Acquire the semaphore before spawning so a 1000-injection campaign
-	// keeps at most Parallel goroutines alive instead of parking them all.
-	sem := make(chan struct{}, cfg.Parallel)
-	for i := range params {
-		// Pruning comes before checkpoint planning: a statically-dead site
-		// never runs, so it must not touch the trace at all.
-		if pr != nil && pr.prunable(params[i]) {
-			results[i] = prunedResult(golden, params[i])
-			continue
-		}
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			var res *RunResult
-			var err error
-			if trace != nil {
-				res, err = r.runTransientCheckpointed(w, golden, trace, params[i], cfg.NoEarlyExit)
-			} else {
-				res, err = r.RunTransient(w, golden, params[i])
-			}
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i] = *res
-		}(i)
-	}
-	wg.Wait()
+	results, errs := plan.runRange(ctx, params)
 	if err := errors.Join(errs...); err != nil {
 		// Degrade gracefully: summarize the runs that completed and return
 		// the aggregated per-run errors alongside the partial result.
@@ -504,9 +491,10 @@ func filterOK(results []RunResult, errs []error) []RunResult {
 
 // RunPermanentCampaign runs one permanent fault per executed opcode and
 // weights each outcome by that opcode's share of dynamic instructions (the
-// data behind Figure 3).
-func RunPermanentCampaign(r Runner, w Workload, golden *GoldenResult, profile *core.Profile,
-	bf core.BitFlipModel, seed int64, parallel int) (*CampaignResult, error) {
+// data behind Figure 3). Cancelling ctx stops in-flight experiments
+// promptly and returns the partial result alongside the context error.
+func RunPermanentCampaign(ctx context.Context, r Runner, w Workload, golden *GoldenResult,
+	profile *core.Profile, bf core.BitFlipModel, seed int64, parallel int) (*CampaignResult, error) {
 	if bf == 0 {
 		bf = core.FlipSingleBit
 	}
@@ -528,12 +516,16 @@ func RunPermanentCampaign(r Runner, w Workload, golden *GoldenResult, profile *c
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallel)
 	for i := range faults {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := rr.RunPermanent(w, golden, *faults[i], nil, nil)
+			res, err := rr.RunPermanent(ctx, w, golden, *faults[i], nil, nil)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -28,11 +29,11 @@ func TestCampaignDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := campaign.TransientCampaignConfig{Injections: 12, Seed: 99}
-	a, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+	a, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+	b, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,12 +60,12 @@ func TestCampaignParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := campaign.RunTransientCampaign(r, w, golden, profile,
+	seq, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile,
 		campaign.TransientCampaignConfig{Injections: 10, Seed: 5, Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := campaign.RunTransientCampaign(r, w, golden, profile,
+	par, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile,
 		campaign.TransientCampaignConfig{Injections: 10, Seed: 5, Parallel: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +100,7 @@ func TestDeviceWorkersEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := campaign.RunTransientCampaign(r, w, golden, profile,
+		res, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile,
 			campaign.TransientCampaignConfig{Injections: 10, Seed: 5, Parallel: 2})
 		if err != nil {
 			t.Fatal(err)
@@ -144,7 +145,7 @@ func TestCampaignPartialResult(t *testing.T) {
 	// NumSMs < 0 survives default-filling and makes every device
 	// construction — hence every experiment — fail.
 	broken := campaign.Runner{NumSMs: -1}
-	res, err := campaign.RunTransientCampaign(broken, w, golden, profile,
+	res, err := campaign.RunTransientCampaign(context.Background(), broken, w, golden, profile,
 		campaign.TransientCampaignConfig{Injections: 4, Seed: 7})
 	if err == nil {
 		t.Fatal("campaign with a broken runner reported no error")
@@ -193,7 +194,7 @@ func TestPermanentCampaignWeighting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := campaign.RunPermanentCampaign(r, w, golden, profile, core.RandomValue, 11, 1)
+	res, err := campaign.RunPermanentCampaign(context.Background(), r, w, golden, profile, core.RandomValue, 11, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestHangInjectionClassifiedAsTimeout(t *testing.T) {
 		Group:   sass.GroupGP,
 		BitFlip: core.RandomValue,
 	}
-	res, err := campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+	res, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

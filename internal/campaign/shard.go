@@ -1,0 +1,222 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+)
+
+// Sharded fault selection. A campaign's experiments are split into fixed-
+// size shards, and each shard draws its parameter tuples from a dedicated
+// RNG seeded by (campaign seed, shard index). The single-process runner
+// selects shard by shard in order, so the full parameter list is the
+// concatenation of the per-shard lists — which is exactly what lets the
+// campaign service hand shard s to any worker, at any time, in any order:
+// the worker reconstructs shard s's parameters from the seed pair alone,
+// and the union over shards is a partition of the single-process selection.
+// shard_test.go proves the equivalence; serve's end-to-end test proves the
+// resulting tallies byte-identical.
+
+// DefaultShardSize is the default experiments-per-shard granularity: small
+// enough that a 100-injection campaign spreads across a handful of workers
+// and a lost shard re-runs cheaply, large enough that per-shard setup
+// (golden verification, lease traffic) amortizes.
+const DefaultShardSize = 25
+
+// ShardSeed derives shard s's selection seed from the campaign seed with a
+// splitmix64-style mix, so neighbouring shards get decorrelated streams
+// even for adjacent campaign seeds.
+func ShardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(shard+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// SelectShard selects the parameter tuples of one shard from the profile:
+// experiments [lo, hi) of the campaign, drawn from the shard's own seeded
+// stream. It is pure selection — no workload runs — so a worker can call it
+// for any shard it leases.
+func SelectShard(profile *core.Profile, cfg TransientCampaignConfig, shard int) ([]core.TransientParams, error) {
+	cfg = cfg.withDefaults()
+	if shard < 0 || shard >= cfg.NumShards() {
+		return nil, fmt.Errorf("campaign: shard %d out of range (campaign has %d shards)", shard, cfg.NumShards())
+	}
+	lo, hi := cfg.ShardRange(shard)
+	rng := rand.New(rand.NewSource(ShardSeed(cfg.Seed, shard)))
+	resolve := cfg.ResolveSites || cfg.Prune || cfg.Checkpoint
+	params := make([]core.TransientParams, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		var p *core.TransientParams
+		var err error
+		if resolve {
+			p, err = core.SelectTransientFaultSite(profile, cfg.Group, cfg.BitFlip, rng)
+		} else {
+			p, err = core.SelectTransientFault(profile, cfg.Group, cfg.BitFlip, rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, *p)
+	}
+	return params, nil
+}
+
+// ShardPlan is the per-job execution state a campaign shares across its
+// shards: the runner, the golden reference, the profile, and — when the
+// config asks for them — the static pruner and the recorded golden trace.
+// Building the plan once and running many shards against it is what both
+// the in-process campaign and a service worker do, so the two paths cannot
+// drift: an experiment executes identically whether its shard ran locally
+// or was leased over HTTP.
+type ShardPlan struct {
+	runner  Runner
+	w       Workload
+	golden  *GoldenResult
+	profile *core.Profile
+	cfg     TransientCampaignConfig
+	trace   *cuda.Trace
+	pr      *pruner
+}
+
+// NewShardPlan validates the config against the golden result and performs
+// the shared per-campaign setup: the pruner's liveness analyses (Prune) and
+// the recorded golden trajectory (Checkpoint).
+func NewShardPlan(r Runner, w Workload, golden *GoldenResult, profile *core.Profile,
+	cfg TransientCampaignConfig) (*ShardPlan, error) {
+	cfg = cfg.withDefaults()
+	plan := &ShardPlan{runner: r, w: w, golden: golden, profile: profile, cfg: cfg}
+	if cfg.Prune {
+		if golden.Kernels == nil {
+			return nil, fmt.Errorf("campaign: prune requested but the golden result carries no kernels; rebuild it with Runner.Golden")
+		}
+		plan.pr = newPruner(golden.Kernels)
+	}
+	if cfg.Checkpoint {
+		stride := cfg.CkptStride
+		if stride == 0 {
+			stride = autoCheckpointStride(golden.Stats.WarpInstrs)
+		}
+		trace, err := r.RecordTrace(w, golden, stride)
+		if err != nil {
+			return nil, err
+		}
+		plan.trace = trace
+	}
+	return plan, nil
+}
+
+// Config returns the plan's defaults-applied campaign config.
+func (pl *ShardPlan) Config() TransientCampaignConfig { return pl.cfg }
+
+// NumShards returns the number of shards the plan's campaign splits into.
+func (pl *ShardPlan) NumShards() int { return pl.cfg.NumShards() }
+
+// selectAll concatenates every shard's selection: the single-process
+// parameter list, identical to what the shards produce separately.
+func (pl *ShardPlan) selectAll() ([]core.TransientParams, error) {
+	params := make([]core.TransientParams, 0, pl.cfg.Injections)
+	for s := 0; s < pl.cfg.NumShards(); s++ {
+		shard, err := SelectShard(pl.profile, pl.cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, shard...)
+	}
+	return params, nil
+}
+
+// runOne executes (or statically classifies) a single experiment.
+func (pl *ShardPlan) runOne(ctx context.Context, p core.TransientParams) (*RunResult, error) {
+	if pl.trace != nil {
+		return pl.runner.runTransientCheckpointed(ctx, pl.w, pl.golden, pl.trace, p, pl.cfg.NoEarlyExit)
+	}
+	return pl.runner.RunTransient(ctx, pl.w, pl.golden, p)
+}
+
+// runRange executes one experiment per parameter tuple with the plan's
+// Parallel bound, returning results and errors index-aligned with params.
+// A cancelled ctx stops dispatching and marks the remaining experiments
+// with the context's error; already-running experiments abort promptly via
+// the device cancellation hook.
+func (pl *ShardPlan) runRange(ctx context.Context, params []core.TransientParams) ([]RunResult, []error) {
+	results := make([]RunResult, len(params))
+	errs := make([]error, len(params))
+	var wg sync.WaitGroup
+	// Acquire the semaphore before spawning so a 1000-injection campaign
+	// keeps at most Parallel goroutines alive instead of parking them all.
+	sem := make(chan struct{}, pl.cfg.Parallel)
+	for i := range params {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		// Pruning comes before checkpoint planning: a statically-dead site
+		// never runs, so it must not touch the trace at all.
+		if pl.pr != nil && pl.pr.prunable(params[i]) {
+			results[i] = prunedResult(pl.golden, params[i])
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := pl.runOne(ctx, params[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = *res
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// RunShard selects and executes one shard, returning its per-run results in
+// experiment order. Unlike the whole-campaign path there is no partial
+// degradation: a shard either completes or fails as a unit, because the
+// service retries failed shards whole.
+func (pl *ShardPlan) RunShard(ctx context.Context, shard int) ([]RunResult, error) {
+	params, err := SelectShard(pl.profile, pl.cfg, shard)
+	if err != nil {
+		return nil, err
+	}
+	results, errs := pl.runRange(ctx, params)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// TallyRuns folds a slice of per-run results into a tally, exactly as the
+// whole-campaign summary does: per-shard tallies built with it merge into
+// the single-process campaign tally (see Tally.Merge).
+func TallyRuns(results []RunResult) *Tally {
+	tally := NewTally()
+	for i := range results {
+		tally.Add(results[i].Class)
+		if results[i].Pruned {
+			// A pruned experiment never ran: its outcome is static and the
+			// fault provably activates-and-masks.
+			tally.Pruned++
+			continue
+		}
+		if !results[i].Injection.Activated && results[i].Activations == 0 {
+			tally.NotActivated++
+		}
+		if results[i].Restored {
+			tally.Restored++
+		}
+		if results[i].EarlyExit {
+			tally.EarlyExits++
+		}
+	}
+	return tally
+}

@@ -1,0 +1,265 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/specaccel"
+)
+
+func campaignFixture(t *testing.T) (campaign.Runner, campaign.Workload, *campaign.GoldenResult, *core.Profile) {
+	t.Helper()
+	w, err := specaccel.ByName("314.omriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, w, golden, profile
+}
+
+// TestShardSeedDecorrelated: neighbouring shards and neighbouring campaign
+// seeds must get distinct selection seeds.
+func TestShardSeedDecorrelated(t *testing.T) {
+	seen := make(map[int64]bool)
+	for seed := int64(0); seed < 4; seed++ {
+		for shard := 0; shard < 16; shard++ {
+			s := campaign.ShardSeed(seed, shard)
+			if seen[s] {
+				t.Fatalf("ShardSeed(%d, %d) = %d collides", seed, shard, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestShardRange: the shard ranges tile [0, Injections) exactly.
+func TestShardRange(t *testing.T) {
+	cfg := campaign.TransientCampaignConfig{Injections: 53, ShardSize: 10}
+	if got := cfg.NumShards(); got != 6 {
+		t.Fatalf("NumShards = %d, want 6", got)
+	}
+	next := 0
+	for s := 0; s < cfg.NumShards(); s++ {
+		lo, hi := cfg.ShardRange(s)
+		if lo != next || hi <= lo {
+			t.Fatalf("shard %d covers [%d,%d), want lo=%d", s, lo, hi, next)
+		}
+		next = hi
+	}
+	if next != 53 {
+		t.Fatalf("shards cover [0,%d), want [0,53)", next)
+	}
+}
+
+// TestShardSelectionIsPartition: selecting every shard separately — in any
+// order — must reproduce exactly the runs of the single-process campaign,
+// and the merged per-shard tallies must marshal byte-identically to the
+// campaign tally. This is the identity the campaign service rests on.
+func TestShardSelectionIsPartition(t *testing.T) {
+	r, w, golden, profile := campaignFixture(t)
+	cfg := campaign.TransientCampaignConfig{Injections: 30, Seed: 7, ShardSize: 10}
+
+	full, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := campaign.NewShardPlan(r, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", plan.NumShards())
+	}
+
+	// Run the shards in reverse order, as a work-stealing fleet might.
+	merged := campaign.NewTally()
+	runs := make([][]campaign.RunResult, plan.NumShards())
+	for s := plan.NumShards() - 1; s >= 0; s-- {
+		results, err := plan.RunShard(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[s] = results
+		merged.Merge(campaign.TallyRuns(results))
+	}
+
+	var flat []campaign.RunResult
+	for _, rr := range runs {
+		flat = append(flat, rr...)
+	}
+	if len(flat) != len(full.Runs) {
+		t.Fatalf("sharded runs = %d, campaign runs = %d", len(flat), len(full.Runs))
+	}
+	for i := range flat {
+		if flat[i].Class != full.Runs[i].Class || flat[i].Injection != full.Runs[i].Injection {
+			t.Fatalf("run %d differs between sharded and in-process execution", i)
+		}
+	}
+
+	a, err := json.Marshal(full.Tally)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("tally mismatch:\ncampaign: %s\nsharded:  %s", a, b)
+	}
+}
+
+// TestShardedPrunedCheckpointedCampaign: the partition identity must hold
+// with the pruning and checkpoint engines on — the modes the service's
+// workers run with.
+func TestShardedPrunedCheckpointedCampaign(t *testing.T) {
+	r, w, golden, profile := campaignFixture(t)
+	for _, cfg := range []campaign.TransientCampaignConfig{
+		{Injections: 20, Seed: 11, ShardSize: 7, Prune: true},
+		{Injections: 20, Seed: 11, ShardSize: 7, Checkpoint: true},
+	} {
+		full, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := campaign.NewShardPlan(r, w, golden, profile, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := campaign.NewTally()
+		for s := 0; s < plan.NumShards(); s++ {
+			results, err := plan.RunShard(context.Background(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged.Merge(campaign.TallyRuns(results))
+		}
+		a, _ := json.Marshal(full.Tally)
+		b, _ := json.Marshal(merged)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("prune=%v ckpt=%v tally mismatch:\ncampaign: %s\nsharded:  %s",
+				cfg.Prune, cfg.Checkpoint, a, b)
+		}
+	}
+}
+
+// TestShardOutOfRange: selecting a shard outside the campaign fails.
+func TestShardOutOfRange(t *testing.T) {
+	_, _, _, profile := campaignFixture(t)
+	cfg := campaign.TransientCampaignConfig{Injections: 10, ShardSize: 10}
+	if _, err := campaign.SelectShard(profile, cfg, 1); err == nil {
+		t.Fatal("shard 1 of a 1-shard campaign selected without error")
+	}
+	if _, err := campaign.SelectShard(profile, cfg, -1); err == nil {
+		t.Fatal("shard -1 selected without error")
+	}
+}
+
+// TestCampaignCancellation: a context cancelled up front stops the campaign
+// before any experiment runs and surfaces the context error.
+func TestCampaignCancellation(t *testing.T) {
+	r, w, golden, profile := campaignFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := campaign.RunTransientCampaign(ctx, r, w, golden, profile,
+		campaign.TransientCampaignConfig{Injections: 8, Seed: 3})
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+	if res == nil || res.Tally.N != 0 {
+		t.Fatalf("cancelled campaign still classified %d runs", res.Tally.N)
+	}
+}
+
+// TestTallyJSONStable: the encoding is schema-versioned, byte-stable, and
+// round-trips.
+func TestTallyJSONStable(t *testing.T) {
+	tl := campaign.NewTally()
+	tl.Add(campaign.Classification{Outcome: campaign.SDC})
+	tl.Add(campaign.Classification{Outcome: campaign.Masked})
+	tl.Add(campaign.Classification{Outcome: campaign.Masked})
+	tl.NotActivated = 1
+	tl.Restored = 2
+	a, err := json.Marshal(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(a), `"schema":"`+campaign.TallySchema+`"`) {
+		t.Fatalf("encoding lacks schema field: %s", a)
+	}
+	b, _ := json.Marshal(tl)
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-marshaling the same tally changed the bytes")
+	}
+	var back campaign.Tally
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := json.Marshal(&back)
+	if !bytes.Equal(a, c) {
+		t.Fatalf("round-trip changed the encoding:\n%s\n%s", a, c)
+	}
+	if err := json.Unmarshal([]byte(`{"schema":"nvbitfi.tally/v99"}`), &back); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+// TestTallyMergeCommutes: merging shard tallies in any order produces
+// identical bytes.
+func TestTallyMergeCommutes(t *testing.T) {
+	mk := func(sdc, masked int) *campaign.Tally {
+		tl := campaign.NewTally()
+		for i := 0; i < sdc; i++ {
+			tl.Add(campaign.Classification{Outcome: campaign.SDC})
+		}
+		for i := 0; i < masked; i++ {
+			tl.Add(campaign.Classification{Outcome: campaign.Masked})
+		}
+		return tl
+	}
+	ab := mk(2, 1)
+	ab.Merge(mk(1, 4))
+	ba := mk(1, 4)
+	ba.Merge(mk(2, 1))
+	a, _ := json.Marshal(ab)
+	b, _ := json.Marshal(ba)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merge order changed the tally: %s vs %s", a, b)
+	}
+}
+
+// TestOutputDigest: equal outputs digest equally; any observable difference
+// changes the digest.
+func TestOutputDigest(t *testing.T) {
+	a := campaign.NewOutput()
+	a.Printf("hello %d\n", 42)
+	a.Files = map[string][]byte{"out.dat": {1, 2, 3}}
+	b := campaign.NewOutput()
+	b.Printf("hello %d\n", 42)
+	b.Files = map[string][]byte{"out.dat": {1, 2, 3}}
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal outputs digest differently")
+	}
+	b.ExitCode = 1
+	if a.Digest() == b.Digest() {
+		t.Fatal("exit code not covered by the digest")
+	}
+	b.ExitCode = 0
+	b.Files["out.dat"] = []byte{1, 2, 4}
+	if a.Digest() == b.Digest() {
+		t.Fatal("file contents not covered by the digest")
+	}
+}

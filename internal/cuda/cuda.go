@@ -13,6 +13,7 @@
 package cuda
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -129,6 +130,14 @@ const (
 // SetVerifyMode selects the load-time verification mode. It applies to
 // modules loaded after the call.
 func (c *Context) SetVerifyMode(m VerifyMode) { c.verifyMode = m }
+
+// SetCancel arms prompt launch cancellation: once ctx is done, any running
+// or future launch on this context's device traps with gpu.TrapCancelled
+// within a bounded number of interpreted instructions, instead of draining
+// its instruction budget. Campaign experiment loops use this so that
+// coordinator-initiated cancellation and worker shutdown abandon in-flight
+// experiments promptly. Call before launching kernels.
+func (c *Context) SetCancel(ctx context.Context) { c.dev.SetCancel(ctx) }
 
 // VerifyDiagnostics returns every diagnostic accumulated by load-time
 // verification, in load order.

@@ -1,0 +1,95 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// spinSrc loops forever: the launch can only end via the instruction budget
+// or cancellation.
+const spinSrc = `
+.kernel spin
+spin_top:
+    IADD R0, R0, 0x1
+    BRA spin_top
+    EXIT
+`
+
+// TestCancelStopsLaunch: cancelling the armed context while a kernel spins
+// must end the launch with TrapCancelled long before the budget drains.
+func TestCancelStopsLaunch(t *testing.T) {
+	k := mustKernel(t, spinSrc, "spin")
+	d := newTestDevice(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	d.SetCancel(ctx)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Budget: 1 << 40, // would spin for hours if cancellation leaked
+	})
+	elapsed := time.Since(start)
+	trap, ok := AsTrap(err)
+	if !ok || trap.Kind != TrapCancelled {
+		t.Fatalf("cancelled launch returned %v, want TrapCancelled", err)
+	}
+	if trap.IsHang() {
+		t.Fatal("TrapCancelled must not classify as a hang")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; the poll stride is not prompt", elapsed)
+	}
+}
+
+// TestCancelBeforeLaunch: a context cancelled before Run starts fails the
+// launch immediately, without interpreting a single instruction.
+func TestCancelBeforeLaunch(t *testing.T) {
+	k := mustKernel(t, spinSrc, "spin")
+	d := newTestDevice(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d.SetCancel(ctx)
+	stats, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+	})
+	trap, ok := AsTrap(err)
+	if !ok || trap.Kind != TrapCancelled {
+		t.Fatalf("pre-cancelled launch returned %v, want TrapCancelled", err)
+	}
+	if stats.WarpInstrs != 0 {
+		t.Fatalf("pre-cancelled launch executed %d instructions", stats.WarpInstrs)
+	}
+}
+
+// TestNoCancelCtxUnchanged: devices without an armed context behave exactly
+// as before — budget exhaustion still traps as an instruction-limit hang.
+func TestNoCancelCtxUnchanged(t *testing.T) {
+	k := mustKernel(t, spinSrc, "spin")
+	d := newTestDevice(t)
+	_, err := d.Run(&Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: 32, Y: 1, Z: 1},
+		Budget: 10000,
+	})
+	trap, ok := AsTrap(err)
+	if !ok || trap.Kind != TrapInstrLimit {
+		t.Fatalf("budget exhaustion returned %v, want TrapInstrLimit", err)
+	}
+	if !trap.IsHang() {
+		t.Fatal("TrapInstrLimit must classify as a hang")
+	}
+	var e error = trap
+	if !errors.As(e, &trap) {
+		t.Fatal("trap does not unwrap")
+	}
+}

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -62,10 +63,24 @@ type Device struct {
 	// Mem is global device memory.
 	Mem *Memory
 
+	// cancelCtx, when non-nil, is polled during launches (every
+	// cancelPollStride warp instructions, and at every launch boundary): a
+	// cancelled context makes the running launch trap with TrapCancelled
+	// instead of draining its instruction budget. Set it with SetCancel
+	// before launching; campaign experiment loops use it to abandon
+	// in-flight runs on coordinator shutdown.
+	cancelCtx context.Context
+
 	log      []LogEvent
 	smClocks []uint64   // per-SM executed-instruction counters (CS2R/SR_CLOCK)
 	atomMu   sync.Mutex // serializes global-memory atomics across parallel blocks
 }
+
+// SetCancel arms launch cancellation: once ctx is done, any running or
+// future launch on this device traps promptly with TrapCancelled. Call it
+// before launching; the field must not be changed while a launch is
+// executing.
+func (d *Device) SetCancel(ctx context.Context) { d.cancelCtx = ctx }
 
 // NewDevice creates a device of the given family with numSMs streaming
 // multiprocessors.

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -106,17 +107,58 @@ func semAltersFlow(sem sass.SemKind) bool {
 // budgetCounter is the launch instruction budget. The parallel scheduler
 // shares one counter across its workers and draws from it atomically, so
 // exactly the budgeted number of warp instructions issue in either mode.
+//
+// When ctx is non-nil the counter doubles as the launch's cancellation
+// poll: every cancelPollStride takes it checks ctx.Err(), and a cancelled
+// context makes take return false with the cancelled flag set, so the
+// launch traps with TrapCancelled within a bounded number of instructions
+// instead of draining the rest of its budget.
 type budgetCounter struct {
 	remaining int64
 	shared    bool
+	ctx       context.Context
+	checkIn   int64 // takes until the next cancellation poll
+	cancelled atomic.Bool
 }
 
+// cancelPollStride is how many warp instructions may issue between
+// cancellation polls: small enough that cancellation lands in microseconds,
+// large enough that the poll is invisible in the interpreter hot loop.
+const cancelPollStride = 1024
+
 func (b *budgetCounter) take() bool {
+	if b.ctx != nil && !b.poll() {
+		return false
+	}
 	if b.shared {
 		return atomic.AddInt64(&b.remaining, -1) >= 0
 	}
 	b.remaining--
 	return b.remaining >= 0
+}
+
+// poll decrements the cancellation-check countdown and consults the context
+// when it hits zero. It reports false once the context is cancelled.
+func (b *budgetCounter) poll() bool {
+	if b.cancelled.Load() {
+		return false
+	}
+	if b.shared {
+		if atomic.AddInt64(&b.checkIn, -1) > 0 {
+			return true
+		}
+		atomic.StoreInt64(&b.checkIn, cancelPollStride)
+	} else {
+		if b.checkIn--; b.checkIn > 0 {
+			return true
+		}
+		b.checkIn = cancelPollStride
+	}
+	if b.ctx.Err() != nil {
+		b.cancelled.Store(true)
+		return false
+	}
+	return true
 }
 
 // blockCtx is the per-block execution state.
@@ -241,6 +283,12 @@ func (d *Device) Run(l *Launch) (LaunchStats, error) {
 		budget = math.MaxInt64
 	}
 
+	if d.cancelCtx != nil && d.cancelCtx.Err() != nil {
+		t := &Trap{Kind: TrapCancelled, Kernel: k.Name, Detail: "host context cancelled before launch"}
+		d.logf("Xid", "%s", t.Error())
+		return stats, t
+	}
+
 	constBank := buildConstBank(l)
 	workers := d.Workers
 	if workers > d.NumSMs {
@@ -271,7 +319,7 @@ func (d *Device) Run(l *Launch) (LaunchStats, error) {
 // a time in linear block order.
 func (d *Device) runSequential(l *Launch, constBank []byte, budgetN uint64) (LaunchStats, error) {
 	var stats LaunchStats
-	budget := &budgetCounter{remaining: int64(budgetN)}
+	budget := &budgetCounter{remaining: int64(budgetN), ctx: d.cancelCtx, checkIn: cancelPollStride}
 	blockLin := 0
 	for bz := 0; bz < l.Grid.Z; bz++ {
 		for by := 0; by < l.Grid.Y; by++ {
@@ -460,7 +508,7 @@ func (blk *blockCtx) runWarpFast(w *warp, budget *budgetCounter, stats *LaunchSt
 		}
 
 		if !budget.take() {
-			return blk.trapErr(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+			return blk.budgetTrap(budget, int(minPC))
 		}
 		stats.WarpInstrs++
 		stats.ThreadInstrs += uint64(popcount(execMask))
@@ -503,7 +551,7 @@ func (blk *blockCtx) runWarpCkpt(w *warp, budget *budgetCounter, stats *LaunchSt
 		}
 
 		if !budget.take() {
-			return blk.trapErr(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+			return blk.budgetTrap(budget, int(minPC))
 		}
 		stats.WarpInstrs++
 		stats.ThreadInstrs += uint64(popcount(execMask))
@@ -568,7 +616,7 @@ func (blk *blockCtx) runWarpInstrumented(w *warp, budget *budgetCounter, stats *
 		}
 
 		if !budget.take() {
-			return blk.trapErr(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+			return blk.budgetTrap(budget, int(minPC))
 		}
 		stats.WarpInstrs++
 		stats.ThreadInstrs += uint64(popcount(execMask))
@@ -638,7 +686,7 @@ func (blk *blockCtx) runWarpDisarmed(w *warp, budget *budgetCounter, stats *Laun
 		}
 
 		if !budget.take() {
-			return blk.trapErr(TrapInstrLimit, int(minPC), 0, "launch instruction budget exhausted")
+			return blk.budgetTrap(budget, int(minPC))
 		}
 		stats.WarpInstrs++
 		stats.ThreadInstrs += uint64(popcount(execMask))
@@ -673,6 +721,16 @@ func (blk *blockCtx) runWarpDisarmed(w *warp, budget *budgetCounter, stats *Laun
 			return nil
 		}
 	}
+}
+
+// budgetTrap builds the error for a failed budget.take: TrapCancelled when
+// the host context was cancelled, otherwise the ordinary instruction-limit
+// (hang detector) trap.
+func (blk *blockCtx) budgetTrap(b *budgetCounter, pc int) error {
+	if b.cancelled.Load() {
+		return blk.trapErr(TrapCancelled, pc, 0, "host context cancelled the launch")
+	}
+	return blk.trapErr(TrapInstrLimit, pc, 0, "launch instruction budget exhausted")
 }
 
 // trapErr builds the trap error for this block. Logging happens once in

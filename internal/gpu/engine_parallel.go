@@ -36,7 +36,7 @@ func (d *Device) runParallel(l *Launch, constBank []byte, budgetN uint64, worker
 	numBlocks := l.Grid.Count()
 	blockStats := make([]LaunchStats, numBlocks)
 	blockErrs := make([]error, numBlocks)
-	budget := &budgetCounter{remaining: int64(budgetN), shared: true}
+	budget := &budgetCounter{remaining: int64(budgetN), shared: true, ctx: d.cancelCtx, checkIn: cancelPollStride}
 
 	// trapLin is the lowest block linear index that has trapped so far;
 	// numBlocks is the no-trap sentinel. It only ever decreases, so a block

@@ -87,6 +87,8 @@ func (d *Device) BeginRun(l *Launch) (*LaunchRun, error) {
 	r := &LaunchRun{dev: d, launch: *l}
 	r.constBank = buildConstBank(&r.launch)
 	r.budget.remaining = int64(budget)
+	r.budget.ctx = d.cancelCtx
+	r.budget.checkIn = cancelPollStride
 	r.pause.remaining = -1
 	return r, nil
 }
@@ -325,6 +327,8 @@ func (d *Device) Restore(s *Snapshot) (*LaunchRun, error) {
 	}
 	r.constBank = buildConstBank(&r.launch)
 	r.budget.remaining = ls.budget
+	r.budget.ctx = d.cancelCtx
+	r.budget.checkIn = cancelPollStride
 	r.pause.remaining = -1
 	if ls.counts != nil {
 		r.counts = append([]uint64(nil), ls.counts...)

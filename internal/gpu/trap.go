@@ -30,6 +30,7 @@ const (
 	TrapInstrLimit                             // launch instruction budget exceeded (hang)
 	TrapSharedBounds                           // shared-memory access out of window
 	TrapLocalBounds                            // local-memory access out of window
+	TrapCancelled                              // host context cancelled the launch
 )
 
 var trapNames = [...]string{
@@ -42,6 +43,7 @@ var trapNames = [...]string{
 	TrapInstrLimit:         "instruction limit exceeded",
 	TrapSharedBounds:       "shared memory out of bounds",
 	TrapLocalBounds:        "local memory out of bounds",
+	TrapCancelled:          "launch cancelled",
 }
 
 func (k TrapKind) String() string {

@@ -6,6 +6,7 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -13,6 +14,48 @@ import (
 
 	"repro/internal/campaign"
 )
+
+// SummarySchema versions the stable JSON campaign summary. The tally inside
+// uses campaign.TallySchema; both travel with the document so downstream
+// tooling (the service API, benchmark comparisons, archived campaign runs)
+// can check what it is reading.
+const SummarySchema = "nvbitfi.summary/v1"
+
+// SummaryJSON is the machine-readable campaign summary. Field order and
+// encodings are stable: two identical campaigns marshal to identical bytes.
+type SummaryJSON struct {
+	Schema        string          `json:"schema"`
+	Program       string          `json:"program"`
+	Tally         *campaign.Tally `json:"tally"`
+	GoldenMillis  int64           `json:"golden_ms"`
+	TotalRunTime  int64           `json:"total_run_ms"`
+	MedianRunTime int64           `json:"median_run_ms"`
+}
+
+// NewSummaryJSON builds the stable summary document for one campaign.
+func NewSummaryJSON(res *campaign.CampaignResult) SummaryJSON {
+	return SummaryJSON{
+		Schema:        SummarySchema,
+		Program:       res.Program,
+		Tally:         res.Tally,
+		GoldenMillis:  res.GoldenTime.Milliseconds(),
+		TotalRunTime:  res.TotalRunTime.Milliseconds(),
+		MedianRunTime: res.MedianRunTime.Milliseconds(),
+	}
+}
+
+// WriteSummaryJSON writes one stable JSON summary line per campaign — the
+// format behind `nvbitfi campaign -json` and the benchmark tooling's
+// campaign snapshots.
+func WriteSummaryJSON(w io.Writer, results ...*campaign.CampaignResult) error {
+	enc := json.NewEncoder(w)
+	for _, res := range results {
+		if err := enc.Encode(NewSummaryJSON(res)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // WriteRunLog writes one line per injection run: the NVBitFI-style
 // per-experiment log that campaigns archive.

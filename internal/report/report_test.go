@@ -1,6 +1,7 @@
 package report_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,12 +28,12 @@ func miniCampaign(t *testing.T) (*campaign.CampaignResult, *campaign.CampaignRes
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := campaign.RunTransientCampaign(r, w, golden, profile,
+	tr, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile,
 		campaign.TransientCampaignConfig{Injections: 5, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf, err := campaign.RunPermanentCampaign(r, w, golden, profile, core.RandomValue, 2, 1)
+	pf, err := campaign.RunPermanentCampaign(context.Background(), r, w, golden, profile, core.RandomValue, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

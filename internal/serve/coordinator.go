@@ -1,0 +1,571 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// ErrLeaseLost reports that a heartbeat, completion, or failure named a
+// lease the coordinator no longer honours — it expired and was reclaimed,
+// or its shard was finished by someone else. The worker must abandon the
+// shard (its result would double-count) and lease fresh work.
+var ErrLeaseLost = errors.New("serve: lease lost")
+
+// Options tunes a coordinator.
+type Options struct {
+	// Runner computes each submitted job's golden run and digest.
+	Runner campaign.Runner
+	// LeaseTTL is how long a leased shard may go without a heartbeat before
+	// it is reclaimed (default 30s).
+	LeaseTTL time.Duration
+	// MaxAttempts is how many times a shard may be leased before it is
+	// quarantined (default 3).
+	MaxAttempts int
+	// RetryBackoff is the base delay before a failed shard is leased again;
+	// attempt k waits RetryBackoff << (k-1) (default 500ms).
+	RetryBackoff time.Duration
+	// JournalPath, when set, persists job state to an append-only JSONL
+	// journal; NewCoordinator replays an existing journal so a restarted
+	// coordinator resumes unfinished jobs without re-running done shards.
+	JournalPath string
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 500 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// shard is one shard's scheduling state.
+type shard struct {
+	state    string // ShardPending | ShardLeased | ShardDone | ShardQuarantined
+	attempts int
+	nextAt   time.Time // pending shards: earliest re-lease time (retry backoff)
+	leaseID  string
+	worker   string
+	expires  time.Time
+	lastErr  string
+}
+
+// job is one campaign's coordinator-side state.
+type job struct {
+	id           string
+	spec         CampaignSpec
+	goldenDigest string
+	shards       []shard
+	done         int
+	quarantined  int
+	tally        *campaign.Tally
+	state        string
+	events       []Event
+	notify       chan struct{} // closed and replaced on every publish
+}
+
+// Coordinator owns the job registry and the shard scheduler. It implements
+// Backend directly, so in-process workers drive it with plain method calls;
+// NewServer wraps the same coordinator for remote workers.
+type Coordinator struct {
+	opts Options
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order, for listing
+	leases  map[string]leaseRef
+	workers map[string]bool
+	journal *journal
+}
+
+type leaseRef struct {
+	job   string
+	shard int
+}
+
+// NewCoordinator builds a coordinator, replaying opts.JournalPath if it
+// already holds state.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	c := &Coordinator{
+		opts:    opts.withDefaults(),
+		jobs:    make(map[string]*job),
+		leases:  make(map[string]leaseRef),
+		workers: make(map[string]bool),
+	}
+	if opts.JournalPath != "" {
+		jn, entries, err := openJournal(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = jn
+		for _, e := range entries {
+			c.replay(e)
+		}
+		// Journal replay restores done/quarantined shards; everything that
+		// was pending or leased at shutdown starts pending again.
+		for _, id := range c.order {
+			c.publishJobEvent(c.jobs[id], "resumed")
+		}
+	}
+	return c, nil
+}
+
+// Close releases the journal.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	err := c.journal.Close()
+	c.journal = nil
+	return err
+}
+
+func newID(prefix string) string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand does not fail on supported platforms
+	}
+	return prefix + "-" + hex.EncodeToString(b[:])
+}
+
+// Submit validates a spec, computes the job's golden digest (the reference
+// every worker must reproduce), journals the job, and schedules its shards.
+func (c *Coordinator) Submit(spec CampaignSpec) (*JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec.Schema = JobSchema
+	w, err := ResolveWorkload(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := c.opts.Runner.Golden(w)
+	if err != nil {
+		return nil, fmt.Errorf("serve: golden run for %s: %w", spec.Workload, err)
+	}
+	j := &job{
+		id:           newID("job"),
+		spec:         spec,
+		goldenDigest: golden.Output.Digest(),
+		shards:       make([]shard, spec.Config.NumShards()),
+		tally:        campaign.NewTally(),
+		state:        JobRunning,
+		notify:       make(chan struct{}),
+	}
+	for i := range j.shards {
+		j.shards[i].state = ShardPending
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.append(journalEntry{
+		Type: entryJob, Job: j.id, Spec: &j.spec,
+		GoldenDigest: j.goldenDigest, NumShards: len(j.shards),
+	}); err != nil {
+		return nil, err
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.publishJobEvent(j, "submitted")
+	return c.statusLocked(j, false), nil
+}
+
+// replay applies one journal entry while rebuilding state at startup.
+func (c *Coordinator) replay(e journalEntry) {
+	switch e.Type {
+	case entryJob:
+		if e.Spec == nil {
+			return
+		}
+		j := &job{
+			id:           e.Job,
+			spec:         *e.Spec,
+			goldenDigest: e.GoldenDigest,
+			shards:       make([]shard, e.NumShards),
+			tally:        campaign.NewTally(),
+			state:        JobRunning,
+			notify:       make(chan struct{}),
+		}
+		for i := range j.shards {
+			j.shards[i].state = ShardPending
+		}
+		c.jobs[j.id] = j
+		c.order = append(c.order, j.id)
+	case entryShardDone:
+		j := c.jobs[e.Job]
+		if j == nil || e.Shard < 0 || e.Shard >= len(j.shards) || j.shards[e.Shard].state == ShardDone {
+			return
+		}
+		j.shards[e.Shard].state = ShardDone
+		j.done++
+		j.tally.Merge(e.Tally)
+		c.settleLocked(j)
+	case entryShardFailed:
+		j := c.jobs[e.Job]
+		if j == nil || e.Shard < 0 || e.Shard >= len(j.shards) {
+			return
+		}
+		s := &j.shards[e.Shard]
+		if s.state == ShardDone {
+			return
+		}
+		s.attempts = e.Attempt
+		s.lastErr = e.Reason
+		if e.Quarantined {
+			s.state = ShardQuarantined
+			j.quarantined++
+			c.settleLocked(j)
+		}
+	case entryJobDone:
+		// Redundant with settleLocked during replay; kept for readers.
+	}
+}
+
+func (c *Coordinator) append(e journalEntry) error {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Append(e)
+}
+
+// now returns the coordinator clock's current time.
+func (c *Coordinator) now() time.Time { return c.opts.Clock() }
+
+// Register admits a worker. Worker IDs only namespace leases and events; a
+// re-registering worker simply gets a fresh identity.
+func (c *Coordinator) Register(info WorkerInfo) (string, error) {
+	id := info.Name
+	if id == "" {
+		id = "worker"
+	}
+	id = newID(id)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[id] = true
+	return id, nil
+}
+
+// Lease hands the caller the next runnable shard: pending, past its retry
+// backoff, in submission order. Expired leases are reclaimed first, so a
+// crashed worker's shard becomes leasable as soon as its TTL lapses.
+func (c *Coordinator) Lease(workerID string) (*LeaseGrant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.workers[workerID] {
+		return nil, fmt.Errorf("serve: unregistered worker %q", workerID)
+	}
+	now := c.now()
+	c.reclaimLocked(now)
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state != JobRunning {
+			continue
+		}
+		for i := range j.shards {
+			s := &j.shards[i]
+			if s.state != ShardPending || now.Before(s.nextAt) {
+				continue
+			}
+			s.state = ShardLeased
+			s.leaseID = newID("lease")
+			s.worker = workerID
+			s.expires = now.Add(c.opts.LeaseTTL)
+			s.attempts++
+			c.leases[s.leaseID] = leaseRef{job: j.id, shard: i}
+			c.publishShardEvent(j, i, nil)
+			return &LeaseGrant{
+				LeaseID:      s.leaseID,
+				Job:          j.id,
+				Shard:        i,
+				Spec:         j.spec,
+				GoldenDigest: j.goldenDigest,
+				TTLSeconds:   c.opts.LeaseTTL.Seconds(),
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// reclaimLocked expires overdue leases: the shard goes back to pending (or
+// quarantine, if the expiry consumed its last attempt) with retry backoff.
+func (c *Coordinator) reclaimLocked(now time.Time) {
+	for leaseID, ref := range c.leases {
+		j := c.jobs[ref.job]
+		s := &j.shards[ref.shard]
+		if s.state != ShardLeased || s.leaseID != leaseID || now.Before(s.expires) {
+			continue
+		}
+		delete(c.leases, leaseID)
+		c.failShardLocked(j, ref.shard, "lease expired: worker "+s.worker+" stopped heartbeating")
+	}
+}
+
+// failShardLocked records one failed attempt on a leased shard and either
+// requeues it with exponential backoff or quarantines it.
+func (c *Coordinator) failShardLocked(j *job, i int, reason string) {
+	s := &j.shards[i]
+	s.leaseID = ""
+	s.worker = ""
+	s.lastErr = reason
+	quarantined := s.attempts >= c.opts.MaxAttempts
+	if quarantined {
+		s.state = ShardQuarantined
+		j.quarantined++
+	} else {
+		s.state = ShardPending
+		s.nextAt = c.now().Add(c.opts.RetryBackoff << (s.attempts - 1))
+	}
+	// Journal failures so attempts and quarantines survive a restart.
+	_ = c.append(journalEntry{
+		Type: entryShardFailed, Job: j.id, Shard: i,
+		Attempt: s.attempts, Quarantined: quarantined, Reason: reason,
+	})
+	c.publishShardEvent(j, i, nil)
+	c.settleAndPublishLocked(j)
+}
+
+// lookupLease resolves a lease that must still be held by workerID.
+func (c *Coordinator) lookupLease(workerID, leaseID string) (*job, int, error) {
+	ref, ok := c.leases[leaseID]
+	if !ok {
+		return nil, 0, ErrLeaseLost
+	}
+	j := c.jobs[ref.job]
+	s := &j.shards[ref.shard]
+	if s.state != ShardLeased || s.leaseID != leaseID || s.worker != workerID {
+		return nil, 0, ErrLeaseLost
+	}
+	return j, ref.shard, nil
+}
+
+// Heartbeat renews a lease's TTL.
+func (c *Coordinator) Heartbeat(workerID, leaseID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked(c.now())
+	j, i, err := c.lookupLease(workerID, leaseID)
+	if err != nil {
+		return err
+	}
+	j.shards[i].expires = c.now().Add(c.opts.LeaseTTL)
+	return nil
+}
+
+// Complete accepts a finished shard: the worker's golden digest must match
+// the job's, the tally merges into the job, and the job settles when its
+// last shard lands.
+func (c *Coordinator) Complete(workerID, leaseID string, res ShardResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked(c.now())
+	j, i, err := c.lookupLease(workerID, leaseID)
+	if err != nil {
+		return err
+	}
+	delete(c.leases, leaseID)
+	if res.GoldenDigest != "" && res.GoldenDigest != j.goldenDigest {
+		c.failShardLocked(j, i, fmt.Sprintf("golden digest mismatch: worker %s produced %.12s, job expects %.12s",
+			workerID, res.GoldenDigest, j.goldenDigest))
+		return fmt.Errorf("serve: golden digest mismatch for job %s shard %d", j.id, i)
+	}
+	if res.Tally == nil {
+		c.failShardLocked(j, i, "worker reported no tally")
+		return fmt.Errorf("serve: shard result carries no tally")
+	}
+	s := &j.shards[i]
+	s.state = ShardDone
+	s.leaseID = ""
+	s.lastErr = ""
+	j.done++
+	j.tally.Merge(res.Tally)
+	if err := c.append(journalEntry{Type: entryShardDone, Job: j.id, Shard: i, Tally: res.Tally}); err != nil {
+		return err
+	}
+	c.publishShardEvent(j, i, res.Tally)
+	c.settleAndPublishLocked(j)
+	return nil
+}
+
+// Fail records a worker-reported shard failure (requeue with backoff, or
+// quarantine at the attempt cap).
+func (c *Coordinator) Fail(workerID, leaseID, reason string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked(c.now())
+	j, i, err := c.lookupLease(workerID, leaseID)
+	if err != nil {
+		return err
+	}
+	delete(c.leases, leaseID)
+	c.failShardLocked(j, i, reason)
+	return nil
+}
+
+// settleLocked recomputes a job's terminal state without publishing.
+func (c *Coordinator) settleLocked(j *job) {
+	if j.state != JobRunning || j.done+j.quarantined < len(j.shards) {
+		return
+	}
+	if j.quarantined > 0 {
+		j.state = JobFailed
+	} else {
+		j.state = JobDone
+	}
+}
+
+// settleAndPublishLocked settles the job and, on a transition, journals and
+// announces it.
+func (c *Coordinator) settleAndPublishLocked(j *job) {
+	was := j.state
+	c.settleLocked(j)
+	if j.state != was {
+		_ = c.append(journalEntry{Type: entryJobDone, Job: j.id, Reason: j.state})
+		c.publishJobEvent(j, j.state)
+	}
+}
+
+// publishShardEvent emits a shard-state event (tally attached on
+// completions) and wakes event waiters.
+func (c *Coordinator) publishShardEvent(j *job, i int, delta *campaign.Tally) {
+	s := &j.shards[i]
+	ev := Event{
+		Type: "shard", Job: j.id, Shard: i, State: s.state,
+		Attempt: s.attempts, Worker: s.worker, Reason: s.lastErr,
+		Done: j.done, Quarantined: j.quarantined, NumShards: len(j.shards),
+	}
+	if delta != nil {
+		snap := campaign.NewTally()
+		snap.Merge(j.tally)
+		ev.Tally = snap
+	}
+	c.pushEventLocked(j, ev)
+}
+
+// publishJobEvent emits a job-level event carrying the merged tally.
+func (c *Coordinator) publishJobEvent(j *job, state string) {
+	snap := campaign.NewTally()
+	snap.Merge(j.tally)
+	c.pushEventLocked(j, Event{
+		Type: "job", Job: j.id, State: state,
+		Done: j.done, Quarantined: j.quarantined, NumShards: len(j.shards),
+		Tally: snap,
+	})
+}
+
+func (c *Coordinator) pushEventLocked(j *job, ev Event) {
+	ev.Seq = len(j.events) + 1
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// statusLocked renders a job's external status.
+func (c *Coordinator) statusLocked(j *job, withShards bool) *JobStatus {
+	snap := campaign.NewTally()
+	snap.Merge(j.tally)
+	st := &JobStatus{
+		Schema:       JobSchema,
+		ID:           j.id,
+		Workload:     j.spec.Workload,
+		Config:       j.spec.Config,
+		GoldenDigest: j.goldenDigest,
+		State:        j.state,
+		NumShards:    len(j.shards),
+		Done:         j.done,
+		Quarantined:  j.quarantined,
+		Tally:        snap,
+	}
+	if withShards {
+		st.Shards = make([]ShardStatus, len(j.shards))
+		for i := range j.shards {
+			s := &j.shards[i]
+			st.Shards[i] = ShardStatus{
+				Index: i, State: s.state, Attempts: s.attempts,
+				Worker: s.worker, Error: s.lastErr,
+			}
+		}
+	}
+	return st
+}
+
+// Job returns one job's status (with per-shard detail) or false.
+func (c *Coordinator) Job(id string) (*JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked(c.now())
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return c.statusLocked(j, true), true
+}
+
+// Jobs lists every job in submission order.
+func (c *Coordinator) Jobs() []*JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*JobStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.statusLocked(c.jobs[id], false))
+	}
+	return out
+}
+
+// EventsAfter returns a job's events with seq > cursor. When none exist yet
+// it returns an empty slice plus a channel that closes on the next publish,
+// so callers can long-poll without spinning.
+func (c *Coordinator) EventsAfter(id string, cursor int) ([]Event, <-chan struct{}, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("serve: unknown job %q", id)
+	}
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(j.events) {
+		return nil, j.notify, nil
+	}
+	evs := make([]Event, len(j.events)-cursor)
+	copy(evs, j.events[cursor:])
+	return evs, j.notify, nil
+}
+
+// Settled reports whether a job reached a terminal state.
+func Settled(state string) bool { return state == JobDone || state == JobFailed }
+
+// ReclaimTick forces an expiry sweep; tests drive it with a fake clock, and
+// the server's ticker calls it so leases expire even while no worker polls.
+func (c *Coordinator) ReclaimTick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked(c.now())
+}
+
+// SortedJobIDs returns all job IDs sorted, for deterministic CLI output.
+func (c *Coordinator) SortedJobIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := append([]string(nil), c.order...)
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,629 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/specaccel"
+)
+
+const testWorkload = "314.omriq"
+
+// inProcessTally runs the same campaign single-process and marshals its
+// tally — the reference every service test compares against.
+func inProcessTally(t *testing.T, cfg campaign.TransientCampaignConfig) []byte {
+	t.Helper()
+	w, err := specaccel.ByName(testWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res.Tally)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestServiceTallyIdentity is the acceptance test for the tentpole: a
+// 200-injection campaign submitted over HTTP and executed by two remote
+// workers must produce a tally byte-identical to the in-process runner on
+// the same seed — and the same must hold with the pruning and checkpoint
+// engines enabled.
+func TestServiceTallyIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  campaign.TransientCampaignConfig
+	}{
+		{"plain", campaign.TransientCampaignConfig{Injections: 200, Seed: 42}},
+		{"prune", campaign.TransientCampaignConfig{Injections: 60, Seed: 43, Prune: true}},
+		{"ckpt", campaign.TransientCampaignConfig{Injections: 60, Seed: 44, Checkpoint: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := inProcessTally(t, tc.cfg)
+
+			coord, err := serve.NewCoordinator(serve.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(serve.NewServer(coord))
+			defer srv.Close()
+			client := serve.NewClient(srv.URL)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var wg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				w := &serve.Worker{Backend: serve.NewClient(srv.URL), Runner: campaign.Runner{},
+					PollInterval: 20 * time.Millisecond, Logf: t.Logf}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w.Run(ctx)
+				}()
+			}
+
+			st, err := client.Submit(serve.CampaignSpec{Workload: testWorkload, Config: tc.cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.GoldenDigest == "" {
+				t.Fatal("submitted job carries no golden digest")
+			}
+
+			// Follow the live stream: tally snapshots must ride on shard
+			// completions, and the final event settles the job.
+			var sawTallyEvent bool
+			final, err := client.Watch(ctx, st.ID, 0, func(ev serve.Event) {
+				if ev.Type == "shard" && ev.State == serve.ShardDone && ev.Tally != nil {
+					sawTallyEvent = true
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cancel()
+			wg.Wait()
+
+			if final.State != serve.JobDone {
+				t.Fatalf("job settled as %q: %+v", final.State, final)
+			}
+			if !sawTallyEvent {
+				t.Fatal("no shard completion event carried a tally snapshot")
+			}
+			got := mustJSON(t, final.Tally)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("service tally differs from in-process tally:\nservice:    %s\nin-process: %s", got, want)
+			}
+		})
+	}
+}
+
+// crashBackend simulates a worker crash: after the first granted lease,
+// every later call is swallowed — no Fail, no Complete, no Heartbeat ever
+// reaches the coordinator, exactly as if the process died. The coordinator
+// must recover the shard through lease expiry alone.
+type crashBackend struct {
+	serve.Backend
+	mu      sync.Mutex
+	crashed bool
+	leased  chan struct{} // closed once the victim holds a lease
+	kill    func()        // cancels the victim worker's context
+}
+
+func (b *crashBackend) Lease(workerID string) (*serve.LeaseGrant, error) {
+	b.mu.Lock()
+	crashed := b.crashed
+	b.mu.Unlock()
+	if crashed {
+		return nil, nil
+	}
+	grant, err := b.Backend.Lease(workerID)
+	if grant != nil {
+		b.mu.Lock()
+		b.crashed = true
+		b.mu.Unlock()
+		close(b.leased)
+		// Let the shard start running, then kill the worker mid-flight.
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			b.kill()
+		}()
+	}
+	return grant, err
+}
+
+func (b *crashBackend) dead() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.crashed
+}
+
+func (b *crashBackend) Heartbeat(workerID, leaseID string) error {
+	if b.dead() {
+		return nil
+	}
+	return b.Backend.Heartbeat(workerID, leaseID)
+}
+
+func (b *crashBackend) Complete(workerID, leaseID string, res serve.ShardResult) error {
+	if b.dead() {
+		return nil
+	}
+	return b.Backend.Complete(workerID, leaseID, res)
+}
+
+func (b *crashBackend) Fail(workerID, leaseID, reason string) error {
+	if b.dead() {
+		return nil
+	}
+	return b.Backend.Fail(workerID, leaseID, reason)
+}
+
+// TestWorkerCrashLeaseReclaim: kill a worker mid-shard. Its lease must
+// expire, the shard must be retried on the surviving worker, and the final
+// tally must still be byte-identical to the in-process campaign — a crashed
+// worker can cost time, never correctness.
+func TestWorkerCrashLeaseReclaim(t *testing.T) {
+	cfg := campaign.TransientCampaignConfig{Injections: 50, Seed: 77, ShardSize: 10}
+	want := inProcessTally(t, cfg)
+
+	coord, err := serve.NewCoordinator(serve.Options{
+		LeaseTTL:     250 * time.Millisecond,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	victimCtx, killVictim := context.WithCancel(ctx)
+	crash := &crashBackend{Backend: coord, leased: make(chan struct{}), kill: killVictim}
+	victim := &serve.Worker{Backend: crash, Runner: campaign.Runner{}, Name: "victim",
+		PollInterval: 10 * time.Millisecond, Logf: t.Logf}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		victim.Run(victimCtx)
+	}()
+
+	st, err := coord.Submit(serve.CampaignSpec{Workload: testWorkload, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The healthy worker only starts once the victim holds its lease, so
+	// the retried shard is guaranteed to have been the victim's.
+	<-crash.leased
+	healthy := &serve.Worker{Backend: coord, Runner: campaign.Runner{}, Name: "healthy",
+		PollInterval: 10 * time.Millisecond, Logf: t.Logf}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		healthy.Run(ctx)
+	}()
+
+	deadline := time.After(2 * time.Minute)
+	for {
+		js, ok := coord.Job(st.ID)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if serve.Settled(js.State) {
+			if js.State != serve.JobDone {
+				t.Fatalf("job settled as %q", js.State)
+			}
+			retried := false
+			for _, sh := range js.Shards {
+				if sh.Attempts > 1 {
+					retried = true
+				}
+			}
+			if !retried {
+				t.Fatal("no shard recorded a retry; the crash was not exercised")
+			}
+			got := mustJSON(t, js.Tally)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("post-crash tally differs:\nservice:    %s\nin-process: %s", got, want)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job did not settle; status: %+v", js)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	cancel()
+	wg.Wait()
+}
+
+// countingBackend counts Complete calls that the coordinator accepted.
+type countingBackend struct {
+	serve.Backend
+	mu        sync.Mutex
+	completes int
+}
+
+func (b *countingBackend) Complete(workerID, leaseID string, res serve.ShardResult) error {
+	err := b.Backend.Complete(workerID, leaseID, res)
+	if err == nil {
+		b.mu.Lock()
+		b.completes++
+		b.mu.Unlock()
+	}
+	return err
+}
+
+func (b *countingBackend) count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.completes
+}
+
+// TestCoordinatorRestartResumes: stop the coordinator mid-job and rebuild
+// it from the journal. Finished shards must not re-run, the job must
+// complete, and the tally must match the in-process campaign.
+func TestCoordinatorRestartResumes(t *testing.T) {
+	cfg := campaign.TransientCampaignConfig{Injections: 50, Seed: 99, ShardSize: 10}
+	want := inProcessTally(t, cfg)
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+
+	// Phase 1: run until at least two shards land, then shut down.
+	coord1, err := serve.NewCoordinator(serve.Options{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count1 := &countingBackend{Backend: coord1}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	w1 := &serve.Worker{Backend: count1, Runner: campaign.Runner{}, Name: "phase1",
+		PollInterval: 10 * time.Millisecond, Logf: t.Logf}
+	var wg1 sync.WaitGroup
+	wg1.Add(1)
+	go func() {
+		defer wg1.Done()
+		w1.Run(ctx1)
+	}()
+	st, err := coord1.Submit(serve.CampaignSpec{Workload: testWorkload, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		js, _ := coord1.Job(st.ID)
+		if js.Done >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel1()
+	wg1.Wait()
+	if err := coord1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh coordinator on the same journal resumes the job.
+	coord2, err := serve.NewCoordinator(serve.Options{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, ok := coord2.Job(st.ID)
+	if !ok {
+		t.Fatal("restarted coordinator forgot the job")
+	}
+	if js.State != serve.JobRunning {
+		t.Fatalf("resumed job state = %q, want running", js.State)
+	}
+	doneAtRestart := js.Done
+	if doneAtRestart < 2 {
+		t.Fatalf("journal preserved %d done shards, want >= 2", doneAtRestart)
+	}
+
+	count2 := &countingBackend{Backend: coord2}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	w2 := &serve.Worker{Backend: count2, Runner: campaign.Runner{}, Name: "phase2",
+		PollInterval: 10 * time.Millisecond, Logf: t.Logf}
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		w2.Run(ctx2)
+	}()
+	deadline := time.After(2 * time.Minute)
+	for {
+		js, _ = coord2.Job(st.ID)
+		if serve.Settled(js.State) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("resumed job did not settle; status: %+v", js)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	cancel2()
+	wg2.Wait()
+
+	if js.State != serve.JobDone {
+		t.Fatalf("resumed job settled as %q", js.State)
+	}
+	// Every shard completed exactly once across both coordinator lives:
+	// the journal prevented any done shard from re-running.
+	if total := count1.count() + count2.count(); total != cfg.NumShards() {
+		t.Fatalf("shards completed %d times across restart, want %d", total, cfg.NumShards())
+	}
+	got := mustJSON(t, js.Tally)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-restart tally differs:\nservice:    %s\nin-process: %s", got, want)
+	}
+}
+
+// TestRetryBackoffAndQuarantine drives the lease state machine directly
+// with a fake clock: fail a shard repeatedly and watch it back off
+// exponentially, then land in quarantine at the attempt cap, failing the
+// job.
+func TestRetryBackoffAndQuarantine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	coord, err := serve.NewCoordinator(serve.Options{
+		MaxAttempts:  3,
+		RetryBackoff: time.Second,
+		Clock:        clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := coord.Submit(serve.CampaignSpec{
+		Workload: testWorkload,
+		Config:   campaign.TransientCampaignConfig{Injections: 5, ShardSize: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards != 1 {
+		t.Fatalf("NumShards = %d, want 1", st.NumShards)
+	}
+	wid, err := coord.Register(serve.WorkerInfo{Name: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attempt 1 fails: the shard backs off one second.
+	g, err := coord.Lease(wid)
+	if err != nil || g == nil {
+		t.Fatalf("lease 1: %v %v", g, err)
+	}
+	if err := coord.Fail(wid, g.LeaseID, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if g2, _ := coord.Lease(wid); g2 != nil {
+		t.Fatal("shard leased again before its backoff elapsed")
+	}
+	now = now.Add(1100 * time.Millisecond)
+
+	// Attempt 2 fails: backoff doubles.
+	g, err = coord.Lease(wid)
+	if err != nil || g == nil {
+		t.Fatalf("lease 2: %v %v", g, err)
+	}
+	if err := coord.Fail(wid, g.LeaseID, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if g2, _ := coord.Lease(wid); g2 != nil {
+		t.Fatal("second backoff did not double")
+	}
+	now = now.Add(1100 * time.Millisecond)
+
+	// Attempt 3 fails: the shard quarantines and the job settles failed.
+	g, err = coord.Lease(wid)
+	if err != nil || g == nil {
+		t.Fatalf("lease 3: %v %v", g, err)
+	}
+	if err := coord.Fail(wid, g.LeaseID, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := coord.Job(st.ID)
+	if js.State != serve.JobFailed || js.Quarantined != 1 {
+		t.Fatalf("job = %q quarantined=%d, want failed/1", js.State, js.Quarantined)
+	}
+	if js.Shards[0].State != serve.ShardQuarantined {
+		t.Fatalf("shard state = %q, want quarantined", js.Shards[0].State)
+	}
+	// A stale completion for the quarantined shard must be refused.
+	if err := coord.Complete(wid, g.LeaseID, serve.ShardResult{Tally: campaign.NewTally()}); err == nil {
+		t.Fatal("stale complete accepted after quarantine")
+	}
+}
+
+// TestHeartbeatKeepsLease: with a fake clock, heartbeats must push the
+// expiry forward so a slow shard outlives many TTLs.
+func TestHeartbeatKeepsLease(t *testing.T) {
+	now := time.Unix(2000, 0)
+	coord, err := serve.NewCoordinator(serve.Options{
+		LeaseTTL: 10 * time.Second,
+		Clock:    func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := coord.Submit(serve.CampaignSpec{
+		Workload: testWorkload,
+		Config:   campaign.TransientCampaignConfig{Injections: 5, ShardSize: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wid, _ := coord.Register(serve.WorkerInfo{Name: "w"})
+	g, err := coord.Lease(wid)
+	if err != nil || g == nil {
+		t.Fatalf("lease: %v %v", g, err)
+	}
+	for i := 0; i < 5; i++ {
+		now = now.Add(8 * time.Second)
+		if err := coord.Heartbeat(wid, g.LeaseID); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	if err := coord.Complete(wid, g.LeaseID, serve.ShardResult{
+		Tally: campaign.NewTally(), GoldenDigest: g.GoldenDigest,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := coord.Job(st.ID)
+	if js.State != serve.JobDone {
+		t.Fatalf("job = %q, want done", js.State)
+	}
+	// Without a heartbeat the lease would have expired: prove the converse.
+	now = now.Add(11 * time.Second)
+	if err := coord.Heartbeat(wid, "lease-gone"); err == nil {
+		t.Fatal("heartbeat on an unknown lease succeeded")
+	}
+}
+
+// TestJournalTornTail: a journal whose final record was torn by a crash
+// mid-write must replay cleanly, dropping only the torn record.
+func TestJournalTornTail(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+	coord1, err := serve.NewCoordinator(serve.Options{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := coord1.Submit(serve.CampaignSpec{
+		Workload: testWorkload,
+		Config:   campaign.TransientCampaignConfig{Injections: 20, ShardSize: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append half a record with no newline.
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"shard_done","job":"` + st.ID + `","sh`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	coord2, err := serve.NewCoordinator(serve.Options{JournalPath: journal})
+	if err != nil {
+		t.Fatalf("torn journal refused: %v", err)
+	}
+	js, ok := coord2.Job(st.ID)
+	if !ok {
+		t.Fatal("job lost after torn-tail replay")
+	}
+	if js.Done != 0 || js.State != serve.JobRunning {
+		t.Fatalf("torn record leaked state: %+v", js)
+	}
+}
+
+// TestSSEStream: the events endpoint must stream live SSE frames.
+func TestSSEStream(t *testing.T) {
+	coord, err := serve.NewCoordinator(serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.NewServer(coord))
+	defer srv.Close()
+	client := serve.NewClient(srv.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &serve.Worker{Backend: serve.NewClient(srv.URL), Runner: campaign.Runner{},
+		PollInterval: 10 * time.Millisecond}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.Run(ctx)
+	}()
+
+	st, err := client.Submit(serve.CampaignSpec{
+		Workload: testWorkload,
+		Config:   campaign.TransientCampaignConfig{Injections: 20, Seed: 5, ShardSize: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/api/v1/jobs/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var done bool
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		if ev.Type == "job" && ev.State == serve.JobDone {
+			if ev.Tally == nil || ev.Tally.N != 20 {
+				t.Fatalf("final SSE event tally = %+v, want N=20", ev.Tally)
+			}
+			done = true
+			break
+		}
+	}
+	if !done {
+		t.Fatalf("SSE stream ended without a job-done event: %v", sc.Err())
+	}
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// coreProfileMode is the profiling mode every worker uses to rebuild a
+// job's fault-site population. It must be a fixed, exact mode: approximate
+// profiles could differ between workers and change fault selection.
+const coreProfileMode = core.Exact
+
+// Worker leases shards from a Backend and runs them with campaign.Runner —
+// the same engine, pruner, and checkpoint machinery as the in-process
+// campaign, so a shard's results do not depend on where it ran. Per-job
+// setup (golden run, profile, pruner, recorded trace) is built once on
+// first lease and reused for every later shard of that job.
+type Worker struct {
+	Backend Backend
+	// Runner is the worker-side experiment engine. Its determinism knobs
+	// (family, SM count, budget factor) must match the coordinator's; the
+	// golden digest check catches divergence.
+	Runner campaign.Runner
+	// Name labels the worker in leases and events.
+	Name string
+	// PollInterval is how long to idle when no shard is leasable
+	// (default 200ms).
+	PollInterval time.Duration
+	// HeartbeatFraction sets the heartbeat period as a fraction of the
+	// lease TTL (default 1/3).
+	HeartbeatFraction float64
+	// Logf, when set, receives worker progress lines.
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	plans map[string]*jobPlan
+}
+
+// jobPlan caches one job's worker-side campaign state.
+type jobPlan struct {
+	once   sync.Once
+	plan   *campaign.ShardPlan
+	digest string
+	err    error
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run registers the worker and processes shards until ctx is cancelled or
+// the backend becomes unreachable. Cancelling ctx aborts the in-flight
+// shard promptly: the context threads through campaign.Runner into the
+// device interpreter, so even a mid-kernel experiment stops within its
+// cancellation poll stride.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.PollInterval <= 0 {
+		w.PollInterval = 200 * time.Millisecond
+	}
+	if w.HeartbeatFraction <= 0 || w.HeartbeatFraction >= 1 {
+		w.HeartbeatFraction = 1.0 / 3
+	}
+	id, err := w.Backend.Register(WorkerInfo{Name: w.Name})
+	if err != nil {
+		return fmt.Errorf("serve: worker registration: %w", err)
+	}
+	w.logf("worker %s registered", id)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := w.Backend.Lease(id)
+		if err != nil {
+			return fmt.Errorf("serve: lease: %w", err)
+		}
+		if grant == nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.PollInterval):
+			}
+			continue
+		}
+		w.runShard(ctx, id, grant)
+	}
+}
+
+// plan returns the cached campaign state for a grant's job, building it on
+// first use. The build itself verifies the golden digest: a worker whose
+// simulator configuration diverges from the coordinator's must not run any
+// experiments, because its classifications would be against the wrong
+// reference.
+func (w *Worker) plan(grant *LeaseGrant) (*campaign.ShardPlan, string, error) {
+	w.mu.Lock()
+	if w.plans == nil {
+		w.plans = make(map[string]*jobPlan)
+	}
+	jp := w.plans[grant.Job]
+	if jp == nil {
+		jp = &jobPlan{}
+		w.plans[grant.Job] = jp
+	}
+	w.mu.Unlock()
+	jp.once.Do(func() {
+		wl, err := ResolveWorkload(grant.Spec.Workload)
+		if err != nil {
+			jp.err = err
+			return
+		}
+		golden, err := w.Runner.Golden(wl)
+		if err != nil {
+			jp.err = fmt.Errorf("serve: worker golden run: %w", err)
+			return
+		}
+		jp.digest = golden.Output.Digest()
+		if jp.digest != grant.GoldenDigest {
+			jp.err = fmt.Errorf("serve: golden digest mismatch: worker computed %.12s, coordinator expects %.12s",
+				jp.digest, grant.GoldenDigest)
+			return
+		}
+		profile, _, err := w.Runner.Profile(wl, coreProfileMode)
+		if err != nil {
+			jp.err = fmt.Errorf("serve: worker profiling run: %w", err)
+			return
+		}
+		jp.plan, jp.err = campaign.NewShardPlan(w.Runner, wl, golden, profile, grant.Spec.Config)
+	})
+	return jp.plan, jp.digest, jp.err
+}
+
+// runShard executes one leased shard under a heartbeat loop and reports the
+// outcome. A lost lease (expiry beat the heartbeat, or the coordinator gave
+// the shard away) cancels the run and reports nothing — the result would
+// double-count.
+func (w *Worker) runShard(ctx context.Context, workerID string, grant *LeaseGrant) {
+	plan, digest, err := w.plan(grant)
+	if err != nil {
+		w.logf("worker %s: job %s shard %d unrunnable: %v", workerID, grant.Job, grant.Shard, err)
+		_ = w.Backend.Fail(workerID, grant.LeaseID, err.Error())
+		return
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var lost bool
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	period := time.Duration(w.HeartbeatFraction * float64(grant.TTLSeconds) * float64(time.Second))
+	if period <= 0 {
+		period = time.Second
+	}
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-sctx.Done():
+				return
+			case <-t.C:
+				if err := w.Backend.Heartbeat(workerID, grant.LeaseID); err != nil {
+					if errors.Is(err, ErrLeaseLost) {
+						lost = true
+						cancel()
+						return
+					}
+					w.logf("worker %s: heartbeat: %v", workerID, err)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	results, runErr := plan.RunShard(sctx, grant.Shard)
+	cancel()
+	hbWG.Wait()
+
+	if lost {
+		w.logf("worker %s: job %s shard %d lease lost after %v; dropping result",
+			workerID, grant.Job, grant.Shard, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if runErr != nil {
+		w.logf("worker %s: job %s shard %d failed: %v", workerID, grant.Job, grant.Shard, runErr)
+		if err := w.Backend.Fail(workerID, grant.LeaseID, runErr.Error()); err != nil && !errors.Is(err, ErrLeaseLost) {
+			w.logf("worker %s: fail report: %v", workerID, err)
+		}
+		return
+	}
+	res := ShardResult{Tally: campaign.TallyRuns(results), GoldenDigest: digest}
+	if err := w.Backend.Complete(workerID, grant.LeaseID, res); err != nil {
+		if !errors.Is(err, ErrLeaseLost) {
+			w.logf("worker %s: complete report: %v", workerID, err)
+		}
+		return
+	}
+	w.logf("worker %s: job %s shard %d done in %v (%s)",
+		workerID, grant.Job, grant.Shard, time.Since(start).Round(time.Millisecond), res.Tally)
+}
+
+// Pool runs n in-process workers against a backend until ctx cancels —
+// `nvbitfi serve -workers N` and the tests use it to colocate compute with
+// the coordinator.
+func Pool(ctx context.Context, backend Backend, r campaign.Runner, n int, logf func(string, ...any)) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &Worker{Backend: backend, Runner: r, Name: fmt.Sprintf("local-%d", i), Logf: logf}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("serve: worker exited: %v", err)
+			}
+		}()
+	}
+	return &wg
+}

@@ -1,6 +1,7 @@
 package specaccel_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/campaign"
@@ -66,7 +67,7 @@ func TestCrossFamilyInjectionEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", fam, err)
 		}
-		res, err := r.RunTransient(w, golden, crossFamilyFault())
+		res, err := r.RunTransient(context.Background(), w, golden, crossFamilyFault())
 		if err != nil {
 			t.Fatalf("%v: %v", fam, err)
 		}

@@ -18,11 +18,12 @@
 //	profile, _, _ := r.Profile(w, nvbitfi.Exact)             // step 1: profile
 //	params, _ := nvbitfi.SelectTransientFault(profile,       // step 2: pick a fault
 //	    nvbitfi.GroupGPPR, nvbitfi.FlipSingleBit, rng)
-//	res, _ := r.RunTransient(w, golden, *params)             // steps 3-4: inject, compare
+//	res, _ := r.RunTransient(ctx, w, golden, *params)        // steps 3-4: inject, compare
 //	fmt.Println(res.Class)                                   // SDC / DUE / Masked
 package nvbitfi
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/av"
@@ -205,17 +206,18 @@ func SelectPermanentFaults(p *Profile, family Family, numSMs int, bf BitFlipMode
 }
 
 // RunTransientCampaign runs an N-injection transient campaign (Figure 2
-// data).
-func RunTransientCampaign(r Runner, w Workload, golden *GoldenResult, profile *Profile,
-	cfg TransientCampaignConfig) (*CampaignResult, error) {
-	return campaign.RunTransientCampaign(r, w, golden, profile, cfg)
+// data). Cancelling ctx aborts in-flight experiments promptly and returns
+// the partial result alongside the context error.
+func RunTransientCampaign(ctx context.Context, r Runner, w Workload, golden *GoldenResult,
+	profile *Profile, cfg TransientCampaignConfig) (*CampaignResult, error) {
+	return campaign.RunTransientCampaign(ctx, r, w, golden, profile, cfg)
 }
 
 // RunPermanentCampaign runs one permanent fault per executed opcode with
 // dynamic-instruction weighting (Figure 3 data).
-func RunPermanentCampaign(r Runner, w Workload, golden *GoldenResult, profile *Profile,
-	bf BitFlipModel, seed int64, parallel int) (*CampaignResult, error) {
-	return campaign.RunPermanentCampaign(r, w, golden, profile, bf, seed, parallel)
+func RunPermanentCampaign(ctx context.Context, r Runner, w Workload, golden *GoldenResult,
+	profile *Profile, bf BitFlipModel, seed int64, parallel int) (*CampaignResult, error) {
+	return campaign.RunPermanentCampaign(ctx, r, w, golden, profile, bf, seed, parallel)
 }
 
 // SpecACCEL returns the 15 SpecACCEL benchmark analogs (Table IV).
