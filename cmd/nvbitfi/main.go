@@ -103,6 +103,8 @@ func cmdProfile(args []string) error {
 	program := fs.String("program", "", "target program name")
 	mode := fs.String("mode", "exact", "profiling mode: exact or approx")
 	out := fs.String("o", "", "output file (default stdout)")
+	xlate := fs.Bool("xlate", true, "run launches on the block-level translation engine")
+	noXlate := fs.Bool("no-xlate", false, "force the legacy interpreter (same as -xlate=false)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,7 +116,7 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := nvbitfi.Runner{}
+	r := nvbitfi.Runner{NoXlate: *noXlate || !*xlate}
 	profile, dur, err := r.Profile(w, m)
 	if err != nil {
 		return err
@@ -179,6 +181,8 @@ func cmdInject(args []string) error {
 	fs := flag.NewFlagSet("inject", flag.ExitOnError)
 	program := fs.String("program", "", "target program name")
 	paramsPath := fs.String("params", "", "parameter file from 'nvbitfi select'")
+	xlate := fs.Bool("xlate", true, "run launches on the block-level translation engine")
+	noXlate := fs.Bool("no-xlate", false, "force the legacy interpreter (same as -xlate=false)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -195,7 +199,7 @@ func cmdInject(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := nvbitfi.Runner{}
+	r := nvbitfi.Runner{NoXlate: *noXlate || !*xlate}
 	golden, err := r.Golden(w)
 	if err != nil {
 		return err
@@ -277,6 +281,8 @@ func cmdCampaign(args []string) error {
 	ckpt := fs.Bool("ckpt", false, "checkpoint-and-fork: record the golden trajectory once and start each experiment from the snapshot nearest its injection point")
 	ckptStride := fs.Uint64("ckpt-stride", 0, "checkpoint stride in warp instructions (0 = derive from the golden run length)")
 	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification at checkpoint boundaries")
+	xlate := fs.Bool("xlate", true, "run launches on the block-level translation engine")
+	noXlate := fs.Bool("no-xlate", false, "force the legacy interpreter (same as -xlate=false)")
 	verify := fs.Bool("verify", false, "verify modules at load and reject programs with static errors")
 	csvPath := fs.String("csv", "", "write the outcome distribution as CSV to this file")
 	runlogPath := fs.String("runlog", "", "write one line per injection run to this file")
@@ -311,7 +317,8 @@ func cmdCampaign(args []string) error {
 	if (*ckptStride != 0 || *noEarlyExit) && !*ckpt {
 		return fmt.Errorf("campaign: -ckpt-stride and -no-early-exit require -ckpt")
 	}
-	r := nvbitfi.Runner{Workers: *workers, VerifyModules: *verify}
+	interp := *noXlate || !*xlate
+	r := nvbitfi.Runner{Workers: *workers, VerifyModules: *verify, NoXlate: interp}
 	var results []*nvbitfi.CampaignResult
 	for _, w := range programs {
 		golden, err := r.Golden(w)
@@ -336,6 +343,7 @@ func cmdCampaign(args []string) error {
 				ShardSize: *shardSize,
 				Parallel:  *parallel, TimingFidelity: *timing, Prune: *prune,
 				Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
+				NoXlate: interp,
 			})
 		}
 		if err != nil {
@@ -354,8 +362,8 @@ func cmdCampaign(args []string) error {
 		}
 	}
 	st := modcache.Shared.Stats()
-	fmt.Printf("module cache: assemble %d hits / %d builds, decode %d hits / %d builds, codec %d hits / %d builds\n",
-		st.AssembleHits, st.AssembleBuilds, st.DecodeHits, st.DecodeBuilds, st.CodecHits, st.CodecBuilds)
+	fmt.Printf("module cache: assemble %d hits / %d builds, decode %d hits / %d builds, codec %d hits / %d builds, plan %d hits / %d builds\n",
+		st.AssembleHits, st.AssembleBuilds, st.DecodeHits, st.DecodeBuilds, st.CodecHits, st.CodecBuilds, st.PlanHits, st.PlanBuilds)
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {

@@ -129,6 +129,8 @@ func cmdSubmit(args []string) error {
 	ckpt := fs.Bool("ckpt", false, "checkpoint-and-fork experiment engine")
 	ckptStride := fs.Uint64("ckpt-stride", 0, "checkpoint stride in warp instructions")
 	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification")
+	xlate := fs.Bool("xlate", true, "run experiments on the block-level translation engine")
+	noXlate := fs.Bool("no-xlate", false, "force the legacy interpreter (same as -xlate=false)")
 	noWait := fs.Bool("no-wait", false, "submit and print the job id without following progress")
 	jsonOut := fs.Bool("json", false, "print the final tally as stable JSON")
 	if err := fs.Parse(args); err != nil {
@@ -145,6 +147,7 @@ func cmdSubmit(args []string) error {
 			Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
 			ShardSize: *shardSize, Prune: *prune,
 			Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
+			NoXlate: *noXlate || !*xlate,
 		},
 	}
 	client := serve.NewClient(*coordinator)
@@ -182,6 +185,7 @@ func cmdSubmit(args []string) error {
 	if *jsonOut {
 		return report.WriteSummaryJSON(os.Stdout, &campaign.CampaignResult{
 			Program: final.Workload, Tally: final.Tally,
+			Translated: !final.Config.NoXlate,
 		})
 	}
 	fmt.Printf("%s: %d runs, %s", final.Workload, final.Tally.N, final.Tally)

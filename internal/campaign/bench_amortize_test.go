@@ -32,9 +32,15 @@ func benchWorkload(b *testing.B) campaign.Workload {
 // experiment: fresh device + context, injector attach, workload run,
 // classification. This is the unit a 10k-run campaign repeats, so every
 // microsecond here multiplies by the campaign size.
-func BenchmarkTransientExperiment(b *testing.B) {
+// BenchmarkTransientExperimentInterpreted is the same experiment with the
+// block-level translation engine disabled — the per-injection before/after
+// pair recorded in BENCH_campaign.json.
+func BenchmarkTransientExperiment(b *testing.B)            { benchTransientExperiment(b, false) }
+func BenchmarkTransientExperimentInterpreted(b *testing.B) { benchTransientExperiment(b, true) }
+
+func benchTransientExperiment(b *testing.B, noXlate bool) {
 	w := benchWorkload(b)
-	r := campaign.Runner{}
+	r := campaign.Runner{NoXlate: noXlate}
 	golden, err := r.Golden(w)
 	if err != nil {
 		b.Fatal(err)

@@ -55,6 +55,11 @@ type Runner struct {
 	// produces errors fails to load, so a broken workload is rejected
 	// before any experiment wastes a run on it.
 	VerifyModules bool
+	// NoXlate is plumbed to gpu.Device.NoXlate on every device this runner
+	// builds, forcing launches through the legacy interpreter instead of the
+	// block-level translation engine. The two paths are observably identical
+	// (the differential tests prove it); this is the escape hatch.
+	NoXlate bool
 }
 
 // DefaultGoldenBudget is the Runner.GoldenBudget default: large enough
@@ -106,6 +111,7 @@ func (r Runner) newContext() (*cuda.Context, error) {
 	dev.Workers = r.Workers
 	dev.InterpretTrampolines = r.InterpretTrampolines
 	dev.DisableDisarm = r.DisableDisarm
+	dev.NoXlate = r.NoXlate
 	ctx, err := cuda.NewContext(dev)
 	if err != nil {
 		return nil, err
@@ -289,12 +295,16 @@ func (r Runner) RunTransient(ctx context.Context, w Workload, golden *GoldenResu
 	if out == nil {
 		out = NewOutput()
 	}
-	return &RunResult{
+	res := &RunResult{
 		Class:     Classify(w, golden.Output, out, runErr, cctx),
 		Injection: inj.Record(),
 		Duration:  d,
 		Stats:     cctx.AccumulatedStats(),
-	}, nil
+	}
+	// The experiment's context is dead once classified; hand its memory
+	// pages back so the next experiment reuses them instead of allocating.
+	cctx.Device().Recycle()
+	return res, nil
 }
 
 // RunPermanent performs one permanent-fault experiment. gate, when non-nil,
@@ -337,12 +347,14 @@ func (r Runner) RunPermanent(ctx context.Context, w Workload, golden *GoldenResu
 	if out == nil {
 		out = NewOutput()
 	}
-	return &RunResult{
+	res := &RunResult{
 		Class:       Classify(w, golden.Output, out, runErr, cctx),
 		Activations: inj.Activations(),
 		Duration:    d,
 		Stats:       cctx.AccumulatedStats(),
-	}, nil
+	}
+	cctx.Device().Recycle()
+	return res, nil
 }
 
 // TransientCampaignConfig parameterizes RunTransientCampaign.
@@ -393,6 +405,12 @@ type TransientCampaignConfig struct {
 	// NoEarlyExit keeps checkpointed restores but disables early-exit
 	// classification, forcing every experiment to run to completion.
 	NoEarlyExit bool
+	// NoXlate forces every experiment (and the recorded golden trajectory)
+	// through the legacy interpreter instead of the block-level translation
+	// engine. Outcomes are identical either way — the differential tests
+	// hold translated and interpreted campaigns byte-equal — so this is an
+	// escape hatch and a debugging aid, not a semantic knob.
+	NoXlate bool
 	// ShardSize is the number of experiments per selection shard (default
 	// DefaultShardSize). Fault selection is blocked by shard: experiments
 	// [s*ShardSize, (s+1)*ShardSize) draw their parameters from a dedicated
@@ -450,6 +468,9 @@ type CampaignResult struct {
 	GoldenTime    time.Duration
 	TotalRunTime  time.Duration // sum of experiment durations
 	MedianRunTime time.Duration
+	// Translated reports whether experiments ran on the block-level
+	// translation engine (true) or the legacy interpreter (NoXlate).
+	Translated bool
 }
 
 // RunTransientCampaign selects cfg.Injections faults from the profile and
@@ -473,9 +494,13 @@ func RunTransientCampaign(ctx context.Context, r Runner, w Workload, golden *Gol
 	if err := errors.Join(errs...); err != nil {
 		// Degrade gracefully: summarize the runs that completed and return
 		// the aggregated per-run errors alongside the partial result.
-		return summarize(w.Name(), golden, filterOK(results, errs), nil), err
+		res := summarize(w.Name(), golden, filterOK(results, errs), nil)
+		res.Translated = !cfg.NoXlate
+		return res, err
 	}
-	return summarize(w.Name(), golden, results, nil), nil
+	res := summarize(w.Name(), golden, results, nil)
+	res.Translated = !cfg.NoXlate
+	return res, nil
 }
 
 // filterOK returns the results whose runs completed without error.
@@ -543,9 +568,13 @@ func RunPermanentCampaign(ctx context.Context, r Runner, w Workload, golden *Gol
 		}
 	}
 	if err := errors.Join(errs...); err != nil {
-		return summarize(w.Name(), golden, filterOK(results, errs), weighted), err
+		res := summarize(w.Name(), golden, filterOK(results, errs), weighted)
+		res.Translated = !rr.NoXlate
+		return res, err
 	}
-	return summarize(w.Name(), golden, results, weighted), nil
+	res := summarize(w.Name(), golden, results, weighted)
+	res.Translated = !rr.NoXlate
+	return res, nil
 }
 
 func summarize(name string, golden *GoldenResult, results []RunResult, weighted *stats.WeightedTally) *CampaignResult {

@@ -90,6 +90,12 @@ type ShardPlan struct {
 func NewShardPlan(r Runner, w Workload, golden *GoldenResult, profile *core.Profile,
 	cfg TransientCampaignConfig) (*ShardPlan, error) {
 	cfg = cfg.withDefaults()
+	if cfg.NoXlate {
+		// The config travels with the job (a service worker reconstructs its
+		// runner from it), so the engine choice must ride here, not only on
+		// the runner the submitting process happened to build.
+		r.NoXlate = true
+	}
 	plan := &ShardPlan{runner: r, w: w, golden: golden, profile: profile, cfg: cfg}
 	if cfg.Prune {
 		if golden.Kernels == nil {

@@ -1,0 +1,123 @@
+package campaign_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// runEngines runs the same campaign config on the translation engine and on
+// the legacy interpreter (same seed, same golden, same profile) and returns
+// the two results for comparison.
+func runEngines(t *testing.T, cfg campaign.TransientCampaignConfig) (xlated, interp *campaign.CampaignResult) {
+	t.Helper()
+	w := deadWorkload{}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runEnginesWith(t, r, w, golden, profile, cfg)
+}
+
+// runEnginesWith runs cfg twice — translated and interpreted — against the
+// same golden reference and profile.
+func runEnginesWith(t *testing.T, r campaign.Runner, w campaign.Workload, golden *campaign.GoldenResult,
+	profile *core.Profile, cfg campaign.TransientCampaignConfig) (xlated, interp *campaign.CampaignResult) {
+	t.Helper()
+	xlated, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := cfg
+	off.NoXlate = true
+	interp, err = campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xlated, interp
+}
+
+// expectIdenticalCampaigns asserts two campaigns are experiment-for-
+// experiment identical: classification, injection record, and stats of every
+// run, plus the aggregate tally.
+func expectIdenticalCampaigns(t *testing.T, label string, xlated, interp *campaign.CampaignResult) {
+	t.Helper()
+	if len(xlated.Runs) != len(interp.Runs) {
+		t.Fatalf("%s: run counts differ: translated %d, interpreted %d", label, len(xlated.Runs), len(interp.Runs))
+	}
+	for i := range xlated.Runs {
+		x, n := &xlated.Runs[i], &interp.Runs[i]
+		if x.Class != n.Class {
+			t.Fatalf("%s run %d: translated %v, interpreted %v", label, i, x.Class, n.Class)
+		}
+		if x.Injection != n.Injection {
+			t.Fatalf("%s run %d: injection records differ:\ntranslated  %+v\ninterpreted %+v",
+				label, i, x.Injection, n.Injection)
+		}
+		if x.Stats != n.Stats {
+			t.Fatalf("%s run %d: stats differ: translated %+v, interpreted %+v", label, i, x.Stats, n.Stats)
+		}
+		if x.Pruned != n.Pruned || x.Restored != n.Restored || x.EarlyExit != n.EarlyExit {
+			t.Fatalf("%s run %d: engine flags differ (pruned %v/%v restored %v/%v early %v/%v)",
+				label, i, x.Pruned, n.Pruned, x.Restored, n.Restored, x.EarlyExit, n.EarlyExit)
+		}
+	}
+	if !reflect.DeepEqual(xlated.Tally, interp.Tally) {
+		t.Fatalf("%s: tallies differ:\ntranslated  %v\ninterpreted %v", label, xlated.Tally, interp.Tally)
+	}
+	if !xlated.Translated {
+		t.Errorf("%s: translated campaign not marked Translated", label)
+	}
+	if interp.Translated {
+		t.Errorf("%s: interpreted campaign marked Translated", label)
+	}
+}
+
+// TestXlateCampaignDifferential is the engine soundness proof the design
+// demands: a 200-injection campaign on the translation engine must be
+// experiment-for-experiment identical — classifications, injection records,
+// per-run LaunchStats, tallies — to the interpreter with the same seed.
+func TestXlateCampaignDifferential(t *testing.T) {
+	xlated, interp := runEngines(t, campaign.TransientCampaignConfig{Injections: 200, Seed: 77})
+	expectIdenticalCampaigns(t, "plain", xlated, interp)
+	if s := report.Summary(xlated); !strings.Contains(s, "[translated]") {
+		t.Errorf("summary does not mark the engine: %q", s)
+	}
+	if s := report.Summary(interp); !strings.Contains(s, "[interpreted]") {
+		t.Errorf("summary does not mark the interpreter: %q", s)
+	}
+}
+
+// TestXlateCampaignDifferentialPruned composes translation with static
+// pruning: prune decisions and every executed experiment must match across
+// engines.
+func TestXlateCampaignDifferentialPruned(t *testing.T) {
+	xlated, interp := runEngines(t, campaign.TransientCampaignConfig{Injections: 100, Seed: 78, Prune: true})
+	expectIdenticalCampaigns(t, "pruned", xlated, interp)
+	if xlated.Tally.Pruned == 0 {
+		t.Error("pruned campaign over the dead-write kernel pruned nothing")
+	}
+}
+
+// TestXlateCampaignDifferentialCheckpointed composes translation with the
+// checkpoint-and-fork engine: restored prefixes, early exits, and final
+// classifications must match across engines.
+func TestXlateCampaignDifferentialCheckpointed(t *testing.T) {
+	r, golden, profile := iterCampaignInputs(t)
+	xlated, interp := runEnginesWith(t, r, iterWorkload{}, golden, profile,
+		campaign.TransientCampaignConfig{Injections: 60, Seed: 79, Checkpoint: true})
+	expectIdenticalCampaigns(t, "checkpointed", xlated, interp)
+	if xlated.Tally.Restored == 0 {
+		t.Error("checkpointed campaign restored nothing")
+	}
+}

@@ -1,0 +1,99 @@
+package gpu
+
+import (
+	"sync"
+
+	"repro/internal/sass"
+)
+
+// Per-experiment state recycling. A fault-injection campaign creates a fresh
+// context per experiment for isolation, but the expensive allocations under
+// that context — warp register files (32 KiB each), shared-memory windows,
+// and global-memory pages — have no experiment-specific identity once
+// zeroed. Pooling them converts the campaign's dominant allocation cost into
+// a memclr.
+//
+// Recycled state is architecturally indistinguishable from fresh state: the
+// digest treats a zeroed local window or an empty call stack exactly like a
+// nil one (see digestWith), and every reset field matches the zero value a
+// fresh allocation would carry. Pool discipline: a blockCtx releases its
+// warps and shared window only on clean completion (never on trap or pause,
+// where snapshots or error paths may still observe the block).
+
+var warpPool = sync.Pool{New: func() any { return new(warp) }}
+
+// getWarp returns a zeroed warp from the pool with converged scheduling
+// state, as newBlockCtx builds them.
+func getWarp(id int) *warp {
+	w := warpPool.Get().(*warp)
+	w.reset()
+	w.id = id
+	w.converged = true
+	return w
+}
+
+// reset restores a warp to the fresh-allocation state while keeping the
+// lane-local memory and call-stack buffers for reuse. A cleared local window
+// and a length-zero stack are digest- and behavior-identical to nil ones.
+func (w *warp) reset() {
+	w.id = 0
+	w.pc = [WarpSize]int32{}
+	// Registers at or above dirtyRegs are zero by invariant (see the field
+	// doc), so clearing the dirty prefix of each lane restores the fully
+	// zeroed state without touching the rest of the 32 KiB file.
+	if n := w.dirtyRegs; n > 0 {
+		for lane := range w.regs {
+			clear(w.regs[lane][:n])
+		}
+		w.dirtyRegs = 0
+	}
+	w.preds = [WarpSize][sass.NumPreds]bool{}
+	// tid is not cleared: newBlockCtx assigns it for every live lane, and no
+	// observable path (execution, digest, snapshot identity) reads the tid
+	// of a lane outside liveMask.
+	for lane := 0; lane < WarpSize; lane++ {
+		if w.local[lane] != nil {
+			clear(w.local[lane])
+		}
+		if w.stack[lane] != nil {
+			w.stack[lane] = w.stack[lane][:0]
+		}
+	}
+	w.liveMask = 0
+	w.exitedMask = 0
+	w.converged = false
+	w.convPC = 0
+	w.barWait = false
+	w.done = false
+}
+
+// sharedPool recycles block shared-memory windows across blocks and
+// experiments.
+var sharedPool sync.Pool
+
+func getShared(n int) []byte {
+	if v := sharedPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			b = b[:n]
+			clear(b)
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// release returns the block's warps and shared window to their pools. Only
+// call on clean block completion: trapped or paused blocks may still be
+// observed through errors or snapshots.
+func (blk *blockCtx) release() {
+	for _, w := range blk.warps {
+		warpPool.Put(w)
+	}
+	blk.warps = nil
+	if blk.shared != nil {
+		b := blk.shared
+		blk.shared = nil
+		sharedPool.Put(&b)
+	}
+}

@@ -60,6 +60,13 @@ type Device struct {
 	// prove disarmed execution is observably identical to armed execution.
 	DisableDisarm bool
 
+	// NoXlate disables the block-level translation engine, forcing every
+	// launch through the legacy interpreter dispatch. The zero value keeps
+	// translation on: translated execution is bit-identical to interpreted
+	// execution (the differential tests prove it), just faster. The flag
+	// exists as the escape hatch and as the oracle side of those tests.
+	NoXlate bool
+
 	// Mem is global device memory.
 	Mem *Memory
 
@@ -74,6 +81,12 @@ type Device struct {
 	log      []LogEvent
 	smClocks []uint64   // per-SM executed-instruction counters (CS2R/SR_CLOCK)
 	atomMu   sync.Mutex // serializes global-memory atomics across parallel blocks
+
+	// planMemo caches planFor results by kernel identity, so repeated
+	// launches of the same decoded kernel skip the content hash that keys
+	// the process-wide plan cache. Like the rest of the device state it is
+	// touched only from the goroutine driving Run/Restore.
+	planMemo map[*sass.Kernel]*xplan
 }
 
 // SetCancel arms launch cancellation: once ctx is done, any running or
@@ -138,11 +151,43 @@ type ExecKernel struct {
 	// debugger single-step hook (cuda-gdb analog) used by the GPU-Qin-style
 	// baseline injector.
 	Step Callback
+
+	regHiOnce sync.Once
+	regHi     int32
 }
 
 // Instrumented reports whether any instrumentation is attached.
 func (ek *ExecKernel) Instrumented() bool {
 	return ek.Before != nil || ek.After != nil || ek.Step != nil
+}
+
+// writtenRegHi returns an exclusive upper bound on the register indices this
+// kernel's instructions can write, from a static scan of destination
+// operands. It seeds warp.dirtyRegs so reset clears only the written prefix
+// of each lane's register file. The scan over-approximates by 3 registers to
+// cover pair and 128-bit destinations; a 128-bit destination near the top of
+// the file wraps base+i through the uint8 register id and can touch low
+// registers, so those force the full file.
+func (ek *ExecKernel) writtenRegHi() int32 {
+	ek.regHiOnce.Do(func() {
+		hi := int32(0)
+		for i := range ek.K.Instrs {
+			for _, o := range ek.K.Instrs[i].Dst {
+				if o.Kind != sass.OpdReg || o.Reg == sass.RZ {
+					continue
+				}
+				if o.Reg >= sass.RZ-3 {
+					hi = sass.NumRegs
+					continue
+				}
+				if n := int32(o.Reg) + 4; n > hi {
+					hi = n
+				}
+			}
+		}
+		ek.regHi = hi
+	})
+	return ek.regHi
 }
 
 // Dim3 is a grid or block shape.
@@ -228,6 +273,12 @@ func (c *InstrCtx) ReadReg(lane int, r sass.RegID) uint32 {
 func (c *InstrCtx) WriteReg(lane int, r sass.RegID, v uint32) {
 	if r == sass.RZ {
 		return
+	}
+	// Instrumentation may write registers the kernel's static destination
+	// scan never sees (fault injection picks arbitrary targets); widen the
+	// warp's dirty window so reset still restores a fully zeroed file.
+	if int32(r) >= c.w.dirtyRegs {
+		c.w.dirtyRegs = int32(r) + 1
 	}
 	c.w.regs[lane][r] = v
 }

@@ -35,6 +35,15 @@ type warp struct {
 	convPC     int32  // the shared PC while converged
 	barWait    bool
 	done       bool
+
+	// dirtyRegs is an exclusive upper bound on the per-lane register indices
+	// that may hold nonzero values: every register at or above it is zero.
+	// It lets reset clear only the written prefix of the 32 KiB register
+	// file instead of all of it — the campaign's dominant memclr. Seeded
+	// from the kernel's static destination scan (ExecKernel.writtenRegHi)
+	// when a block claims the warp, and bumped by InstrCtx.WriteReg, the one
+	// writer that is not bounded by the static scan.
+	dirtyRegs int32
 }
 
 // activeMask returns the lanes that exist and have not exited.
@@ -175,6 +184,13 @@ type blockCtx struct {
 	parallel  bool  // block runs concurrently with others (gates atomics locking)
 	scratch   *warp // trampoline execution state
 
+	// plan is the translated execution plan for the kernel, nil when
+	// translation is disabled. When set, blockCtx.step dispatches through the
+	// plan's pre-resolved closures instead of the interpreter switch, so
+	// every warp loop twin (fast, ckpt, instrumented, disarmed) executes
+	// translated steps with unchanged scheduling and accounting.
+	plan *xplan
+
 	// Checkpoint-engine state, all zero on ordinary runs. pause makes the
 	// block interruptible at warp-instruction boundaries (LaunchRun);
 	// counts accumulates per-static-instruction thread executions for
@@ -290,6 +306,7 @@ func (d *Device) Run(l *Launch) (LaunchStats, error) {
 	}
 
 	constBank := buildConstBank(l)
+	plan := d.planFor(k)
 	workers := d.Workers
 	if workers > d.NumSMs {
 		workers = d.NumSMs
@@ -303,9 +320,9 @@ func (d *Device) Run(l *Launch) (LaunchStats, error) {
 		// Instrumented launches always take the sequential path: injection
 		// and profiling tools count dynamic instructions globally across
 		// blocks, so callback order is part of the injection semantics.
-		stats, err = d.runSequential(l, constBank, budget)
+		stats, err = d.runSequential(l, constBank, plan, budget)
 	} else {
-		stats, err = d.runParallel(l, constBank, budget, workers)
+		stats, err = d.runParallel(l, constBank, plan, budget, workers)
 	}
 	if t, ok := AsTrap(err); ok {
 		// The device log is the dmesg analog; log the (deterministically
@@ -317,17 +334,18 @@ func (d *Device) Run(l *Launch) (LaunchStats, error) {
 
 // runSequential is the Workers=1 reference schedule: blocks execute one at
 // a time in linear block order.
-func (d *Device) runSequential(l *Launch, constBank []byte, budgetN uint64) (LaunchStats, error) {
+func (d *Device) runSequential(l *Launch, constBank []byte, plan *xplan, budgetN uint64) (LaunchStats, error) {
 	var stats LaunchStats
 	budget := &budgetCounter{remaining: int64(budgetN), ctx: d.cancelCtx, checkIn: cancelPollStride}
 	blockLin := 0
 	for bz := 0; bz < l.Grid.Z; bz++ {
 		for by := 0; by < l.Grid.Y; by++ {
 			for bx := 0; bx < l.Grid.X; bx++ {
-				blk := newBlockCtx(d, l, constBank, Dim3{bx, by, bz}, blockLin)
+				blk := newBlockCtx(d, l, constBank, plan, Dim3{bx, by, bz}, blockLin)
 				if err := blk.run(budget, &stats); err != nil {
 					return stats, err
 				}
+				blk.release()
 				stats.Blocks++
 				blockLin++
 			}
@@ -351,7 +369,7 @@ func buildConstBank(l *Launch) []byte {
 	return bank
 }
 
-func newBlockCtx(d *Device, l *Launch, constBank []byte, blockIdx Dim3, blockLin int) *blockCtx {
+func newBlockCtx(d *Device, l *Launch, constBank []byte, plan *xplan, blockIdx Dim3, blockLin int) *blockCtx {
 	blockSize := l.Block.Count()
 	numWarps := (blockSize + WarpSize - 1) / WarpSize
 	blk := &blockCtx{
@@ -359,19 +377,29 @@ func newBlockCtx(d *Device, l *Launch, constBank []byte, blockIdx Dim3, blockLin
 		ek:        l.Kernel,
 		launch:    l,
 		constBank: constBank,
-		shared:    make([]byte, l.Kernel.K.SharedBytes+l.SharedBytes),
+		shared:    getShared(l.Kernel.K.SharedBytes + l.SharedBytes),
 		smID:      blockLin % d.NumSMs,
 		blockIdx:  blockIdx,
 		blockLin:  blockLin,
+		plan:      plan,
 	}
+	regHi := l.Kernel.writtenRegHi()
+	oneDim := l.Block.Y == 1 && l.Block.Z == 1
 	for w := 0; w < numWarps; w++ {
-		wp := &warp{id: w, converged: true}
+		wp := getWarp(w)
+		wp.dirtyRegs = regHi
 		for lane := 0; lane < WarpSize; lane++ {
 			t := w*WarpSize + lane
 			if t >= blockSize {
 				continue
 			}
 			wp.liveMask |= 1 << uint(lane)
+			if oneDim {
+				// 1-D blocks (the overwhelmingly common shape): the linear
+				// thread id is the X coordinate, no div/mod chain.
+				wp.tid[lane] = Dim3{X: t}
+				continue
+			}
 			wp.tid[lane] = Dim3{
 				X: t % l.Block.X,
 				Y: (t / l.Block.X) % l.Block.Y,
@@ -399,6 +427,8 @@ func (blk *blockCtx) run(budget *budgetCounter, stats *LaunchStats) error {
 		runWarp = blk.runWarpInstrumented
 	case blk.pause != nil || blk.counts != nil:
 		runWarp = blk.runWarpCkpt
+	case blk.plan != nil:
+		runWarp = blk.runWarpXlate
 	}
 	start := blk.resumeWarp
 	blk.resumeWarp = 0
@@ -475,6 +505,9 @@ func (blk *blockCtx) releaseBarrier() bool {
 // PCs (guard-suppressed lanes fall through to next) and lets the branch
 // semantics override the taken lanes.
 func (blk *blockCtx) step(w *warp, in *sass.Instr, pc int32, atPC, execMask uint32) (barrier bool, kind TrapKind, faultAddr uint32) {
+	if blk.plan != nil {
+		return blk.stepX(w, &blk.plan.steps[pc], pc, atPC, execMask)
+	}
 	if w.converged && !semAltersFlow(in.Op.Info().Sem) {
 		w.convPC = pc + 1
 		return blk.exec(w, in, int(pc), execMask)
@@ -485,6 +518,104 @@ func (blk *blockCtx) step(w *warp, in *sass.Instr, pc int32, atPC, execMask uint
 	}
 	w.converged = false
 	return blk.exec(w, in, int(pc), execMask)
+}
+
+// stepX is step through a translated plan: identical PC and convergence
+// bookkeeping, with the semantic classification and execution pre-resolved.
+func (blk *blockCtx) stepX(w *warp, xi *xinstr, pc int32, atPC, execMask uint32) (barrier bool, kind TrapKind, faultAddr uint32) {
+	if w.converged && !xi.altersFlow {
+		w.convPC = pc + 1
+		return xi.step(blk, w, execMask)
+	}
+	next := pc + 1
+	for m := atPC; m != 0; m &= m - 1 {
+		w.pc[bits.TrailingZeros32(m)] = next
+	}
+	w.converged = false
+	return xi.step(blk, w, execMask)
+}
+
+// runWarpXlate is the translated twin of runWarpFast. Its edge over the
+// interpreter loop: within a converged straight-line run (precomputed per
+// CFG basic block at translation time) it skips the scheduler entirely —
+// no schedule() call, no convergence re-check, no per-instruction semantic
+// classification — and executes the pre-resolved steps back to back.
+// Budget, cancellation polling, stats, and SM-clock accounting are charged
+// per instruction exactly as runWarpFast does, so LaunchStats, traps, and
+// modeled time are bit-identical.
+func (blk *blockCtx) runWarpXlate(w *warp, budget *budgetCounter, stats *LaunchStats) error {
+	steps := blk.plan.steps
+	n := int32(len(steps))
+	clock := &blk.dev.smClocks[blk.smID]
+	for {
+		minPC, atPC, done := w.schedule()
+		if done {
+			w.done = true
+			return nil
+		}
+		if minPC < 0 || minPC >= n {
+			return blk.trapErr(TrapBadPC, int(minPC), 0, "control transfer outside the kernel")
+		}
+		xi := &steps[minPC]
+		if w.converged && xi.simple {
+			// Straight-line run: simple steps never branch, exit lanes, or
+			// barrier, so atPC stays the active mask and the warp stays
+			// converged for the whole batch.
+			for pc, end := minPC, minPC+xi.runLen; pc < end; pc++ {
+				xi := &steps[pc]
+				execMask := atPC
+				if xi.guardKind != guardOn {
+					execMask = xi.guard(w, atPC)
+				}
+				if !budget.take() {
+					return blk.budgetTrap(budget, int(pc))
+				}
+				stats.WarpInstrs++
+				stats.ThreadInstrs += uint64(popcount(execMask))
+				*clock++
+				w.convPC = pc + 1
+				if _, kind, faultAddr := xi.step(blk, w, execMask); kind != 0 {
+					return blk.trapErr(kind, int(pc), faultAddr, "")
+				}
+			}
+			continue
+		}
+		execMask := atPC
+		if xi.guardKind != guardOn {
+			execMask = xi.guard(w, atPC)
+		}
+		if !budget.take() {
+			return blk.budgetTrap(budget, int(minPC))
+		}
+		stats.WarpInstrs++
+		stats.ThreadInstrs += uint64(popcount(execMask))
+		*clock++
+		if xi.isBra && w.converged {
+			// Uniform direct branch: every lane takes it (or none does), so
+			// the warp stays converged and no per-lane PC materializes —
+			// exactly the state the interpreter's next schedule() would
+			// recompute from the scattered PCs, minus the scan.
+			if execMask == atPC {
+				w.convPC = xi.braTarget
+				continue
+			}
+			if execMask == 0 {
+				w.convPC = minPC + 1
+				continue
+			}
+		}
+		barrier, kind, faultAddr := blk.stepX(w, xi, minPC, atPC, execMask)
+		if kind != 0 {
+			return blk.trapErr(kind, int(minPC), faultAddr, "")
+		}
+		if barrier {
+			if execMask != w.activeMask() {
+				return blk.trapErr(TrapInstrLimit, int(minPC), 0, "divergent BAR.SYNC never satisfied")
+			}
+			w.barWait = true
+			return nil
+		}
+	}
 }
 
 // runWarpFast steps an uninstrumented warp until it exits, reaches a

@@ -32,7 +32,7 @@ import (
 // trapped launch — matching hardware, where a trap does not undo work other
 // SMs already did. Fresh-context-per-experiment campaigns never observe the
 // difference: a trapped launch poisons the context.
-func (d *Device) runParallel(l *Launch, constBank []byte, budgetN uint64, workers int) (LaunchStats, error) {
+func (d *Device) runParallel(l *Launch, constBank []byte, plan *xplan, budgetN uint64, workers int) (LaunchStats, error) {
 	numBlocks := l.Grid.Count()
 	blockStats := make([]LaunchStats, numBlocks)
 	blockErrs := make([]error, numBlocks)
@@ -64,7 +64,7 @@ func (d *Device) runParallel(l *Launch, constBank []byte, budgetN uint64, worker
 					Y: (lin / l.Grid.X) % l.Grid.Y,
 					Z: lin / (l.Grid.X * l.Grid.Y),
 				}
-				blk := newBlockCtx(d, l, constBank, idx, lin)
+				blk := newBlockCtx(d, l, constBank, plan, idx, lin)
 				blk.parallel = true
 				if err := blk.run(budget, &blockStats[lin]); err != nil {
 					blockErrs[lin] = err
@@ -74,6 +74,8 @@ func (d *Device) runParallel(l *Launch, constBank []byte, budgetN uint64, worker
 							break
 						}
 					}
+				} else {
+					blk.release()
 				}
 			}
 		}(wkr)

@@ -553,14 +553,19 @@ func (e *evalCtx) psrc(lane, idx int) bool {
 	return v != o.Pred.Neg
 }
 
-func (e *evalCtx) readPair(lane int, r sass.RegID) uint64 {
+func (e *evalCtx) readPair(lane int, r sass.RegID) uint64 { return readPairReg(e.w, lane, r) }
+
+// readPairReg reads the 64-bit value in the register pair (r, r+1); RZ and
+// the register adjacent to RZ contribute zero halves. Shared between the
+// interpreter and the translated plans so pair semantics cannot drift.
+func readPairReg(w *warp, lane int, r sass.RegID) uint64 {
 	lo := uint64(0)
 	hi := uint64(0)
 	if r != sass.RZ {
-		lo = uint64(e.w.regs[lane][r])
+		lo = uint64(w.regs[lane][r])
 	}
 	if r+1 != sass.RZ && r != sass.RZ {
-		hi = uint64(e.w.regs[lane][r+1])
+		hi = uint64(w.regs[lane][r+1])
 	}
 	return hi<<32 | lo
 }
@@ -641,31 +646,37 @@ func (e *evalCtx) perLaneP(execMask uint32, f func(lane int) bool) (bool, TrapKi
 }
 
 func (e *evalCtx) special(lane int, sr sass.SpecialReg) uint32 {
+	return specialVal(e.blk, e.w, lane, sr)
+}
+
+// specialVal reads a special register for one lane. Shared between the
+// interpreter and the translated plans so S2R semantics cannot drift.
+func specialVal(blk *blockCtx, w *warp, lane int, sr sass.SpecialReg) uint32 {
 	switch sr {
 	case sass.SRTidX:
-		return uint32(e.w.tid[lane].X)
+		return uint32(w.tid[lane].X)
 	case sass.SRTidY:
-		return uint32(e.w.tid[lane].Y)
+		return uint32(w.tid[lane].Y)
 	case sass.SRTidZ:
-		return uint32(e.w.tid[lane].Z)
+		return uint32(w.tid[lane].Z)
 	case sass.SRCtaidX:
-		return uint32(e.blk.blockIdx.X)
+		return uint32(blk.blockIdx.X)
 	case sass.SRCtaidY:
-		return uint32(e.blk.blockIdx.Y)
+		return uint32(blk.blockIdx.Y)
 	case sass.SRCtaidZ:
-		return uint32(e.blk.blockIdx.Z)
+		return uint32(blk.blockIdx.Z)
 	case sass.SRLaneID:
 		return uint32(lane)
 	case sass.SRWarpID:
-		return uint32(e.w.id)
+		return uint32(w.id)
 	case sass.SRSMID:
-		return uint32(e.blk.smID)
+		return uint32(blk.smID)
 	case sass.SREqMask:
 		return 1 << uint(lane)
 	case sass.SRLtMask:
 		return 1<<uint(lane) - 1
 	case sass.SRClock:
-		return uint32(e.blk.dev.smClocks[e.blk.smID])
+		return uint32(blk.dev.smClocks[blk.smID])
 	default:
 		return 0
 	}

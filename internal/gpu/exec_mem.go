@@ -260,37 +260,51 @@ func addF32Bits(a, b uint32) uint32 {
 
 // spaceLoad dispatches a load to the operand's address space.
 func (e *evalCtx) spaceLoad(lane int, space sass.MemSpace, addr uint32, width uint8) (uint64, TrapKind) {
+	return spaceLoadAt(e.blk, e.w, lane, space, addr, width)
+}
+
+// spaceStore dispatches a store to the operand's address space.
+func (e *evalCtx) spaceStore(lane int, space sass.MemSpace, addr uint32, width uint8, v uint64) TrapKind {
+	return spaceStoreAt(e.blk, e.w, lane, space, addr, width, v)
+}
+
+func (e *evalCtx) localMem(lane int) []byte { return laneLocal(e.w, lane) }
+
+// spaceLoadAt dispatches a load to its address space. Shared between the
+// interpreter and the translated plans so memory semantics cannot drift.
+func spaceLoadAt(blk *blockCtx, w *warp, lane int, space sass.MemSpace, addr uint32, width uint8) (uint64, TrapKind) {
 	switch space {
 	case sass.SpaceGlobal, sass.SpaceGeneric:
-		return e.blk.dev.Mem.Load(addr, width)
+		return blk.dev.Mem.Load(addr, width)
 	case sass.SpaceShared:
-		return sliceLoad(e.blk.shared, addr, width, TrapSharedBounds)
+		return sliceLoad(blk.shared, addr, width, TrapSharedBounds)
 	case sass.SpaceLocal:
-		return sliceLoad(e.localMem(lane), addr, width, TrapLocalBounds)
+		return sliceLoad(laneLocal(w, lane), addr, width, TrapLocalBounds)
 	default:
 		return 0, TrapInvalidInstruction
 	}
 }
 
-// spaceStore dispatches a store to the operand's address space.
-func (e *evalCtx) spaceStore(lane int, space sass.MemSpace, addr uint32, width uint8, v uint64) TrapKind {
+// spaceStoreAt dispatches a store to its address space.
+func spaceStoreAt(blk *blockCtx, w *warp, lane int, space sass.MemSpace, addr uint32, width uint8, v uint64) TrapKind {
 	switch space {
 	case sass.SpaceGlobal, sass.SpaceGeneric:
-		return e.blk.dev.Mem.Store(addr, width, v)
+		return blk.dev.Mem.Store(addr, width, v)
 	case sass.SpaceShared:
-		return sliceStore(e.blk.shared, addr, width, v, TrapSharedBounds)
+		return sliceStore(blk.shared, addr, width, v, TrapSharedBounds)
 	case sass.SpaceLocal:
-		return sliceStore(e.localMem(lane), addr, width, v, TrapLocalBounds)
+		return sliceStore(laneLocal(w, lane), addr, width, v, TrapLocalBounds)
 	default:
 		return TrapInvalidInstruction
 	}
 }
 
-func (e *evalCtx) localMem(lane int) []byte {
-	if e.w.local[lane] == nil {
-		e.w.local[lane] = make([]byte, localMemBytes)
+// laneLocal returns a lane's local-memory window, materializing it lazily.
+func laneLocal(w *warp, lane int) []byte {
+	if w.local[lane] == nil {
+		w.local[lane] = make([]byte, localMemBytes)
 	}
-	return e.w.local[lane]
+	return w.local[lane]
 }
 
 func sliceLoad(buf []byte, addr uint32, width uint8, oob TrapKind) (uint64, TrapKind) {

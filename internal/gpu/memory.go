@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Memory is the device global-memory model: a bump allocator over a 32-bit
@@ -20,6 +21,11 @@ import (
 type Memory struct {
 	allocs []alloc // sorted by base
 	next   uint32
+
+	// aliased marks a memory whose pages may be shared with a snapshot (it
+	// was snapshotted, or restored from one). Aliased pages must never return
+	// to the page pool: another fork may still be reading them.
+	aliased bool
 }
 
 // memPageSize is the copy-on-write page granularity. It is a multiple of
@@ -29,6 +35,21 @@ const memPageSize = 4096
 
 // zeroPage backs reads of pages that were never written.
 var zeroPage [memPageSize]byte
+
+// pagePool recycles device-memory pages across experiments. Pages are zeroed
+// before being returned to the pool, so a pooled page is indistinguishable
+// from a freshly made one.
+var pagePool = sync.Pool{New: func() any {
+	p := make([]byte, memPageSize)
+	return &p
+}}
+
+func getPage() []byte { return *pagePool.Get().(*[]byte) }
+
+func putPage(p []byte) {
+	clear(p)
+	pagePool.Put(&p)
+}
 
 type alloc struct {
 	base uint32
@@ -57,10 +78,10 @@ func (a *alloc) readPage(pg uint32) []byte {
 func (a *alloc) writePage(pg uint32) []byte {
 	p := a.pages[pg]
 	if p == nil {
-		p = make([]byte, memPageSize)
+		p = getPage()
 		a.pages[pg] = p
 	} else if a.shared[pg] {
-		c := make([]byte, memPageSize)
+		c := getPage()
 		copy(c, p)
 		a.pages[pg] = c
 		p = c
@@ -220,6 +241,33 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 // AllocCount returns the number of live allocations, for tests.
 func (m *Memory) AllocCount() int { return len(m.allocs) }
 
+// Recycle returns every materialized page to the process-wide page pool and
+// empties the memory. Call only when the memory is being discarded — a
+// campaign retiring an experiment's context. A memory that was ever
+// snapshotted or restored from a snapshot is left untouched: its pages may
+// alias other forks' views, and aliasing is tracked per memory, not per page.
+func (m *Memory) Recycle() {
+	if m.aliased {
+		return
+	}
+	for i := range m.allocs {
+		a := &m.allocs[i]
+		for pg, p := range a.pages {
+			if p != nil && !a.shared[pg] {
+				putPage(p)
+			}
+			a.pages[pg] = nil
+		}
+	}
+	m.allocs = nil
+	m.next = allocBase
+}
+
+// Recycle retires the device, returning its global-memory pages to the
+// process-wide page pool. Call only when the device will never be used
+// again — the campaign layer calls it after classifying each experiment.
+func (d *Device) Recycle() { d.Mem.Recycle() }
+
 // memSnap is an immutable copy-on-write view of a Memory, shared between
 // the snapshotted memory and every fork restored from it.
 type memSnap struct {
@@ -237,6 +285,7 @@ type memSnapAlloc struct {
 // data: every materialized page is marked shared on the live memory, so
 // the next write to it copies first and the snapshot's view never changes.
 func (m *Memory) snapshot() *memSnap {
+	m.aliased = true
 	s := &memSnap{next: m.next, allocs: make([]memSnapAlloc, len(m.allocs))}
 	for i := range m.allocs {
 		a := &m.allocs[i]
@@ -257,7 +306,7 @@ func (m *Memory) snapshot() *memSnap {
 // from one memSnap concurrently and then diverge via copy-on-write without
 // ever observing each other.
 func (s *memSnap) restore() *Memory {
-	m := &Memory{next: s.next, allocs: make([]alloc, len(s.allocs))}
+	m := &Memory{next: s.next, allocs: make([]alloc, len(s.allocs)), aliased: true}
 	for i := range s.allocs {
 		sa := &s.allocs[i]
 		pages := make([][]byte, len(sa.pages))

@@ -50,6 +50,7 @@ type LaunchRun struct {
 	dev       *Device
 	launch    Launch // private copy: the disarmed flag is per-run state
 	constBank []byte
+	plan      *xplan
 	budget    budgetCounter
 	stats     LaunchStats
 	pause     pauseCtl
@@ -86,6 +87,7 @@ func (d *Device) BeginRun(l *Launch) (*LaunchRun, error) {
 	}
 	r := &LaunchRun{dev: d, launch: *l}
 	r.constBank = buildConstBank(&r.launch)
+	r.plan = d.planFor(k)
 	r.budget.remaining = int64(budget)
 	r.budget.ctx = d.cancelCtx
 	r.budget.checkIn = cancelPollStride
@@ -123,7 +125,7 @@ func (r *LaunchRun) Resume(pauseIn int64) (paused bool, err error) {
 				r.finish(nil)
 				return false, nil
 			}
-			r.blk = newBlockCtx(r.dev, &r.launch, r.constBank, blockIdxOf(r.blockLin, r.launch.Grid), r.blockLin)
+			r.blk = newBlockCtx(r.dev, &r.launch, r.constBank, r.plan, blockIdxOf(r.blockLin, r.launch.Grid), r.blockLin)
 			r.blk.pause = &r.pause
 			r.blk.counts = r.counts
 		}
@@ -137,6 +139,7 @@ func (r *LaunchRun) Resume(pauseIn int64) (paused bool, err error) {
 		}
 		r.stats.Blocks++
 		r.blockLin++
+		r.blk.release()
 		r.blk = nil
 	}
 }
@@ -179,8 +182,13 @@ func (r *LaunchRun) SetExecKernel(ek *ExecKernel) error {
 		return fmt.Errorf("gpu: SetExecKernel: kernel does not match the in-flight launch")
 	}
 	r.launch.Kernel = ek
+	// The replacement may be a different decode or an instrumented rewrite of
+	// the kernel: re-derive the plan from the new content (cache hit when the
+	// content is unchanged).
+	r.plan = r.dev.planFor(ek.K)
 	if r.blk != nil {
 		r.blk.ek = ek
+		r.blk.plan = r.plan
 	}
 	return nil
 }
@@ -326,6 +334,7 @@ func (d *Device) Restore(s *Snapshot) (*LaunchRun, error) {
 		blockLin: ls.blockLin,
 	}
 	r.constBank = buildConstBank(&r.launch)
+	r.plan = d.planFor(ls.kernel)
 	r.budget.remaining = ls.budget
 	r.budget.ctx = d.cancelCtx
 	r.budget.checkIn = cancelPollStride
@@ -334,7 +343,7 @@ func (d *Device) Restore(s *Snapshot) (*LaunchRun, error) {
 		r.counts = append([]uint64(nil), ls.counts...)
 	}
 	if bs := ls.blk; bs != nil {
-		blk := newBlockCtx(d, &r.launch, r.constBank, bs.blockIdx, r.blockLin)
+		blk := newBlockCtx(d, &r.launch, r.constBank, r.plan, bs.blockIdx, r.blockLin)
 		if len(blk.warps) != len(bs.warps) {
 			return nil, fmt.Errorf("gpu: restore rebuilt %d warps, snapshot has %d", len(blk.warps), len(bs.warps))
 		}

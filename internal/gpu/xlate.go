@@ -1,0 +1,250 @@
+package gpu
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/modcache"
+	"repro/internal/sass"
+	"repro/internal/sassan"
+)
+
+// This file is the block-level translation engine: it compiles a kernel's
+// instruction stream into an execution plan of pre-resolved per-instruction
+// closures, so the warp hot loop dispatches through one indirect call per
+// instruction instead of re-walking operand lists, re-switching on operand
+// kinds, and re-evaluating guards from scratch on every dynamic execution.
+//
+// Design rules (see DESIGN.md section 3.6):
+//
+//   - The interpreter (blockCtx.exec) stays the semantic oracle. Every
+//     specialized closure is compiled from the same shared helpers the
+//     interpreter calls (specialVal, spaceLoadAt, readPairReg, ...), and any
+//     instruction whose operand shape does not match the specializer's
+//     expectations falls back to a thunk that simply calls blk.exec — so
+//     translated execution is behaviorally identical by construction,
+//     including interpreter panics on malformed instructions.
+//   - Plans are pure functions of kernel *content*: they capture register
+//     ids, immediates, const-bank offsets and guard predicates, but never a
+//     Device, Launch, warp, or constant bank. One plan is therefore shared
+//     read-only across blocks, workers, devices, and experiments, cached
+//     process-wide in modcache keyed by the kernel content hash.
+//   - Straight-line runs never cross basic-block boundaries: runLen is
+//     computed within the CFG blocks internal/sassan builds, so the
+//     translated fast path's batching provably cannot run past a branch
+//     target entering mid-run.
+type xplan struct {
+	steps []xinstr
+}
+
+// planStep executes one translated instruction for the lanes in execMask,
+// with the same contract as blockCtx.exec.
+type planStep func(blk *blockCtx, w *warp, execMask uint32) (barrier bool, kind TrapKind, faultAddr uint32)
+
+// guardKind classifies the instruction guard at translation time so the hot
+// loop pays nothing for the overwhelmingly common @PT case.
+type guardKind uint8
+
+const (
+	guardOn   guardKind = iota // @PT: every scheduled lane executes
+	guardOff                   // @!PT: statically suppressed
+	guardCond                  // real predicate, evaluated per lane
+)
+
+// xinstr is one translated instruction: the fused step closure plus the
+// pre-resolved guard and scheduling classification.
+type xinstr struct {
+	step       planStep
+	guardKind  guardKind
+	guardPred  sass.PredID
+	guardNeg   bool
+	altersFlow bool  // pre-computed semAltersFlow
+	simple     bool  // cannot branch, exit lanes, or reach a barrier
+	isBra      bool  // direct BRA/JMP: target known at translation time
+	runLen     int32 // consecutive simple steps from here, within one CFG block
+	braTarget  int32 // branch target when isBra
+}
+
+// guard evaluates the instruction guard for the lanes in atPC, mirroring
+// guardMask with the predicate classification already resolved. The scan is
+// sequential by lane (no find-first-set dependency chain) with the predicate
+// id copied out of xi, so iterations overlap on the CPU.
+func (xi *xinstr) guard(w *warp, atPC uint32) uint32 {
+	switch xi.guardKind {
+	case guardOn:
+		return atPC
+	case guardOff:
+		return 0
+	}
+	p, neg := xi.guardPred&7, xi.guardNeg
+	var execMask uint32
+	for lane, rem := 0, atPC; rem != 0; lane, rem = lane+1, rem>>1 {
+		if rem&1 != 0 && w.preds[lane&31][p] != neg {
+			execMask |= 1 << uint(lane)
+		}
+	}
+	return execMask
+}
+
+// semSimple reports whether a semantic is straight-line safe: it never
+// writes per-lane PCs, never changes lane liveness, never reaches a barrier,
+// and never traps unconditionally. Simple steps may still fault (memory),
+// which the translated loop handles; what they cannot do is invalidate the
+// scheduling state the loop batched over.
+func semSimple(sem sass.SemKind) bool {
+	switch sem {
+	case sass.SemBar, sass.SemBra, sass.SemJmp, sass.SemBrx, sass.SemCall, sass.SemRet,
+		sass.SemExit, sass.SemKill, sass.SemBpt, sass.SemNone:
+		return false
+	}
+	return true
+}
+
+// xlateEngine names and versions the translation scheme in the plan cache
+// key: bumping it invalidates every cached plan without touching the module
+// entries.
+const xlateEngine = "gpu.xplan/v1"
+
+// planFor returns the translated execution plan for a kernel, building and
+// caching it process-wide on first use. Content-identical kernels — e.g.
+// independent decodes of the same module binary across a campaign's contexts
+// — share one plan. Returns nil (interpret everything) when translation is
+// disabled on the device.
+func (d *Device) planFor(k *sass.Kernel) *xplan {
+	if d.NoXlate || k == nil {
+		return nil
+	}
+	if p, ok := d.planMemo[k]; ok {
+		return p
+	}
+	key := modcache.PlanKey{Engine: xlateEngine, Hash: hashKernel(k)}
+	v, _, err := modcache.Shared.Plan(key, func() (any, error) { return translate(k) })
+	if err != nil {
+		return nil
+	}
+	p := v.(*xplan)
+	if d.planMemo == nil {
+		d.planMemo = make(map[*sass.Kernel]*xplan)
+	}
+	d.planMemo[k] = p
+	return p
+}
+
+// hashKernel computes the content hash that keys the plan cache. It covers
+// exactly the state translation reads: opcode, guard, modifiers, and every
+// operand field with architectural meaning. Symbol names and the kernel name
+// are deliberately excluded — two decodes that differ only cosmetically
+// execute identically and may share a plan.
+func hashKernel(k *sass.Kernel) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	b := func(v bool) {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	u32(uint32(len(k.Instrs)))
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		u32(uint32(in.Op))
+		u32(uint32(in.Guard.Pred))
+		b(in.Guard.Neg)
+		m := &in.Mods
+		u32(uint32(m.Width))
+		b(m.Signed)
+		b(m.Unsigned)
+		u32(uint32(m.Cmp))
+		u32(uint32(m.Bool))
+		u32(uint32(m.Logic))
+		u32(uint32(m.Mufu))
+		u32(uint32(m.Atom))
+		u32(uint32(m.Shfl))
+		b(m.High)
+		b(m.Right)
+		b(m.FtoI.Trunc)
+		b(m.Float)
+		b(m.Sync)
+		u32(uint32(len(in.Dst)))
+		u32(uint32(len(in.Src)))
+		for _, ops := range [2][]sass.Operand{in.Dst, in.Src} {
+			for j := range ops {
+				o := &ops[j]
+				u32(uint32(o.Kind))
+				b(o.Neg)
+				u32(uint32(o.Reg))
+				u32(uint32(o.Pred.Pred))
+				b(o.Pred.Neg)
+				u32(o.Imm)
+				u32(uint32(o.Off))
+				u32(uint32(o.Bank))
+				u32(uint32(o.SReg))
+				u32(uint32(o.Target))
+			}
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// translate compiles a kernel into its execution plan. It cannot fail: any
+// instruction the specializer does not understand compiles to an interpreter
+// thunk. The error return exists for the modcache signature and future
+// schemes that may want to reject kernels.
+func translate(k *sass.Kernel) (*xplan, error) {
+	steps := make([]xinstr, len(k.Instrs))
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		xi := &steps[i]
+		sem := in.Op.Info().Sem
+		xi.altersFlow = semAltersFlow(sem)
+		xi.simple = semSimple(sem)
+		switch {
+		case in.Guard.True():
+			xi.guardKind = guardOn
+		case in.Guard.Pred == sass.PT:
+			xi.guardKind = guardOff
+		default:
+			xi.guardKind = guardCond
+			xi.guardPred = in.Guard.Pred
+			xi.guardNeg = in.Guard.Neg
+		}
+		if (sem == sass.SemBra || sem == sass.SemJmp) && len(in.Src) > 0 {
+			// Direct branch: the hot loop resolves the uniform cases (all
+			// lanes take, or none take) without leaving the converged state.
+			xi.isBra = true
+			xi.braTarget = in.Src[0].Target
+		}
+		xi.step = compileStep(in, i)
+	}
+	// Straight-line run lengths, computed backwards within each CFG basic
+	// block so a run can never span a branch target.
+	cfg := sassan.BuildCFG(k)
+	for _, blk := range cfg.Blocks {
+		run := int32(0)
+		for i := blk.End - 1; i >= blk.Start; i-- {
+			if steps[i].simple {
+				run++
+			} else {
+				run = 0
+			}
+			steps[i].runLen = run
+		}
+	}
+	return &xplan{steps: steps}, nil
+}
+
+// thunkStep is the universal fallback: execute through the interpreter. The
+// captured instruction pointer refers into the translated kernel's (shared,
+// immutable) instruction slice; pc is needed because SemCall pushes pc+1.
+func thunkStep(in *sass.Instr, pc int) planStep {
+	return func(blk *blockCtx, w *warp, execMask uint32) (bool, TrapKind, uint32) {
+		return blk.exec(w, in, pc, execMask)
+	}
+}

@@ -1,0 +1,974 @@
+package gpu
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/sass"
+)
+
+// This file is the second tier of the instruction specializer. The accessor
+// tier in xlate_ops.go is fully general but pays several indirect calls per
+// lane (source reader, destination writer, op body); profiles of the warp
+// hot loop show those calls dominating translated execution. For the operand
+// shapes that account for nearly all dynamic instructions — a destination
+// register plus register / immediate / constant-bank sources — fastStep
+// emits one fused closure whose lane loop resolves every operand inline:
+// immediates fold at translation time, constant-bank words hoist out of the
+// lane loop (they are launch-uniform), and register reads index the lane's
+// register file directly. The op itself is selected by a captured tag,
+// switched inside the loop — a perfectly predicted jump, not a call.
+//
+// Any shape the fast tier does not cover falls back to the accessor tier,
+// and from there to the interpreter thunk, so every tier preserves exact
+// interpreted behavior.
+
+// Source kinds after fast classification.
+const (
+	fsImm   uint8 = iota // folded constant (immediates, labels, RZ)
+	fsReg                // per-lane register read
+	fsConst              // launch constant bank, hoisted out of the lane loop
+)
+
+// Negation modes, mirroring the accessor compilers: fnInt is srcI's two's
+// complement, fnFloat is srcFBits' sign-bit flip. Immediates fold their
+// negation at classification time and always carry fnNone.
+const (
+	fnNone uint8 = iota
+	fnInt
+	fnFloat
+)
+
+// fastSrc is one pre-resolved source operand.
+type fastSrc struct {
+	kind uint8
+	neg  uint8
+	reg  sass.RegID
+	imm  uint32 // folded value for fsImm
+	off  int32  // constant-bank offset for fsConst
+}
+
+// hoist resolves the lane-invariant value of a non-register source: the
+// folded immediate or this launch's constant-bank word, negation applied.
+// Called once per step invocation, before the lane loop.
+func (s *fastSrc) hoist(blk *blockCtx) uint32 {
+	if s.kind != fsConst {
+		return s.imm
+	}
+	v := blk.constRead(s.off)
+	switch s.neg {
+	case fnInt:
+		v = -v
+	case fnFloat:
+		v ^= 0x80000000
+	}
+	return v
+}
+
+// unpack flattens the source into scalar loop state: whether to read the
+// register file, which register, and a xor/add pair that applies the
+// negation mode without branching (two's complement is ^x+1; float negation
+// flips the sign bit). The callers keep these in plain locals so the lane
+// loop runs entirely out of machine registers — a struct would be kept on
+// the stack once the inlined accessor takes its address, and the compiler
+// reloads stack slots on every iteration.
+func (s *fastSrc) unpack() (isReg bool, reg sass.RegID, xor, add uint32) {
+	if s.kind != fsReg {
+		return false, 0, 0, 0
+	}
+	switch s.neg {
+	case fnInt:
+		return true, s.reg, 0xffffffff, 1
+	case fnFloat:
+		return true, s.reg, 0x80000000, 0
+	}
+	return true, s.reg, 0, 0
+}
+
+// fastSrcFor classifies one source under the given negation mode. The bool
+// result is false when the operand needs the accessor tier: special
+// registers, missing operands, or shapes the interpreter would reject.
+func fastSrcFor(in *sass.Instr, idx int, neg uint8) (fastSrc, bool) {
+	if idx >= len(in.Src) {
+		return fastSrc{}, false
+	}
+	o := &in.Src[idx]
+	switch o.Kind {
+	case sass.OpdReg:
+		if o.Reg == sass.RZ {
+			// RZ reads zero; a negated zero is still zero in both modes'
+			// integer bits except the float sign flip.
+			v := uint32(0)
+			if o.Neg && neg == fnFloat {
+				v = 0x80000000
+			}
+			return fastSrc{kind: fsImm, imm: v}, true
+		}
+		m := fnNone
+		if o.Neg {
+			m = neg
+		}
+		return fastSrc{kind: fsReg, neg: m, reg: o.Reg}, true
+	case sass.OpdImm:
+		v := o.Imm
+		if o.Neg {
+			switch neg {
+			case fnInt:
+				v = -v
+			case fnFloat:
+				v ^= 0x80000000
+			}
+		}
+		return fastSrc{kind: fsImm, imm: v}, true
+	case sass.OpdLabel:
+		v := uint32(o.Target)
+		if o.Neg && neg == fnInt {
+			v = -v
+		} else if o.Neg && neg == fnFloat {
+			v ^= 0x80000000
+		}
+		return fastSrc{kind: fsImm, imm: v}, true
+	case sass.OpdConst:
+		m := fnNone
+		if o.Neg {
+			m = neg
+		}
+		return fastSrc{kind: fsConst, neg: m, off: o.Off}, true
+	}
+	return fastSrc{}, false
+}
+
+// fastPred is a pre-resolved predicate source: a constant (PT, missing, or
+// non-predicate operands) or a per-lane predicate-file read.
+type fastPred struct {
+	p     sass.PredID
+	neg   bool
+	fixed int8 // 0 or 1: constant; -1: read p per lane
+}
+
+func fastPredFor(in *sass.Instr, idx int) fastPred {
+	if idx >= len(in.Src) || in.Src[idx].Kind != sass.OpdPred {
+		return fastPred{fixed: 1}
+	}
+	pr := in.Src[idx].Pred
+	if pr.Pred == sass.PT {
+		if pr.Neg {
+			return fastPred{fixed: 0}
+		}
+		return fastPred{fixed: 1}
+	}
+	return fastPred{p: pr.Pred, neg: pr.Neg, fixed: -1}
+}
+
+// read resolves the predicate for one lane; inlines into the fused loops.
+func (p *fastPred) read(pf *[sass.NumPreds]bool) bool {
+	if p.fixed >= 0 {
+		return p.fixed != 0
+	}
+	return pf[p.p&7] != p.neg
+}
+
+// fastDst accepts only a plain non-RZ destination register; RZ and predicate
+// destinations keep the accessor tier's drop/write-through behavior.
+func fastDst(in *sass.Instr) (sass.RegID, bool) {
+	if len(in.Dst) == 0 || in.Dst[0].Kind != sass.OpdReg || in.Dst[0].Reg == sass.RZ {
+		return 0, false
+	}
+	return in.Dst[0].Reg, true
+}
+
+// fastDstP accepts only a real predicate destination (writes to PT drop).
+func fastDstP(in *sass.Instr) (sass.PredID, bool) {
+	if len(in.Dst) == 0 || in.Dst[0].Kind != sass.OpdPred || in.Dst[0].Pred.Pred == sass.PT {
+		return 0, false
+	}
+	return in.Dst[0].Pred.Pred, true
+}
+
+// fastOp tags the operation a fused closure performs. The tag is switched
+// per lane inside the loop body: the target never changes within one step,
+// so the jump predicts perfectly and costs no indirect call.
+type fastOp uint8
+
+const (
+	// two-source (or fewer) register-result ops
+	fopAdd fastOp = iota
+	fopMul
+	fopMulHiS
+	fopMulHiU
+	fopAnd
+	fopOr
+	fopXor
+	fopPassB
+	fopShl
+	fopShrU
+	fopShrS
+	fopFAdd
+	fopFMul
+	fopPassA
+	fopPopc
+	fopBrev
+	fopFlo
+
+	// three-source register-result ops
+	fopImadLo
+	fopImadHiS
+	fopImadHiU
+	fopIAdd3
+	fopLea
+	fopFFma
+	fopLop3
+
+	// predicate-selected register-result ops
+	fopSel
+	fopIMnMxS
+	fopIMnMxU
+	fopFMnMx
+)
+
+// fastBinStep fuses a one- or two-source ALU op: the whole warp executes in
+// one closure call with zero per-lane calls. Every captured value is copied
+// into a local before the lane loop — the loop stores into the register
+// file, and the compiler cannot hoist loads from the closure environment
+// across those stores, so reading the environment per lane would reload
+// every field on every iteration.
+//
+// The hottest ops additionally unswitch the op tag out of the lane loop: a
+// dedicated loop per op keeps the body to a handful of instructions with no
+// jump table and low enough register pressure that nothing spills, which the
+// single switched loop cannot achieve.
+//
+//go:noinline
+func fastBinStep(op fastOp, d sass.RegID, a, b fastSrc) planStep {
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		op, d := op, d
+		av, bv := a.hoist(blk), b.hoist(blk)
+		aIsReg, aReg, aXor, aAdd := a.unpack()
+		bIsReg, bReg, bXor, bAdd := b.unpack()
+		// Sequential lane scan instead of a find-first-set loop: the lane
+		// index carries no dependency on the previous iteration, so the CPU
+		// overlaps lane bodies. Ascending order matches the accessor tier.
+		switch op {
+		case fopAdd:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				rf[d] = x + y
+			}
+			return false, 0, 0
+		case fopMul:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				rf[d] = x * y
+			}
+			return false, 0, 0
+		case fopAnd:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				rf[d] = x & y
+			}
+			return false, 0, 0
+		case fopOr:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				rf[d] = x | y
+			}
+			return false, 0, 0
+		case fopXor:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				rf[d] = x ^ y
+			}
+			return false, 0, 0
+		case fopPassB:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				v := bv
+				if bIsReg {
+					v = (rf[bReg] ^ bXor) + bAdd
+				}
+				rf[d] = v
+			}
+			return false, 0, 0
+		case fopPassA:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				v := av
+				if aIsReg {
+					v = (rf[aReg] ^ aXor) + aAdd
+				}
+				rf[d] = v
+			}
+			return false, 0, 0
+		case fopShl:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				v := uint32(0)
+				if y < 32 {
+					v = x << y
+				}
+				rf[d] = v
+			}
+			return false, 0, 0
+		case fopShrU:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				v := uint32(0)
+				if y < 32 {
+					v = x >> y
+				}
+				rf[d] = v
+			}
+			return false, 0, 0
+		case fopFAdd:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				rf[d] = math.Float32bits(math.Float32frombits(x) + math.Float32frombits(y))
+			}
+			return false, 0, 0
+		case fopFMul:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y := av, bv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				rf[d] = math.Float32bits(math.Float32frombits(x) * math.Float32frombits(y))
+			}
+			return false, 0, 0
+		}
+		for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+			if rem&1 == 0 {
+				continue
+			}
+			rf := &w.regs[lane&31]
+			x, y := av, bv
+			if aIsReg {
+				x = (rf[aReg] ^ aXor) + aAdd
+			}
+			if bIsReg {
+				y = (rf[bReg] ^ bXor) + bAdd
+			}
+			var v uint32
+			switch op {
+			case fopMulHiS:
+				v = mulHigh(x, y, true)
+			case fopMulHiU:
+				v = mulHigh(x, y, false)
+			case fopShrS:
+				s := y
+				if s >= 32 {
+					s = 31
+				}
+				v = uint32(int32(x) >> s)
+			case fopPopc:
+				v = uint32(bits.OnesCount32(x))
+			case fopBrev:
+				v = bits.Reverse32(x)
+			case fopFlo:
+				if x == 0 {
+					v = 0xffffffff
+				} else {
+					v = uint32(31 - bits.LeadingZeros32(x))
+				}
+			}
+			rf[d] = v
+		}
+		return false, 0, 0
+	}
+}
+
+// fastTernStep fuses a three-source ALU op; lut carries LOP3's immediate
+// truth table.
+//
+//go:noinline
+func fastTernStep(op fastOp, d sass.RegID, a, b, c fastSrc, lut uint8) planStep {
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		op, d, lut := op, d, lut
+		av, bv, cv := a.hoist(blk), b.hoist(blk), c.hoist(blk)
+		aIsReg, aReg, aXor, aAdd := a.unpack()
+		bIsReg, bReg, bXor, bAdd := b.unpack()
+		cIsReg, cReg, cXor, cAdd := c.unpack()
+		// The dominant terns (IMAD, FFMA, IADD3) get op-unswitched loops like
+		// fastBinStep's; the rest share the switched loop below.
+		switch op {
+		case fopImadLo:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y, z := av, bv, cv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				if cIsReg {
+					z = (rf[cReg] ^ cXor) + cAdd
+				}
+				rf[d] = x*y + z
+			}
+			return false, 0, 0
+		case fopFFma:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y, z := av, bv, cv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				if cIsReg {
+					z = (rf[cReg] ^ cXor) + cAdd
+				}
+				rf[d] = math.Float32bits(float32(
+					float64(math.Float32frombits(x))*float64(math.Float32frombits(y)) +
+						float64(math.Float32frombits(z))))
+			}
+			return false, 0, 0
+		case fopIAdd3:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				rf := &w.regs[lane&31]
+				x, y, z := av, bv, cv
+				if aIsReg {
+					x = (rf[aReg] ^ aXor) + aAdd
+				}
+				if bIsReg {
+					y = (rf[bReg] ^ bXor) + bAdd
+				}
+				if cIsReg {
+					z = (rf[cReg] ^ cXor) + cAdd
+				}
+				rf[d] = x + y + z
+			}
+			return false, 0, 0
+		}
+		for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+			if rem&1 == 0 {
+				continue
+			}
+			rf := &w.regs[lane&31]
+			x, y, z := av, bv, cv
+			if aIsReg {
+				x = (rf[aReg] ^ aXor) + aAdd
+			}
+			if bIsReg {
+				y = (rf[bReg] ^ bXor) + bAdd
+			}
+			if cIsReg {
+				z = (rf[cReg] ^ cXor) + cAdd
+			}
+			var v uint32
+			switch op {
+			case fopImadHiS:
+				v = mulHigh(x, y, true) + z
+			case fopImadHiU:
+				v = mulHigh(x, y, false) + z
+			case fopLea:
+				v = x<<(z&31) + y
+			case fopLop3:
+				v = lop3(x, y, z, lut)
+			}
+			rf[d] = v
+		}
+		return false, 0, 0
+	}
+}
+
+// fastSelStep fuses the predicate-selected ops (SEL, FSEL, IMNMX, FMNMX).
+//
+//go:noinline
+func fastSelStep(op fastOp, d sass.RegID, a, b fastSrc, p fastPred) planStep {
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		op, d, p := op, d, p
+		av, bv := a.hoist(blk), b.hoist(blk)
+		aIsReg, aReg, aXor, aAdd := a.unpack()
+		bIsReg, bReg, bXor, bAdd := b.unpack()
+		for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+			if rem&1 == 0 {
+				continue
+			}
+			lane := lane & 31
+			rf := &w.regs[lane]
+			x, y := av, bv
+			if aIsReg {
+				x = (rf[aReg] ^ aXor) + aAdd
+			}
+			if bIsReg {
+				y = (rf[bReg] ^ bXor) + bAdd
+			}
+			pv := p.read(&w.preds[lane])
+			var v uint32
+			switch op {
+			case fopSel:
+				v = y
+				if pv {
+					v = x
+				}
+			case fopIMnMxU:
+				v = y
+				if (x < y) == pv {
+					v = x
+				}
+			case fopIMnMxS:
+				v = y
+				if (int32(x) < int32(y)) == pv {
+					v = x
+				}
+			case fopFMnMx:
+				fx, fy := math.Float32frombits(x), math.Float32frombits(y)
+				if pv {
+					v = math.Float32bits(fmin(fx, fy))
+				} else {
+					v = math.Float32bits(fmax(fx, fy))
+				}
+			}
+			rf[d] = v
+		}
+		return false, 0, 0
+	}
+}
+
+// fastCmp is the comparison pre-resolved from (float, unsigned, CmpOp) at
+// translation time, so the setp lane loop branches on a dense enum instead of
+// calling icompare/fcompare, whose full switches are past the inlining budget
+// and would spill the loop's registers around the call.
+type fastCmp uint8
+
+const (
+	fcF  fastCmp = iota // constant false: CmpF and every unhandled op
+	fcT                 // constant true
+	fcEQ                // integer compares (EQ/NE are sign-agnostic)
+	fcNE
+	fcLTS
+	fcLES
+	fcGTS
+	fcGES
+	fcLTU
+	fcLEU
+	fcGTU
+	fcGEU
+	fcFEQ // float compares: IEEE semantics, NaN compares false
+	fcFNE
+	fcFLT
+	fcFLE
+	fcFGT
+	fcFGE
+	fcFNum
+	fcFNan
+)
+
+// fastCmpFor mirrors the interpreter's icompare/fcompare dispatch exactly:
+// ops either switch table leaves at "default: return false" resolve to fcF.
+func fastCmpFor(float, unsigned bool, c sass.CmpOp) fastCmp {
+	if float {
+		switch c {
+		case sass.CmpEQ:
+			return fcFEQ
+		case sass.CmpNE:
+			return fcFNE
+		case sass.CmpLT:
+			return fcFLT
+		case sass.CmpLE:
+			return fcFLE
+		case sass.CmpGT:
+			return fcFGT
+		case sass.CmpGE:
+			return fcFGE
+		case sass.CmpNum:
+			return fcFNum
+		case sass.CmpNan:
+			return fcFNan
+		case sass.CmpT:
+			return fcT
+		}
+		return fcF
+	}
+	switch c {
+	case sass.CmpEQ:
+		return fcEQ
+	case sass.CmpNE:
+		return fcNE
+	case sass.CmpT:
+		return fcT
+	case sass.CmpLT, sass.CmpLE, sass.CmpGT, sass.CmpGE:
+		if unsigned {
+			switch c {
+			case sass.CmpLT:
+				return fcLTU
+			case sass.CmpLE:
+				return fcLEU
+			case sass.CmpGT:
+				return fcGTU
+			}
+			return fcGEU
+		}
+		switch c {
+		case sass.CmpLT:
+			return fcLTS
+		case sass.CmpLE:
+			return fcLES
+		case sass.CmpGT:
+			return fcGTS
+		}
+		return fcGES
+	}
+	return fcF
+}
+
+// fastSetPStep fuses ISETP/FSETP with the optional .AND/.OR/.XOR combine
+// against a predicate source. When the instruction has no combine source,
+// boolOp is BoolNone and q is constant-true, which passes the comparison
+// through exactly like boolQualify.
+//
+//go:noinline
+func fastSetPStep(cmp fastCmp, boolOp sass.BoolOp,
+	d sass.PredID, a, b fastSrc, q fastPred) planStep {
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		cmp, boolOp, d, q := cmp, boolOp, d, q
+		av, bv := a.hoist(blk), b.hoist(blk)
+		aIsReg, aReg, aXor, aAdd := a.unpack()
+		bIsReg, bReg, bXor, bAdd := b.unpack()
+		for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+			if rem&1 == 0 {
+				continue
+			}
+			lane := lane & 31
+			rf := &w.regs[lane]
+			x, y := av, bv
+			if aIsReg {
+				x = (rf[aReg] ^ aXor) + aAdd
+			}
+			if bIsReg {
+				y = (rf[bReg] ^ bXor) + bAdd
+			}
+			var r bool
+			switch cmp {
+			case fcT:
+				r = true
+			case fcEQ:
+				r = x == y
+			case fcNE:
+				r = x != y
+			case fcLTS:
+				r = int32(x) < int32(y)
+			case fcLES:
+				r = int32(x) <= int32(y)
+			case fcGTS:
+				r = int32(x) > int32(y)
+			case fcGES:
+				r = int32(x) >= int32(y)
+			case fcLTU:
+				r = x < y
+			case fcLEU:
+				r = x <= y
+			case fcGTU:
+				r = x > y
+			case fcGEU:
+				r = x >= y
+			case fcFEQ:
+				r = math.Float32frombits(x) == math.Float32frombits(y)
+			case fcFNE:
+				r = math.Float32frombits(x) != math.Float32frombits(y)
+			case fcFLT:
+				r = math.Float32frombits(x) < math.Float32frombits(y)
+			case fcFLE:
+				r = math.Float32frombits(x) <= math.Float32frombits(y)
+			case fcFGT:
+				r = math.Float32frombits(x) > math.Float32frombits(y)
+			case fcFGE:
+				r = math.Float32frombits(x) >= math.Float32frombits(y)
+			case fcFNum:
+				r = !isNaN32(math.Float32frombits(x)) && !isNaN32(math.Float32frombits(y))
+			case fcFNan:
+				r = isNaN32(math.Float32frombits(x)) || isNaN32(math.Float32frombits(y))
+			}
+			pf := &w.preds[lane]
+			qv := q.read(pf)
+			switch boolOp {
+			case sass.BoolAnd:
+				r = r && qv
+			case sass.BoolOr:
+				r = r || qv
+			case sass.BoolXor:
+				r = r != qv
+			}
+			pf[d&7] = r
+		}
+		return false, 0, 0
+	}
+}
+
+// fastStep tries the fused tier for one instruction; nil means the shape
+// needs the accessor tier.
+func fastStep(in *sass.Instr) planStep {
+	mods := &in.Mods
+	sem := in.Op.Info().Sem
+	switch sem {
+	case sass.SemIAdd, sass.SemIMul, sass.SemLop, sass.SemShl, sass.SemShr,
+		sass.SemMov, sass.SemPopc, sass.SemBrev, sass.SemFlo,
+		sass.SemFAdd, sass.SemFMul:
+		d, ok := fastDst(in)
+		if !ok {
+			return nil
+		}
+		neg := fnNone
+		var op fastOp
+		switch sem {
+		case sass.SemIAdd:
+			op, neg = fopAdd, fnInt
+		case sass.SemIMul:
+			op, neg = fopMul, fnInt
+			if mods.High {
+				op = fopMulHiS
+				if mods.Unsigned {
+					op = fopMulHiU
+				}
+			}
+		case sass.SemLop:
+			switch mods.Logic {
+			case sass.LogicOr:
+				op = fopOr
+			case sass.LogicXor:
+				op = fopXor
+			case sass.LogicPassB:
+				op = fopPassB
+			default:
+				op = fopAnd
+			}
+		case sass.SemShl:
+			op = fopShl
+		case sass.SemShr:
+			op = fopShrS
+			if mods.Unsigned {
+				op = fopShrU
+			}
+		case sass.SemMov:
+			op, neg = fopPassA, fnInt
+		case sass.SemPopc:
+			op = fopPopc
+		case sass.SemBrev:
+			op = fopBrev
+		case sass.SemFlo:
+			op = fopFlo
+		case sass.SemFAdd:
+			op, neg = fopFAdd, fnFloat
+		case sass.SemFMul:
+			op, neg = fopFMul, fnFloat
+		}
+		a, ok := fastSrcFor(in, 0, neg)
+		if !ok {
+			return nil
+		}
+		b := fastSrc{} // unary ops ignore the second source
+		switch op {
+		case fopPassA, fopPopc, fopBrev, fopFlo:
+		default:
+			if b, ok = fastSrcFor(in, 1, neg); !ok {
+				return nil
+			}
+		}
+		return fastBinStep(op, d, a, b)
+
+	case sass.SemIMad, sass.SemIAdd3, sass.SemISCAdd, sass.SemLea, sass.SemFFma, sass.SemLop3:
+		d, ok := fastDst(in)
+		if !ok {
+			return nil
+		}
+		var op fastOp
+		neg := fnNone
+		lut := uint8(0)
+		switch sem {
+		case sass.SemIMad:
+			op, neg = fopImadLo, fnInt
+			if mods.High {
+				op = fopImadHiS
+				if mods.Unsigned {
+					op = fopImadHiU
+				}
+			}
+		case sass.SemIAdd3:
+			op, neg = fopIAdd3, fnInt
+		case sass.SemISCAdd, sass.SemLea:
+			op = fopLea
+		case sass.SemFFma:
+			op, neg = fopFFma, fnFloat
+		case sass.SemLop3:
+			op = fopLop3
+			// The truth table must be a plain immediate; anything else (the
+			// interpreter reads it per lane) keeps the accessor tier.
+			if len(in.Src) < 4 || in.Src[3].Kind != sass.OpdImm || in.Src[3].Neg {
+				return nil
+			}
+			lut = uint8(in.Src[3].Imm)
+		}
+		a, ok := fastSrcFor(in, 0, neg)
+		if !ok {
+			return nil
+		}
+		b, ok := fastSrcFor(in, 1, neg)
+		if !ok {
+			return nil
+		}
+		c, ok := fastSrcFor(in, 2, neg)
+		if !ok {
+			return nil
+		}
+		return fastTernStep(op, d, a, b, c, lut)
+
+	case sass.SemSel, sass.SemFSel, sass.SemIMnMx, sass.SemFMnMx:
+		d, ok := fastDst(in)
+		if !ok {
+			return nil
+		}
+		var op fastOp
+		neg := fnNone
+		switch sem {
+		case sass.SemSel:
+			op = fopSel
+		case sass.SemFSel:
+			op, neg = fopSel, fnFloat
+		case sass.SemIMnMx:
+			op = fopIMnMxS
+			if mods.Unsigned {
+				op = fopIMnMxU
+			}
+		case sass.SemFMnMx:
+			op, neg = fopFMnMx, fnFloat
+		}
+		a, ok := fastSrcFor(in, 0, neg)
+		if !ok {
+			return nil
+		}
+		b, ok := fastSrcFor(in, 1, neg)
+		if !ok {
+			return nil
+		}
+		return fastSelStep(op, d, a, b, fastPredFor(in, 2))
+
+	case sass.SemISetP, sass.SemFSetP:
+		d, ok := fastDstP(in)
+		if !ok {
+			return nil
+		}
+		float := sem == sass.SemFSetP
+		neg := fnNone
+		if float {
+			neg = fnFloat
+		}
+		a, ok := fastSrcFor(in, 0, neg)
+		if !ok {
+			return nil
+		}
+		b, ok := fastSrcFor(in, 1, neg)
+		if !ok {
+			return nil
+		}
+		boolOp, q := sass.BoolNone, fastPred{fixed: 1}
+		if len(in.Src) > 2 {
+			boolOp, q = mods.Bool, fastPredFor(in, 2)
+		}
+		return fastSetPStep(fastCmpFor(float, mods.Unsigned, mods.Cmp), boolOp, d, a, b, q)
+	}
+	return nil
+}

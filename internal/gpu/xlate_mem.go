@@ -1,0 +1,360 @@
+package gpu
+
+import (
+	"math/bits"
+
+	"repro/internal/sass"
+)
+
+// Memory-instruction specialization, mirroring exec_mem.go case for case.
+// Address computation, width dispatch, and destination shape checks are all
+// resolved at translation time; the actual space dispatch goes through the
+// same spaceLoadAt/spaceStoreAt helpers the interpreter uses.
+
+// memAddrLane compiles evalCtx.memAddr: the effective address of the first
+// memory operand for one lane. Returns nil when the instruction has no
+// memory operand.
+func memAddrLane(in *sass.Instr) func(w *warp, lane int) uint32 {
+	for i := range in.Src {
+		o := &in.Src[i]
+		if o.Kind != sass.OpdMem {
+			continue
+		}
+		off := uint32(o.Off)
+		if o.Reg == sass.RZ {
+			return func(*warp, int) uint32 { return off }
+		}
+		r := o.Reg
+		return func(w *warp, lane int) uint32 { return w.regs[lane][r] + off }
+	}
+	return nil
+}
+
+// trapActive is the compiled form of "return TrapInvalidInstruction on the
+// first active lane": a trap iff any lane executes, as the interpreter's
+// in-loop shape checks behave.
+func trapActive(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+	if m != 0 {
+		return false, TrapInvalidInstruction, 0
+	}
+	return false, 0, 0
+}
+
+// fastMemOperand classifies the dominant memory-operand shape — `[Rx+off]`
+// or `[off]` — for the fused global-access tier.
+func fastMemOperand(in *sass.Instr) (r sass.RegID, off uint32, useReg, ok bool) {
+	for i := range in.Src {
+		o := &in.Src[i]
+		if o.Kind != sass.OpdMem {
+			continue
+		}
+		return o.Reg, uint32(o.Off), o.Reg != sass.RZ, true
+	}
+	return 0, 0, false, false
+}
+
+// fastLoadG32 is the fused step for the dominant load shape: LDG/LD.32 from
+// global memory into a plain register. Instead of a bounds-check plus page
+// lookup per lane, it keeps a window over the last page touched: coalesced
+// warps (the common case by construction — kernels index by tid) resolve 31
+// of 32 lanes with one compare and a direct read. Misses fall back to the
+// same Memory.check the interpreter's Load uses, so trap kinds, fault
+// addresses, and ascending-lane fault ordering are identical.
+func fastLoadG32(r sass.RegID, off uint32, useReg bool, d sass.RegID) planStep {
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		r, off, useReg, d := r, off, useReg, d
+		mem := blk.dev.Mem
+		var winBase uint32 // device address of winBuf[0]
+		var winBuf []byte  // valid bytes of the cached page, clamped to the allocation
+		for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+			if rem&1 == 0 {
+				continue
+			}
+			lane := lane & 31
+			rf := &w.regs[lane]
+			a := off
+			if useReg {
+				a += rf[r]
+			}
+			if i := a - winBase; a&3 == 0 && uint64(i)+4 <= uint64(len(winBuf)) {
+				rf[d] = uint32(winBuf[i]) | uint32(winBuf[i+1])<<8 |
+					uint32(winBuf[i+2])<<16 | uint32(winBuf[i+3])<<24
+				continue
+			}
+			al, o, kind := mem.check(a, 4)
+			if kind != 0 {
+				return false, kind, a
+			}
+			po := o % memPageSize
+			winLen := uint32(memPageSize)
+			if left := al.size - (o - po); left < winLen {
+				winLen = left
+			}
+			winBase = a - po
+			winBuf = al.readPage(o / memPageSize)[:winLen]
+			i := po
+			rf[d] = uint32(winBuf[i]) | uint32(winBuf[i+1])<<8 |
+				uint32(winBuf[i+2])<<16 | uint32(winBuf[i+3])<<24
+		}
+		return false, 0, 0
+	}
+}
+
+// fastStoreG32 is fastLoadG32's store counterpart. The cached window comes
+// from writePage, so the first touch of each page pays the copy-on-write
+// fault exactly like Memory.Store and later lanes write the private page
+// directly.
+func fastStoreG32(r sass.RegID, off uint32, useReg bool, v fastSrc) planStep {
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		r, off, useReg := r, off, useReg
+		vv := v.hoist(blk)
+		vIsReg, vReg, vXor, vAdd := v.unpack()
+		mem := blk.dev.Mem
+		var winBase uint32
+		var winBuf []byte
+		for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+			if rem&1 == 0 {
+				continue
+			}
+			lane := lane & 31
+			rf := &w.regs[lane]
+			a := off
+			if useReg {
+				a += rf[r]
+			}
+			val := vv
+			if vIsReg {
+				val = (rf[vReg] ^ vXor) + vAdd
+			}
+			if i := a - winBase; a&3 == 0 && uint64(i)+4 <= uint64(len(winBuf)) {
+				winBuf[i] = byte(val)
+				winBuf[i+1] = byte(val >> 8)
+				winBuf[i+2] = byte(val >> 16)
+				winBuf[i+3] = byte(val >> 24)
+				continue
+			}
+			al, o, kind := mem.check(a, 4)
+			if kind != 0 {
+				return false, kind, a
+			}
+			po := o % memPageSize
+			winLen := uint32(memPageSize)
+			if left := al.size - (o - po); left < winLen {
+				winLen = left
+			}
+			winBase = a - po
+			winBuf = al.writePage(o / memPageSize)[:winLen]
+			i := po
+			winBuf[i] = byte(val)
+			winBuf[i+1] = byte(val >> 8)
+			winBuf[i+2] = byte(val >> 16)
+			winBuf[i+3] = byte(val >> 24)
+		}
+		return false, 0, 0
+	}
+}
+
+// compileLoad specializes LD/LDG/LDL/LDS.
+func compileLoad(in *sass.Instr, space sass.MemSpace) planStep {
+	addr := memAddrLane(in)
+	if addr == nil {
+		return trapActive
+	}
+	switch width := in.Mods.MemWidth(); width {
+	case 1, 2, 4:
+		wr := dstWr(in)
+		if wr == nil {
+			return nil
+		}
+		if width == 4 && (space == sass.SpaceGlobal || space == sass.SpaceGeneric) {
+			// Sign extension is a no-op at full width, so .32 loads take the
+			// fused global tier whenever the destination is a plain register.
+			if d, ok := fastDst(in); ok {
+				if r, off, useReg, ok := fastMemOperand(in); ok {
+					return fastLoadG32(r, off, useReg, d)
+				}
+			}
+		}
+		signed := in.Mods.Signed
+		return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+			for ; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				a := addr(w, lane)
+				v, kind := spaceLoadAt(blk, w, lane, space, a, width)
+				if kind != 0 {
+					return false, kind, a
+				}
+				u := uint32(v)
+				if signed {
+					switch width {
+					case 1:
+						u = uint32(int32(int8(u)))
+					case 2:
+						u = uint32(int32(int16(u)))
+					}
+				}
+				wr(w, lane, u)
+			}
+			return false, 0, 0
+		}
+	case 8:
+		wr := dstWrPair(in)
+		if wr == nil {
+			return nil
+		}
+		return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+			for ; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				a := addr(w, lane)
+				v, kind := spaceLoadAt(blk, w, lane, space, a, 8)
+				if kind != 0 {
+					return false, kind, a
+				}
+				wr(w, lane, v)
+			}
+			return false, 0, 0
+		}
+	case 16:
+		if len(in.Dst) == 0 {
+			return nil // interpreter panics on the missing destination
+		}
+		d := &in.Dst[0]
+		if d.Kind != sass.OpdReg {
+			return trapActive
+		}
+		base := d.Reg
+		return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+			for ; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				a := addr(w, lane)
+				for i := uint32(0); i < 4; i++ {
+					v, kind := spaceLoadAt(blk, w, lane, space, a+4*i, 4)
+					if kind != 0 {
+						return false, kind, a + 4*i
+					}
+					if r := base + sass.RegID(i); r != sass.RZ {
+						w.regs[lane][r] = uint32(v)
+					}
+				}
+			}
+			return false, 0, 0
+		}
+	default:
+		return trapActive
+	}
+}
+
+// compileLoadConst specializes LDC.
+func compileLoadConst(in *sass.Instr) planStep {
+	wr := dstWr(in)
+	addr := memAddrLane(in)
+	if addr == nil {
+		// LDC with a plain constant operand degenerates to MOV; the
+		// interpreter reads Src[0] (and panics if it is missing too).
+		a := srcU(in, 0)
+		if wr == nil || a == nil {
+			return nil
+		}
+		return stepU(wr, a)
+	}
+	if wr == nil {
+		return nil
+	}
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		for ; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a := addr(w, lane)
+			if a%4 != 0 {
+				return false, TrapMisaligned, a
+			}
+			wr(w, lane, blk.constRead(int32(a)))
+		}
+		return false, 0, 0
+	}
+}
+
+// compileStore specializes ST/STG/STL/STS.
+func compileStore(in *sass.Instr, space sass.MemSpace) planStep {
+	vi := -1
+	for i := range in.Src {
+		if in.Src[i].Kind != sass.OpdMem {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		// No value operand: the interpreter traps before its lane loop, so
+		// this faults even with an empty exec mask.
+		return func(*blockCtx, *warp, uint32) (bool, TrapKind, uint32) {
+			return false, TrapInvalidInstruction, 0
+		}
+	}
+	addr := memAddrLane(in)
+	if addr == nil {
+		return trapActive
+	}
+	switch width := in.Mods.MemWidth(); width {
+	case 1, 2, 4:
+		if width == 4 && (space == sass.SpaceGlobal || space == sass.SpaceGeneric) {
+			if v, ok := fastSrcFor(in, vi, fnNone); ok {
+				if r, off, useReg, ok := fastMemOperand(in); ok {
+					return fastStoreG32(r, off, useReg, v)
+				}
+			}
+		}
+		val := srcU(in, vi)
+		return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+			for ; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				a := addr(w, lane)
+				if kind := spaceStoreAt(blk, w, lane, space, a, width, uint64(val(blk, w, lane))); kind != 0 {
+					return false, kind, a
+				}
+			}
+			return false, 0, 0
+		}
+	case 8:
+		var val func(blk *blockCtx, w *warp, lane int) uint64
+		if o := &in.Src[vi]; o.Kind == sass.OpdReg {
+			r := o.Reg
+			val = func(_ *blockCtx, w *warp, lane int) uint64 { return readPairReg(w, lane, r) }
+		} else {
+			u := srcU(in, vi)
+			val = func(blk *blockCtx, w *warp, lane int) uint64 { return uint64(u(blk, w, lane)) }
+		}
+		return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+			for ; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				a := addr(w, lane)
+				if kind := spaceStoreAt(blk, w, lane, space, a, 8, val(blk, w, lane)); kind != 0 {
+					return false, kind, a
+				}
+			}
+			return false, 0, 0
+		}
+	case 16:
+		o := &in.Src[vi]
+		if o.Kind != sass.OpdReg {
+			return trapActive
+		}
+		base := o.Reg
+		return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+			for ; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				a := addr(w, lane)
+				for i := uint32(0); i < 4; i++ {
+					var v uint32
+					if r := base + sass.RegID(i); r != sass.RZ {
+						v = w.regs[lane][r]
+					}
+					if kind := spaceStoreAt(blk, w, lane, space, a+4*i, 4, uint64(v)); kind != 0 {
+						return false, kind, a + 4*i
+					}
+				}
+			}
+			return false, 0, 0
+		}
+	default:
+		return trapActive
+	}
+}

@@ -1,0 +1,348 @@
+package gpu
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/modcache"
+	"repro/internal/sass"
+)
+
+// runWithEngine runs a launch like runWithWorkers, selecting the translation
+// engine or the legacy interpreter, and snapshots the observable state plus
+// the device digest.
+func runWithEngine(t *testing.T, src, name string, noXlate bool,
+	setup func(t *testing.T, d *Device) (Launch, uint32, int)) (parRun, uint64) {
+	t.Helper()
+	d := newTestDevice(t)
+	d.NoXlate = noXlate
+	k := mustKernel(t, src, name)
+	l, outp, outLen := setup(t, d)
+	l.Kernel = &ExecKernel{K: k}
+	stats, err := d.Run(&l)
+	r := parRun{stats: stats, err: err, log: d.LogEvents()}
+	if outLen > 0 {
+		b, rerr := d.Mem.ReadBytes(outp, outLen)
+		if rerr != nil {
+			t.Fatalf("ReadBytes: %v", rerr)
+		}
+		r.out = b
+	}
+	return r, d.Digest()
+}
+
+// TestXlateDifferential holds translated execution bit-identical to the
+// interpreter across the workload classes the engine optimizes: divergent
+// control flow with clock reads, barrier-synchronized shared-memory
+// reduction, and concurrently faulting blocks. Outputs, stats, traps, device
+// log, and the full device digest must match.
+func TestXlateDifferential(t *testing.T) {
+	cases := []struct {
+		name, src, kernel string
+		setup             func(t *testing.T, d *Device) (Launch, uint32, int)
+	}{
+		{
+			name: "clockmix", src: clockMixSrc, kernel: "clockmix",
+			setup: func(t *testing.T, d *Device) (Launch, uint32, int) {
+				const n = 8 * 64
+				outp := mustAllocWrite(t, d, 4*n, nil)
+				return Launch{
+					Grid:   Dim3{X: 8, Y: 1, Z: 1},
+					Block:  Dim3{X: 64, Y: 1, Z: 1},
+					Params: []uint32{outp},
+				}, outp, 4 * n
+			},
+		},
+		{
+			name: "gridreduce", src: gridReduceSrc, kernel: "gridreduce",
+			setup: func(t *testing.T, d *Device) (Launch, uint32, int) {
+				const blocks, threads = 6, 256
+				in := make([]byte, 4*blocks*threads)
+				for i := 0; i < blocks*threads; i++ {
+					in[4*i] = byte(i)
+					in[4*i+1] = byte(i >> 8)
+				}
+				inp := mustAllocWrite(t, d, len(in), in)
+				outp := mustAllocWrite(t, d, 4*blocks, nil)
+				return Launch{
+					Grid:   Dim3{X: blocks, Y: 1, Z: 1},
+					Block:  Dim3{X: threads, Y: 1, Z: 1},
+					Params: []uint32{inp, outp},
+				}, outp, 4 * blocks
+			},
+		},
+		{
+			name: "faulty", src: concurrentFaultSrc, kernel: "faulty",
+			setup: func(t *testing.T, d *Device) (Launch, uint32, int) {
+				const n = 2 * 32
+				outp := mustAllocWrite(t, d, 4*n, nil)
+				return Launch{
+					Grid:   Dim3{X: 8, Y: 1, Z: 1},
+					Block:  Dim3{X: 32, Y: 1, Z: 1},
+					Params: []uint32{outp},
+				}, outp, 4 * n
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, refDig := runWithEngine(t, tc.src, tc.kernel, true, tc.setup)
+			got, gotDig := runWithEngine(t, tc.src, tc.kernel, false, tc.setup)
+			expectSame(t, "translated", ref, got)
+			if refDig != gotDig {
+				t.Errorf("device digest: translated %#x, interpreted %#x", gotDig, refDig)
+			}
+		})
+	}
+}
+
+// TestXlateRandomALU reruns the random straight-line differential programs
+// with translation explicitly off and on; both must match the independent
+// reference evaluator.
+func TestXlateRandomALU(t *testing.T) {
+	// The plain differential_test harness already runs translated (the
+	// default); here the same probe harness runs interpreted so any
+	// divergence between the two engines' ALU semantics would show as a
+	// mismatch against the shared reference model in randomALUProgram.
+	src := "MOV R1, 0x2a\nIADD R2, R1, 0x1\nLOP.XOR R3, R2, R1\nPOPC R4, R3\n"
+	snapT := runBody(t, src)
+	// runBody builds its own device with translation on; replicate with the
+	// interpreter through a full kernel run and compare final registers.
+	p, err := sass.Assemble("probe", ".kernel probe\n"+src+"    EXIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDevice(sass.FamilyVolta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.NoXlate = true
+	snapI := &snapshot{}
+	ek := &ExecKernel{K: p.Kernels[0]}
+	ek.Before = make([][]Callback, len(p.Kernels[0].Instrs))
+	ek.Before[len(p.Kernels[0].Instrs)-1] = []Callback{func(c *InstrCtx) {
+		for lane := 0; lane < WarpSize; lane++ {
+			for r := 0; r < 64; r++ {
+				snapI.regs[lane][r] = c.ReadReg(lane, sass.RegID(r))
+			}
+		}
+	}}
+	if _, err := d.Run(&Launch{
+		Kernel: ek,
+		Grid:   Dim3{X: 1, Y: 1, Z: 1},
+		Block:  Dim3{X: WarpSize, Y: 1, Z: 1},
+		Budget: 1 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if snapT.regs != snapI.regs {
+		t.Fatalf("translated and interpreted register files differ")
+	}
+}
+
+// TestXlateSnapshotDifferential pauses a barrier-heavy launch every few
+// warp instructions under both engines and requires the digest trajectory —
+// every intermediate architectural state, not just the final one — to match.
+func TestXlateSnapshotDifferential(t *testing.T) {
+	digests := func(noXlate bool) []uint64 {
+		d := newTestDevice(t)
+		d.NoXlate = noXlate
+		k := mustKernel(t, gridReduceSrc, "gridreduce")
+		const blocks, threads = 2, 256
+		in := make([]byte, 4*blocks*threads)
+		for i := range in {
+			in[i] = byte(i * 7)
+		}
+		inp := mustAllocWrite(t, d, len(in), in)
+		outp := mustAllocWrite(t, d, 4*blocks, nil)
+		run, err := d.BeginRun(&Launch{
+			Kernel: &ExecKernel{K: k},
+			Grid:   Dim3{X: blocks, Y: 1, Z: 1},
+			Block:  Dim3{X: threads, Y: 1, Z: 1},
+			Params: []uint32{inp, outp},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var digs []uint64
+		for {
+			paused, err := run.Resume(37)
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			digs = append(digs, run.Digest())
+			if !paused {
+				return digs
+			}
+		}
+	}
+	ref := digests(true)
+	got := digests(false)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("digest trajectories differ:\ninterpreted %d pauses\ntranslated  %d pauses", len(ref), len(got))
+	}
+}
+
+// TestXlatePlanCacheWarmCold proves plans are built once per kernel content
+// hash and shared across devices: a cold run builds, every later run —
+// including on a different device — hits.
+func TestXlatePlanCacheWarmCold(t *testing.T) {
+	modcache.Shared.Reset()
+	src := `
+.kernel cachetest
+    MOV R1, 0x5eedfeed
+    IADD R2, R1, 0x1
+    EXIT
+`
+	k := mustKernel(t, src, "cachetest")
+	launch := func() *Launch {
+		return &Launch{
+			Kernel: &ExecKernel{K: k},
+			Grid:   Dim3{X: 1, Y: 1, Z: 1},
+			Block:  Dim3{X: 32, Y: 1, Z: 1},
+		}
+	}
+	before := modcache.Shared.Stats()
+	d1 := newTestDevice(t)
+	if _, err := d1.Run(launch()); err != nil {
+		t.Fatal(err)
+	}
+	afterCold := modcache.Shared.Stats()
+	if afterCold.PlanBuilds != before.PlanBuilds+1 {
+		t.Errorf("cold run: plan builds %d -> %d, want one build", before.PlanBuilds, afterCold.PlanBuilds)
+	}
+	d2 := newTestDevice(t)
+	if _, err := d2.Run(launch()); err != nil {
+		t.Fatal(err)
+	}
+	afterWarm := modcache.Shared.Stats()
+	if afterWarm.PlanBuilds != afterCold.PlanBuilds {
+		t.Errorf("warm run rebuilt the plan: builds %d -> %d", afterCold.PlanBuilds, afterWarm.PlanBuilds)
+	}
+	if afterWarm.PlanHits != afterCold.PlanHits+1 {
+		t.Errorf("warm run: plan hits %d -> %d, want one hit", afterCold.PlanHits, afterWarm.PlanHits)
+	}
+}
+
+// TestXlateSharedKernelImmutability proves translation never mutates the
+// kernel it compiles: the decoded instruction list is deep-compared before
+// and after translated runs (plans are shared process-wide, so a mutation
+// would corrupt every future launch of the kernel).
+func TestXlateSharedKernelImmutability(t *testing.T) {
+	k := mustKernel(t, gridReduceSrc, "gridreduce")
+	cloneOps := func(ops []sass.Operand) []sass.Operand {
+		if ops == nil {
+			return nil
+		}
+		// Preserve empty-but-non-nil slices: DeepEqual distinguishes them.
+		return append(make([]sass.Operand, 0, len(ops)), ops...)
+	}
+	saved := make([]sass.Instr, len(k.Instrs))
+	copy(saved, k.Instrs)
+	for i := range saved {
+		saved[i].Dst = cloneOps(k.Instrs[i].Dst)
+		saved[i].Src = cloneOps(k.Instrs[i].Src)
+	}
+	d := newTestDevice(t)
+	const blocks, threads = 2, 256
+	inp := mustAllocWrite(t, d, 4*blocks*threads, make([]byte, 4*blocks*threads))
+	outp := mustAllocWrite(t, d, 4*blocks, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := d.Run(&Launch{
+			Kernel: &ExecKernel{K: k},
+			Grid:   Dim3{X: blocks, Y: 1, Z: 1},
+			Block:  Dim3{X: threads, Y: 1, Z: 1},
+			Params: []uint32{inp, outp},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(saved, k.Instrs) {
+		t.Fatalf("translated runs mutated the kernel's instruction list")
+	}
+}
+
+// TestXlateConcurrentSharedPlans runs many devices concurrently against one
+// kernel (one shared plan) with block-parallel workers, under -race in CI:
+// plan execution must be safe to share and every device must produce the
+// sequential reference output.
+func TestXlateConcurrentSharedPlans(t *testing.T) {
+	setup := func(t *testing.T, d *Device) (Launch, uint32, int) {
+		const n = 8 * 64
+		outp := mustAllocWrite(t, d, 4*n, nil)
+		return Launch{
+			Grid:   Dim3{X: 8, Y: 1, Z: 1},
+			Block:  Dim3{X: 64, Y: 1, Z: 1},
+			Params: []uint32{outp},
+		}, outp, 4 * n
+	}
+	ref, _ := runWithEngine(t, clockMixSrc, "clockmix", true, setup)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := newTestDevice(t)
+			d.Workers = 1 + g%4
+			k := mustKernel(t, clockMixSrc, "clockmix")
+			l, outp, outLen := setup(t, d)
+			l.Kernel = &ExecKernel{K: k}
+			stats, err := d.Run(&l)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !reflect.DeepEqual(stats, ref.stats) {
+				errs[g] = fmt.Errorf("goroutine %d: stats %+v, want %+v", g, stats, ref.stats)
+				return
+			}
+			out, err := d.Mem.ReadBytes(outp, outLen)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !bytes.Equal(out, ref.out) {
+				errs[g] = fmt.Errorf("goroutine %d: output differs from reference", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestXlateAllocs bounds steady-state per-launch allocations: with the plan
+// cached and warp/shared/page state pooled, repeat launches on one device
+// must not scale allocations with register-file or buffer sizes.
+func TestXlateAllocs(t *testing.T) {
+	d := newTestDevice(t)
+	k := mustKernel(t, clockMixSrc, "clockmix")
+	const n = 8 * 64
+	outp := mustAllocWrite(t, d, 4*n, nil)
+	l := &Launch{
+		Kernel: &ExecKernel{K: k},
+		Grid:   Dim3{X: 8, Y: 1, Z: 1},
+		Block:  Dim3{X: 64, Y: 1, Z: 1},
+		Params: []uint32{outp},
+	}
+	if _, err := d.Run(l); err != nil { // warm plan cache and pools
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := d.Run(l); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A warp register file alone is 32 KiB; 16 blocks once allocated ~70
+	// objects per launch. The pooled engine needs only per-launch bookkeeping.
+	if avg > 60 {
+		t.Errorf("steady-state launch allocated %.1f objects, want <= 60", avg)
+	}
+}

@@ -43,6 +43,7 @@ type Stats struct {
 	CodecHits, CodecBuilds       uint64
 	AssembleHits, AssembleBuilds uint64
 	DecodeHits, DecodeBuilds     uint64
+	PlanHits, PlanBuilds         uint64
 }
 
 // Cache memoizes codec construction, assembly+encoding, and decoding.
@@ -52,6 +53,7 @@ type Cache struct {
 	codecs map[sass.Family]*codecEntry
 	asm    map[asmKey]*asmEntry
 	dec    map[decKey]*decEntry
+	plans  map[PlanKey]*planEntry
 	stats  Stats
 }
 
@@ -64,6 +66,7 @@ func New() *Cache {
 		codecs: make(map[sass.Family]*codecEntry),
 		asm:    make(map[asmKey]*asmEntry),
 		dec:    make(map[decKey]*decEntry),
+		plans:  make(map[PlanKey]*planEntry),
 	}
 }
 
@@ -178,6 +181,42 @@ func (c *Cache) Decode(f sass.Family, bin []byte) (prog *sass.Program, hit bool,
 	return e.prog, ok, e.err
 }
 
+// PlanKey addresses one derived execution artifact: Engine names and
+// versions the translation scheme (so an engine change invalidates every
+// cached plan without flushing the module entries) and Hash is the content
+// hash of the kernel the plan was compiled from.
+type PlanKey struct {
+	Engine string
+	Hash   [sha256.Size]byte
+}
+
+type planEntry struct {
+	once sync.Once
+	v    any
+	err  error
+}
+
+// Plan memoizes a derived per-kernel execution artifact — the gpu package
+// caches its translated block plans here, content-addressed like the module
+// entries, so a campaign's N contexts translate each kernel exactly once.
+// The returned value is shared read-only state; hit reports whether the
+// entry already existed. Errors are cached: translation is a pure function
+// of the kernel, so a failing build fails identically on every retry.
+func (c *Cache) Plan(key PlanKey, build func() (any, error)) (v any, hit bool, err error) {
+	c.mu.Lock()
+	e, ok := c.plans[key]
+	if !ok {
+		e = &planEntry{}
+		c.plans[key] = e
+		c.stats.PlanBuilds++
+	} else {
+		c.stats.PlanHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.v, e.err = build() })
+	return e.v, ok, e.err
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
@@ -194,5 +233,6 @@ func (c *Cache) Reset() {
 	c.codecs = make(map[sass.Family]*codecEntry)
 	c.asm = make(map[asmKey]*asmEntry)
 	c.dec = make(map[decKey]*decEntry)
+	c.plans = make(map[PlanKey]*planEntry)
 	c.stats = Stats{}
 }

@@ -30,6 +30,7 @@ type SummaryJSON struct {
 	GoldenMillis  int64           `json:"golden_ms"`
 	TotalRunTime  int64           `json:"total_run_ms"`
 	MedianRunTime int64           `json:"median_run_ms"`
+	Translated    bool            `json:"translated"`
 }
 
 // NewSummaryJSON builds the stable summary document for one campaign.
@@ -41,6 +42,7 @@ func NewSummaryJSON(res *campaign.CampaignResult) SummaryJSON {
 		GoldenMillis:  res.GoldenTime.Milliseconds(),
 		TotalRunTime:  res.TotalRunTime.Milliseconds(),
 		MedianRunTime: res.MedianRunTime.Milliseconds(),
+		Translated:    res.Translated,
 	}
 }
 
@@ -164,6 +166,11 @@ func Summary(res *campaign.CampaignResult) string {
 			res.Program, len(res.Runs),
 			100*res.Weighted.Share("SDC"), 100*res.Weighted.Share("DUE"),
 			100*res.Weighted.Share("Masked"))
+	}
+	if res.Translated {
+		s += " [translated]"
+	} else {
+		s += " [interpreted]"
 	}
 	return s
 }

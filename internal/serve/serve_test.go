@@ -72,6 +72,11 @@ func TestServiceTallyIdentity(t *testing.T) {
 		{"plain", campaign.TransientCampaignConfig{Injections: 200, Seed: 42}},
 		{"prune", campaign.TransientCampaignConfig{Injections: 60, Seed: 43, Prune: true}},
 		{"ckpt", campaign.TransientCampaignConfig{Injections: 60, Seed: 44, Checkpoint: true}},
+		// NoXlate must ride the job spec to remote workers: an interpreted
+		// distributed campaign against an interpreted in-process one (and
+		// both match the translated tallies — the campaign differential
+		// tests prove that side).
+		{"interp", campaign.TransientCampaignConfig{Injections: 60, Seed: 42, NoXlate: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
