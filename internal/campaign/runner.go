@@ -60,6 +60,12 @@ type Runner struct {
 	// block-level translation engine. The two paths are observably identical
 	// (the differential tests prove it); this is the escape hatch.
 	NoXlate bool
+	// LegacySched is plumbed to gpu.Device.LegacySched on every device this
+	// runner builds, pinning warps to the legacy per-issue min-PC scan
+	// instead of the warp-split scheduler. Like NoXlate it changes nothing
+	// observable — it exists as the oracle side of the scheduler
+	// differential tests.
+	LegacySched bool
 }
 
 // DefaultGoldenBudget is the Runner.GoldenBudget default: large enough
@@ -112,6 +118,7 @@ func (r Runner) newContext() (*cuda.Context, error) {
 	dev.InterpretTrampolines = r.InterpretTrampolines
 	dev.DisableDisarm = r.DisableDisarm
 	dev.NoXlate = r.NoXlate
+	dev.LegacySched = r.LegacySched
 	ctx, err := cuda.NewContext(dev)
 	if err != nil {
 		return nil, err

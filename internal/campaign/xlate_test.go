@@ -52,20 +52,34 @@ func runEnginesWith(t *testing.T, r campaign.Runner, w campaign.Workload, golden
 // run, plus the aggregate tally.
 func expectIdenticalCampaigns(t *testing.T, label string, xlated, interp *campaign.CampaignResult) {
 	t.Helper()
+	expectIdenticalRuns(t, label, xlated, interp, "translated", "interpreted")
+	if !xlated.Translated {
+		t.Errorf("%s: translated campaign not marked Translated", label)
+	}
+	if interp.Translated {
+		t.Errorf("%s: interpreted campaign marked Translated", label)
+	}
+}
+
+// expectIdenticalRuns is the engine-agnostic core of the campaign
+// differential: every run and the aggregate tally must match between two
+// campaigns, whatever pair of configurations produced them.
+func expectIdenticalRuns(t *testing.T, label string, xlated, interp *campaign.CampaignResult, xname, iname string) {
+	t.Helper()
 	if len(xlated.Runs) != len(interp.Runs) {
 		t.Fatalf("%s: run counts differ: translated %d, interpreted %d", label, len(xlated.Runs), len(interp.Runs))
 	}
 	for i := range xlated.Runs {
 		x, n := &xlated.Runs[i], &interp.Runs[i]
 		if x.Class != n.Class {
-			t.Fatalf("%s run %d: translated %v, interpreted %v", label, i, x.Class, n.Class)
+			t.Fatalf("%s run %d: %s %v, %s %v", label, i, xname, x.Class, iname, n.Class)
 		}
 		if x.Injection != n.Injection {
-			t.Fatalf("%s run %d: injection records differ:\ntranslated  %+v\ninterpreted %+v",
-				label, i, x.Injection, n.Injection)
+			t.Fatalf("%s run %d: injection records differ:\n%s  %+v\n%s %+v",
+				label, i, xname, x.Injection, iname, n.Injection)
 		}
 		if x.Stats != n.Stats {
-			t.Fatalf("%s run %d: stats differ: translated %+v, interpreted %+v", label, i, x.Stats, n.Stats)
+			t.Fatalf("%s run %d: stats differ: %s %+v, %s %+v", label, i, xname, x.Stats, iname, n.Stats)
 		}
 		if x.Pruned != n.Pruned || x.Restored != n.Restored || x.EarlyExit != n.EarlyExit {
 			t.Fatalf("%s run %d: engine flags differ (pruned %v/%v restored %v/%v early %v/%v)",
@@ -73,13 +87,7 @@ func expectIdenticalCampaigns(t *testing.T, label string, xlated, interp *campai
 		}
 	}
 	if !reflect.DeepEqual(xlated.Tally, interp.Tally) {
-		t.Fatalf("%s: tallies differ:\ntranslated  %v\ninterpreted %v", label, xlated.Tally, interp.Tally)
-	}
-	if !xlated.Translated {
-		t.Errorf("%s: translated campaign not marked Translated", label)
-	}
-	if interp.Translated {
-		t.Errorf("%s: interpreted campaign marked Translated", label)
+		t.Fatalf("%s: tallies differ:\n%s  %v\n%s %v", label, xname, xlated.Tally, iname, interp.Tally)
 	}
 }
 
@@ -95,6 +103,40 @@ func TestXlateCampaignDifferential(t *testing.T) {
 	}
 	if s := report.Summary(interp); !strings.Contains(s, "[interpreted]") {
 		t.Errorf("summary does not mark the interpreter: %q", s)
+	}
+}
+
+// TestSchedulerCampaignDifferential is the campaign-level scheduler gate:
+// the same 200-injection campaign run on the warp-split scheduler and on
+// the legacy min-PC scan (both translated) must be experiment-for-
+// experiment identical. With the NVBITFI_LEGACY_SCHED environment variable
+// set, CI additionally runs the engine differentials above with the scan
+// as the oracle side, covering the interpreted x scheduler matrix.
+func TestSchedulerCampaignDifferential(t *testing.T) {
+	w := deadWorkload{}
+	r := campaign.Runner{}
+	golden, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := r.Profile(w, core.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := campaign.TransientCampaignConfig{Injections: 200, Seed: 77}
+	split, err := campaign.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := r
+	legacy.LegacySched = true
+	scan, err := campaign.RunTransientCampaign(context.Background(), legacy, w, golden, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectIdenticalRuns(t, "scheduler", split, scan, "warp-split", "legacy-scan")
+	if !split.Translated || !scan.Translated {
+		t.Error("scheduler differential must compare two translated campaigns")
 	}
 }
 

@@ -63,6 +63,11 @@ func (w *warp) reset() {
 	w.exitedMask = 0
 	w.converged = false
 	w.convPC = 0
+	// The split list is a cache; its contents need no clearing once the
+	// validity bit drops.
+	w.nsplits = 0
+	w.splitsOK = false
+	w.scanSched = false
 	w.barWait = false
 	w.done = false
 }

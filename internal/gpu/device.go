@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"os"
 	"sync"
 
 	"repro/internal/sass"
@@ -67,6 +68,15 @@ type Device struct {
 	// exists as the escape hatch and as the oracle side of those tests.
 	NoXlate bool
 
+	// LegacySched pins every warp to the legacy per-issue min-PC scan
+	// instead of the warp-split scheduler. The zero value keeps the split
+	// scheduler on: issue order, LaunchStats, trap sites, and modeled
+	// clocks are bit-identical either way (the differential tests prove
+	// it), the scan is just O(lanes) per diverged issue. The flag exists as
+	// the escape hatch and as the oracle side of those tests; the
+	// NVBITFI_LEGACY_SCHED environment variable forces it process-wide.
+	LegacySched bool
+
 	// Mem is global device memory.
 	Mem *Memory
 
@@ -94,6 +104,15 @@ type Device struct {
 // before launching; the field must not be changed while a launch is
 // executing.
 func (d *Device) SetCancel(ctx context.Context) { d.cancelCtx = ctx }
+
+// envLegacySched forces the legacy min-PC scan scheduler process-wide; CI
+// uses it to run the differential gates against the oracle scheduler
+// without a code change.
+var envLegacySched = os.Getenv("NVBITFI_LEGACY_SCHED") != ""
+
+// legacySched reports whether warps on this device use the legacy min-PC
+// scan scheduler.
+func (d *Device) legacySched() bool { return d.LegacySched || envLegacySched }
 
 // NewDevice creates a device of the given family with numSMs streaming
 // multiprocessors.

@@ -21,6 +21,16 @@ import (
 // lane sits at the same PC the warp is "converged": convPC is authoritative
 // and the per-lane pc array is stale. Control-flow instructions materialize
 // the per-lane PCs before executing (see blockCtx.step).
+//
+// While diverged, the default scheduler keeps a warp-split list (splits):
+// the active lanes partitioned into (pc, mask) buckets sorted by pc, so the
+// next issue is the head split in O(1) instead of an O(lanes) min-PC scan
+// per instruction. The list is a pure cache over the per-lane PCs — pc[]
+// stays authoritative at every schedule and pause boundary, splits are
+// never snapshotted as authority (splitsOK=false forces a rebuild from
+// pc[]) and never digested — and the legacy scan remains both the cold
+// fallback (after indirect control flow) and the oracle
+// (Device.LegacySched / NVBITFI_LEGACY_SCHED).
 type warp struct {
 	id         int
 	pc         [WarpSize]int32
@@ -33,8 +43,17 @@ type warp struct {
 	exitedMask uint32 // lanes that have executed EXIT
 	converged  bool   // all live lanes share one PC; pc[] may be stale
 	convPC     int32  // the shared PC while converged
-	barWait    bool
-	done       bool
+
+	// Warp-split scheduler state: splits[:nsplits] partitions the active
+	// lanes into disjoint PC buckets, sorted ascending by pc, valid only
+	// while splitsOK. scanSched pins the warp to the legacy min-PC scan.
+	splits    [WarpSize]warpSplit
+	nsplits   int32
+	splitsOK  bool
+	scanSched bool
+
+	barWait bool
+	done    bool
 
 	// dirtyRegs is an exclusive upper bound on the per-lane register indices
 	// that may hold nonzero values: every register at or above it is zero.
@@ -49,10 +68,19 @@ type warp struct {
 // activeMask returns the lanes that exist and have not exited.
 func (w *warp) activeMask() uint32 { return w.liveMask &^ w.exitedMask }
 
+// warpSplit is one bucket of the warp-split list: the lanes in mask all sit
+// at pc.
+type warpSplit struct {
+	pc   int32
+	mask uint32
+}
+
 // schedule returns the next PC to issue and the set of live lanes at it,
 // or done when every lane has exited. On the converged fast path this is
-// two loads; otherwise it is the min-PC scan, which also re-detects
-// reconvergence so the warp drops back onto the fast path.
+// two loads. While diverged the default scheduler issues the head of the
+// warp-split list in O(1), rebuilding the list from the per-lane PCs only
+// when it was invalidated (indirect control flow, restore). The min-PC
+// scan remains the legacy path (scanSched) and the rebuild primitive.
 func (w *warp) schedule() (minPC int32, atPC uint32, done bool) {
 	active := w.liveMask &^ w.exitedMask
 	if active == 0 {
@@ -60,6 +88,15 @@ func (w *warp) schedule() (minPC int32, atPC uint32, done bool) {
 	}
 	if w.converged {
 		return w.convPC, active, false
+	}
+	if !w.scanSched {
+		if !w.splitsOK {
+			w.rebuildSplits(active)
+			if w.converged {
+				return w.convPC, active, false
+			}
+		}
+		return w.splits[0].pc, w.splits[0].mask, false
 	}
 	first := true
 	for m := active; m != 0; m &= m - 1 {
@@ -83,6 +120,129 @@ func (w *warp) schedule() (minPC int32, atPC uint32, done bool) {
 	return minPC, atPC, false
 }
 
+// rebuildSplits reconstructs the warp-split list from the authoritative
+// per-lane PCs — the cold path after indirect control flow (BRX/RET) or a
+// snapshot restore. Sorted insertion per lane; the head split afterwards
+// is exactly what the min-PC scan would have issued.
+func (w *warp) rebuildSplits(active uint32) {
+	w.nsplits = 0
+	for m := active; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		w.insertSplit(w.pc[lane], 1<<uint(lane))
+	}
+	w.splitsOK = true
+	if w.nsplits == 1 {
+		w.converged = true
+		w.convPC = w.splits[0].pc
+	}
+}
+
+// insertSplit merges (pc, mask) into the sorted split list.
+func (w *warp) insertSplit(pc int32, mask uint32) {
+	n := w.nsplits
+	i := int32(0)
+	for i < n && w.splits[i].pc < pc {
+		i++
+	}
+	if i < n && w.splits[i].pc == pc {
+		w.splits[i].mask |= mask
+		return
+	}
+	copy(w.splits[i+1:n+1], w.splits[i:n])
+	w.splits[i] = warpSplit{pc: pc, mask: mask}
+	w.nsplits = n + 1
+}
+
+// dropHead removes the head split.
+func (w *warp) dropHead() {
+	copy(w.splits[:w.nsplits-1], w.splits[1:w.nsplits])
+	w.nsplits--
+}
+
+// updateSplits folds one executed instruction into the warp-split list:
+// the issued lanes (atPC, always the head split — or the whole warp when
+// it was converged before this step) move to their successor PCs, derived
+// from the instruction's flow class instead of re-scanning 32 lanes.
+// Indirect flow (flowOther: BRX, RET) scatters lanes to data-dependent
+// PCs, so it just invalidates the list; the next schedule rebuilds from
+// pc[], which step has kept authoritative throughout.
+func (w *warp) updateSplits(flow uint8, target, pc int32, atPC, execMask uint32, fromConverged bool) {
+	if fromConverged {
+		w.nsplits = 0
+		w.splitsOK = true
+	} else {
+		if !w.splitsOK {
+			return
+		}
+		w.dropHead()
+	}
+	switch flow {
+	case flowOther:
+		w.splitsOK = false
+		return
+	case flowLinear:
+		w.insertSplit(pc+1, atPC)
+	case flowExit:
+		// Exited lanes leave the active set; only guard-suppressed
+		// survivors fall through.
+		if rem := atPC &^ execMask; rem != 0 {
+			w.insertSplit(pc+1, rem)
+		}
+	case flowBranch:
+		if fall := atPC &^ execMask; fall != 0 {
+			w.insertSplit(pc+1, fall)
+		}
+		if execMask != 0 {
+			w.insertSplit(target, execMask)
+		}
+	}
+	if active := w.liveMask &^ w.exitedMask; w.nsplits == 1 && w.splits[0].mask == active {
+		w.converged = true
+		w.convPC = w.splits[0].pc
+	}
+}
+
+// Flow classes for split maintenance: where an instruction sends the lanes
+// that executed it.
+const (
+	flowLinear uint8 = iota // falls through to pc+1
+	flowBranch              // direct transfer: taken lanes to target, rest to pc+1
+	flowExit                // EXIT/KILL: taken lanes leave, rest to pc+1
+	flowOther               // indirect or unknown: invalidates the split list
+)
+
+// flowOf classifies an instruction for updateSplits. Malformed direct
+// branches (no target operand) classify as flowOther; the interpreter
+// panics on them before split state is ever consulted.
+func flowOf(in *sass.Instr) (flow uint8, target int32) {
+	switch in.Op.Info().Sem {
+	case sass.SemBra, sass.SemJmp, sass.SemCall:
+		if len(in.Src) == 0 {
+			return flowOther, 0
+		}
+		return flowBranch, in.Src[0].Target
+	case sass.SemExit, sass.SemKill:
+		return flowExit, 0
+	case sass.SemBrx, sass.SemRet:
+		return flowOther, 0
+	}
+	return flowLinear, 0
+}
+
+// predMask returns the lanes in m whose predicate p — negated when neg —
+// evaluates true. Shared by the interpreter's guardMask and the translated
+// guard closures. The scan is sequential by lane (no find-first-set
+// dependency chain) so iterations overlap on the CPU.
+func predMask(w *warp, m uint32, p sass.PredID, neg bool) uint32 {
+	var execMask uint32
+	for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+		if rem&1 != 0 && w.preds[lane&31][p] != neg {
+			execMask |= 1 << uint(lane)
+		}
+	}
+	return execMask
+}
+
 // guardMask evaluates the instruction guard for the lanes in atPC.
 func guardMask(w *warp, in *sass.Instr, atPC uint32) uint32 {
 	if in.Guard.Pred == sass.PT {
@@ -91,14 +251,7 @@ func guardMask(w *warp, in *sass.Instr, atPC uint32) uint32 {
 		}
 		return atPC
 	}
-	var execMask uint32
-	for m := atPC; m != 0; m &= m - 1 {
-		lane := bits.TrailingZeros32(m)
-		if w.preds[lane][in.Guard.Pred] != in.Guard.Neg {
-			execMask |= 1 << uint(lane)
-		}
-	}
-	return execMask
+	return predMask(w, atPC, in.Guard.Pred, in.Guard.Neg)
 }
 
 // semAltersFlow reports whether the semantic can write per-lane PCs, which
@@ -144,6 +297,79 @@ func (b *budgetCounter) take() bool {
 	}
 	b.remaining--
 	return b.remaining >= 0
+}
+
+// takeN takes up to n instructions from the budget in one transaction and
+// returns how many were granted. granted < n means the budget ran dry (or
+// the context was cancelled, in which case granted is 0) after granted
+// instructions — the same count a sequence of n take calls would have
+// granted, so a translated run that charges per batch exhausts the budget
+// at the exact instruction the per-step loop would have.
+func (b *budgetCounter) takeN(n int64) (granted int64) {
+	if b.ctx != nil && !b.pollN(n) {
+		return 0
+	}
+	var rem int64
+	if b.shared {
+		rem = atomic.AddInt64(&b.remaining, -n)
+	} else {
+		b.remaining -= n
+		rem = b.remaining
+	}
+	switch {
+	case rem >= 0:
+		return n
+	case rem+n > 0:
+		return rem + n
+	default:
+		return 0
+	}
+}
+
+// refund returns instructions reserved by takeN that never issued — a
+// translated run that faulted mid-batch keeps the faulting instruction
+// charged and hands back the tail. The launch is about to die on the trap,
+// but in parallel mode other workers still draw from the shared counter
+// until they observe it, and the global never-over-issue invariant must
+// hold for them.
+func (b *budgetCounter) refund(n int64) {
+	if n <= 0 {
+		return
+	}
+	if b.shared {
+		atomic.AddInt64(&b.remaining, n)
+	} else {
+		b.remaining += n
+	}
+}
+
+// pollN advances the cancellation-check countdown by n takes at once:
+// the countdown crosses zero exactly when some take in the batch would
+// have polled, and the reset leaves at most a stride until the next poll —
+// so the cancellation latency bound grows only by the maximum batch
+// length. Which instruction inside the batch observes a cancelled context
+// is not preserved (cancellation is host-race-timed and carries no
+// deterministic attribution; see DESIGN.md section 3.7).
+func (b *budgetCounter) pollN(n int64) bool {
+	if b.cancelled.Load() {
+		return false
+	}
+	if b.shared {
+		if atomic.AddInt64(&b.checkIn, -n) > 0 {
+			return true
+		}
+		atomic.StoreInt64(&b.checkIn, cancelPollStride)
+	} else {
+		if b.checkIn -= n; b.checkIn > 0 {
+			return true
+		}
+		b.checkIn = cancelPollStride
+	}
+	if b.ctx.Err() != nil {
+		b.cancelled.Store(true)
+		return false
+	}
+	return true
 }
 
 // poll decrements the cancellation-check countdown and consults the context
@@ -384,10 +610,12 @@ func newBlockCtx(d *Device, l *Launch, constBank []byte, plan *xplan, blockIdx D
 		plan:      plan,
 	}
 	regHi := l.Kernel.writtenRegHi()
+	legacy := d.legacySched()
 	oneDim := l.Block.Y == 1 && l.Block.Z == 1
 	for w := 0; w < numWarps; w++ {
 		wp := getWarp(w)
 		wp.dirtyRegs = regHi
+		wp.scanSched = legacy
 		for lane := 0; lane < WarpSize; lane++ {
 			t := w*WarpSize + lane
 			if t >= blockSize {
@@ -516,8 +744,14 @@ func (blk *blockCtx) step(w *warp, in *sass.Instr, pc int32, atPC, execMask uint
 	for m := atPC; m != 0; m &= m - 1 {
 		w.pc[bits.TrailingZeros32(m)] = next
 	}
+	fromConverged := w.converged
 	w.converged = false
-	return blk.exec(w, in, int(pc), execMask)
+	barrier, kind, faultAddr = blk.exec(w, in, int(pc), execMask)
+	if kind == 0 && !w.scanSched {
+		flow, target := flowOf(in)
+		w.updateSplits(flow, target, pc, atPC, execMask, fromConverged)
+	}
+	return barrier, kind, faultAddr
 }
 
 // stepX is step through a translated plan: identical PC and convergence
@@ -531,18 +765,27 @@ func (blk *blockCtx) stepX(w *warp, xi *xinstr, pc int32, atPC, execMask uint32)
 	for m := atPC; m != 0; m &= m - 1 {
 		w.pc[bits.TrailingZeros32(m)] = next
 	}
+	fromConverged := w.converged
 	w.converged = false
-	return xi.step(blk, w, execMask)
+	barrier, kind, faultAddr = xi.step(blk, w, execMask)
+	if kind == 0 && !w.scanSched {
+		w.updateSplits(xi.flow, xi.braTarget, pc, atPC, execMask, fromConverged)
+	}
+	return barrier, kind, faultAddr
 }
 
 // runWarpXlate is the translated twin of runWarpFast. Its edge over the
-// interpreter loop: within a converged straight-line run (precomputed per
-// CFG basic block at translation time) it skips the scheduler entirely —
-// no schedule() call, no convergence re-check, no per-instruction semantic
-// classification — and executes the pre-resolved steps back to back.
-// Budget, cancellation polling, stats, and SM-clock accounting are charged
-// per instruction exactly as runWarpFast does, so LaunchStats, traps, and
-// modeled time are bit-identical.
+// interpreter loop: within a straight-line run (precomputed per CFG basic
+// block at translation time) it skips the scheduler entirely — no
+// schedule() call, no convergence re-check, no per-instruction semantic
+// classification — and executes the pre-resolved steps back to back. A
+// diverged warp batches too: the head split issues consecutively until the
+// run ends or the head reaches the next split's PC, exactly the sequence
+// of min-PC issues the interpreter would make. Budget, cancellation
+// polling, stats, and SM-clock accounting are charged once per batch
+// (budgetCounter.takeN) with exact per-instruction attribution on budget
+// exhaustion and mid-batch faults, so LaunchStats, trap sites, and modeled
+// time are bit-identical to the interpreter's per-step loop.
 func (blk *blockCtx) runWarpXlate(w *warp, budget *budgetCounter, stats *LaunchStats) error {
 	steps := blk.plan.steps
 	n := int32(len(steps))
@@ -557,27 +800,52 @@ func (blk *blockCtx) runWarpXlate(w *warp, budget *budgetCounter, stats *LaunchS
 			return blk.trapErr(TrapBadPC, int(minPC), 0, "control transfer outside the kernel")
 		}
 		xi := &steps[minPC]
-		if w.converged && xi.simple {
-			// Straight-line run: simple steps never branch, exit lanes, or
-			// barrier, so atPC stays the active mask and the warp stays
-			// converged for the whole batch.
-			for pc, end := minPC, minPC+xi.runLen; pc < end; pc++ {
+		if xi.runLen > 0 && (w.converged || w.splitsOK) {
+			// Straight-line batch: batchable steps never branch, exit lanes,
+			// barrier, or read the SM clock, so atPC and the active mask are
+			// invariant across the batch and per-lane PCs need not
+			// materialize until it ends (runWarpXlate never runs under
+			// pause, so no one can observe them mid-batch).
+			end := minPC + xi.runLen
+			if !w.converged {
+				// Diverged: the head split stays the min PC only until it
+				// catches up with the next split.
+				if next := w.splits[1].pc; next < end {
+					end = next
+				}
+			}
+			want := int64(end - minPC)
+			granted := budget.takeN(want)
+			stats.WarpInstrs += uint64(granted)
+			*clock += uint64(granted)
+			var ti uint64
+			pc := minPC
+			for ; pc < minPC+int32(granted); pc++ {
 				xi := &steps[pc]
 				execMask := atPC
 				if xi.guardKind != guardOn {
 					execMask = xi.guard(w, atPC)
 				}
-				if !budget.take() {
-					return blk.budgetTrap(budget, int(pc))
-				}
-				stats.WarpInstrs++
-				stats.ThreadInstrs += uint64(popcount(execMask))
-				*clock++
-				w.convPC = pc + 1
+				ti += uint64(popcount(execMask))
 				if _, kind, faultAddr := xi.step(blk, w, execMask); kind != 0 {
+					// Mid-batch fault: keep the faulting instruction charged
+					// (the interpreter charges before executing) and hand
+					// back the never-issued tail.
+					unrun := int64(minPC) + granted - int64(pc) - 1
+					budget.refund(unrun)
+					stats.WarpInstrs -= uint64(unrun)
+					*clock -= uint64(unrun)
+					stats.ThreadInstrs += ti
 					return blk.trapErr(kind, int(pc), faultAddr, "")
 				}
 			}
+			stats.ThreadInstrs += ti
+			if granted < want {
+				// Budget ran dry mid-batch: the trap lands on the first
+				// instruction the per-step loop would have failed to issue.
+				return blk.budgetTrap(budget, int(pc))
+			}
+			w.finishRun(end, atPC)
 			continue
 		}
 		execMask := atPC
@@ -615,6 +883,32 @@ func (blk *blockCtx) runWarpXlate(w *warp, budget *budgetCounter, stats *LaunchS
 			w.barWait = true
 			return nil
 		}
+	}
+}
+
+// finishRun settles scheduling state after a completed straight-line batch:
+// the issued lanes sit at endPC. Converged warps just move convPC; a
+// diverged warp materializes the head split's lanes (keeping pc[]
+// authoritative for the next schedule or snapshot) and advances the split
+// list — merging into the next split when the head caught up with it,
+// which is also where batched execution re-detects reconvergence.
+func (w *warp) finishRun(endPC int32, atPC uint32) {
+	if w.converged {
+		w.convPC = endPC
+		return
+	}
+	for m := atPC; m != 0; m &= m - 1 {
+		w.pc[bits.TrailingZeros32(m)] = endPC
+	}
+	if w.nsplits > 1 && w.splits[1].pc == endPC {
+		w.splits[1].mask |= atPC
+		w.dropHead()
+	} else {
+		w.splits[0].pc = endPC
+	}
+	if active := w.liveMask &^ w.exitedMask; w.nsplits == 1 && w.splits[0].mask == active {
+		w.converged = true
+		w.convPC = w.splits[0].pc
 	}
 }
 

@@ -3,8 +3,8 @@ package gpu
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Memory is the device global-memory model: a bump allocator over a 32-bit
@@ -21,6 +21,17 @@ import (
 type Memory struct {
 	allocs []alloc // sorted by base
 	next   uint32
+
+	// lastHit memoizes the indexes of the two allocations most recently
+	// resolved by a missed find (low 16 bits: most recent; high 16: the one
+	// before). Kernels overwhelmingly ping between one or two buffers — an
+	// input and an output — so nearly every find resolves on one of the two
+	// validation compares without touching the search, and steady-state hits
+	// never store (an atomic store is a full barrier on x86, costlier than
+	// the search it saves). Accessed atomically because parallel blocks call
+	// find concurrently; the value is advisory — every read is re-validated
+	// against the current alloc table before use.
+	lastHit atomic.Uint32
 
 	// aliased marks a memory whose pages may be shared with a snapshot (it
 	// was snapshotted, or restored from one). Aliased pages must never return
@@ -128,6 +139,7 @@ func (m *Memory) Free(base uint32) error {
 	for i, a := range m.allocs {
 		if a.base == base {
 			m.allocs = append(m.allocs[:i], m.allocs[i+1:]...)
+			m.lastHit.Store(0) // indexes above i shifted down
 			return nil
 		}
 	}
@@ -136,13 +148,43 @@ func (m *Memory) Free(base uint32) error {
 
 // find returns the allocation containing addr, or nil.
 func (m *Memory) find(addr uint32) *alloc {
-	// allocs is append-only sorted (bump allocator), so binary search works.
-	i := sort.Search(len(m.allocs), func(i int) bool { return m.allocs[i].base > addr })
-	if i == 0 {
+	allocs := m.allocs
+	// Memoized candidates first: addr-base underflows past size for any
+	// addr below base, so one unsigned compare validates each. A hit on the
+	// older slot deliberately does not promote it — alternating between two
+	// buffers then stabilizes with both memoized and no stores at all.
+	memo := m.lastHit.Load()
+	if i := int(memo & 0xffff); i < len(allocs) {
+		if a := &allocs[i]; addr-a.base < a.size {
+			return a
+		}
+	}
+	if i := int(memo >> 16); i < len(allocs) {
+		if a := &allocs[i]; addr-a.base < a.size {
+			return a
+		}
+	}
+	// allocs is sorted by base (bump allocator), so binary search for the
+	// last allocation with base <= addr. Hand-rolled rather than
+	// sort.Search: the closure call per probe dominates the search cost on
+	// this hot path.
+	lo, hi := 0, len(allocs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if allocs[mid].base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
 		return nil
 	}
-	a := &m.allocs[i-1]
+	a := &allocs[lo-1]
 	if addr-a.base < a.size {
+		if idx := uint32(lo - 1); idx < 0xffff {
+			m.lastHit.Store(idx | memo<<16)
+		}
 		return a
 	}
 	return nil
@@ -261,6 +303,7 @@ func (m *Memory) Recycle() {
 	}
 	m.allocs = nil
 	m.next = allocBase
+	m.lastHit.Store(0)
 }
 
 // Recycle retires the device, returning its global-memory pages to the

@@ -350,6 +350,13 @@ func (d *Device) Restore(s *Snapshot) (*LaunchRun, error) {
 		copy(blk.shared, bs.shared)
 		for i := range bs.warps {
 			*blk.warps[i] = snapWarp(&bs.warps[i])
+			// The snapshot's split list and scheduler mode belong to the
+			// device that took it. The per-lane PCs are authoritative at
+			// every snapshot boundary, so drop the cache and let this
+			// device's scheduler rebuild from them — which also makes
+			// snapshots portable across scheduler modes.
+			blk.warps[i].scanSched = d.legacySched()
+			blk.warps[i].splitsOK = false
 		}
 		blk.resumeWarp = bs.resumeWarp
 		blk.pause = &r.pause

@@ -297,6 +297,92 @@ func TestConcurrentRestoreRace(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreMidDivergence: snapshots of a kernel whose warps are
+// split across three PCs almost every cycle must restore bit-identically —
+// and restore onto *either* scheduler, because a snapshot carries only the
+// per-lane PC vector, never the warp-split cache. Every checkpoint is
+// restored twice, once per scheduler mode, and both forks must reach the
+// reference completion.
+func TestSnapshotRestoreMidDivergence(t *testing.T) {
+	divLaunch := func(t *testing.T, d *Device, blocks int) (*Launch, uint32, int) {
+		t.Helper()
+		k := mustKernel(t, divergentSrc, "div")
+		const threads = 128
+		outp := mustAllocWrite(t, d, 4*blocks*threads, nil)
+		return &Launch{
+			Kernel: &ExecKernel{K: k},
+			Grid:   Dim3{X: blocks, Y: 1, Z: 1},
+			Block:  Dim3{X: threads, Y: 1, Z: 1},
+			Params: []uint32{outp},
+		}, outp, 4 * blocks * threads
+	}
+
+	ref := newTestDevice(t)
+	l, outp, outLen := divLaunch(t, ref, 2)
+	refStats, err := ref.Run(l)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	refOut := readOut(t, ref, outp, outLen)
+	refDigest := ref.Digest()
+
+	d := newTestDevice(t)
+	l2, _, _ := divLaunch(t, d, 2)
+	r, err := d.BeginRun(l2)
+	if err != nil {
+		t.Fatalf("BeginRun: %v", err)
+	}
+	type ckpt struct {
+		snap   *Snapshot
+		digest uint64
+	}
+	var ckpts []ckpt
+	for {
+		paused, err := r.Resume(997)
+		if err != nil {
+			t.Fatalf("Resume: %v", err)
+		}
+		if !paused {
+			break
+		}
+		s, err := r.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		ckpts = append(ckpts, ckpt{snap: s, digest: r.Digest()})
+	}
+	if len(ckpts) < 10 {
+		t.Fatalf("only %d checkpoints; kernel too short for the test to bite", len(ckpts))
+	}
+
+	for i, c := range ckpts {
+		for _, legacy := range []bool{false, true} {
+			fork := newTestDevice(t)
+			fork.LegacySched = legacy
+			fr, err := fork.Restore(c.snap)
+			if err != nil {
+				t.Fatalf("ckpt %d legacy=%v: Restore: %v", i, legacy, err)
+			}
+			if got := fr.Digest(); got != c.digest {
+				t.Fatalf("ckpt %d legacy=%v: restored digest %x, snapshotted at %x", i, legacy, got, c.digest)
+			}
+			paused, err := fr.Resume(-1)
+			if err != nil || paused {
+				t.Fatalf("ckpt %d legacy=%v: Resume(-1) = (%v, %v)", i, legacy, paused, err)
+			}
+			if fr.Stats() != refStats {
+				t.Fatalf("ckpt %d legacy=%v: stats %+v, want %+v", i, legacy, fr.Stats(), refStats)
+			}
+			if got := readOut(t, fork, outp, outLen); !bytes.Equal(got, refOut) {
+				t.Fatalf("ckpt %d legacy=%v: output differs after restore", i, legacy)
+			}
+			if got := fork.Digest(); got != refDigest {
+				t.Fatalf("ckpt %d legacy=%v: final digest %x, want %x", i, legacy, got, refDigest)
+			}
+		}
+	}
+}
+
 // TestDigestCanonicalization: a never-written page digests like an
 // explicitly zeroed one, and any one-bit difference in reachable state
 // changes the digest.

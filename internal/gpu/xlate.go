@@ -61,14 +61,13 @@ type xinstr struct {
 	altersFlow bool  // pre-computed semAltersFlow
 	simple     bool  // cannot branch, exit lanes, or reach a barrier
 	isBra      bool  // direct BRA/JMP: target known at translation time
-	runLen     int32 // consecutive simple steps from here, within one CFG block
-	braTarget  int32 // branch target when isBra
+	flow       uint8 // pre-computed flowOf class for split maintenance
+	runLen     int32 // consecutive batchable steps from here, within one CFG block
+	braTarget  int32 // branch target when flow == flowBranch (BRA/JMP/CALL)
 }
 
 // guard evaluates the instruction guard for the lanes in atPC, mirroring
-// guardMask with the predicate classification already resolved. The scan is
-// sequential by lane (no find-first-set dependency chain) with the predicate
-// id copied out of xi, so iterations overlap on the CPU.
+// guardMask with the predicate classification already resolved.
 func (xi *xinstr) guard(w *warp, atPC uint32) uint32 {
 	switch xi.guardKind {
 	case guardOn:
@@ -76,14 +75,7 @@ func (xi *xinstr) guard(w *warp, atPC uint32) uint32 {
 	case guardOff:
 		return 0
 	}
-	p, neg := xi.guardPred&7, xi.guardNeg
-	var execMask uint32
-	for lane, rem := 0, atPC; rem != 0; lane, rem = lane+1, rem>>1 {
-		if rem&1 != 0 && w.preds[lane&31][p] != neg {
-			execMask |= 1 << uint(lane)
-		}
-	}
-	return execMask
+	return predMask(w, atPC, xi.guardPred&7, xi.guardNeg)
 }
 
 // semSimple reports whether a semantic is straight-line safe: it never
@@ -103,7 +95,7 @@ func semSimple(sem sass.SemKind) bool {
 // xlateEngine names and versions the translation scheme in the plan cache
 // key: bumping it invalidates every cached plan without touching the module
 // entries.
-const xlateEngine = "gpu.xplan/v1"
+const xlateEngine = "gpu.xplan/v2"
 
 // planFor returns the translated execution plan for a kernel, building and
 // caching it process-wide on first use. Content-identical kernels — e.g.
@@ -219,17 +211,20 @@ func translate(k *sass.Kernel) (*xplan, error) {
 			// Direct branch: the hot loop resolves the uniform cases (all
 			// lanes take, or none take) without leaving the converged state.
 			xi.isBra = true
-			xi.braTarget = in.Src[0].Target
 		}
+		xi.flow, xi.braTarget = flowOf(in)
 		xi.step = compileStep(in, i)
 	}
 	// Straight-line run lengths, computed backwards within each CFG basic
-	// block so a run can never span a branch target.
+	// block so a run can never span a branch target. A step is batchable
+	// when it is simple and does not read the SM clock: the batched loop
+	// charges the whole run's clock advance up front, which only a
+	// CS2R/SR_CLOCK read could observe — those issue one at a time.
 	cfg := sassan.BuildCFG(k)
 	for _, blk := range cfg.Blocks {
 		run := int32(0)
 		for i := blk.End - 1; i >= blk.Start; i-- {
-			if steps[i].simple {
+			if steps[i].simple && !readsClock(&k.Instrs[i]) {
 				run++
 			} else {
 				run = 0
@@ -238,6 +233,22 @@ func translate(k *sass.Kernel) (*xplan, error) {
 		}
 	}
 	return &xplan{steps: steps}, nil
+}
+
+// readsClock reports whether executing the instruction can observe the SM
+// clock: CS2R (always a clock read here) or any special-register source
+// resolving to SR_CLOCK. Everything else specialVal computes from per-lane
+// or per-block state that batching does not disturb.
+func readsClock(in *sass.Instr) bool {
+	if in.Op.Info().Sem == sass.SemCS2R {
+		return true
+	}
+	for i := range in.Src {
+		if in.Src[i].Kind == sass.OpdSpecial && in.Src[i].SReg == sass.SRClock {
+			return true
+		}
+	}
+	return false
 }
 
 // thunkStep is the universal fallback: execute through the interpreter. The

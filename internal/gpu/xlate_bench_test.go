@@ -75,3 +75,133 @@ func benchWarpLoop(b *testing.B, noXlate bool) {
 // warp hot loop; BenchmarkWarpInterpreted is the legacy dispatch baseline.
 func BenchmarkWarpTranslated(b *testing.B)  { benchWarpLoop(b, false) }
 func BenchmarkWarpInterpreted(b *testing.B) { benchWarpLoop(b, true) }
+
+// divergentSrc is the divergence benchmark kernel: ostencil-shaped boundary
+// branching inside a 256-iteration loop. Every warp splits at the boundary
+// check each iteration (lanes with x==0 or x==15 take the short boundary
+// path, the other 28 the longer interior path) and reconverges at join, so
+// the scheduler's diverged issue path dominates.
+const divergentSrc = `
+.kernel div
+.param outptr
+    S2R R0, SR_TID.X
+    S2R R7, SR_CTAID.X
+    MOV R2, 0x100
+    MOV R1, 0x0
+    LOP.AND R8, R0, 0xf
+loop:
+    ISETP.GE.AND P0, R8, 0x1, PT
+    ISETP.LE.AND P0, R8, 0xe, P0
+@P0 BRA interior
+    SHL R4, R1, 0x1
+    LOP.XOR R1, R4, R0
+    BRA join
+interior:
+    IMAD R1, R1, R0, 0x5
+    IADD R1, R1, R7
+    LOP.XOR R1, R1, R8
+    SHL R3, R1, 0x1
+    LOP.AND R1, R1, R3
+    IADD R1, R1, 0x3
+join:
+    IADD R2, R2, -0x1
+    ISETP.NE.AND P0, R2, 0x0, PT
+@P0 BRA loop
+    MOV R5, c0[NTID_X]
+    IMAD R6, R7, R5, R0
+    SHL R6, R6, 0x2
+    IADD R6, R6, c0[outptr]
+    STG.32 [R6], R1
+    EXIT
+`
+
+func benchDivergentWarp(b *testing.B, noXlate bool) {
+	p, err := sass.Assemble("bench", divergentSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDevice(sass.FamilyVolta, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.NoXlate = noXlate
+	const blocks, threads = 8, 128
+	outp, err := d.Mem.Alloc(4 * blocks * threads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := &Launch{
+		Kernel: &ExecKernel{K: p.Kernels[0]},
+		Grid:   Dim3{X: blocks, Y: 1, Z: 1},
+		Block:  Dim3{X: threads, Y: 1, Z: 1},
+		Params: []uint32{outp},
+	}
+	stats, err := d.Run(l) // warm the plan cache and pools
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perLaunch := float64(stats.WarpInstrs)
+	b.ReportMetric(perLaunch*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mwarpinstr/s")
+}
+
+// BenchmarkDivergentWarp tracks the divergence floor alongside the hot-loop
+// benchmark: the same engine comparison, but on a kernel whose warps spend
+// the whole launch diverged.
+func BenchmarkDivergentWarp(b *testing.B)            { benchDivergentWarp(b, false) }
+func BenchmarkDivergentWarpInterpreted(b *testing.B) { benchDivergentWarp(b, true) }
+
+// BenchmarkMemoryFind measures Memory.find: the repeated-hit path (one hot
+// allocation, the shape every page-window miss inside a kernel takes), the
+// alternating path (an input and an output buffer, the dominant real kernel
+// pattern the two-slot memo serves), and the scattered path (round-robin
+// over many allocations — every find misses the memo and pays the full
+// search plus the memo update).
+func BenchmarkMemoryFind(b *testing.B) {
+	m := NewMemory()
+	ptrs := make([]uint32, 32)
+	for i := range ptrs {
+		p, err := m.Alloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ptrs[i] = p
+	}
+	b.Run("repeat", func(b *testing.B) {
+		addr := ptrs[len(ptrs)/2] + 128
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m.find(addr) == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("alternating", func(b *testing.B) {
+		in, out := ptrs[3]+256, ptrs[29]+512
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			addr := in
+			if i&1 != 0 {
+				addr = out
+			}
+			if m.find(addr) == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("scattered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m.find(ptrs[i%len(ptrs)]+64) == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+}

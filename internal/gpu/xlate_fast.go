@@ -224,6 +224,12 @@ const (
 	fopIMnMxS
 	fopIMnMxU
 	fopFMnMx
+
+	// FP64 pair-result ops
+	fopDAdd
+	fopDMul
+	fopDFma
+	fopDMnMx
 )
 
 // fastBinStep fuses a one- or two-source ALU op: the whole warp executes in
@@ -629,6 +635,191 @@ func fastSelStep(op fastOp, d sass.RegID, a, b fastSrc, p fastPred) planStep {
 	}
 }
 
+// fastDSrc is one pre-resolved FP64 source, mirroring srcD's quirks exactly:
+// register pairs apply negation as a sign-bit xor on the raw bits, constant-
+// bank doubles hoist out of the lane loop, float immediates widen with
+// negation ignored, and any other shape reads ±0.0 as the accessor tier does.
+type fastDSrc struct {
+	kind uint8 // fsImm, fsReg, fsConst
+	neg  bool  // constant-bank sign flip
+	reg  sass.RegID
+	xor  uint64  // sign flip applied to register reads
+	imm  float64 // folded value for fsImm
+	off  int32   // constant-bank offset for fsConst
+}
+
+// hoist resolves the lane-invariant value: the folded immediate or this
+// launch's constant-bank double, negation applied.
+func (s *fastDSrc) hoist(blk *blockCtx) float64 {
+	if s.kind != fsConst {
+		return s.imm
+	}
+	b := uint64(blk.constRead(s.off+4))<<32 | uint64(blk.constRead(s.off))
+	if s.neg {
+		b ^= 1 << 63
+	}
+	return math.Float64frombits(b)
+}
+
+func (s *fastDSrc) unpack() (isReg bool, reg sass.RegID, xor uint64) {
+	if s.kind != fsReg {
+		return false, 0, 0
+	}
+	return true, s.reg, s.xor
+}
+
+// fastDSrcFor classifies one FP64 source. srcD accepts every operand kind
+// (unknown shapes read ±0.0), so the only rejection is a missing operand.
+func fastDSrcFor(in *sass.Instr, idx int) (fastDSrc, bool) {
+	if idx >= len(in.Src) {
+		return fastDSrc{}, false
+	}
+	o := &in.Src[idx]
+	switch o.Kind {
+	case sass.OpdReg:
+		var x uint64
+		if o.Neg {
+			x = 1 << 63
+		}
+		return fastDSrc{kind: fsReg, reg: o.Reg, xor: x}, true
+	case sass.OpdConst:
+		return fastDSrc{kind: fsConst, off: o.Off, neg: o.Neg}, true
+	case sass.OpdImm:
+		// srcD's quirk: a float immediate in a double context widens with
+		// negation ignored.
+		return fastDSrc{kind: fsImm, imm: float64(math.Float32frombits(o.Imm))}, true
+	default:
+		v := 0.0
+		if o.Neg {
+			v = math.Float64frombits(1 << 63)
+		}
+		return fastDSrc{kind: fsImm, imm: v}, true
+	}
+}
+
+// fastDStep fuses the FP64 pair ops (DADD, DMUL, DFMA, DMNMX): one closure
+// call per warp instead of three indirect calls per lane through the
+// accessor tier. Register pairs go through readPairReg so RZ-adjacent reads
+// keep their exact interpreted semantics; the destination write mirrors
+// dstWrPair (writeHi false when the high half lands on RZ).
+//
+//go:noinline
+func fastDStep(op fastOp, d sass.RegID, writeHi bool, a, b, c fastDSrc, p fastPred) planStep {
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		op, d, writeHi, p := op, d, writeHi, p
+		av, bv, cv := a.hoist(blk), b.hoist(blk), c.hoist(blk)
+		aIsReg, aReg, aXor := a.unpack()
+		bIsReg, bReg, bXor := b.unpack()
+		cIsReg, cReg, cXor := c.unpack()
+		for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+			if rem&1 == 0 {
+				continue
+			}
+			lane := lane & 31
+			x, y, z := av, bv, cv
+			if aIsReg {
+				x = math.Float64frombits(readPairReg(w, lane, aReg) ^ aXor)
+			}
+			if bIsReg {
+				y = math.Float64frombits(readPairReg(w, lane, bReg) ^ bXor)
+			}
+			if cIsReg {
+				z = math.Float64frombits(readPairReg(w, lane, cReg) ^ cXor)
+			}
+			var v float64
+			switch op {
+			case fopDAdd:
+				v = x + y
+			case fopDMul:
+				v = x * y
+			case fopDFma:
+				v = math.FMA(x, y, z)
+			case fopDMnMx:
+				if p.read(&w.preds[lane]) {
+					v = math.Min(x, y)
+				} else {
+					v = math.Max(x, y)
+				}
+			}
+			b := math.Float64bits(v)
+			rf := &w.regs[lane]
+			rf[d] = uint32(b)
+			if writeHi {
+				rf[d+1] = uint32(b >> 32)
+			}
+		}
+		return false, 0, 0
+	}
+}
+
+// fastS2RStep fuses S2R. The lane-dependent special registers (TID, lane id,
+// lane masks) get dedicated loops; everything else — CTAID, warp id, SM id,
+// the clock, and unknown registers (which read zero, as in specialVal) — is
+// warp-invariant within one step and broadcasts a single resolved value.
+//
+//go:noinline
+func fastS2RStep(d sass.RegID, sr sass.SpecialReg) planStep {
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		d, sr := d, sr
+		switch sr {
+		case sass.SRTidX:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				lane := lane & 31
+				w.regs[lane][d] = uint32(w.tid[lane].X)
+			}
+		case sass.SRTidY:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				lane := lane & 31
+				w.regs[lane][d] = uint32(w.tid[lane].Y)
+			}
+		case sass.SRTidZ:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				lane := lane & 31
+				w.regs[lane][d] = uint32(w.tid[lane].Z)
+			}
+		case sass.SRLaneID:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				w.regs[lane&31][d] = uint32(lane)
+			}
+		case sass.SREqMask:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				w.regs[lane&31][d] = 1 << uint(lane)
+			}
+		case sass.SRLtMask:
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				w.regs[lane&31][d] = 1<<uint(lane) - 1
+			}
+		default:
+			v := specialVal(blk, w, 0, sr)
+			for lane, rem := 0, m; rem != 0; lane, rem = lane+1, rem>>1 {
+				if rem&1 == 0 {
+					continue
+				}
+				w.regs[lane&31][d] = v
+			}
+		}
+		return false, 0, 0
+	}
+}
+
 // fastCmp is the comparison pre-resolved from (float, unsigned, CmpOp) at
 // translation time, so the setp lane loop branches on a dense enum instead of
 // calling icompare/fcompare, whose full switches are past the inlining budget
@@ -969,6 +1160,49 @@ func fastStep(in *sass.Instr) planStep {
 			boolOp, q = mods.Bool, fastPredFor(in, 2)
 		}
 		return fastSetPStep(fastCmpFor(float, mods.Unsigned, mods.Cmp), boolOp, d, a, b, q)
+
+	case sass.SemS2R:
+		d, ok := fastDst(in)
+		if !ok || len(in.Src) == 0 {
+			return nil
+		}
+		return fastS2RStep(d, in.Src[0].SReg)
+
+	case sass.SemDAdd, sass.SemDMul, sass.SemDFma, sass.SemDMnMx:
+		d, ok := fastDst(in)
+		if !ok {
+			return nil
+		}
+		var op fastOp
+		switch sem {
+		case sass.SemDAdd:
+			op = fopDAdd
+		case sass.SemDMul:
+			op = fopDMul
+		case sass.SemDFma:
+			op = fopDFma
+		case sass.SemDMnMx:
+			op = fopDMnMx
+		}
+		a, ok := fastDSrcFor(in, 0)
+		if !ok {
+			return nil
+		}
+		b, ok := fastDSrcFor(in, 1)
+		if !ok {
+			return nil
+		}
+		c := fastDSrc{}
+		if sem == sass.SemDFma {
+			if c, ok = fastDSrcFor(in, 2); !ok {
+				return nil
+			}
+		}
+		p := fastPred{fixed: 1}
+		if sem == sass.SemDMnMx {
+			p = fastPredFor(in, 2)
+		}
+		return fastDStep(op, d, d+1 != sass.RZ, a, b, c, p)
 	}
 	return nil
 }

@@ -358,3 +358,116 @@ func compileStore(in *sass.Instr, space sass.MemSpace) planStep {
 		return trapActive
 	}
 }
+
+// compileAtomic compiles evalCtx.atomic case for case: ATOM/ATOMG/ATOMS
+// (withResult) and RED (without). Lanes execute in ascending order so
+// intra-warp races keep their deterministic interpreted outcome; under the
+// parallel block scheduler, global-memory atomics take the device atomics
+// lock for the whole warp instruction, exactly like the interpreter. The
+// CAS-missing-swap and unknown-op traps fire after the lane's load, so a
+// memory fault on that load still wins with the interpreter's trap kind.
+func compileAtomic(in *sass.Instr, space sass.MemSpace, withResult bool) planStep {
+	var wr laneWrU
+	if withResult {
+		if wr = dstWr(in); wr == nil {
+			// Missing destination: the interpreter panics in wr; keep the
+			// thunk so that behavior stays in one place.
+			return nil
+		}
+	}
+	op := in.Mods.Atom
+	if op == sass.AtomNone {
+		op = sass.AtomAdd
+	}
+	float := in.Mods.Float
+	vi := -1
+	for i := range in.Src {
+		if in.Src[i].Kind != sass.OpdMem {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		// No value operand: the interpreter traps before its lane loop, so
+		// this faults even with an empty exec mask.
+		return func(*blockCtx, *warp, uint32) (bool, TrapKind, uint32) {
+			return false, TrapInvalidInstruction, 0
+		}
+	}
+	addr := memAddrLane(in)
+	if addr == nil {
+		return trapActive
+	}
+	val := srcU(in, vi)
+	var swap laneU
+	casShort := false
+	if op == sass.AtomCAS {
+		// Operands: [addr], compare, swap.
+		if vi+1 >= len(in.Src) {
+			casShort = true
+		} else {
+			swap = srcU(in, vi+1)
+		}
+	}
+	lockable := space == sass.SpaceGlobal || space == sass.SpaceGeneric
+	return func(blk *blockCtx, w *warp, m uint32) (bool, TrapKind, uint32) {
+		if blk.parallel && lockable {
+			blk.dev.atomMu.Lock()
+			defer blk.dev.atomMu.Unlock()
+		}
+		for ; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a := addr(w, lane)
+			old, kind := spaceLoadAt(blk, w, lane, space, a, 4)
+			if kind != 0 {
+				return false, kind, a
+			}
+			cur := uint32(old)
+			v := val(blk, w, lane)
+			var newVal uint32
+			switch op {
+			case sass.AtomAdd:
+				if float {
+					newVal = addF32Bits(cur, v)
+				} else {
+					newVal = cur + v
+				}
+			case sass.AtomMin:
+				newVal = cur
+				if int32(v) < int32(cur) {
+					newVal = v
+				}
+			case sass.AtomMax:
+				newVal = cur
+				if int32(v) > int32(cur) {
+					newVal = v
+				}
+			case sass.AtomAnd:
+				newVal = cur & v
+			case sass.AtomOr:
+				newVal = cur | v
+			case sass.AtomXor:
+				newVal = cur ^ v
+			case sass.AtomExch:
+				newVal = v
+			case sass.AtomCAS:
+				if casShort {
+					return false, TrapInvalidInstruction, 0
+				}
+				newVal = cur
+				if cur == v {
+					newVal = swap(blk, w, lane)
+				}
+			default:
+				return false, TrapInvalidInstruction, 0
+			}
+			if kind := spaceStoreAt(blk, w, lane, space, a, 4, uint64(newVal)); kind != 0 {
+				return false, kind, a
+			}
+			if wr != nil {
+				wr(w, lane, cur)
+			}
+		}
+		return false, 0, 0
+	}
+}

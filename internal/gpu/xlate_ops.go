@@ -878,6 +878,10 @@ func specializeStep(in *sass.Instr) planStep {
 		return compileLoadConst(in)
 	case sass.SemSt:
 		return compileStore(in, in.Op.Info().Space)
+	case sass.SemAtom:
+		return compileAtomic(in, in.Op.Info().Space, true)
+	case sass.SemRed:
+		return compileAtomic(in, in.Op.Info().Space, false)
 
 	// --- Control ---
 	case sass.SemBar:
@@ -909,9 +913,9 @@ func specializeStep(in *sass.Instr) planStep {
 		return func(*blockCtx, *warp, uint32) (bool, TrapKind, uint32) { return false, 0, 0 }
 
 	default:
-		// Shfl, Match, Atom, Red, Brx, Call, Ret, SemNone, and anything new:
-		// interpreter thunk. Cross-lane and locking semantics are rare enough
-		// that the dispatch saving does not justify duplicating them.
+		// Shfl, Match, Brx, Call, Ret, SemNone, and anything new: interpreter
+		// thunk. Cross-lane semantics are rare enough that the dispatch
+		// saving does not justify duplicating them.
 		return nil
 	}
 }

@@ -186,6 +186,104 @@ func TestXlateSnapshotDifferential(t *testing.T) {
 	}
 }
 
+// TestSchedulerDigestDifferential holds the warp-split scheduler to the
+// legacy min-PC scan digest-for-digest: pausing a heavily diverged kernel
+// every 37 warp instructions must see the identical state trajectory in
+// both modes, so issue order, accounting, and reconvergence points all
+// match, not just final outputs.
+func TestSchedulerDigestDifferential(t *testing.T) {
+	digests := func(legacy bool) []uint64 {
+		d := newTestDevice(t)
+		d.LegacySched = legacy
+		k := mustKernel(t, divergentSrc, "div")
+		const blocks, threads = 2, 128
+		outp := mustAllocWrite(t, d, 4*blocks*threads, nil)
+		run, err := d.BeginRun(&Launch{
+			Kernel: &ExecKernel{K: k},
+			Grid:   Dim3{X: blocks, Y: 1, Z: 1},
+			Block:  Dim3{X: threads, Y: 1, Z: 1},
+			Params: []uint32{outp},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var digs []uint64
+		for {
+			paused, err := run.Resume(37)
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			digs = append(digs, run.Digest())
+			if !paused {
+				return digs
+			}
+		}
+	}
+	ref := digests(true)
+	got := digests(false)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("digest trajectories differ:\nlegacy scan %d pauses\nwarp-split  %d pauses", len(ref), len(got))
+	}
+}
+
+// TestXlateDivergentConcurrentSharedPlans is the divergent-workload variant
+// of TestXlateConcurrentSharedPlans: many devices execute one shared plan
+// concurrently with block-parallel workers and a mix of scheduler modes,
+// under -race in CI. Per-warp split state must stay device-private and every
+// combination must reproduce the sequential reference.
+func TestXlateDivergentConcurrentSharedPlans(t *testing.T) {
+	setup := func(t *testing.T, d *Device) (Launch, uint32, int) {
+		const blocks, threads = 8, 128
+		outp := mustAllocWrite(t, d, 4*blocks*threads, nil)
+		return Launch{
+			Grid:   Dim3{X: blocks, Y: 1, Z: 1},
+			Block:  Dim3{X: threads, Y: 1, Z: 1},
+			Params: []uint32{outp},
+		}, outp, 4 * blocks * threads
+	}
+	ref, _ := runWithEngine(t, divergentSrc, "div", false, setup)
+	if ref.err != nil {
+		t.Fatal(ref.err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := newTestDevice(t)
+			d.Workers = 1 + g%4
+			d.LegacySched = g%2 == 1
+			k := mustKernel(t, divergentSrc, "div")
+			l, outp, outLen := setup(t, d)
+			l.Kernel = &ExecKernel{K: k}
+			stats, err := d.Run(&l)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !reflect.DeepEqual(stats, ref.stats) {
+				errs[g] = fmt.Errorf("goroutine %d: stats %+v, want %+v", g, stats, ref.stats)
+				return
+			}
+			out, err := d.Mem.ReadBytes(outp, outLen)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !bytes.Equal(out, ref.out) {
+				errs[g] = fmt.Errorf("goroutine %d: output differs from reference", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
 // TestXlatePlanCacheWarmCold proves plans are built once per kernel content
 // hash and shared across devices: a cold run builds, every later run —
 // including on a different device — hits.
