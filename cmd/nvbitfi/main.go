@@ -8,12 +8,12 @@
 //	nvbitfi select    -profile profile.txt [-group G_GPPR] [-bitflip 1] [-seed 1] [-o params.txt]
 //	nvbitfi inject    -program 303.ostencil -params params.txt
 //	nvbitfi pf-inject -program 303.ostencil -sm 0 -lane 3 -mask 0x400 -opcode 12
-//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1] [-prune] [-ckpt [-ckpt-stride N] [-no-early-exit]] [-verify]
+//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1] [-prune] [-classes] [-ckpt [-ckpt-stride N] [-no-early-exit]] [-verify]
 //	nvbitfi profdiff  -a exact.txt -b approx.txt [-group G_GPPR] [-min 0.01]
 //	nvbitfi report    -table1 | -table4
 //	nvbitfi serve     [-addr 127.0.0.1:8077] [-journal nvbitfi-journal.jsonl] [-workers N]
 //	nvbitfi worker    [-coordinator http://host:8077] [-name NAME]
-//	nvbitfi submit    -program 303.ostencil [-coordinator URL] [-n 100] [-seed 1] [-prune] [-ckpt] [-json]
+//	nvbitfi submit    -program 303.ostencil [-coordinator URL] [-n 100] [-seed 1] [-prune] [-classes] [-ckpt] [-json]
 //	nvbitfi list
 package main
 
@@ -278,6 +278,7 @@ func cmdCampaign(args []string) error {
 	workers := fs.Int("workers", 0, "per-device block-parallel workers for uninstrumented launches (0 or 1 = sequential)")
 	timing := fs.Bool("timing", false, "timing-fidelity mode: run experiments sequentially so durations are meaningful")
 	prune := fs.Bool("prune", false, "statically prune transient injections with provably dead destinations (tallied as Masked without running)")
+	classes := fs.Bool("classes", false, "class-representative sampling: run one experiment per fault-equivalence class per shard; members inherit the representative's classification")
 	ckpt := fs.Bool("ckpt", false, "checkpoint-and-fork: record the golden trajectory once and start each experiment from the snapshot nearest its injection point")
 	ckptStride := fs.Uint64("ckpt-stride", 0, "checkpoint stride in warp instructions (0 = derive from the golden run length)")
 	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification at checkpoint boundaries")
@@ -311,6 +312,9 @@ func cmdCampaign(args []string) error {
 	if *prune && *permanent {
 		return fmt.Errorf("campaign: -prune applies to transient campaigns only")
 	}
+	if *classes && *permanent {
+		return fmt.Errorf("campaign: -classes applies to transient campaigns only")
+	}
 	if *ckpt && *permanent {
 		return fmt.Errorf("campaign: -ckpt applies to transient campaigns only")
 	}
@@ -341,7 +345,7 @@ func cmdCampaign(args []string) error {
 			res, err = nvbitfi.RunTransientCampaign(context.Background(), r, w, golden, profile, nvbitfi.TransientCampaignConfig{
 				Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
 				ShardSize: *shardSize,
-				Parallel:  *parallel, TimingFidelity: *timing, Prune: *prune,
+				Parallel:  *parallel, TimingFidelity: *timing, Prune: *prune, Classes: *classes,
 				Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
 				NoXlate: interp,
 			})

@@ -126,6 +126,7 @@ func cmdSubmit(args []string) error {
 	seed := fs.Int64("seed", 1, "campaign seed")
 	shardSize := fs.Int("shard-size", 0, "experiments per shard (0 = default; part of the campaign's identity)")
 	prune := fs.Bool("prune", false, "statically prune provably-dead injections")
+	classes := fs.Bool("classes", false, "class-representative sampling: one experiment per fault-equivalence class per shard")
 	ckpt := fs.Bool("ckpt", false, "checkpoint-and-fork experiment engine")
 	ckptStride := fs.Uint64("ckpt-stride", 0, "checkpoint stride in warp instructions")
 	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification")
@@ -145,7 +146,7 @@ func cmdSubmit(args []string) error {
 		Workload: *program,
 		Config: nvbitfi.TransientCampaignConfig{
 			Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
-			ShardSize: *shardSize, Prune: *prune,
+			ShardSize: *shardSize, Prune: *prune, Classes: *classes,
 			Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
 			NoXlate: *noXlate || !*xlate,
 		},
@@ -191,6 +192,10 @@ func cmdSubmit(args []string) error {
 	fmt.Printf("%s: %d runs, %s", final.Workload, final.Tally.N, final.Tally)
 	if final.Tally.Pruned > 0 {
 		fmt.Printf(", %d statically pruned", final.Tally.Pruned)
+	}
+	if final.Tally.ClassReps > 0 || final.Tally.ClassAnswered > 0 {
+		fmt.Printf(", %d class reps answered %d members",
+			final.Tally.ClassReps, final.Tally.ClassAnswered)
 	}
 	if final.Tally.Restored > 0 {
 		fmt.Printf(", %d restored from checkpoints (%d early exits)",

@@ -268,6 +268,13 @@ type Tally struct {
 	// re-converged with the golden trajectory, settling their tail from the
 	// recording.
 	EarlyExits int
+	// ClassReps counts experiments that executed as the representative of a
+	// fault-equivalence class (class-representative sampling).
+	ClassReps int
+	// ClassAnswered counts experiments that never executed because a class
+	// representative answered for them: they inherit the representative's
+	// classification and are included in N and Counts like any other run.
+	ClassAnswered int
 }
 
 // NewTally returns an empty tally.
@@ -315,6 +322,8 @@ func (t *Tally) Merge(o *Tally) {
 	t.Pruned += o.Pruned
 	t.Restored += o.Restored
 	t.EarlyExits += o.EarlyExits
+	t.ClassReps += o.ClassReps
+	t.ClassAnswered += o.ClassAnswered
 }
 
 // TallySchema versions the stable JSON encoding of Tally. The same encoding
@@ -335,6 +344,10 @@ type tallyJSON struct {
 	Pruned        int    `json:"pruned"`
 	Restored      int    `json:"restored"`
 	EarlyExits    int    `json:"early_exits"`
+	// The class counters are omitted when zero so campaigns that never
+	// enabled class sampling keep their pre-existing byte encoding.
+	ClassReps     int `json:"class_reps,omitempty"`
+	ClassAnswered int `json:"class_answered,omitempty"`
 }
 
 // MarshalJSON renders the stable, schema-versioned encoding. Two tallies
@@ -351,6 +364,8 @@ func (t *Tally) MarshalJSON() ([]byte, error) {
 		Pruned:        t.Pruned,
 		Restored:      t.Restored,
 		EarlyExits:    t.EarlyExits,
+		ClassReps:     t.ClassReps,
+		ClassAnswered: t.ClassAnswered,
 	})
 }
 
@@ -380,5 +395,7 @@ func (t *Tally) UnmarshalJSON(b []byte) error {
 	t.Pruned = w.Pruned
 	t.Restored = w.Restored
 	t.EarlyExits = w.EarlyExits
+	t.ClassReps = w.ClassReps
+	t.ClassAnswered = w.ClassAnswered
 	return nil
 }

@@ -44,8 +44,10 @@ func (pr *pruner) analysis(name string) *sassan.Analysis {
 		return a
 	}
 	var a *sassan.Analysis
-	if k := pr.kernels[name]; k != nil && !sassan.HasErrors(sassan.VerifyKernel(k)) {
-		a = sassan.Analyze(k)
+	if k := pr.kernels[name]; k != nil {
+		if cand := sassan.Analyze(k); !sassan.HasErrors(cand.Verify()) {
+			a = cand
+		}
 	}
 	pr.cache[name] = a
 	return a

@@ -263,6 +263,15 @@ type RunResult struct {
 	// digest re-converged with the golden trajectory at a checkpoint
 	// boundary, so its tail was settled from the recording.
 	EarlyExit bool
+	// ClassID names the fault-equivalence class this run belongs to when
+	// class-representative sampling is on (empty otherwise). IDs are
+	// kernel-local content hashes; qualify with Injection.Kernel to compare
+	// across kernels.
+	ClassID string
+	// ClassAnswered marks an experiment that never executed: its class
+	// representative ran in its place and this result inherits that
+	// classification.
+	ClassAnswered bool
 }
 
 // RunTransient performs one transient-fault experiment: fresh context,
@@ -396,6 +405,19 @@ type TransientCampaignConfig struct {
 	// are identical to an unpruned campaign with the same seed — the
 	// differential test in prune_test.go holds the two byte-equal.
 	Prune bool
+	// Classes enables class-representative sampling: injection sites are
+	// grouped into fault-propagation equivalence classes
+	// (sassan.BuildClassTable), and within each shard-sized chunk of the
+	// selection only the first experiment of each class executes. The other
+	// members inherit the representative's classification without running
+	// and are counted in Tally.ClassAnswered. Implies ResolveSites.
+	// Grouping is chunk-local by ShardSize, so a distributed campaign picks
+	// exactly the representatives the single-process runner picks. Sites the
+	// analysis cannot class (control escalation, opaque dataflow, unverified
+	// kernels) always run individually. The new JSON fields are omitted when
+	// the option is off, keeping those campaigns byte-identical to builds
+	// that predate it; classes_test.go holds the differential.
+	Classes bool `json:",omitempty"`
 	// Checkpoint enables the checkpoint-and-fork engine: the golden
 	// trajectory is recorded once with device snapshots, and every
 	// experiment restores from the snapshot nearest its injection point
@@ -596,6 +618,16 @@ func summarize(name string, golden *GoldenResult, results []RunResult, weighted 
 			// duration to fold into the timing figures.
 			tally.Pruned++
 			continue
+		}
+		if results[i].ClassAnswered {
+			// An answered class member never ran either: its classification
+			// is its representative's, so it contributes no duration or
+			// activation data of its own.
+			tally.ClassAnswered++
+			continue
+		}
+		if results[i].ClassID != "" {
+			tally.ClassReps++
 		}
 		if !results[i].Injection.Activated && results[i].Activations == 0 && weighted == nil {
 			tally.NotActivated++

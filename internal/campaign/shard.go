@@ -49,7 +49,7 @@ func SelectShard(profile *core.Profile, cfg TransientCampaignConfig, shard int) 
 	}
 	lo, hi := cfg.ShardRange(shard)
 	rng := rand.New(rand.NewSource(ShardSeed(cfg.Seed, shard)))
-	resolve := cfg.ResolveSites || cfg.Prune || cfg.Checkpoint
+	resolve := cfg.ResolveSites || cfg.Prune || cfg.Checkpoint || cfg.Classes
 	params := make([]core.TransientParams, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		var p *core.TransientParams
@@ -82,6 +82,7 @@ type ShardPlan struct {
 	cfg     TransientCampaignConfig
 	trace   *cuda.Trace
 	pr      *pruner
+	cl      *classer
 }
 
 // NewShardPlan validates the config against the golden result and performs
@@ -102,6 +103,12 @@ func NewShardPlan(r Runner, w Workload, golden *GoldenResult, profile *core.Prof
 			return nil, fmt.Errorf("campaign: prune requested but the golden result carries no kernels; rebuild it with Runner.Golden")
 		}
 		plan.pr = newPruner(golden.Kernels)
+	}
+	if cfg.Classes {
+		if golden.Kernels == nil {
+			return nil, fmt.Errorf("campaign: class sampling requested but the golden result carries no kernels; rebuild it with Runner.Golden")
+		}
+		plan.cl = newClasser(golden.Kernels)
 	}
 	if cfg.Checkpoint {
 		stride := cfg.CkptStride
@@ -149,15 +156,36 @@ func (pl *ShardPlan) runOne(ctx context.Context, p core.TransientParams) (*RunRe
 // Parallel bound, returning results and errors index-aligned with params.
 // A cancelled ctx stops dispatching and marks the remaining experiments
 // with the context's error; already-running experiments abort promptly via
-// the device cancellation hook.
+// the device cancellation hook. With class sampling on, grouping is done
+// per shard-sized chunk of params: the whole-campaign list partitions into
+// exactly the chunks RunShard sees one at a time, so both paths pick the
+// same representatives.
 func (pl *ShardPlan) runRange(ctx context.Context, params []core.TransientParams) ([]RunResult, []error) {
 	results := make([]RunResult, len(params))
 	errs := make([]error, len(params))
+	if pl.cl == nil {
+		idxs := make([]int, len(params))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		pl.runIndexes(ctx, params, idxs, results, errs)
+		return results, errs
+	}
+	for lo := 0; lo < len(params); lo += pl.cfg.ShardSize {
+		hi := min(lo+pl.cfg.ShardSize, len(params))
+		pl.runChunkClassed(ctx, params, lo, hi, results, errs)
+	}
+	return results, errs
+}
+
+// runIndexes executes the experiments at the given param indexes with the
+// plan's Parallel bound, writing into the index-aligned results and errs.
+func (pl *ShardPlan) runIndexes(ctx context.Context, params []core.TransientParams, idxs []int, results []RunResult, errs []error) {
 	var wg sync.WaitGroup
 	// Acquire the semaphore before spawning so a 1000-injection campaign
 	// keeps at most Parallel goroutines alive instead of parking them all.
 	sem := make(chan struct{}, pl.cfg.Parallel)
-	for i := range params {
+	for _, i := range idxs {
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
 			continue
@@ -182,7 +210,53 @@ func (pl *ShardPlan) runRange(ctx context.Context, params []core.TransientParams
 		}(i)
 	}
 	wg.Wait()
-	return results, errs
+}
+
+// runChunkClassed executes one shard-sized chunk [lo, hi) under class
+// sampling: the first experiment of each equivalence class in the chunk
+// runs as the representative (alongside every unclassable experiment), then
+// the remaining members inherit its classification. Pruning wins over
+// classing — a provably-dead site keeps its static answer and never
+// becomes a representative or member.
+func (pl *ShardPlan) runChunkClassed(ctx context.Context, params []core.TransientParams, lo, hi int, results []RunResult, errs []error) {
+	run := make([]int, 0, hi-lo)
+	repOf := make(map[string]int)  // kernel-qualified class ID -> rep index
+	members := make(map[int][]int) // rep index -> member indexes
+	classID := make(map[int]string)
+	for i := lo; i < hi; i++ {
+		if pl.pr != nil && pl.pr.prunable(params[i]) {
+			run = append(run, i) // runIndexes prunes it statically
+			continue
+		}
+		c := pl.cl.classOf(params[i])
+		if c == nil {
+			run = append(run, i)
+			continue
+		}
+		key := params[i].KernelName + "\x00" + c.ID
+		if rep, ok := repOf[key]; ok {
+			members[rep] = append(members[rep], i)
+			continue
+		}
+		repOf[key] = i
+		classID[i] = c.ID
+		run = append(run, i)
+	}
+	pl.runIndexes(ctx, params, run, results, errs)
+	for _, rep := range repOf {
+		if errs[rep] == nil {
+			results[rep].ClassID = classID[rep]
+		}
+	}
+	for rep, ms := range members {
+		for _, i := range ms {
+			if errs[rep] != nil {
+				errs[i] = fmt.Errorf("campaign: class representative experiment %d failed: %w", rep, errs[rep])
+				continue
+			}
+			results[i] = classAnsweredResult(&results[rep], pl.golden, params[i])
+		}
+	}
 }
 
 // RunShard selects and executes one shard, returning its per-run results in
@@ -213,6 +287,15 @@ func TallyRuns(results []RunResult) *Tally {
 			// fault provably activates-and-masks.
 			tally.Pruned++
 			continue
+		}
+		if results[i].ClassAnswered {
+			// An answered class member never ran: its representative's
+			// classification stands in for it.
+			tally.ClassAnswered++
+			continue
+		}
+		if results[i].ClassID != "" {
+			tally.ClassReps++
 		}
 		if !results[i].Injection.Activated && results[i].Activations == 0 {
 			tally.NotActivated++

@@ -31,7 +31,37 @@ type SummaryJSON struct {
 	TotalRunTime  int64           `json:"total_run_ms"`
 	MedianRunTime int64           `json:"median_run_ms"`
 	Translated    bool            `json:"translated"`
+	// Classes summarizes class-representative sampling. Omitted entirely
+	// when the campaign did not use class sampling, keeping those summaries
+	// byte-identical to builds that predate the field.
+	Classes *ClassSummaryJSON `json:"classes,omitempty"`
 }
+
+// ClassSummaryJSON reports a class-sampled campaign's aggregation: how many
+// experiments executed as representatives, how many injections they
+// answered for, the Kish effective sample size of the weighted outcome
+// shares, and per-outcome confidence intervals computed at that effective
+// size (one representative is one independent observation, not one per
+// member — the interval honestly widens as classes grow heavy).
+type ClassSummaryJSON struct {
+	Reps                int                 `json:"reps"`
+	Answered            int                 `json:"answered"`
+	EffectiveSampleSize float64             `json:"neff"`
+	Confidence          float64             `json:"confidence"`
+	Intervals           []ClassIntervalJSON `json:"intervals"`
+}
+
+// ClassIntervalJSON is one outcome's weighted share with confidence bounds.
+type ClassIntervalJSON struct {
+	Outcome string  `json:"outcome"`
+	Share   float64 `json:"share"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+}
+
+// ClassConfidence is the confidence level class-sampled summaries report
+// intervals at (the paper's 100-injection campaigns quote 90%).
+const ClassConfidence = 0.90
 
 // NewSummaryJSON builds the stable summary document for one campaign.
 func NewSummaryJSON(res *campaign.CampaignResult) SummaryJSON {
@@ -43,7 +73,33 @@ func NewSummaryJSON(res *campaign.CampaignResult) SummaryJSON {
 		TotalRunTime:  res.TotalRunTime.Milliseconds(),
 		MedianRunTime: res.MedianRunTime.Milliseconds(),
 		Translated:    res.Translated,
+		Classes:       classSummary(res),
 	}
+}
+
+// classSummary builds the class-sampling block, or nil when the campaign
+// carries no class information.
+func classSummary(res *campaign.CampaignResult) *ClassSummaryJSON {
+	w := campaign.ClassWeighted(res.Runs)
+	if w == nil {
+		return nil
+	}
+	cs := &ClassSummaryJSON{
+		Reps:                res.Tally.ClassReps,
+		Answered:            res.Tally.ClassAnswered,
+		EffectiveSampleSize: w.EffectiveSampleSize(),
+		Confidence:          ClassConfidence,
+	}
+	for _, cat := range w.Categories() {
+		iv, err := w.ShareCI(cat, ClassConfidence)
+		if err != nil {
+			continue
+		}
+		cs.Intervals = append(cs.Intervals, ClassIntervalJSON{
+			Outcome: cat, Share: iv.P, Lo: iv.Lo, Hi: iv.Hi,
+		})
+	}
+	return cs
 }
 
 // WriteSummaryJSON writes one stable JSON summary line per campaign — the
@@ -71,6 +127,11 @@ func WriteRunLog(w io.Writer, res *campaign.CampaignResult) error {
 				"pruned=true kernel=%s instr=%d opcode=%v",
 				i, run.Class.Outcome, run.Class.Symptom.String(), run.Class.PotentialDUE,
 				rec.Kernel, rec.InstrIdx, rec.Opcode)
+		} else if run.ClassAnswered {
+			line = fmt.Sprintf("run=%d outcome=%v symptom=%q potential_due=%v "+
+				"class=%s answered=true kernel=%s instr=%d opcode=%v",
+				i, run.Class.Outcome, run.Class.Symptom.String(), run.Class.PotentialDUE,
+				run.ClassID, rec.Kernel, rec.InstrIdx, rec.Opcode)
 		} else if rec.Kernel != "" || rec.Activated {
 			line = fmt.Sprintf("run=%d outcome=%v symptom=%q potential_due=%v "+
 				"activated=%v kernel=%s instr=%d opcode=%v sm=%d lane=%d target=%s "+
@@ -83,6 +144,9 @@ func WriteRunLog(w io.Writer, res *campaign.CampaignResult) error {
 				"activations=%d dur=%s",
 				i, run.Class.Outcome, run.Class.Symptom.String(), run.Class.PotentialDUE,
 				run.Activations, run.Duration.Round(time.Millisecond))
+		}
+		if run.ClassID != "" && !run.ClassAnswered {
+			line += " class=" + run.ClassID
 		}
 		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err
@@ -157,6 +221,15 @@ func Summary(res *campaign.CampaignResult) string {
 		res.Program, t.N, t, t.PotentialDUEs, res.MedianRunTime.Round(time.Millisecond))
 	if t.Pruned > 0 {
 		s += fmt.Sprintf(", %d statically pruned", t.Pruned)
+	}
+	if t.ClassReps > 0 || t.ClassAnswered > 0 {
+		s += fmt.Sprintf(", %d class reps answered %d members", t.ClassReps, t.ClassAnswered)
+		if w := campaign.ClassWeighted(res.Runs); w != nil {
+			if iv, err := w.ShareCI("SDC", ClassConfidence); err == nil {
+				s += fmt.Sprintf(" (weighted SDC %.1f%% [%.1f, %.1f] @%d%%, neff %.1f)",
+					100*iv.P, 100*iv.Lo, 100*iv.Hi, int(100*ClassConfidence), w.EffectiveSampleSize())
+			}
+		}
 	}
 	if t.Restored > 0 {
 		s += fmt.Sprintf(", %d restored from checkpoints (%d early exits)", t.Restored, t.EarlyExits)

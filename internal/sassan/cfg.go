@@ -30,6 +30,17 @@ type CFG struct {
 	BlockOf []int
 	// Reachable marks instructions reachable from the kernel entry.
 	Reachable []bool
+	// BlockPreds lists each block's predecessor block indexes (deduplicated,
+	// ascending) — the reverse of Block.Succs. Consumers that previously
+	// rebuilt predecessor lists ad hoc (the verifier's forward passes, the
+	// dominator computation) read this instead.
+	BlockPreds [][]int
+	// BlockRPO is the blocks' reverse postorder from the entry block: every
+	// block appears before its successors except along back edges. Blocks
+	// unreachable from the entry are appended after the reachable ordering,
+	// in index order, so the slice is always a permutation of the block
+	// indexes.
+	BlockRPO []int
 }
 
 // Block is a maximal straight-line instruction sequence [Start, End).
@@ -115,7 +126,56 @@ func BuildCFG(k *sass.Kernel) *CFG {
 
 	cfg.buildBlocks(k)
 	cfg.markReachable()
+	cfg.buildPredsAndRPO()
 	return cfg
+}
+
+// buildPredsAndRPO derives the block-level predecessor lists and the
+// reverse postorder from the block successor lists.
+func (c *CFG) buildPredsAndRPO() {
+	nb := len(c.Blocks)
+	c.BlockPreds = make([][]int, nb)
+	for b := range c.Blocks {
+		for _, s := range c.Blocks[b].Succs {
+			c.BlockPreds[s] = append(c.BlockPreds[s], b)
+		}
+	}
+	for b := range c.BlockPreds {
+		sort.Ints(c.BlockPreds[b])
+	}
+	if nb == 0 {
+		return
+	}
+	// Iterative postorder DFS from the entry block, reversed.
+	visited := make([]bool, nb)
+	post := make([]int, 0, nb)
+	type frame struct{ block, next int }
+	stack := []frame{{block: 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := c.Blocks[f.block].Succs
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{block: s})
+			}
+			continue
+		}
+		post = append(post, f.block)
+		stack = stack[:len(stack)-1]
+	}
+	c.BlockRPO = make([]int, 0, nb)
+	for i := len(post) - 1; i >= 0; i-- {
+		c.BlockRPO = append(c.BlockRPO, post[i])
+	}
+	for b := 0; b < nb; b++ {
+		if !visited[b] {
+			c.BlockRPO = append(c.BlockRPO, b)
+		}
+	}
 }
 
 // buildBlocks partitions the instructions into basic blocks.

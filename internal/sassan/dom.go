@@ -1,0 +1,199 @@
+package sassan
+
+// Dominator and postdominator trees over the block-level CFG, computed with
+// the Cooper–Harvey–Kennedy iterative algorithm over the reverse postorder
+// the CFG already carries. The shadow/equivalence passes use postdominators
+// to name the reconvergence point of a control-escalated shadow; the trees
+// are exported because they are the natural next consumer of the public
+// BlockRPO/BlockPreds surface.
+
+// DomTree is a dominator (or, on the reversed graph, postdominator) tree
+// over basic blocks.
+type DomTree struct {
+	// IDom maps each block to its immediate dominator block. The root maps
+	// to itself; blocks not connected to the root map to -1.
+	IDom []int
+	// Root is the tree's root block: the entry block for dominators, the
+	// virtual-exit representative (-1) recorded per exit block for
+	// postdominators — see BuildPostDom.
+	Root int
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (t *DomTree) Dominates(a, b int) bool {
+	for {
+		if b < 0 {
+			return false
+		}
+		if a == b {
+			return true
+		}
+		next := t.IDom[b]
+		if next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// intersect walks two blocks up the tree to their common ancestor, using a
+// position index (higher = earlier in the traversal order).
+func intersect(idom []int, pos []int, a, b int) int {
+	for a != b {
+		for pos[a] < pos[b] {
+			a = idom[a]
+		}
+		for pos[b] < pos[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// BuildDom computes the dominator tree of the CFG's blocks from the entry
+// block.
+func (c *CFG) BuildDom() *DomTree {
+	nb := len(c.Blocks)
+	t := &DomTree{IDom: make([]int, nb), Root: 0}
+	for b := range t.IDom {
+		t.IDom[b] = -1
+	}
+	if nb == 0 {
+		return t
+	}
+	pos := make([]int, nb) // position in RPO; higher = earlier
+	for i, b := range c.BlockRPO {
+		pos[b] = nb - i
+	}
+	t.IDom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.BlockRPO {
+			if b == 0 {
+				continue
+			}
+			newIDom := -1
+			for _, p := range c.BlockPreds[b] {
+				if t.IDom[p] < 0 {
+					continue // predecessor not yet reached from the entry
+				}
+				if newIDom < 0 {
+					newIDom = p
+				} else {
+					newIDom = intersect(t.IDom, pos, newIDom, p)
+				}
+			}
+			if newIDom >= 0 && t.IDom[b] != newIDom {
+				t.IDom[b] = newIDom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// BuildPostDom computes the postdominator tree of the CFG's blocks. The
+// reversed graph is rooted at a virtual exit that every block without
+// successors (EXIT/KILL terminators, trap-only tails) feeds; a block whose
+// immediate postdominator is the virtual exit maps to -1 in IDom, and
+// Root is -1. Blocks from which no exit is reachable (infinite loops)
+// also map to -1.
+func (c *CFG) BuildPostDom() *DomTree {
+	nb := len(c.Blocks)
+	t := &DomTree{IDom: make([]int, nb), Root: -1}
+	for b := range t.IDom {
+		t.IDom[b] = -1
+	}
+	if nb == 0 {
+		return t
+	}
+	// Work on an extended graph with the virtual exit as node nb.
+	const virtual = -2 // sentinel while iterating; folded to -1 on return
+	n := nb + 1
+	exit := nb
+	preds := make([][]int, n) // preds on the reversed graph = succs + exit edges
+	for b := range c.Blocks {
+		for _, s := range c.Blocks[b].Succs {
+			preds[b] = append(preds[b], s)
+		}
+		if len(c.Blocks[b].Succs) == 0 {
+			preds[b] = append(preds[b], exit)
+		}
+	}
+	// Postorder on the reversed graph from the virtual exit = process blocks
+	// via a DFS over predecessor edges (BlockPreds plus exit fan-in).
+	rpreds := make([][]int, n) // successors on the reversed graph
+	for b := range c.Blocks {
+		rpreds[b] = c.BlockPreds[b]
+	}
+	for b := range c.Blocks {
+		if len(c.Blocks[b].Succs) == 0 {
+			rpreds[exit] = append(rpreds[exit], b)
+		}
+	}
+	visited := make([]bool, n)
+	post := make([]int, 0, n)
+	type frame struct{ node, next int }
+	stack := []frame{{node: exit}}
+	visited[exit] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := rpreds[f.node]
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	order := make([]int, 0, n) // reverse postorder from the virtual exit
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	pos := make([]int, n)
+	for i, b := range order {
+		pos[b] = n - i
+	}
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[exit] = exit
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == exit {
+				continue
+			}
+			newIDom := -1
+			for _, p := range preds[b] {
+				if idom[p] < 0 {
+					continue
+				}
+				if newIDom < 0 {
+					newIDom = p
+				} else {
+					newIDom = intersect(idom, pos, newIDom, p)
+				}
+			}
+			if newIDom >= 0 && idom[b] != newIDom {
+				idom[b] = newIDom
+				changed = true
+			}
+		}
+	}
+	_ = virtual
+	for b := 0; b < nb; b++ {
+		if idom[b] == exit || idom[b] < 0 {
+			t.IDom[b] = -1
+		} else {
+			t.IDom[b] = idom[b]
+		}
+	}
+	return t
+}

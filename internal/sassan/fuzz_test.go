@@ -1,0 +1,84 @@
+package sassan_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sass"
+	"repro/internal/sassan"
+)
+
+// FuzzShadowClasses feeds arbitrary kernel text through the shadow and
+// equivalence-class passes and checks the invariants that must hold for
+// every verify-clean input:
+//
+//   - Neither ShadowOf nor BuildClassTable panics.
+//   - The table is deterministic: rebuilding it yields identical class
+//     IDs and membership.
+//   - Every class member independently re-derives the class's shadow hash
+//     (Classable shadow, same ShadowID).
+//   - Membership partitions the candidates: classed + unclassable =
+//     candidates, with no site in both.
+//   - A masked class's members are all provably masked shadows.
+func FuzzShadowClasses(f *testing.F) {
+	seeds := []string{
+		".kernel k\nEXIT\n",
+		".kernel dead\n    MOV R9, 0x1\n    MOV R10, 0x2\n    EXIT\n",
+		".kernel chain\n    S2R R0, SR_TID.X\n    MOV R5, R0\n    IADD R6, R5, 0x1\n    MOV R7, R6\n    STG.32 [R1], R0\n    EXIT\n",
+		".kernel store\n.param p\n    S2R R0, SR_TID.X\n    IADD R2, R0, 0x1\n    STG.32 [R1], R2\n    IADD R3, R0, 0x1\n    STG.32 [R1], R3\n    EXIT\n",
+		".kernel ctl\n    S2R R0, SR_TID.X\n    ISETP.GE.AND P0, R0, 0x4, PT\n@P0 BRA skip\n    MOV R1, 0x1\nskip:\n    EXIT\n",
+		".kernel loop\n    MOV R5, 0x0\ntop:\n    IADD R5, R5, 0x1\n    IADD R0, R0, 0x1\n    ISETP.GE.AND P1, R0, 0xa, PT\n@!P1 BRA top\n    STG.32 [R1], R0\n    EXIT\n",
+		".kernel wide\n    LDG.128 R4, [R0]\n    DADD R8, R4, R6\n    STG.64 [R2], R8\n    RED.ADD.F32 [R2+0x8], R4\n    EXIT\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := sass.Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		for _, k := range p.Kernels {
+			a := sassan.Analyze(k)
+			if sassan.HasErrors(a.Verify()) {
+				continue // the classing contract only covers verify-clean kernels
+			}
+			t1 := a.BuildClassTable()
+			t2 := sassan.Analyze(k).BuildClassTable()
+			if len(t1.Classes) != len(t2.Classes) {
+				t.Fatalf("class count not deterministic: %d vs %d", len(t1.Classes), len(t2.Classes))
+			}
+			classed := 0
+			for ci, c := range t1.Classes {
+				if c2 := t2.Classes[ci]; c.ID != c2.ID || !reflect.DeepEqual(c.Sites, c2.Sites) {
+					t.Fatalf("class %d not deterministic: %s%v vs %s%v", ci, c.ID, c.Sites, c2.ID, c2.Sites)
+				}
+				classed += len(c.Sites)
+				for _, s := range c.Sites {
+					sh := a.ShadowOf(s)
+					if !sh.Classable() {
+						t.Fatalf("class member %d not classable", s)
+					}
+					if id := a.ShadowID(sh); id != c.ID {
+						t.Fatalf("member %d hashes to %s, class is %s", s, id, c.ID)
+					}
+					if c.Masked && !sh.Masked() {
+						t.Fatalf("member %d of masked class %s is not masked", s, c.ID)
+					}
+					if t1.ClassOf(s) != c {
+						t.Fatalf("ClassOf(%d) does not return the owning class", s)
+					}
+				}
+			}
+			for _, u := range t1.Unclassable {
+				if t1.ClassOf(u) != nil {
+					t.Fatalf("site %d both classed and unclassable", u)
+				}
+			}
+			if t1.Candidates != classed+len(t1.Unclassable) {
+				t.Fatalf("candidates %d != classed %d + unclassable %d",
+					t1.Candidates, classed, len(t1.Unclassable))
+			}
+		}
+	})
+}

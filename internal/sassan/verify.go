@@ -146,6 +146,13 @@ func VerifyKernel(k *sass.Kernel) []Diagnostic {
 	return verifyWith(Analyze(k))
 }
 
+// Verify runs the static checks over this prebuilt analysis, so a consumer
+// that already paid for Analyze (the campaign pruner and classer) does not
+// analyze the kernel a second time.
+func (a *Analysis) Verify() []Diagnostic {
+	return verifyWith(a)
+}
+
 // verifyWith performs the checks over a prebuilt analysis.
 func verifyWith(a *Analysis) []Diagnostic {
 	k := a.Kernel

@@ -72,6 +72,11 @@ func TestServiceTallyIdentity(t *testing.T) {
 		{"plain", campaign.TransientCampaignConfig{Injections: 200, Seed: 42}},
 		{"prune", campaign.TransientCampaignConfig{Injections: 60, Seed: 43, Prune: true}},
 		{"ckpt", campaign.TransientCampaignConfig{Injections: 60, Seed: 44, Checkpoint: true}},
+		// Class-representative sampling groups within shard-sized chunks, so
+		// two workers leasing shards independently must pick exactly the
+		// representatives the in-process runner picks — no double-counting of
+		// answered members across shard boundaries.
+		{"classes", campaign.TransientCampaignConfig{Injections: 60, Seed: 45, Classes: true}},
 		// NoXlate must ride the job spec to remote workers: an interpreted
 		// distributed campaign against an interpreted in-process one (and
 		// both match the translated tallies — the campaign differential
