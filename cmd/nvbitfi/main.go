@@ -8,12 +8,12 @@
 //	nvbitfi select    -profile profile.txt [-group G_GPPR] [-bitflip 1] [-seed 1] [-o params.txt]
 //	nvbitfi inject    -program 303.ostencil -params params.txt
 //	nvbitfi pf-inject -program 303.ostencil -sm 0 -lane 3 -mask 0x400 -opcode 12
-//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1] [-prune] [-classes] [-ckpt [-ckpt-stride N] [-no-early-exit]] [-verify]
+//	nvbitfi campaign  -program 303.ostencil [-n 100] [-mode exact|approx] [-group G_GPPR] [-seed 1] [-prune] [-classes] [-target-ci 0.02 [-confidence 0.95] [-max-n N]] [-ckpt [-ckpt-stride N] [-no-early-exit]] [-verify]
 //	nvbitfi profdiff  -a exact.txt -b approx.txt [-group G_GPPR] [-min 0.01]
 //	nvbitfi report    -table1 | -table4
 //	nvbitfi serve     [-addr 127.0.0.1:8077] [-journal nvbitfi-journal.jsonl] [-workers N]
 //	nvbitfi worker    [-coordinator http://host:8077] [-name NAME]
-//	nvbitfi submit    -program 303.ostencil [-coordinator URL] [-n 100] [-seed 1] [-prune] [-classes] [-ckpt] [-json]
+//	nvbitfi submit    -program 303.ostencil [-coordinator URL] [-n 100] [-seed 1] [-prune] [-classes] [-target-ci 0.02] [-ckpt] [-json]
 //	nvbitfi list
 package main
 
@@ -279,6 +279,9 @@ func cmdCampaign(args []string) error {
 	timing := fs.Bool("timing", false, "timing-fidelity mode: run experiments sequentially so durations are meaningful")
 	prune := fs.Bool("prune", false, "statically prune transient injections with provably dead destinations (tallied as Masked without running)")
 	classes := fs.Bool("classes", false, "class-representative sampling: run one experiment per fault-equivalence class per shard; members inherit the representative's classification")
+	targetCI := fs.Float64("target-ci", 0, "adaptive sampling: stop at the first shard boundary where the stratified SDC-share interval half-width is at most this (0 = fixed-count campaign)")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for -target-ci")
+	maxN := fs.Int("max-n", 0, "with -target-ci, the selection budget cap (0 = -n)")
 	ckpt := fs.Bool("ckpt", false, "checkpoint-and-fork: record the golden trajectory once and start each experiment from the snapshot nearest its injection point")
 	ckptStride := fs.Uint64("ckpt-stride", 0, "checkpoint stride in warp instructions (0 = derive from the golden run length)")
 	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification at checkpoint boundaries")
@@ -318,6 +321,9 @@ func cmdCampaign(args []string) error {
 	if *ckpt && *permanent {
 		return fmt.Errorf("campaign: -ckpt applies to transient campaigns only")
 	}
+	if *targetCI > 0 && *permanent {
+		return fmt.Errorf("campaign: -target-ci applies to transient campaigns only")
+	}
 	if (*ckptStride != 0 || *noEarlyExit) && !*ckpt {
 		return fmt.Errorf("campaign: -ckpt-stride and -no-early-exit require -ckpt")
 	}
@@ -342,13 +348,21 @@ func cmdCampaign(args []string) error {
 			res, err = nvbitfi.RunPermanentCampaign(context.Background(), r, w, golden, profile,
 				nvbitfi.BitFlipModel(*bitflip), *seed, p)
 		} else {
-			res, err = nvbitfi.RunTransientCampaign(context.Background(), r, w, golden, profile, nvbitfi.TransientCampaignConfig{
+			cfg := nvbitfi.TransientCampaignConfig{
 				Injections: *n, Group: g, BitFlip: nvbitfi.BitFlipModel(*bitflip), Seed: *seed,
 				ShardSize: *shardSize,
 				Parallel:  *parallel, TimingFidelity: *timing, Prune: *prune, Classes: *classes,
 				Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
 				NoXlate: interp,
-			})
+			}
+			// Set the adaptive knobs only when requested so a fixed-count
+			// config encodes byte-identically to prior releases.
+			if *targetCI > 0 {
+				cfg.TargetCI = *targetCI
+				cfg.Confidence = *confidence
+				cfg.MaxInjections = *maxN
+			}
+			res, err = nvbitfi.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
 		}
 		if err != nil {
 			if res != nil {

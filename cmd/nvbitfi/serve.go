@@ -127,6 +127,9 @@ func cmdSubmit(args []string) error {
 	shardSize := fs.Int("shard-size", 0, "experiments per shard (0 = default; part of the campaign's identity)")
 	prune := fs.Bool("prune", false, "statically prune provably-dead injections")
 	classes := fs.Bool("classes", false, "class-representative sampling: one experiment per fault-equivalence class per shard")
+	targetCI := fs.Float64("target-ci", 0, "adaptive sampling: stop once the stratified SDC-share interval half-width is at most this (0 = fixed-count job)")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for -target-ci")
+	maxN := fs.Int("max-n", 0, "with -target-ci, the selection budget cap (0 = -n)")
 	ckpt := fs.Bool("ckpt", false, "checkpoint-and-fork experiment engine")
 	ckptStride := fs.Uint64("ckpt-stride", 0, "checkpoint stride in warp instructions")
 	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification")
@@ -150,6 +153,14 @@ func cmdSubmit(args []string) error {
 			Checkpoint: *ckpt, CkptStride: *ckptStride, NoEarlyExit: *noEarlyExit,
 			NoXlate: *noXlate || !*xlate,
 		},
+	}
+	// Adaptive jobs speak the v2 schema; fixed-count specs stay byte-for-byte
+	// on v1 so older coordinators keep accepting them.
+	if *targetCI > 0 {
+		spec.Schema = serve.JobSchemaV2
+		spec.Config.TargetCI = *targetCI
+		spec.Config.Confidence = *confidence
+		spec.Config.MaxInjections = *maxN
 	}
 	client := serve.NewClient(*coordinator)
 	st, err := client.Submit(spec)
@@ -177,17 +188,46 @@ func cmdSubmit(args []string) error {
 			}
 			fmt.Fprintln(os.Stderr, line)
 		case "job":
+			if ev.State == serve.EventConverged {
+				fmt.Fprintf(os.Stderr, "job converged at shard %d (%d/%d shards run)\n",
+					ev.Shard, ev.Done, ev.NumShards)
+				break
+			}
 			fmt.Fprintf(os.Stderr, "job %s (%d/%d shards)\n", ev.State, ev.Done, ev.NumShards)
 		}
 	})
 	if err != nil {
 		return err
 	}
+	res := &campaign.CampaignResult{
+		Program: final.Workload, Tally: final.Tally,
+		Translated: !final.Config.NoXlate,
+	}
+	// An adaptive job's status carries everything the statistical report
+	// block needs; reconstruct the result the in-process runner would
+	// return. The spec stores the config as submitted, so apply the same
+	// defaults the runner would (budget = Injections, confidence = 0.95).
+	if final.Config.TargetCI > 0 {
+		maxInj := final.Config.MaxInjections
+		if maxInj == 0 {
+			maxInj = final.Config.Injections
+		}
+		conf := final.Config.Confidence
+		if conf == 0 {
+			conf = campaign.DefaultConfidence
+		}
+		res.Adaptive = &campaign.AdaptiveResult{
+			TargetCI:      final.Config.TargetCI,
+			Confidence:    conf,
+			MaxInjections: maxInj,
+			Converged:     final.Converged,
+			StopShard:     final.StopShard,
+			AchievedCI:    final.AchievedCI,
+			Strata:        final.Strata,
+		}
+	}
 	if *jsonOut {
-		return report.WriteSummaryJSON(os.Stdout, &campaign.CampaignResult{
-			Program: final.Workload, Tally: final.Tally,
-			Translated: !final.Config.NoXlate,
-		})
+		return report.WriteSummaryJSON(os.Stdout, res)
 	}
 	fmt.Printf("%s: %d runs, %s", final.Workload, final.Tally.N, final.Tally)
 	if final.Tally.Pruned > 0 {
@@ -200,6 +240,10 @@ func cmdSubmit(args []string) error {
 	if final.Tally.Restored > 0 {
 		fmt.Printf(", %d restored from checkpoints (%d early exits)",
 			final.Tally.Restored, final.Tally.EarlyExits)
+	}
+	if final.Converged {
+		fmt.Printf(", converged at shard %d (achieved ±%.4f, %d shards skipped)",
+			final.StopShard, final.AchievedCI, final.Skipped)
 	}
 	fmt.Println()
 	if final.State != serve.JobDone {

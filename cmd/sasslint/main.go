@@ -25,8 +25,12 @@
 // "assemble-error" — and run failures — code "run-error"). Class-table
 // rows (-classes) use schema "nvbitfi.sasslint.class/v1" with fields
 // {schema, source, kernel, id, kind, masked, candidates, unclassable, rep,
-// sites}; one object per class, plus one summary object per kernel with
-// id "" carrying the candidate and unclassable counts.
+// sites, members, weight}; one object per class, plus one summary object
+// per kernel with id "" carrying the candidate and unclassable counts.
+// members is the class's static site count; weight (workload mode only) is
+// the class's profile-weighted share of the workload's G_GPPR dynamic
+// instructions — the stratum weight adaptive campaign sampling pools
+// against.
 package main
 
 import (
@@ -89,6 +93,11 @@ type classRow struct {
 	Unclassable int    `json:"unclassable,omitempty"`
 	Rep         int    `json:"rep,omitempty"`
 	Sites       []int  `json:"sites,omitempty"`
+	// Members is the class's static site count; Weight is its
+	// profile-weighted share of the workload's G_GPPR dynamic instructions
+	// (workload mode only — file mode has no profile to weight by).
+	Members int     `json:"members,omitempty"`
+	Weight  float64 `json:"weight,omitempty"`
 }
 
 // emitter renders findings as text lines or JSONL.
@@ -129,8 +138,57 @@ func (e *emitter) failure(source, code string, err error) {
 	})
 }
 
+// siteWeights carries a workload profile reduced to per-static-site G_GPPR
+// dynamic counts, the denominator being the workload-wide total. The ratio
+// per class is the stratum weight adaptive campaign sampling converges
+// against, so the lint output doubles as a campaign-planning table.
+type siteWeights struct {
+	byKernel map[string][]uint64
+	total    uint64
+}
+
+// newSiteWeights folds a profile's per-site breakdown over dynamic launches.
+func newSiteWeights(p *nvbitfi.Profile) *siteWeights {
+	sw := &siteWeights{byKernel: make(map[string][]uint64)}
+	for i := range p.Records {
+		r := &p.Records[i]
+		if !r.HasSites() {
+			continue
+		}
+		counts := sw.byKernel[r.Kernel]
+		if len(counts) < len(r.SiteCounts) {
+			counts = append(counts, make([]uint64, len(r.SiteCounts)-len(counts))...)
+		}
+		for s, c := range r.SiteCounts {
+			if !sass.GroupContains(sass.GroupGPPR, r.SiteOps[s]) {
+				continue
+			}
+			counts[s] += c
+			sw.total += c
+		}
+		sw.byKernel[r.Kernel] = counts
+	}
+	return sw
+}
+
+// classWeight returns the class's share of the workload's dynamic G_GPPR
+// instructions, or 0 when no profile is available.
+func (sw *siteWeights) classWeight(kernel string, sites []int) float64 {
+	if sw == nil || sw.total == 0 {
+		return 0
+	}
+	counts := sw.byKernel[kernel]
+	var sum uint64
+	for _, s := range sites {
+		if s < len(counts) {
+			sum += counts[s]
+		}
+	}
+	return float64(sum) / float64(sw.total)
+}
+
 // classTable dumps one kernel's equivalence classes.
-func (e *emitter) classTable(source string, t *sassan.ClassTable) {
+func (e *emitter) classTable(source string, t *sassan.ClassTable, sw *siteWeights) {
 	if e.json {
 		_ = e.encoder().Encode(classRow{
 			Schema: ClassSchema, Source: source, Kernel: t.Kernel,
@@ -141,6 +199,7 @@ func (e *emitter) classTable(source string, t *sassan.ClassTable) {
 				Schema: ClassSchema, Source: source, Kernel: t.Kernel,
 				ID: c.ID, Kind: c.Kind.String(), Masked: c.Masked,
 				Rep: c.Rep(), Sites: c.Sites,
+				Members: len(c.Sites), Weight: sw.classWeight(t.Kernel, c.Sites),
 			})
 		}
 		return
@@ -156,17 +215,21 @@ func (e *emitter) classTable(source string, t *sassan.ClassTable) {
 		if c.Masked {
 			label += "/masked"
 		}
-		fmt.Printf("  %s %-13s rep=#%d sites=%v\n", c.ID, label, c.Rep(), c.Sites)
+		line := fmt.Sprintf("  %s %-13s rep=#%d members=%d sites=%v", c.ID, label, c.Rep(), len(c.Sites), c.Sites)
+		if w := sw.classWeight(t.Kernel, c.Sites); w > 0 {
+			line += fmt.Sprintf(" weight=%.4f", w)
+		}
+		fmt.Println(line)
 	}
 }
 
 // classKernel builds and dumps the class table of one verify-clean kernel.
-func classKernel(e *emitter, source string, k *sass.Kernel) {
+func classKernel(e *emitter, source string, k *sass.Kernel, sw *siteWeights) {
 	a := sassan.Analyze(k)
 	if sassan.HasErrors(a.Verify()) {
 		return // the classing contract only covers verify-clean kernels
 	}
-	e.classTable(source, a.BuildClassTable())
+	e.classTable(source, a.BuildClassTable(), sw)
 }
 
 // lintFiles assembles and verifies each file; returns the process exit code.
@@ -194,7 +257,7 @@ func lintFiles(paths []string, strict bool, e *emitter, classes bool) int {
 		}
 		if classes {
 			for _, k := range prog.Kernels {
-				classKernel(e, path, k)
+				classKernel(e, path, k, nil)
 			}
 		}
 	}
@@ -229,13 +292,20 @@ func lintWorkloads(e *emitter, classes bool) int {
 				fail = true
 				continue
 			}
+			profile, _, err := r.Profile(w, nvbitfi.Exact)
+			if err != nil {
+				e.failure(w.Name(), "run-error", err)
+				fail = true
+				continue
+			}
+			sw := newSiteWeights(profile)
 			names := make([]string, 0, len(golden.Kernels))
 			for name := range golden.Kernels {
 				names = append(names, name)
 			}
 			sort.Strings(names)
 			for _, name := range names {
-				classKernel(e, w.Name(), golden.Kernels[name])
+				classKernel(e, w.Name(), golden.Kernels[name], sw)
 			}
 		}
 	}

@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sass"
+	"repro/internal/stats"
+)
+
+// Adaptive statistical sampling. A fixed-count campaign runs every selected
+// experiment; the adaptive engine (TargetCI > 0) instead treats the
+// Masked/SDC/DUE shares as estimates and stops at the first shard boundary
+// where the pooled SDC-share interval is tight enough. The estimator is
+// post-stratified over fault-equivalence classes: the seeded selection
+// stream is untouched (so determinism and the distributed byte-identity
+// invariant survive unchanged), but each resolved site is assigned to a
+// stratum — its sassan equivalence class, or the residual stratum of
+// unclassable sites — and per-stratum outcome proportions are pooled with
+// the full selection's stratum composition as weights. Provably-masked
+// classes are *certain* strata: their outcome is statically invariant, so
+// they contribute population weight but zero sampling variance — the
+// statistical relaxation of PR 8's masked-only soundness boundary.
+
+// ResidualStratum keys the stratum of sites no equivalence class covers:
+// unresolved sites, untrusted kernels, and unclassable shadows.
+const ResidualStratum = "~"
+
+// stratifier assigns resolved injection sites to sampling strata. Unlike
+// classer.classOf it keys on *any* class, data-bearing included: strata
+// need only be homogeneous-ish, not provably outcome-invariant.
+type stratifier struct {
+	cl *classer
+}
+
+// classify returns the stratum key of a parameter tuple's injection site
+// and whether the stratum's outcome is statically certain (a provably-
+// masked class).
+func (st *stratifier) classify(p core.TransientParams) (string, bool) {
+	if !p.SiteResolved {
+		return ResidualStratum, false
+	}
+	t := st.cl.table(p.KernelName)
+	if t == nil {
+		return ResidualStratum, false
+	}
+	i := p.StaticInstrIdx
+	if i < 0 || i >= len(st.cl.kernels[p.KernelName].Instrs) {
+		return ResidualStratum, false
+	}
+	if !sass.GroupContains(p.Group, st.cl.kernels[p.KernelName].Instrs[i].Op) {
+		return ResidualStratum, false
+	}
+	c := t.ClassOf(i)
+	if c == nil {
+		return ResidualStratum, false
+	}
+	return p.KernelName + ":" + c.ID, c.Masked
+}
+
+// StratumWeight is one stratum's share of the full selection: how many of
+// the campaign's MaxInjections experiments land in it. Weights are a pure
+// function of (profile, config) — no workload runs — so the submitting
+// coordinator, every worker, and the in-process runner all derive the same
+// composition.
+type StratumWeight struct {
+	Key     string `json:"key"`
+	Count   int    `json:"count"`
+	Certain bool   `json:"certain,omitempty"`
+}
+
+// AdaptiveStrata computes the full-selection stratum composition of an
+// adaptive campaign by selecting every shard (pure selection, no runs) and
+// classifying each site. Returns nil when the config is not adaptive.
+func AdaptiveStrata(golden *GoldenResult, profile *core.Profile, cfg TransientCampaignConfig) ([]StratumWeight, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TargetCI <= 0 {
+		return nil, nil
+	}
+	st := &stratifier{cl: newClasser(golden.Kernels)}
+	counts := make(map[string]*StratumWeight)
+	order := make([]string, 0, 8)
+	for s := 0; s < cfg.NumShards(); s++ {
+		params, err := SelectShard(profile, cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		for i := range params {
+			key, certain := st.classify(params[i])
+			w := counts[key]
+			if w == nil {
+				w = &StratumWeight{Key: key, Certain: certain}
+				counts[key] = w
+				order = append(order, key)
+			}
+			w.Count++
+		}
+	}
+	weights := make([]StratumWeight, 0, len(order))
+	for _, key := range order {
+		weights = append(weights, *counts[key])
+	}
+	sort.Slice(weights, func(i, j int) bool { return weights[i].Key < weights[j].Key })
+	return weights, nil
+}
+
+// AdaptivePooled builds the stratified estimator for an accumulated tally
+// against the full-selection stratum composition — the shared pooling step
+// behind the stopping rule, the report, and the submit CLI.
+func AdaptivePooled(t *Tally, weights []StratumWeight) *stats.StratifiedTally {
+	st := stats.NewStratified()
+	for _, w := range weights {
+		st.AddStratum(w.Key, float64(w.Count), w.Certain)
+	}
+	for _, s := range t.Strata {
+		st.Observe(s.Key, "SDC", s.SDC)
+		st.Observe(s.Key, "DUE", s.DUE)
+		st.Observe(s.Key, "Masked", s.Masked)
+	}
+	return st
+}
+
+// AdaptiveDecision evaluates the shard-boundary stopping rule on an
+// accumulated tally: the achieved half-width of the stratified Wilson
+// interval on the SDC share, and whether it meets cfg.TargetCI at
+// cfg.Confidence. The decision depends only on the tally's strata and the
+// selection-derived weights, both pure functions of (seed, completed-shard
+// prefix) — which is what makes in-process and distributed runs stop at the
+// identical shard.
+func AdaptiveDecision(t *Tally, weights []StratumWeight, cfg TransientCampaignConfig) (halfWidth float64, converged bool) {
+	cfg = cfg.withDefaults()
+	if t == nil || t.N == 0 {
+		return math.Inf(1), false
+	}
+	iv, err := AdaptivePooled(t, weights).ShareCI("SDC", cfg.Confidence)
+	if err != nil {
+		return math.Inf(1), false
+	}
+	hw := (iv.Hi - iv.Lo) / 2
+	return hw, hw <= cfg.TargetCI
+}
+
+// AdaptiveResult describes an adaptive campaign's stopping decision.
+type AdaptiveResult struct {
+	// TargetCI, Confidence, and MaxInjections echo the defaults-applied
+	// config the decision ran under.
+	TargetCI      float64
+	Confidence    float64
+	MaxInjections int
+	// Converged reports whether the stopping rule fired before the budget
+	// ran out; StopShard is the last shard that ran (the stopping shard when
+	// converged, the final shard otherwise).
+	Converged bool
+	StopShard int
+	// AchievedCI is the stratified Wilson half-width on the SDC share over
+	// the shards that ran.
+	AchievedCI float64
+	// Strata is the full-selection stratum composition the estimator pooled
+	// against.
+	Strata []StratumWeight
+}
+
+// runAdaptiveCampaign is the in-process adaptive loop: run shards in order,
+// evaluate the stopping rule at each boundary on the accumulated tally, and
+// stop at the first shard where the pooled estimate converges.
+func runAdaptiveCampaign(ctx context.Context, plan *ShardPlan) (*CampaignResult, error) {
+	cfg := plan.cfg
+	var all []RunResult
+	var allErrs []error
+	acc := NewTally()
+	converged := false
+	achieved := math.Inf(1)
+	last := -1
+	for s := 0; s < cfg.NumShards(); s++ {
+		params, err := SelectShard(plan.profile, cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		results, errs := plan.runRange(ctx, params)
+		all = append(all, results...)
+		allErrs = append(allErrs, errs...)
+		if err := errors.Join(errs...); err != nil {
+			res := summarize(plan.w.Name(), plan.golden, filterOK(all, allErrs), nil)
+			res.Translated = !cfg.NoXlate
+			return res, err
+		}
+		last = s
+		acc.Merge(TallyRuns(results))
+		achieved, converged = AdaptiveDecision(acc, plan.weights, cfg)
+		if converged {
+			break
+		}
+	}
+	res := summarize(plan.w.Name(), plan.golden, all, nil)
+	res.Translated = !cfg.NoXlate
+	res.Adaptive = &AdaptiveResult{
+		TargetCI:      cfg.TargetCI,
+		Confidence:    cfg.Confidence,
+		MaxInjections: cfg.MaxInjections,
+		Converged:     converged,
+		StopShard:     last,
+		AchievedCI:    achieved,
+		Strata:        plan.weights,
+	}
+	return res, nil
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"slices"
+	"sort"
 
 	"repro/internal/cuda"
 )
@@ -275,6 +276,22 @@ type Tally struct {
 	// representative answered for them: they inherit the representative's
 	// classification and are included in N and Counts like any other run.
 	ClassAnswered int
+	// Strata holds per-stratum outcome counts when the campaign runs with
+	// adaptive stratified sampling (TargetCI > 0). Sorted by Key; empty and
+	// omitted from the encoding otherwise.
+	Strata []StratumTally
+}
+
+// StratumTally is one stratum's outcome counts within a tally: experiments
+// whose injection site falls in one fault-equivalence class (key
+// "kernel:classID") or in the residual stratum of unclassable sites (key
+// "~").
+type StratumTally struct {
+	Key    string `json:"key"`
+	N      int    `json:"n"`
+	SDC    int    `json:"sdc,omitempty"`
+	DUE    int    `json:"due,omitempty"`
+	Masked int    `json:"masked,omitempty"`
 }
 
 // NewTally returns an empty tally.
@@ -288,6 +305,33 @@ func (t *Tally) Add(c Classification) {
 	t.Counts[c.Outcome]++
 	if c.PotentialDUE {
 		t.PotentialDUEs++
+	}
+}
+
+// stratumAt finds or inserts the stratum with the given key, keeping
+// t.Strata sorted so two tallies over the same runs encode identically
+// regardless of accumulation order.
+func (t *Tally) stratumAt(key string) *StratumTally {
+	i := sort.Search(len(t.Strata), func(i int) bool { return t.Strata[i].Key >= key })
+	if i == len(t.Strata) || t.Strata[i].Key != key {
+		t.Strata = append(t.Strata, StratumTally{})
+		copy(t.Strata[i+1:], t.Strata[i:])
+		t.Strata[i] = StratumTally{Key: key}
+	}
+	return &t.Strata[i]
+}
+
+// addStratum records one outcome in the named stratum.
+func (t *Tally) addStratum(key string, o Outcome) {
+	s := t.stratumAt(key)
+	s.N++
+	switch o {
+	case SDC:
+		s.SDC++
+	case DUE:
+		s.DUE++
+	case Masked:
+		s.Masked++
 	}
 }
 
@@ -324,6 +368,13 @@ func (t *Tally) Merge(o *Tally) {
 	t.EarlyExits += o.EarlyExits
 	t.ClassReps += o.ClassReps
 	t.ClassAnswered += o.ClassAnswered
+	for _, os := range o.Strata {
+		s := t.stratumAt(os.Key)
+		s.N += os.N
+		s.SDC += os.SDC
+		s.DUE += os.DUE
+		s.Masked += os.Masked
+	}
 }
 
 // TallySchema versions the stable JSON encoding of Tally. The same encoding
@@ -348,6 +399,9 @@ type tallyJSON struct {
 	// enabled class sampling keep their pre-existing byte encoding.
 	ClassReps     int `json:"class_reps,omitempty"`
 	ClassAnswered int `json:"class_answered,omitempty"`
+	// Strata is omitted when empty so fixed-count campaigns keep their
+	// pre-existing byte encoding; adaptive campaigns populate it.
+	Strata []StratumTally `json:"strata,omitempty"`
 }
 
 // MarshalJSON renders the stable, schema-versioned encoding. Two tallies
@@ -366,6 +420,7 @@ func (t *Tally) MarshalJSON() ([]byte, error) {
 		EarlyExits:    t.EarlyExits,
 		ClassReps:     t.ClassReps,
 		ClassAnswered: t.ClassAnswered,
+		Strata:        t.Strata,
 	})
 }
 
@@ -397,5 +452,6 @@ func (t *Tally) UnmarshalJSON(b []byte) error {
 	t.EarlyExits = w.EarlyExits
 	t.ClassReps = w.ClassReps
 	t.ClassAnswered = w.ClassAnswered
+	t.Strata = w.Strata
 	return nil
 }

@@ -272,6 +272,10 @@ type RunResult struct {
 	// representative ran in its place and this result inherits that
 	// classification.
 	ClassAnswered bool
+	// Stratum is the sampling stratum this run's injection site falls in
+	// when the campaign runs with adaptive stratified sampling
+	// ("kernel:classID", or "~" for unclassable sites). Empty otherwise.
+	Stratum string
 }
 
 // RunTransient performs one transient-fault experiment: fresh context,
@@ -440,6 +444,25 @@ type TransientCampaignConfig struct {
 	// hold translated and interpreted campaigns byte-equal — so this is an
 	// escape hatch and a debugging aid, not a semantic knob.
 	NoXlate bool
+	// TargetCI enables adaptive statistical sampling: the campaign stops at
+	// the first shard boundary where the stratified Wilson interval on the
+	// SDC share has half-width at most TargetCI at the Confidence level,
+	// instead of running all MaxInjections experiments. Selection is
+	// unchanged — the seeded per-shard streams are simply consumed in order
+	// until the estimate converges — so the decision is a pure function of
+	// (seed, completed-shard prefix) and a distributed run stops at exactly
+	// the same shard as the in-process runner. Implies ResolveSites. Zero
+	// (the default) disables adaptive sampling; the new fields are omitted
+	// from the encoding so fixed-count campaigns keep their prior bytes.
+	TargetCI float64 `json:",omitempty"`
+	// Confidence is the adaptive stopping rule's confidence level (default
+	// 0.95). Only meaningful with TargetCI > 0.
+	Confidence float64 `json:",omitempty"`
+	// MaxInjections caps an adaptive campaign's selection budget (default:
+	// Injections). With TargetCI > 0 the campaign's selection identity —
+	// shard count, per-shard streams — is that of a fixed MaxInjections-
+	// experiment campaign; convergence just stops consuming it early.
+	MaxInjections int `json:",omitempty"`
 	// ShardSize is the number of experiments per selection shard (default
 	// DefaultShardSize). Fault selection is blocked by shard: experiments
 	// [s*ShardSize, (s+1)*ShardSize) draw their parameters from a dedicated
@@ -471,8 +494,24 @@ func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
 	if c.ShardSize <= 0 {
 		c.ShardSize = DefaultShardSize
 	}
+	if c.TargetCI > 0 {
+		if c.Confidence == 0 {
+			c.Confidence = DefaultConfidence
+		}
+		if c.MaxInjections == 0 {
+			c.MaxInjections = c.Injections
+		}
+		// The selection identity of an adaptive campaign is the full
+		// MaxInjections budget; NumShards/ShardRange and the per-shard
+		// streams are those of a fixed MaxInjections-experiment campaign.
+		c.Injections = c.MaxInjections
+	}
 	return c
 }
+
+// DefaultConfidence is the adaptive stopping rule's default confidence
+// level.
+const DefaultConfidence = 0.95
 
 // NumShards returns how many selection shards the campaign splits into.
 func (c TransientCampaignConfig) NumShards() int {
@@ -500,6 +539,9 @@ type CampaignResult struct {
 	// Translated reports whether experiments ran on the block-level
 	// translation engine (true) or the legacy interpreter (NoXlate).
 	Translated bool
+	// Adaptive describes the stopping decision of an adaptive campaign
+	// (TargetCI > 0); nil otherwise.
+	Adaptive *AdaptiveResult
 }
 
 // RunTransientCampaign selects cfg.Injections faults from the profile and
@@ -514,6 +556,9 @@ func RunTransientCampaign(ctx context.Context, r Runner, w Workload, golden *Gol
 	plan, err := NewShardPlan(r, w, golden, profile, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TargetCI > 0 {
+		return runAdaptiveCampaign(ctx, plan)
 	}
 	params, err := plan.selectAll()
 	if err != nil {
@@ -612,6 +657,9 @@ func summarize(name string, golden *GoldenResult, results []RunResult, weighted 
 	durs := make([]time.Duration, 0, len(results))
 	for i := range results {
 		tally.Add(results[i].Class)
+		if results[i].Stratum != "" {
+			tally.addStratum(results[i].Stratum, results[i].Class.Outcome)
+		}
 		if results[i].Pruned {
 			// A pruned experiment never ran: its outcome is static, the
 			// fault provably activates-and-masks, and it has no measured

@@ -49,7 +49,7 @@ func SelectShard(profile *core.Profile, cfg TransientCampaignConfig, shard int) 
 	}
 	lo, hi := cfg.ShardRange(shard)
 	rng := rand.New(rand.NewSource(ShardSeed(cfg.Seed, shard)))
-	resolve := cfg.ResolveSites || cfg.Prune || cfg.Checkpoint || cfg.Classes
+	resolve := cfg.ResolveSites || cfg.Prune || cfg.Checkpoint || cfg.Classes || cfg.TargetCI > 0
 	params := make([]core.TransientParams, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		var p *core.TransientParams
@@ -83,6 +83,12 @@ type ShardPlan struct {
 	trace   *cuda.Trace
 	pr      *pruner
 	cl      *classer
+	// strat and weights are set when the config enables adaptive stratified
+	// sampling (TargetCI > 0): strat assigns each resolved site to its
+	// stratum, weights is the full-selection stratum composition the
+	// stopping rule pools against.
+	strat   *stratifier
+	weights []StratumWeight
 }
 
 // NewShardPlan validates the config against the golden result and performs
@@ -109,6 +115,24 @@ func NewShardPlan(r Runner, w Workload, golden *GoldenResult, profile *core.Prof
 			return nil, fmt.Errorf("campaign: class sampling requested but the golden result carries no kernels; rebuild it with Runner.Golden")
 		}
 		plan.cl = newClasser(golden.Kernels)
+	}
+	if cfg.TargetCI > 0 {
+		if cfg.TargetCI >= 1 {
+			return nil, fmt.Errorf("campaign: target CI %v outside (0,1)", cfg.TargetCI)
+		}
+		if golden.Kernels == nil {
+			return nil, fmt.Errorf("campaign: adaptive sampling requested but the golden result carries no kernels; rebuild it with Runner.Golden")
+		}
+		cl := plan.cl
+		if cl == nil {
+			cl = newClasser(golden.Kernels)
+		}
+		plan.strat = &stratifier{cl: cl}
+		weights, err := AdaptiveStrata(golden, profile, cfg)
+		if err != nil {
+			return nil, err
+		}
+		plan.weights = weights
 	}
 	if cfg.Checkpoint {
 		stride := cfg.CkptStride
@@ -169,13 +193,29 @@ func (pl *ShardPlan) runRange(ctx context.Context, params []core.TransientParams
 			idxs[i] = i
 		}
 		pl.runIndexes(ctx, params, idxs, results, errs)
+		pl.assignStrata(params, results, errs)
 		return results, errs
 	}
 	for lo := 0; lo < len(params); lo += pl.cfg.ShardSize {
 		hi := min(lo+pl.cfg.ShardSize, len(params))
 		pl.runChunkClassed(ctx, params, lo, hi, results, errs)
 	}
+	pl.assignStrata(params, results, errs)
 	return results, errs
+}
+
+// assignStrata labels each completed result with its sampling stratum when
+// the plan runs adaptively. Pruned and class-answered results are labelled
+// too: they count in the tally, so they count in their stratum.
+func (pl *ShardPlan) assignStrata(params []core.TransientParams, results []RunResult, errs []error) {
+	if pl.strat == nil {
+		return
+	}
+	for i := range results {
+		if errs[i] == nil {
+			results[i].Stratum, _ = pl.strat.classify(params[i])
+		}
+	}
 }
 
 // runIndexes executes the experiments at the given param indexes with the
@@ -282,6 +322,9 @@ func TallyRuns(results []RunResult) *Tally {
 	tally := NewTally()
 	for i := range results {
 		tally.Add(results[i].Class)
+		if results[i].Stratum != "" {
+			tally.addStratum(results[i].Stratum, results[i].Class.Outcome)
+		}
 		if results[i].Pruned {
 			// A pruned experiment never ran: its outcome is static and the
 			// fault provably activates-and-masks.

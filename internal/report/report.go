@@ -35,6 +35,44 @@ type SummaryJSON struct {
 	// when the campaign did not use class sampling, keeping those summaries
 	// byte-identical to builds that predate the field.
 	Classes *ClassSummaryJSON `json:"classes,omitempty"`
+	// Statistical summarizes an adaptive campaign's stopping decision and
+	// stratified estimate. Omitted entirely for fixed-count campaigns,
+	// keeping those summaries byte-identical to builds that predate it.
+	Statistical *StatisticalJSON `json:"statistical,omitempty"`
+}
+
+// StatisticalJSON reports an adaptive campaign: the target and achieved
+// confidence interval, where the campaign stopped, the experiments saved
+// against the fixed budget, per-stratum sample composition, and the pooled
+// stratified Wilson intervals per outcome.
+type StatisticalJSON struct {
+	TargetCI      float64 `json:"target_ci"`
+	Confidence    float64 `json:"confidence"`
+	Converged     bool    `json:"converged"`
+	StopShard     int     `json:"stop_shard"`
+	MaxInjections int     `json:"max_injections"`
+	// Selected is the number of experiments consumed from the selection
+	// stream (Tally.N); Executed excludes statically answered ones (pruned
+	// and class-answered); Saved is the selection budget left unconsumed.
+	Selected   int                 `json:"selected"`
+	Executed   int                 `json:"executed"`
+	Saved      int                 `json:"saved"`
+	AchievedCI float64             `json:"achieved_ci"`
+	Intervals  []ClassIntervalJSON `json:"intervals"`
+	Strata     []StratumStatJSON   `json:"strata"`
+}
+
+// StratumStatJSON is one stratum's composition: its share of the full
+// selection (weight), whether its outcome is statically certain, and the
+// outcomes sampled from it.
+type StratumStatJSON struct {
+	Key     string `json:"key"`
+	Weight  int    `json:"weight"`
+	Certain bool   `json:"certain,omitempty"`
+	N       int    `json:"n"`
+	SDC     int    `json:"sdc,omitempty"`
+	DUE     int    `json:"due,omitempty"`
+	Masked  int    `json:"masked,omitempty"`
 }
 
 // ClassSummaryJSON reports a class-sampled campaign's aggregation: how many
@@ -74,7 +112,51 @@ func NewSummaryJSON(res *campaign.CampaignResult) SummaryJSON {
 		MedianRunTime: res.MedianRunTime.Milliseconds(),
 		Translated:    res.Translated,
 		Classes:       classSummary(res),
+		Statistical:   statisticalSummary(res),
 	}
+}
+
+// statisticalSummary builds the adaptive block, or nil when the campaign
+// did not run adaptively.
+func statisticalSummary(res *campaign.CampaignResult) *StatisticalJSON {
+	a := res.Adaptive
+	if a == nil {
+		return nil
+	}
+	t := res.Tally
+	sj := &StatisticalJSON{
+		TargetCI:      a.TargetCI,
+		Confidence:    a.Confidence,
+		Converged:     a.Converged,
+		StopShard:     a.StopShard,
+		MaxInjections: a.MaxInjections,
+		Selected:      t.N,
+		Executed:      t.N - t.Pruned - t.ClassAnswered,
+		Saved:         a.MaxInjections - t.N,
+		AchievedCI:    a.AchievedCI,
+	}
+	pooled := campaign.AdaptivePooled(t, a.Strata)
+	for _, cat := range []string{"DUE", "Masked", "SDC"} {
+		iv, err := pooled.ShareCI(cat, a.Confidence)
+		if err != nil {
+			continue
+		}
+		sj.Intervals = append(sj.Intervals, ClassIntervalJSON{
+			Outcome: cat, Share: iv.P, Lo: iv.Lo, Hi: iv.Hi,
+		})
+	}
+	sampled := make(map[string]campaign.StratumTally, len(t.Strata))
+	for _, s := range t.Strata {
+		sampled[s.Key] = s
+	}
+	for _, w := range a.Strata {
+		s := sampled[w.Key]
+		sj.Strata = append(sj.Strata, StratumStatJSON{
+			Key: w.Key, Weight: w.Count, Certain: w.Certain,
+			N: s.N, SDC: s.SDC, DUE: s.DUE, Masked: s.Masked,
+		})
+	}
+	return sj
 }
 
 // classSummary builds the class-sampling block, or nil when the campaign
@@ -233,6 +315,15 @@ func Summary(res *campaign.CampaignResult) string {
 	}
 	if t.Restored > 0 {
 		s += fmt.Sprintf(", %d restored from checkpoints (%d early exits)", t.Restored, t.EarlyExits)
+	}
+	if a := res.Adaptive; a != nil {
+		if a.Converged {
+			s += fmt.Sprintf(", converged at shard %d", a.StopShard)
+		} else {
+			s += ", not converged"
+		}
+		s += fmt.Sprintf(" (%d/%d selected, SDC ±%.2f%% @%d%%, target ±%.2f%%)",
+			t.N, a.MaxInjections, 100*a.AchievedCI, int(100*a.Confidence), 100*a.TargetCI)
 	}
 	if res.Weighted != nil {
 		s = fmt.Sprintf("%s: %d opcodes, weighted SDC %.1f%% DUE %.1f%% Masked %.1f%%",

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -74,10 +75,23 @@ type job struct {
 	shards       []shard
 	done         int
 	quarantined  int
+	skipped      int
 	tally        *campaign.Tally
 	state        string
 	events       []Event
 	notify       chan struct{} // closed and replaced on every publish
+
+	// Adaptive (v2) jobs. The stopping rule is evaluated on the contiguous
+	// done-prefix of shards as it grows — the same pure function of (seed,
+	// shard prefix) the in-process runner evaluates shard by shard — so both
+	// paths stop at the identical shard whatever order completions land in.
+	adaptive     bool
+	weights      []campaign.StratumWeight
+	shardTallies []*campaign.Tally // per-shard tallies, retained until convergence
+	prefix       int               // shards [0, prefix) are merged into prefixTally
+	prefixTally  *campaign.Tally
+	stopShard    int // converged stopping shard; -1 while unconverged
+	achievedCI   float64
 }
 
 // Coordinator owns the job registry and the shard scheduler. It implements
@@ -152,7 +166,12 @@ func (c *Coordinator) Submit(spec CampaignSpec) (*JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	spec.Schema = JobSchema
+	adaptive := spec.Config.TargetCI > 0
+	if adaptive {
+		spec.Schema = JobSchemaV2
+	} else {
+		spec.Schema = JobSchema
+	}
 	w, err := ResolveWorkload(spec.Workload)
 	if err != nil {
 		return nil, err
@@ -160,6 +179,20 @@ func (c *Coordinator) Submit(spec CampaignSpec) (*JobStatus, error) {
 	golden, err := c.opts.Runner.Golden(w)
 	if err != nil {
 		return nil, fmt.Errorf("serve: golden run for %s: %w", spec.Workload, err)
+	}
+	var weights []campaign.StratumWeight
+	if adaptive {
+		// The stratum composition is a pure function of (profile, config);
+		// computing it once here and journaling it means replay never needs a
+		// profiling run to re-derive the stopping decision.
+		profile, _, err := c.opts.Runner.Profile(w, coreProfileMode)
+		if err != nil {
+			return nil, fmt.Errorf("serve: profiling run for %s: %w", spec.Workload, err)
+		}
+		weights, err = campaign.AdaptiveStrata(golden, profile, spec.Config)
+		if err != nil {
+			return nil, err
+		}
 	}
 	j := &job{
 		id:           newID("job"),
@@ -170,6 +203,7 @@ func (c *Coordinator) Submit(spec CampaignSpec) (*JobStatus, error) {
 		state:        JobRunning,
 		notify:       make(chan struct{}),
 	}
+	j.initAdaptive(weights)
 	for i := range j.shards {
 		j.shards[i].state = ShardPending
 	}
@@ -179,6 +213,7 @@ func (c *Coordinator) Submit(spec CampaignSpec) (*JobStatus, error) {
 	if err := c.append(journalEntry{
 		Type: entryJob, Job: j.id, Spec: &j.spec,
 		GoldenDigest: j.goldenDigest, NumShards: len(j.shards),
+		Strata: weights,
 	}); err != nil {
 		return nil, err
 	}
@@ -186,6 +221,18 @@ func (c *Coordinator) Submit(spec CampaignSpec) (*JobStatus, error) {
 	c.order = append(c.order, j.id)
 	c.publishJobEvent(j, "submitted")
 	return c.statusLocked(j, false), nil
+}
+
+// initAdaptive sets up a job's adaptive state when its config asks for it.
+func (j *job) initAdaptive(weights []campaign.StratumWeight) {
+	j.stopShard = -1
+	if j.spec.Config.TargetCI <= 0 {
+		return
+	}
+	j.adaptive = true
+	j.weights = weights
+	j.shardTallies = make([]*campaign.Tally, len(j.shards))
+	j.prefixTally = campaign.NewTally()
 }
 
 // replay applies one journal entry while rebuilding state at startup.
@@ -204,6 +251,7 @@ func (c *Coordinator) replay(e journalEntry) {
 			state:        JobRunning,
 			notify:       make(chan struct{}),
 		}
+		j.initAdaptive(e.Strata)
 		for i := range j.shards {
 			j.shards[i].state = ShardPending
 		}
@@ -214,9 +262,28 @@ func (c *Coordinator) replay(e journalEntry) {
 		if j == nil || e.Shard < 0 || e.Shard >= len(j.shards) || j.shards[e.Shard].state == ShardDone {
 			return
 		}
+		if j.stopShard >= 0 {
+			// The job already converged; completions past the stopping point
+			// (journaled by in-flight workers) stay excluded from the tally.
+			return
+		}
 		j.shards[e.Shard].state = ShardDone
 		j.done++
 		j.tally.Merge(e.Tally)
+		if j.adaptive {
+			j.shardTallies[e.Shard] = e.Tally
+			c.advanceAdaptiveLocked(j, true)
+		}
+		c.settleLocked(j)
+	case entryJobConverged:
+		// Normally redundant — advanceAdaptiveLocked re-derives the decision
+		// from the replayed shard tallies — but applied defensively so the
+		// journaled stopping point always wins.
+		j := c.jobs[e.Job]
+		if j == nil || !j.adaptive || e.Shard < 0 || e.Shard >= len(j.shards) {
+			return
+		}
+		c.convergeLocked(j, e.Shard, true)
 		c.settleLocked(j)
 	case entryShardFailed:
 		j := c.jobs[e.Job]
@@ -399,9 +466,88 @@ func (c *Coordinator) Complete(workerID, leaseID string, res ShardResult) error 
 	if err := c.append(journalEntry{Type: entryShardDone, Job: j.id, Shard: i, Tally: res.Tally}); err != nil {
 		return err
 	}
+	if j.adaptive {
+		j.shardTallies[i] = res.Tally
+		c.advanceAdaptiveLocked(j, false)
+	}
 	c.publishShardEvent(j, i, res.Tally)
 	c.settleAndPublishLocked(j)
 	return nil
+}
+
+// advanceAdaptiveLocked extends the job's contiguous done-prefix with any
+// newly landed shards, evaluating the stopping rule at each shard boundary
+// — exactly the boundaries the in-process runner evaluates, in the same
+// order, on the same merged tallies.
+func (c *Coordinator) advanceAdaptiveLocked(j *job, replaying bool) {
+	if !j.adaptive || j.stopShard >= 0 || j.state != JobRunning {
+		return
+	}
+	for j.prefix < len(j.shards) && j.shardTallies[j.prefix] != nil {
+		j.prefixTally.Merge(j.shardTallies[j.prefix])
+		j.prefix++
+		hw, ok := campaign.AdaptiveDecision(j.prefixTally, j.weights, j.spec.Config)
+		j.achievedCI = hw
+		if ok {
+			c.convergeLocked(j, j.prefix-1, replaying)
+			return
+		}
+	}
+}
+
+// convergeLocked applies an adaptive job's stopping decision at shard s:
+// the job tally is recomputed to cover exactly shards [0, s] (out-of-order
+// completions beyond the stopping shard are dropped), every later shard is
+// marked skipped, their leases are cancelled — in-flight workers see
+// ErrLeaseLost on completion and discard their results, which is the
+// "drain" — and the decision is journaled so a restarted coordinator
+// replays to the same stopping point.
+func (c *Coordinator) convergeLocked(j *job, s int, replaying bool) {
+	if j.stopShard >= 0 {
+		return
+	}
+	j.stopShard = s
+	nt := campaign.NewTally()
+	for i := 0; i <= s && i < len(j.shardTallies); i++ {
+		nt.Merge(j.shardTallies[i])
+	}
+	j.tally = nt
+	hw, _ := campaign.AdaptiveDecision(j.tally, j.weights, j.spec.Config)
+	j.achievedCI = hw
+	done := 0
+	for i := range j.shards {
+		sh := &j.shards[i]
+		if i <= s {
+			if sh.state == ShardDone {
+				done++
+			}
+			continue
+		}
+		if sh.state == ShardLeased {
+			delete(c.leases, sh.leaseID)
+			sh.leaseID = ""
+			sh.worker = ""
+		}
+		sh.state = ShardSkipped
+	}
+	j.done = done
+	j.quarantined = 0 // prefix shards are all done; later quarantines are moot
+	j.skipped = len(j.shards) - (s + 1)
+	if !replaying {
+		_ = c.append(journalEntry{Type: entryJobConverged, Job: j.id, Shard: s})
+		c.publishConvergedEvent(j, s)
+	}
+}
+
+// publishConvergedEvent announces an adaptive job's stopping decision.
+func (c *Coordinator) publishConvergedEvent(j *job, s int) {
+	snap := campaign.NewTally()
+	snap.Merge(j.tally)
+	c.pushEventLocked(j, Event{
+		Type: "job", Job: j.id, State: EventConverged, Shard: s,
+		Done: j.done, Quarantined: j.quarantined, NumShards: len(j.shards),
+		Tally: snap,
+	})
 }
 
 // Fail records a worker-reported shard failure (requeue with backoff, or
@@ -420,8 +566,9 @@ func (c *Coordinator) Fail(workerID, leaseID, reason string) error {
 }
 
 // settleLocked recomputes a job's terminal state without publishing.
+// Skipped shards (past an adaptive stopping point) count as settled.
 func (c *Coordinator) settleLocked(j *job) {
-	if j.state != JobRunning || j.done+j.quarantined < len(j.shards) {
+	if j.state != JobRunning || j.done+j.quarantined+j.skipped < len(j.shards) {
 		return
 	}
 	if j.quarantined > 0 {
@@ -481,8 +628,12 @@ func (c *Coordinator) pushEventLocked(j *job, ev Event) {
 func (c *Coordinator) statusLocked(j *job, withShards bool) *JobStatus {
 	snap := campaign.NewTally()
 	snap.Merge(j.tally)
+	schema := j.spec.Schema
+	if schema == "" {
+		schema = JobSchema
+	}
 	st := &JobStatus{
-		Schema:       JobSchema,
+		Schema:       schema,
 		ID:           j.id,
 		Workload:     j.spec.Workload,
 		Config:       j.spec.Config,
@@ -491,7 +642,18 @@ func (c *Coordinator) statusLocked(j *job, withShards bool) *JobStatus {
 		NumShards:    len(j.shards),
 		Done:         j.done,
 		Quarantined:  j.quarantined,
+		Skipped:      j.skipped,
 		Tally:        snap,
+	}
+	if j.adaptive {
+		st.Strata = j.weights
+		if j.stopShard >= 0 {
+			st.Converged = true
+			st.StopShard = j.stopShard
+		}
+		if j.achievedCI > 0 && !math.IsInf(j.achievedCI, 1) {
+			st.AchievedCI = j.achievedCI
+		}
 	}
 	if withShards {
 		st.Shards = make([]ShardStatus, len(j.shards))

@@ -24,6 +24,12 @@ const (
 	entryShardDone   = "shard_done"
 	entryShardFailed = "shard_failed"
 	entryJobDone     = "job_done"
+	// entryJobConverged records an adaptive job's stopping decision: the
+	// pooled estimate reached its target CI at shard index Shard. On replay
+	// the same decision is also re-derived from the shard_done tallies; the
+	// explicit entry makes the stopping point inspectable and replays
+	// idempotently ahead of any out-of-order completions.
+	entryJobConverged = "job_converged"
 )
 
 // journalEntry is one JSONL record.
@@ -34,6 +40,10 @@ type journalEntry struct {
 	Spec         *CampaignSpec `json:"spec,omitempty"`
 	GoldenDigest string        `json:"golden_digest,omitempty"`
 	NumShards    int           `json:"num_shards,omitempty"`
+	// Strata is the adaptive job's full-selection stratum composition,
+	// journaled at submission so replay re-derives the stopping decision
+	// without a profiling run.
+	Strata []campaign.StratumWeight `json:"strata,omitempty"`
 	// Shard-level fields.
 	Shard       int             `json:"shard,omitempty"`
 	Attempt     int             `json:"attempt,omitempty"`

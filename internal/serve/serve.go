@@ -23,6 +23,13 @@ import (
 // JobSchema versions the submission and status wire format.
 const JobSchema = "nvbitfi.job/v1"
 
+// JobSchemaV2 is the adaptive job schema: the spec carries a target
+// confidence interval (Config.TargetCI) instead of a hard experiment count,
+// and the coordinator stops issuing leases once the pooled stratified
+// estimate converges. v1 specs are still accepted; a v1 spec with TargetCI
+// set is rejected so old consumers never see fields they don't understand.
+const JobSchemaV2 = "nvbitfi.job/v2"
+
 // CampaignSpec is a submitted campaign: a workload named out of the
 // benchmark suite plus the transient-campaign configuration. The spec is
 // the unit the journal persists and workers reconstruct experiments from —
@@ -36,8 +43,17 @@ type CampaignSpec struct {
 
 // Validate checks the spec before a job is created from it.
 func (s CampaignSpec) Validate() error {
-	if s.Schema != "" && s.Schema != JobSchema {
-		return fmt.Errorf("serve: unsupported job schema %q (want %q)", s.Schema, JobSchema)
+	switch s.Schema {
+	case "", JobSchema:
+		if s.Config.TargetCI != 0 {
+			return fmt.Errorf("serve: target-CI campaigns require schema %q", JobSchemaV2)
+		}
+	case JobSchemaV2:
+		if s.Config.TargetCI <= 0 || s.Config.TargetCI >= 1 {
+			return fmt.Errorf("serve: %q spec needs a target CI in (0,1), got %v", JobSchemaV2, s.Config.TargetCI)
+		}
+	default:
+		return fmt.Errorf("serve: unsupported job schema %q (want %q or %q)", s.Schema, JobSchema, JobSchemaV2)
 	}
 	if s.Workload == "" {
 		return fmt.Errorf("serve: spec names no workload")
@@ -126,7 +142,16 @@ const (
 	ShardLeased      = "leased"
 	ShardDone        = "done"
 	ShardQuarantined = "quarantined"
+	// ShardSkipped marks shards past an adaptive job's stopping point: the
+	// pooled estimate converged before they were needed, so they never run
+	// and contribute nothing to the tally.
+	ShardSkipped = "skipped"
 )
+
+// EventConverged is the job-level event state announcing that an adaptive
+// job's pooled estimate reached its target CI; Event.Shard carries the
+// stopping shard index.
+const EventConverged = "converged"
 
 // Job states.
 const (
@@ -157,6 +182,16 @@ type JobStatus struct {
 	NumShards    int                              `json:"num_shards"`
 	Done         int                              `json:"done"`
 	Quarantined  int                              `json:"quarantined,omitempty"`
-	Tally        *campaign.Tally                  `json:"tally"`
-	Shards       []ShardStatus                    `json:"shards,omitempty"`
+	// The adaptive fields are omitted for v1 jobs so their status encoding
+	// is unchanged. Skipped counts shards past the stopping point;
+	// AchievedCI is the stratified Wilson half-width on the SDC share over
+	// the shards that ran; Strata is the full-selection stratum composition
+	// the estimate pooled against.
+	Skipped    int                      `json:"skipped,omitempty"`
+	Converged  bool                     `json:"converged,omitempty"`
+	StopShard  int                      `json:"stop_shard,omitempty"`
+	AchievedCI float64                  `json:"achieved_ci,omitempty"`
+	Strata     []campaign.StratumWeight `json:"strata,omitempty"`
+	Tally      *campaign.Tally          `json:"tally"`
+	Shards     []ShardStatus            `json:"shards,omitempty"`
 }

@@ -83,8 +83,11 @@ type Interval struct {
 	P, Lo, Hi float64
 }
 
-// ProportionCI returns the normal-approximation confidence interval of a
-// proportion with k successes out of n trials, clamped to [0,1].
+// ProportionCI returns the Wilson score confidence interval of a proportion
+// with k successes out of n trials, clamped to [0,1]. Unlike the Wald
+// (normal-approximation) interval, the Wilson interval never degenerates to
+// zero width at k=0 or k=n — a property the campaign stopping rule depends
+// on: early all-Masked shards must not look infinitely precise.
 func ProportionCI(k, n int, confidence float64) (Interval, error) {
 	if n <= 0 || k < 0 || k > n {
 		return Interval{}, fmt.Errorf("stats: invalid counts k=%d n=%d", k, n)
@@ -93,9 +96,28 @@ func ProportionCI(k, n int, confidence float64) (Interval, error) {
 	if err != nil {
 		return Interval{}, err
 	}
-	p := float64(k) / float64(n)
-	m := z * math.Sqrt(p*(1-p)/float64(n))
-	return Interval{P: p, Lo: math.Max(0, p-m), Hi: math.Min(1, p+m)}, nil
+	return wilsonInterval(float64(k)/float64(n), float64(n), z), nil
+}
+
+// wilsonInterval computes the Wilson score interval for an observed
+// proportion p over (possibly fractional) sample size n. Interval.P stays
+// the raw estimate; Lo/Hi come from the score-test inversion, so Lo is
+// exactly 0 when p=0 and Hi exactly 1 when p=1, with nonzero width for any
+// finite n.
+func wilsonInterval(p, n, z float64) Interval {
+	d := 1 + z*z/n
+	center := (p + z*z/(2*n)) / d
+	half := z / d * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	iv := Interval{P: p, Lo: math.Max(0, center-half), Hi: math.Min(1, center+half)}
+	// The score inversion touches the boundary exactly at degenerate
+	// proportions; pin it there so rounding residue can't leak in.
+	if p == 0 {
+		iv.Lo = 0
+	}
+	if p == 1 {
+		iv.Hi = 1
+	}
+	return iv
 }
 
 // WeightedTally accumulates category shares with per-observation weights —
@@ -175,4 +197,152 @@ func (t *WeightedTally) ShareCI(cat string, confidence float64) (Interval, error
 	p := t.Share(cat)
 	m := z * math.Sqrt(p*(1-p)/neff)
 	return Interval{P: p, Lo: math.Max(0, p-m), Hi: math.Min(1, p+m)}, nil
+}
+
+// StratifiedTally pools per-stratum category counts into a
+// post-stratification estimator. Each stratum carries a population weight
+// (its share of the full selection); sampled strata contribute their
+// observed category proportions expanded by weight. Strata whose outcome is
+// statically proven (provably-masked equivalence classes) are marked
+// certain and legitimately contribute zero sampling variance — the main
+// savings lever of the adaptive campaign.
+type StratifiedTally struct {
+	strata map[string]*stratum
+}
+
+type stratum struct {
+	weight  float64 // population weight (unnormalized; campaign uses selection counts)
+	certain bool
+	n       float64
+	counts  map[string]float64
+}
+
+// NewStratified returns an empty stratified tally.
+func NewStratified() *StratifiedTally {
+	return &StratifiedTally{strata: make(map[string]*stratum)}
+}
+
+// AddStratum declares a stratum with its population weight. Certain strata
+// have statically-proven outcomes and contribute no sampling variance.
+func (t *StratifiedTally) AddStratum(key string, weight float64, certain bool) {
+	t.strata[key] = &stratum{weight: weight, certain: certain, counts: make(map[string]float64)}
+}
+
+// Observe records count observations of category cat in stratum key. An
+// undeclared stratum is created with weight equal to its observation count
+// (self-weighting), so partially-specified tallies degrade gracefully.
+func (t *StratifiedTally) Observe(key, cat string, count int) {
+	if count == 0 {
+		return
+	}
+	s := t.strata[key]
+	if s == nil {
+		s = &stratum{counts: make(map[string]float64)}
+		t.strata[key] = s
+	}
+	s.n += float64(count)
+	s.counts[cat] += float64(count)
+	if s.weight < s.n {
+		s.weight = s.n
+	}
+}
+
+// SampledN returns the total number of observations across sampled strata.
+func (t *StratifiedTally) SampledN() float64 {
+	var n float64
+	for _, s := range t.strata {
+		n += s.n
+	}
+	return n
+}
+
+// sampledWeight is the weight sum over strata with at least one
+// observation; unsampled strata are excluded and the estimator renormalizes
+// over the sampled ones.
+func (t *StratifiedTally) sampledWeight() float64 {
+	var w float64
+	for _, s := range t.strata {
+		if s.n > 0 {
+			w += s.weight
+		}
+	}
+	return w
+}
+
+// Share returns the stratified pooled share of a category: each sampled
+// stratum's observed proportion expanded by its weight, normalized over the
+// sampled weight. Terms are computed as count·(weight/n) so that a full run
+// (n == weight in every stratum) collapses term-by-term to exact integer
+// counts and the pooled share equals the exhaustive unstratified fraction
+// bit-for-bit.
+func (t *StratifiedTally) Share(cat string) float64 {
+	w := t.sampledWeight()
+	if w == 0 {
+		return 0
+	}
+	var num float64
+	for _, s := range t.strata {
+		if s.n > 0 {
+			num += s.counts[cat] * (s.weight / s.n)
+		}
+	}
+	return num / w
+}
+
+// Variance returns the sampling variance of the stratified share estimate:
+// Σ ŵ_h² · p̃_h(1−p̃_h)/n_h over uncertain sampled strata, with ŵ_h the
+// weight normalized over sampled strata. The per-stratum proportion is
+// Jeffreys-smoothed (p̃ = (k+½)/(n+1)) for the variance only, so a small
+// pure stratum never claims exact-zero uncertainty; the point estimate in
+// Share stays unsmoothed.
+func (t *StratifiedTally) Variance(cat string) float64 {
+	w := t.sampledWeight()
+	if w == 0 {
+		return 0
+	}
+	var v float64
+	for _, s := range t.strata {
+		if s.n == 0 || s.certain {
+			continue
+		}
+		wh := s.weight / w
+		pt := (s.counts[cat] + 0.5) / (s.n + 1)
+		v += wh * wh * pt * (1 - pt) / s.n
+	}
+	return v
+}
+
+// EffectiveSampleSize converts the stratified variance into an effective
+// simple-random-sample size via the design effect: deff = Var/VarSRS,
+// neff = n/deff. Informative stratification (deff < 1) yields neff above
+// the raw count; when either variance degenerates (pooled share at 0 or 1,
+// or all sampled strata certain) it falls back to the raw observation count
+// rather than claiming unbounded precision.
+func (t *StratifiedTally) EffectiveSampleSize(cat string) float64 {
+	n := t.SampledN()
+	if n == 0 {
+		return 0
+	}
+	p := t.Share(cat)
+	varSRS := p * (1 - p) / n
+	varStrat := t.Variance(cat)
+	if varStrat <= 0 || varSRS <= 0 {
+		return n
+	}
+	return n * varSRS / varStrat
+}
+
+// ShareCI returns the Wilson score interval of the stratified pooled share,
+// evaluated at the effective sample size.
+func (t *StratifiedTally) ShareCI(cat string, confidence float64) (Interval, error) {
+	n := t.SampledN()
+	if n == 0 {
+		return Interval{}, fmt.Errorf("stats: stratified tally is empty")
+	}
+	z, err := zValue(confidence)
+	if err != nil {
+		return Interval{}, err
+	}
+	neff := math.Max(1, t.EffectiveSampleSize(cat))
+	return wilsonInterval(t.Share(cat), neff, z), nil
 }

@@ -149,6 +149,154 @@ func TestProportionCIQuick(t *testing.T) {
 	}
 }
 
+// TestWilsonEdgeCases: the Wilson interval keeps nonzero width at the
+// degenerate proportions where the Wald interval collapsed to a point —
+// the property the campaign stopping rule leans on.
+func TestWilsonEdgeCases(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{0, 1}, {1, 1}, // n = 1
+		{0, 50},    // k = 0
+		{50, 50},   // k = n
+		{0, 10000}, // large n, still nonzero width
+	}
+	for _, c := range cases {
+		iv, err := ProportionCI(c.k, c.n, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Hi-iv.Lo <= 0 {
+			t.Errorf("ProportionCI(%d, %d) has zero width: %+v", c.k, c.n, iv)
+		}
+		if c.k == 0 && iv.Lo != 0 {
+			t.Errorf("k=0 interval should touch 0: %+v", iv)
+		}
+		if c.k == c.n && iv.Hi != 1 {
+			t.Errorf("k=n interval should touch 1: %+v", iv)
+		}
+	}
+	// Width shrinks with n at a fixed proportion.
+	small, _ := ProportionCI(0, 10, 0.95)
+	large, _ := ProportionCI(0, 1000, 0.95)
+	if large.Hi >= small.Hi {
+		t.Errorf("k=0 width not shrinking with n: n=10 %+v, n=1000 %+v", small, large)
+	}
+}
+
+func TestStratifiedFullRunEqualsPooled(t *testing.T) {
+	// When every stratum is fully sampled (n == weight), the stratified
+	// share must equal the exhaustive pooled fraction bit-for-bit.
+	st := NewStratified()
+	st.AddStratum("a", 7, false)
+	st.AddStratum("b", 13, true)
+	st.AddStratum("c", 5, false)
+	st.Observe("a", "SDC", 3)
+	st.Observe("a", "Masked", 4)
+	st.Observe("b", "Masked", 13)
+	st.Observe("c", "SDC", 1)
+	st.Observe("c", "DUE", 4)
+	if got, want := st.Share("SDC"), float64(4)/float64(25); got != want {
+		t.Errorf("full-run SDC share = %v, want exactly %v", got, want)
+	}
+	if got, want := st.Share("Masked"), float64(17)/float64(25); got != want {
+		t.Errorf("full-run Masked share = %v, want exactly %v", got, want)
+	}
+	if got, want := st.Share("DUE"), float64(4)/float64(25); got != want {
+		t.Errorf("full-run DUE share = %v, want exactly %v", got, want)
+	}
+}
+
+func TestStratifiedExpansion(t *testing.T) {
+	// Partial sampling: stratum proportions expand by population weight.
+	st := NewStratified()
+	st.AddStratum("big", 80, false)
+	st.AddStratum("small", 20, false)
+	st.Observe("big", "Masked", 10) // p=1 in a stratum worth 80%
+	st.Observe("small", "SDC", 5)   // p=1 in a stratum worth 20%
+	if got := st.Share("SDC"); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("expanded SDC share = %v, want 0.2", got)
+	}
+	if st.SampledN() != 15 {
+		t.Errorf("SampledN = %v, want 15", st.SampledN())
+	}
+	// An unsampled stratum is excluded and the rest renormalize.
+	st.AddStratum("silent", 100, false)
+	if got := st.Share("SDC"); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("unsampled stratum changed share: %v", got)
+	}
+}
+
+func TestStratifiedCertainStrataShrinkCI(t *testing.T) {
+	// Same observations, but one heavy stratum's outcome is statically
+	// proven: marking it certain must remove its variance contribution and
+	// tighten the interval.
+	build := func(certain bool) *StratifiedTally {
+		st := NewStratified()
+		st.AddStratum("proven", 80, certain)
+		st.AddStratum("live", 20, false)
+		st.Observe("proven", "Masked", 40)
+		st.Observe("live", "SDC", 10)
+		st.Observe("live", "Masked", 10)
+		return st
+	}
+	uncertain := build(false)
+	certain := build(true)
+	if certain.Share("SDC") != uncertain.Share("SDC") {
+		t.Fatal("certainty must not move the point estimate")
+	}
+	if cv, uv := certain.Variance("SDC"), uncertain.Variance("SDC"); cv >= uv {
+		t.Errorf("certain variance %v not below uncertain %v", cv, uv)
+	}
+	ci, err := certain.ShareCI("SDC", 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ui, err := uncertain.ShareCI("SDC", 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (ci.Hi - ci.Lo) >= (ui.Hi - ui.Lo) {
+		t.Errorf("certain interval %+v not tighter than %+v", ci, ui)
+	}
+	if neff := certain.EffectiveSampleSize("SDC"); neff <= certain.SampledN() {
+		t.Errorf("informative stratification should raise neff above n: %v <= %v",
+			neff, certain.SampledN())
+	}
+}
+
+func TestStratifiedDegenerateFallbacks(t *testing.T) {
+	var empty StratifiedTally
+	if empty.SampledN() != 0 || empty.Share("SDC") != 0 {
+		t.Error("zero-value tally should be empty")
+	}
+	st := NewStratified()
+	if _, err := st.ShareCI("SDC", 0.95); err == nil {
+		t.Error("empty stratified ShareCI should error")
+	}
+	// Only certain strata sampled: variance is zero, pooled p is 0, and the
+	// fallback keeps neff at the raw count instead of claiming infinite
+	// precision — the Wilson interval still has width.
+	st.AddStratum("proven", 50, true)
+	st.Observe("proven", "Masked", 25)
+	if neff := st.EffectiveSampleSize("SDC"); neff != 25 {
+		t.Errorf("degenerate neff = %v, want raw n 25", neff)
+	}
+	iv, err := st.ShareCI("SDC", 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Hi-iv.Lo <= 0 {
+		t.Errorf("degenerate interval has zero width: %+v", iv)
+	}
+	if _, err := st.ShareCI("SDC", 1.5); err == nil {
+		t.Error("bad confidence should error")
+	}
+	// Observations in an undeclared stratum self-weight.
+	st.Observe("surprise", "SDC", 4)
+	if st.SampledN() != 29 {
+		t.Errorf("SampledN = %v, want 29", st.SampledN())
+	}
+}
+
 func TestWeightedTally(t *testing.T) {
 	var w WeightedTally
 	w.Add("SDC", 10)
