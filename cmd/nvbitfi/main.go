@@ -65,6 +65,8 @@ func main() {
 		err = cmdSubmit(os.Args[2:])
 	case "list":
 		err = cmdList()
+	case "models":
+		err = cmdModels()
 	default:
 		usage()
 		os.Exit(2)
@@ -76,8 +78,30 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: nvbitfi <profile|select|inject|pf-inject|campaign|profdiff|report|serve|worker|submit|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: nvbitfi <profile|select|inject|pf-inject|campaign|profdiff|report|serve|worker|submit|list|models> [flags]
 run "nvbitfi <subcommand> -h" for subcommand flags`)
+}
+
+// cmdModels lists the registered fault models with their default group and
+// which campaign accelerations each supports.
+func cmdModels() error {
+	for _, name := range nvbitfi.FaultModels() {
+		m, err := nvbitfi.LookupFaultModel(name)
+		if err != nil {
+			return err
+		}
+		def := ""
+		if name == "transient" {
+			def = " (default)"
+		}
+		fmt.Printf("%-10s%s %s\n", name, def, m.Description())
+		fmt.Printf("          group=%v prune=%v classes=%v checkpoint=%v\n",
+			m.DefaultGroup(),
+			m.Caps().Has(nvbitfi.CapPrune),
+			m.Caps().Has(nvbitfi.CapClasses),
+			m.Caps().Has(nvbitfi.CapCheckpoint))
+	}
+	return nil
 }
 
 func lookupProgram(name string) (nvbitfi.Workload, error) {
@@ -139,9 +163,10 @@ func cmdProfile(args []string) error {
 func cmdSelect(args []string) error {
 	fs := flag.NewFlagSet("select", flag.ExitOnError)
 	profilePath := fs.String("profile", "", "profile file from 'nvbitfi profile'")
-	group := fs.String("group", "G_GPPR", "instruction group (arch state id or name)")
+	group := fs.String("group", "", "instruction group (arch state id or name; default G_GPPR, or the model's group)")
 	bitflip := fs.Int("bitflip", 1, "bit-flip model 1..4")
 	seed := fs.Int64("seed", 1, "selection seed")
+	model := fs.String("model", "", "fault model to select for (site-resolved, filtered to eligible opcodes)")
 	out := fs.String("o", "", "output parameter file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,14 +180,37 @@ func cmdSelect(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := sass.ParseGroup(*group)
-	if err != nil {
-		return err
-	}
-	params, err := nvbitfi.SelectTransientFault(profile, g, nvbitfi.BitFlipModel(*bitflip),
-		rand.New(rand.NewSource(*seed)))
-	if err != nil {
-		return err
+	var params *nvbitfi.TransientParams
+	rng := rand.New(rand.NewSource(*seed))
+	if *model != "" && *model != "transient" {
+		// Model selection is site-resolved and filtered to the opcodes the
+		// model can inject at, exactly as a model campaign selects.
+		m, err := nvbitfi.LookupFaultModel(*model)
+		if err != nil {
+			return err
+		}
+		g := m.DefaultGroup()
+		if *group != "" {
+			if g, err = sass.ParseGroup(*group); err != nil {
+				return err
+			}
+		}
+		params, err = core.SelectTransientFaultSiteFiltered(profile, g,
+			nvbitfi.BitFlipModel(*bitflip), m.EligibleOp, rng)
+		if err != nil {
+			return err
+		}
+	} else {
+		g := sass.GroupGPPR
+		if *group != "" {
+			if g, err = sass.ParseGroup(*group); err != nil {
+				return err
+			}
+		}
+		params, err = nvbitfi.SelectTransientFault(profile, g, nvbitfi.BitFlipModel(*bitflip), rng)
+		if err != nil {
+			return err
+		}
 	}
 	dst := os.Stdout
 	if *out != "" {
@@ -181,6 +229,8 @@ func cmdInject(args []string) error {
 	fs := flag.NewFlagSet("inject", flag.ExitOnError)
 	program := fs.String("program", "", "target program name")
 	paramsPath := fs.String("params", "", "parameter file from 'nvbitfi select'")
+	model := fs.String("model", "", "fault model (default transient; see 'nvbitfi models')")
+	modelParam := fs.String("model-param", "", "fault-model parameter string, e.g. value=0,bit=17")
 	xlate := fs.Bool("xlate", true, "run launches on the block-level translation engine")
 	noXlate := fs.Bool("no-xlate", false, "force the legacy interpreter (same as -xlate=false)")
 	if err := fs.Parse(args); err != nil {
@@ -204,13 +254,39 @@ func cmdInject(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := r.RunTransient(context.Background(), w, golden, *params)
-	if err != nil {
-		return err
+	var res *nvbitfi.RunResult
+	if *model != "" && *model != "transient" {
+		m, err := nvbitfi.LookupFaultModel(*model)
+		if err != nil {
+			return err
+		}
+		// Model injectors resolve their site against the static kernel view
+		// and (opsub) weight substitutes by opcode activity, so a one-off
+		// inject profiles the workload the way a campaign would.
+		profile, _, err := r.Profile(w, core.Exact)
+		if err != nil {
+			return err
+		}
+		res, err = r.RunModel(context.Background(), w, golden, m, *params, *modelParam,
+			nvbitfi.NewModelEnv(r, golden, profile))
+		if err != nil {
+			return err
+		}
+	} else {
+		if *modelParam != "" {
+			return fmt.Errorf("inject: -model-param requires a non-default -model")
+		}
+		res, err = r.RunTransient(context.Background(), w, golden, *params)
+		if err != nil {
+			return err
+		}
 	}
 	rec := res.Injection
 	fmt.Printf("injection: activated=%v kernel=%s instr=%d opcode=%v lane=%d target=%s 0x%08x->0x%08x\n",
 		rec.Activated, rec.Kernel, rec.InstrIdx, rec.Opcode, rec.Lane, rec.Target, rec.Before, rec.After)
+	if res.Activations > 0 {
+		fmt.Printf("activations: %d\n", res.Activations)
+	}
 	fmt.Printf("outcome: %v\n", res.Class)
 	return nil
 }
@@ -269,10 +345,12 @@ func cmdCampaign(args []string) error {
 	program := fs.String("program", "", "target program name (or 'all')")
 	n := fs.Int("n", 100, "number of transient injections")
 	mode := fs.String("mode", "exact", "profiling mode: exact or approx")
-	group := fs.String("group", "G_GPPR", "instruction group")
+	group := fs.String("group", "", "instruction group (default: the fault model's group, G_GPPR for transient)")
 	bitflip := fs.Int("bitflip", 1, "bit-flip model 1..4")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	shardSize := fs.Int("shard-size", 0, "experiments per selection shard (0 = default; part of the campaign's identity, matches 'submit -shard-size')")
+	model := fs.String("model", "", "fault model (default transient; see 'nvbitfi models')")
+	modelParam := fs.String("model-param", "", "fault-model parameter string, e.g. value=0,bit=17")
 	permanent := fs.Bool("permanent", false, "run a permanent campaign instead")
 	parallel := fs.Int("parallel", 0, "concurrent injection experiments (0 = one per CPU)")
 	workers := fs.Int("workers", 0, "per-device block-parallel workers for uninstrumented launches (0 or 1 = sequential)")
@@ -298,9 +376,13 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := sass.ParseGroup(*group)
-	if err != nil {
-		return err
+	// An unset group stays zero so the config layer can default it to the
+	// fault model's own group (G_GPPR for the transient default).
+	var g sass.Group
+	if *group != "" {
+		if g, err = sass.ParseGroup(*group); err != nil {
+			return err
+		}
 	}
 	var programs []nvbitfi.Workload
 	if *program == "all" {
@@ -323,6 +405,12 @@ func cmdCampaign(args []string) error {
 	}
 	if *targetCI > 0 && *permanent {
 		return fmt.Errorf("campaign: -target-ci applies to transient campaigns only")
+	}
+	if *model != "" && *permanent {
+		return fmt.Errorf("campaign: -model selects a fault model for transient-style campaigns; use the 'stuck' model instead of -permanent, or drop -model")
+	}
+	if *modelParam != "" && (*model == "" || *model == "transient") {
+		return fmt.Errorf("campaign: -model-param requires a non-default -model")
 	}
 	if (*ckptStride != 0 || *noEarlyExit) && !*ckpt {
 		return fmt.Errorf("campaign: -ckpt-stride and -no-early-exit require -ckpt")
@@ -361,6 +449,12 @@ func cmdCampaign(args []string) error {
 				cfg.TargetCI = *targetCI
 				cfg.Confidence = *confidence
 				cfg.MaxInjections = *maxN
+			}
+			// Likewise the model fields: -model=transient means the default
+			// and encodes to the prior bytes.
+			if *model != "" && *model != "transient" {
+				cfg.Model = *model
+				cfg.ModelParam = *modelParam
 			}
 			res, err = nvbitfi.RunTransientCampaign(context.Background(), r, w, golden, profile, cfg)
 		}

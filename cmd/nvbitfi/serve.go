@@ -135,6 +135,8 @@ func cmdSubmit(args []string) error {
 	noEarlyExit := fs.Bool("no-early-exit", false, "with -ckpt, disable early-exit classification")
 	xlate := fs.Bool("xlate", true, "run experiments on the block-level translation engine")
 	noXlate := fs.Bool("no-xlate", false, "force the legacy interpreter (same as -xlate=false)")
+	model := fs.String("model", "", "fault model (see 'nvbitfi models'; default transient)")
+	modelParam := fs.String("model-param", "", "fault-model parameter string (key=value,...)")
 	noWait := fs.Bool("no-wait", false, "submit and print the job id without following progress")
 	jsonOut := fs.Bool("json", false, "print the final tally as stable JSON")
 	if err := fs.Parse(args); err != nil {
@@ -161,6 +163,16 @@ func cmdSubmit(args []string) error {
 		spec.Config.TargetCI = *targetCI
 		spec.Config.Confidence = *confidence
 		spec.Config.MaxInjections = *maxN
+	}
+	// Non-default fault models speak the v3 schema (which also carries the
+	// adaptive fields, so it wins over v2 when both apply). The default
+	// transient model keeps the spec on v1/v2 untouched.
+	if *model != "" && *model != "transient" {
+		spec.Schema = serve.JobSchemaV3
+		spec.Config.Model = *model
+		spec.Config.ModelParam = *modelParam
+	} else if *modelParam != "" {
+		return fmt.Errorf("submit: -model-param requires a non-default -model")
 	}
 	client := serve.NewClient(*coordinator)
 	st, err := client.Submit(spec)
@@ -202,6 +214,7 @@ func cmdSubmit(args []string) error {
 	res := &campaign.CampaignResult{
 		Program: final.Workload, Tally: final.Tally,
 		Translated: !final.Config.NoXlate,
+		Model:      final.Config.Model, ModelParam: final.Config.ModelParam,
 	}
 	// An adaptive job's status carries everything the statistical report
 	// block needs; reconstruct the result the in-process runner would

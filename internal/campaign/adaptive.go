@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faultmodel"
 	"repro/internal/sass"
 	"repro/internal/stats"
 )
@@ -34,6 +35,11 @@ const ResidualStratum = "~"
 // need only be homogeneous-ish, not provably outcome-invariant.
 type stratifier struct {
 	cl *classer
+	// noCertain suppresses the certain (zero-variance) marking of provably-
+	// masked strata: the masked proof holds for destination-flip semantics,
+	// so fault models without CapCertainStrata keep the stratum keys (the
+	// grouping is still variance-reducing) but sample every stratum.
+	noCertain bool
 }
 
 // classify returns the stratum key of a parameter tuple's injection site
@@ -58,7 +64,17 @@ func (st *stratifier) classify(p core.TransientParams) (string, bool) {
 	if c == nil {
 		return ResidualStratum, false
 	}
-	return p.KernelName + ":" + c.ID, c.Masked
+	return p.KernelName + ":" + c.ID, c.Masked && !st.noCertain
+}
+
+// noCertainStrata reports whether the config's fault model forfeits
+// certain-stratum pooling (it lacks CapCertainStrata).
+func noCertainStrata(cfg TransientCampaignConfig) bool {
+	m, err := faultmodel.Lookup(cfg.Model)
+	if err != nil {
+		return true
+	}
+	return !m.Caps().Has(faultmodel.CapCertainStrata)
 }
 
 // StratumWeight is one stratum's share of the full selection: how many of
@@ -80,7 +96,7 @@ func AdaptiveStrata(golden *GoldenResult, profile *core.Profile, cfg TransientCa
 	if cfg.TargetCI <= 0 {
 		return nil, nil
 	}
-	st := &stratifier{cl: newClasser(golden.Kernels)}
+	st := &stratifier{cl: newClasser(golden.Kernels), noCertain: noCertainStrata(cfg)}
 	counts := make(map[string]*StratumWeight)
 	order := make([]string, 0, 8)
 	for s := 0; s < cfg.NumShards(); s++ {

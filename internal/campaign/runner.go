@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cuda"
+	"repro/internal/faultmodel"
 	"repro/internal/gpu"
 	"repro/internal/nvbit"
 	"repro/internal/sass"
@@ -327,6 +328,64 @@ func (r Runner) RunTransient(ctx context.Context, w Workload, golden *GoldenResu
 	return res, nil
 }
 
+// ModelEnv derives the faultmodel.Env a campaign's experiments share: the
+// runner's device shape plus the golden kernel view and the profile's opcode
+// activity. Pure derivation — no workload runs.
+func ModelEnv(r Runner, golden *GoldenResult, profile *core.Profile) faultmodel.Env {
+	r = r.applyDefaults()
+	env := faultmodel.Env{Family: r.Family, NumSMs: r.NumSMs, Kernels: golden.Kernels}
+	if profile != nil {
+		env.OpcodeTotals = profile.OpcodeTotals()
+	}
+	return env
+}
+
+// RunModel performs one experiment under an arbitrary fault model: fresh
+// context, the model's injector attached, workload run, outcome classified
+// against golden — RunTransient generalized over the injector factory.
+// Cancellation behaves as in RunTransient.
+func (r Runner) RunModel(ctx context.Context, w Workload, golden *GoldenResult,
+	m faultmodel.Model, p core.TransientParams, param string, env faultmodel.Env) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cctx, err := r.newContext()
+	if err != nil {
+		return nil, err
+	}
+	cctx.SetCancel(ctx)
+	r = r.applyDefaults()
+	cctx.SetDefaultBudget(r.experimentBudget(golden))
+	inj, err := m.NewInjector(p, param, env)
+	if err != nil {
+		return nil, err
+	}
+	att, err := nvbit.Attach(cctx, inj)
+	if err != nil {
+		return nil, err
+	}
+	defer att.Detach()
+
+	start := time.Now()
+	out, runErr := w.Run(cctx)
+	d := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = NewOutput()
+	}
+	res := &RunResult{
+		Class:       Classify(w, golden.Output, out, runErr, cctx),
+		Injection:   inj.Record(),
+		Activations: inj.Activations(),
+		Duration:    d,
+		Stats:       cctx.AccumulatedStats(),
+	}
+	cctx.Device().Recycle()
+	return res, nil
+}
+
 // RunPermanent performs one permanent-fault experiment. gate, when non-nil,
 // makes the fault intermittent; dict, when non-nil, overrides corruption
 // per opcode. Cancellation behaves as in RunTransient.
@@ -463,6 +522,16 @@ type TransientCampaignConfig struct {
 	// shard count, per-shard streams — is that of a fixed MaxInjections-
 	// experiment campaign; convergence just stops consuming it early.
 	MaxInjections int `json:",omitempty"`
+	// Model names the fault model (internal/faultmodel registry). Empty means
+	// the default transient destination-register flip, and encodes to the
+	// byte-identical config of builds that predate the subsystem. A non-default
+	// model implies site-resolved selection filtered to the model's eligible
+	// opcodes, and folds the model name into the selection seed — the model is
+	// part of the campaign's identity, like Seed and ShardSize.
+	Model string `json:",omitempty"`
+	// ModelParam is the model's parameter string (e.g. "value=0,bit=17" for
+	// stuck). Validated by the model; empty is always valid.
+	ModelParam string `json:",omitempty"`
 	// ShardSize is the number of experiments per selection shard (default
 	// DefaultShardSize). Fault selection is blocked by shard: experiments
 	// [s*ShardSize, (s+1)*ShardSize) draw their parameters from a dedicated
@@ -478,8 +547,19 @@ func (c TransientCampaignConfig) withDefaults() TransientCampaignConfig {
 	if c.Injections == 0 {
 		c.Injections = 100
 	}
+	// An explicit default-model name normalizes to the empty string so that
+	// `-model=transient` configs encode byte-identically to configs that never
+	// mention a model.
+	if c.Model == faultmodel.DefaultName {
+		c.Model = ""
+	}
 	if c.Group == 0 {
 		c.Group = sass.GroupGPPR
+		if c.Model != "" {
+			if m, err := faultmodel.Lookup(c.Model); err == nil {
+				c.Group = m.DefaultGroup()
+			}
+		}
 	}
 	if c.BitFlip == 0 {
 		c.BitFlip = core.FlipSingleBit
@@ -542,6 +622,10 @@ type CampaignResult struct {
 	// Adaptive describes the stopping decision of an adaptive campaign
 	// (TargetCI > 0); nil otherwise.
 	Adaptive *AdaptiveResult
+	// Model and ModelParam echo the campaign's fault model (empty for the
+	// default transient flip).
+	Model      string
+	ModelParam string
 }
 
 // RunTransientCampaign selects cfg.Injections faults from the profile and
@@ -557,8 +641,16 @@ func RunTransientCampaign(ctx context.Context, r Runner, w Workload, golden *Gol
 	if err != nil {
 		return nil, err
 	}
+	annotate := func(res *CampaignResult) *CampaignResult {
+		if res != nil {
+			res.Model = cfg.Model
+			res.ModelParam = cfg.ModelParam
+		}
+		return res
+	}
 	if cfg.TargetCI > 0 {
-		return runAdaptiveCampaign(ctx, plan)
+		res, err := runAdaptiveCampaign(ctx, plan)
+		return annotate(res), err
 	}
 	params, err := plan.selectAll()
 	if err != nil {
@@ -570,11 +662,11 @@ func RunTransientCampaign(ctx context.Context, r Runner, w Workload, golden *Gol
 		// the aggregated per-run errors alongside the partial result.
 		res := summarize(w.Name(), golden, filterOK(results, errs), nil)
 		res.Translated = !cfg.NoXlate
-		return res, err
+		return annotate(res), err
 	}
 	res := summarize(w.Name(), golden, results, nil)
 	res.Translated = !cfg.NoXlate
-	return res, nil
+	return annotate(res), nil
 }
 
 // filterOK returns the results whose runs completed without error.

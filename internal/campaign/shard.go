@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cuda"
+	"repro/internal/faultmodel"
 )
 
 // Sharded fault selection. A campaign's experiments are split into fixed-
@@ -38,23 +39,50 @@ func ShardSeed(seed int64, shard int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// modelSeed folds the fault-model name into the campaign seed: the model is
+// part of the campaign's selection identity, so campaigns differing only by
+// model draw decorrelated parameter streams, and a worker reconstructing a
+// shard for model m lands on the submitting process's stream.
+func modelSeed(seed int64, model string) int64 {
+	if model == "" {
+		return seed
+	}
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(model); i++ {
+		h = (h ^ uint64(model[i])) * 0x100000001b3
+	}
+	return int64(uint64(seed) ^ h)
+}
+
 // SelectShard selects the parameter tuples of one shard from the profile:
 // experiments [lo, hi) of the campaign, drawn from the shard's own seeded
 // stream. It is pure selection — no workload runs — so a worker can call it
-// for any shard it leases.
+// for any shard it leases. A non-default fault model narrows the site
+// population to its eligible opcodes and shifts the seed by the model name;
+// the per-experiment stream shape (one Int63n, two Float64) is unchanged.
 func SelectShard(profile *core.Profile, cfg TransientCampaignConfig, shard int) ([]core.TransientParams, error) {
 	cfg = cfg.withDefaults()
 	if shard < 0 || shard >= cfg.NumShards() {
 		return nil, fmt.Errorf("campaign: shard %d out of range (campaign has %d shards)", shard, cfg.NumShards())
 	}
+	var model faultmodel.Model
+	if cfg.Model != "" {
+		m, err := faultmodel.Lookup(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		model = m
+	}
 	lo, hi := cfg.ShardRange(shard)
-	rng := rand.New(rand.NewSource(ShardSeed(cfg.Seed, shard)))
+	rng := rand.New(rand.NewSource(ShardSeed(modelSeed(cfg.Seed, cfg.Model), shard)))
 	resolve := cfg.ResolveSites || cfg.Prune || cfg.Checkpoint || cfg.Classes || cfg.TargetCI > 0
 	params := make([]core.TransientParams, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		var p *core.TransientParams
 		var err error
-		if resolve {
+		if model != nil {
+			p, err = core.SelectTransientFaultSiteFiltered(profile, cfg.Group, cfg.BitFlip, model.EligibleOp, rng)
+		} else if resolve {
 			p, err = core.SelectTransientFaultSite(profile, cfg.Group, cfg.BitFlip, rng)
 		} else {
 			p, err = core.SelectTransientFault(profile, cfg.Group, cfg.BitFlip, rng)
@@ -89,6 +117,10 @@ type ShardPlan struct {
 	// stopping rule pools against.
 	strat   *stratifier
 	weights []StratumWeight
+	// model and env are set for non-default fault models (cfg.Model != "");
+	// runOne then dispatches through Runner.RunModel instead of RunTransient.
+	model faultmodel.Model
+	env   faultmodel.Env
 }
 
 // NewShardPlan validates the config against the golden result and performs
@@ -104,6 +136,33 @@ func NewShardPlan(r Runner, w Workload, golden *GoldenResult, profile *core.Prof
 		r.NoXlate = true
 	}
 	plan := &ShardPlan{runner: r, w: w, golden: golden, profile: profile, cfg: cfg}
+	if cfg.Model != "" {
+		m, err := faultmodel.Lookup(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.ValidateParam(cfg.ModelParam); err != nil {
+			return nil, err
+		}
+		// The destination-flip accelerations reason statically about transient
+		// flip semantics; a model must declare each one sound or the campaign
+		// refuses the combination rather than silently miscounting.
+		caps := m.Caps()
+		if cfg.Prune && !caps.Has(faultmodel.CapPrune) {
+			return nil, fmt.Errorf("campaign: fault model %q does not support -prune (dead-destination pruning is only sound for the transient destination-flip model)", m.Name())
+		}
+		if cfg.Classes && !caps.Has(faultmodel.CapClasses) {
+			return nil, fmt.Errorf("campaign: fault model %q does not support -classes (fault-equivalence classes answer members only under destination-flip semantics)", m.Name())
+		}
+		if cfg.Checkpoint && !caps.Has(faultmodel.CapCheckpoint) {
+			return nil, fmt.Errorf("campaign: fault model %q does not support -checkpoint (snapshot restore assumes a single-shot fault after a fault-free prefix)", m.Name())
+		}
+		if golden.Kernels == nil {
+			return nil, fmt.Errorf("campaign: fault model %q requires the golden kernel view; rebuild the golden result with Runner.Golden", m.Name())
+		}
+		plan.model = m
+		plan.env = ModelEnv(r, golden, profile)
+	}
 	if cfg.Prune {
 		if golden.Kernels == nil {
 			return nil, fmt.Errorf("campaign: prune requested but the golden result carries no kernels; rebuild it with Runner.Golden")
@@ -127,7 +186,7 @@ func NewShardPlan(r Runner, w Workload, golden *GoldenResult, profile *core.Prof
 		if cl == nil {
 			cl = newClasser(golden.Kernels)
 		}
-		plan.strat = &stratifier{cl: cl}
+		plan.strat = &stratifier{cl: cl, noCertain: noCertainStrata(cfg)}
 		weights, err := AdaptiveStrata(golden, profile, cfg)
 		if err != nil {
 			return nil, err
@@ -170,6 +229,9 @@ func (pl *ShardPlan) selectAll() ([]core.TransientParams, error) {
 
 // runOne executes (or statically classifies) a single experiment.
 func (pl *ShardPlan) runOne(ctx context.Context, p core.TransientParams) (*RunResult, error) {
+	if pl.model != nil {
+		return pl.runner.RunModel(ctx, pl.w, pl.golden, pl.model, p, pl.cfg.ModelParam, pl.env)
+	}
 	if pl.trace != nil {
 		return pl.runner.runTransientCheckpointed(ctx, pl.w, pl.golden, pl.trace, p, pl.cfg.NoEarlyExit)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/gpu"
 	"repro/internal/nvbit"
@@ -26,10 +25,17 @@ type RandomGate struct {
 }
 
 // Active implements ActivationGate. The decision is a pure function of the
-// activation index so that replays are identical.
+// activation index so that replays are identical: one splitmix64 scramble of
+// the seed/index pair yields the uniform variate, with no per-activation
+// allocation (this runs once per dynamic instance of the faulty opcode).
 func (g RandomGate) Active(activation uint64) bool {
-	r := rand.New(rand.NewSource(g.Seed ^ int64(activation*0x9e3779b97f4a7c15)))
-	return r.Float64() < g.P
+	z := uint64(g.Seed) ^ (activation+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < g.P
 }
 
 // BurstGate activates in bursts: BurstLen activations fire out of every

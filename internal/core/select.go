@@ -102,6 +102,81 @@ func SelectTransientFaultSite(p *Profile, g sass.Group, bf BitFlipModel, rng *ra
 	return nil, fmt.Errorf("core: internal error: fault index %d beyond profile total %d", n, total)
 }
 
+// SelectTransientFaultSiteFiltered is SelectTransientFaultSite restricted to
+// opcodes accepted by eligible: the dynamic index is drawn over (and walked
+// through) only the executions of eligible opcodes within the group, so every
+// selection is valid for fault models that cannot target arbitrary
+// instructions. It consumes exactly the same RNG shape as the unfiltered
+// selectors — one Int63n and two Float64 — keeping per-experiment stream
+// alignment across models.
+func SelectTransientFaultSiteFiltered(p *Profile, g sass.Group, bf BitFlipModel, eligible func(sass.Op) bool, rng *rand.Rand) (*TransientParams, error) {
+	include := func(op sass.Op) bool {
+		return sass.GroupContains(g, op) && eligible(op)
+	}
+	recTotal := func(r *KernelRecord) (uint64, error) {
+		if !r.HasSites() {
+			return 0, fmt.Errorf("core: profile record %s;%d has no site data; filtered selection needs a site-resolved profile",
+				r.Kernel, r.LaunchIndex)
+		}
+		var t uint64
+		for idx, c := range r.SiteCounts {
+			if include(r.SiteOps[idx]) {
+				t += c
+			}
+		}
+		return t, nil
+	}
+	var total uint64
+	for i := range p.Records {
+		t, err := recTotal(&p.Records[i])
+		if err != nil {
+			return nil, err
+		}
+		total += t
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: profile of %q has no eligible %v instructions for this fault model", p.Program, g)
+	}
+	n := uint64(rng.Int63n(int64(total))) // 0-based index into the eligible executions
+	var cum uint64
+	for i := range p.Records {
+		r := &p.Records[i]
+		t, _ := recTotal(r)
+		if n >= cum+t {
+			cum += t
+			continue
+		}
+		rem := n - cum
+		for idx, c := range r.SiteCounts {
+			if !include(r.SiteOps[idx]) {
+				continue
+			}
+			if rem >= c {
+				rem -= c
+				continue
+			}
+			params := &TransientParams{
+				Group:           g,
+				BitFlip:         bf,
+				KernelName:      r.Kernel,
+				KernelCount:     r.LaunchIndex,
+				InstrCount:      rem,
+				SiteResolved:    true,
+				StaticInstrIdx:  idx,
+				DestRegSelect:   rng.Float64(),
+				BitPatternValue: rng.Float64(),
+			}
+			if err := params.Validate(); err != nil {
+				return nil, err
+			}
+			return params, nil
+		}
+		return nil, fmt.Errorf("core: profile record %s;%d: site counts sum below the eligible total for %v",
+			r.Kernel, r.LaunchIndex, g)
+	}
+	return nil, fmt.Errorf("core: internal error: fault index %d beyond eligible total %d", n, total)
+}
+
 // SelectPermanentFaults enumerates one permanent-fault experiment per
 // executed opcode (the campaign described in Section IV-B: "permanent fault
 // experiments can be skipped for unused opcodes"). The SM, lane, and mask

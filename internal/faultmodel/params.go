@@ -1,0 +1,75 @@
+package faultmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// modelParam is a parsed `-model-param` string: comma-separated key=value
+// pairs, e.g. "value=0,bit=17" or "p=0.25". Models validate keys against
+// their own vocabulary so a typo fails fast instead of silently meaning the
+// default.
+type modelParam map[string]string
+
+// parseParam parses a parameter string and checks every key against the
+// allowed set.
+func parseParam(param string, allowed ...string) (modelParam, error) {
+	kv := modelParam{}
+	if param == "" {
+		return kv, nil
+	}
+	for _, part := range strings.Split(param, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("faultmodel: bad parameter %q (want key=value[,key=value...])", part)
+		}
+		found := false
+		for _, a := range allowed {
+			if k == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faultmodel: unknown parameter key %q (want one of %v)", k, allowed)
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("faultmodel: duplicate parameter key %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+// intParam reads an integer key with bounds, returning def when absent.
+func (m modelParam) intParam(key string, def, lo, hi int) (int, error) {
+	s, ok := m[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("faultmodel: parameter %s=%q is not an integer", key, s)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("faultmodel: parameter %s=%d outside %d..%d", key, n, lo, hi)
+	}
+	return n, nil
+}
+
+// floatParam reads a float key in (lo, hi), returning def when absent.
+func (m modelParam) floatParam(key string, def, lo, hi float64) (float64, error) {
+	s, ok := m[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faultmodel: parameter %s=%q is not a number", key, s)
+	}
+	if f <= lo || f >= hi {
+		return 0, fmt.Errorf("faultmodel: parameter %s=%v outside (%v,%v)", key, f, lo, hi)
+	}
+	return f, nil
+}

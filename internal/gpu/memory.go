@@ -283,6 +283,23 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 // AllocCount returns the number of live allocations, for tests.
 func (m *Memory) AllocCount() int { return len(m.allocs) }
 
+// MemSpan describes one live allocation's address range.
+type MemSpan struct {
+	Base uint32
+	Size uint32
+}
+
+// Spans returns the live allocations in base order. Fault injectors use it
+// to map a unit fraction onto a concrete device address without knowing the
+// workload's buffer layout.
+func (m *Memory) Spans() []MemSpan {
+	spans := make([]MemSpan, len(m.allocs))
+	for i := range m.allocs {
+		spans[i] = MemSpan{Base: m.allocs[i].base, Size: m.allocs[i].size}
+	}
+	return spans
+}
+
 // Recycle returns every materialized page to the process-wide page pool and
 // empties the memory. Call only when the memory is being discarded — a
 // campaign retiring an experiment's context. A memory that was ever

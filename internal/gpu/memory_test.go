@@ -159,3 +159,28 @@ func TestMemoryQuickOOBAlwaysTraps(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMemorySpans: Spans enumerates live allocations in order and tracks
+// frees — the surface the memory fault model picks its target word from.
+func TestMemorySpans(t *testing.T) {
+	m := NewMemory()
+	if len(m.Spans()) != 0 {
+		t.Fatal("fresh memory reports spans")
+	}
+	a, _ := m.Alloc(100)
+	b, _ := m.Alloc(64)
+	spans := m.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Base != a || spans[0].Size != 100 || spans[1].Base != b || spans[1].Size != 64 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	spans = m.Spans()
+	if len(spans) != 1 || spans[0].Base != b {
+		t.Fatalf("spans after free = %+v", spans)
+	}
+}

@@ -39,6 +39,16 @@ type SummaryJSON struct {
 	// stratified estimate. Omitted entirely for fixed-count campaigns,
 	// keeping those summaries byte-identical to builds that predate it.
 	Statistical *StatisticalJSON `json:"statistical,omitempty"`
+	// Model names the campaign's fault model. Omitted entirely for the
+	// default transient destination-flip model, keeping those summaries
+	// byte-identical to builds that predate the fault-model subsystem.
+	Model *ModelJSON `json:"model,omitempty"`
+}
+
+// ModelJSON annotates a summary with its non-default fault model.
+type ModelJSON struct {
+	Name  string `json:"name"`
+	Param string `json:"param,omitempty"`
 }
 
 // StatisticalJSON reports an adaptive campaign: the target and achieved
@@ -113,7 +123,17 @@ func NewSummaryJSON(res *campaign.CampaignResult) SummaryJSON {
 		Translated:    res.Translated,
 		Classes:       classSummary(res),
 		Statistical:   statisticalSummary(res),
+		Model:         modelSummary(res),
 	}
+}
+
+// modelSummary builds the fault-model block, or nil for the default
+// transient model.
+func modelSummary(res *campaign.CampaignResult) *ModelJSON {
+	if res.Model == "" {
+		return nil
+	}
+	return &ModelJSON{Name: res.Model, Param: res.ModelParam}
 }
 
 // statisticalSummary builds the adaptive block, or nil when the campaign
@@ -330,6 +350,13 @@ func Summary(res *campaign.CampaignResult) string {
 			res.Program, len(res.Runs),
 			100*res.Weighted.Share("SDC"), 100*res.Weighted.Share("DUE"),
 			100*res.Weighted.Share("Masked"))
+	}
+	if res.Model != "" {
+		s += " [model " + res.Model
+		if res.ModelParam != "" {
+			s += " " + res.ModelParam
+		}
+		s += "]"
 	}
 	if res.Translated {
 		s += " [translated]"

@@ -135,3 +135,42 @@ func atoi(t *testing.T, s string) int {
 	}
 	return n
 }
+
+// TestModelAnnotation: a non-default fault model annotates both the one-line
+// summary and the stable JSON document; the default model leaves both
+// byte-identical to builds that predate the subsystem.
+func TestModelAnnotation(t *testing.T) {
+	tr, _ := miniCampaign(t)
+
+	// The default model: no annotation anywhere.
+	if s := report.Summary(tr); strings.Contains(s, "[model") {
+		t.Fatalf("default summary mentions a model: %s", s)
+	}
+	doc := report.NewSummaryJSON(tr)
+	if doc.Model != nil {
+		t.Fatalf("default summary JSON carries a model block: %+v", doc.Model)
+	}
+	var sb strings.Builder
+	if err := report.WriteSummaryJSON(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `"model"`) {
+		t.Fatalf("default summary JSON encoding mentions a model: %s", sb.String())
+	}
+
+	// A model campaign: both surfaces annotate it.
+	mr := *tr
+	mr.Model, mr.ModelParam = "stuck", "value=0,bit=17"
+	if s := report.Summary(&mr); !strings.Contains(s, "[model stuck value=0,bit=17]") {
+		t.Fatalf("model summary lacks the annotation: %s", s)
+	}
+	doc = report.NewSummaryJSON(&mr)
+	if doc.Model == nil || doc.Model.Name != "stuck" || doc.Model.Param != "value=0,bit=17" {
+		t.Fatalf("model summary JSON block = %+v", doc.Model)
+	}
+	// Without a parameter the annotation drops the param segment.
+	mr.ModelParam = ""
+	if s := report.Summary(&mr); !strings.Contains(s, "[model stuck]") {
+		t.Fatalf("parameterless model annotation wrong: %s", s)
+	}
+}

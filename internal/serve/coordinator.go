@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/faultmodel"
 )
 
 // ErrLeaseLost reports that a heartbeat, completion, or failure named a
@@ -167,9 +168,19 @@ func (c *Coordinator) Submit(spec CampaignSpec) (*JobStatus, error) {
 		return nil, err
 	}
 	adaptive := spec.Config.TargetCI > 0
-	if adaptive {
+	// Normalize the schema to the lowest version that carries the spec: the
+	// journal and every status reply then name exactly the features in play.
+	// An explicit default model name is folded away first so that
+	// Model="transient" jobs are byte-identical to jobs that never set it.
+	if spec.Config.Model == faultmodel.DefaultName {
+		spec.Config.Model = ""
+	}
+	switch {
+	case spec.Config.Model != "":
+		spec.Schema = JobSchemaV3
+	case adaptive:
 		spec.Schema = JobSchemaV2
-	} else {
+	default:
 		spec.Schema = JobSchema
 	}
 	w, err := ResolveWorkload(spec.Workload)

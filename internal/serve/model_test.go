@@ -1,0 +1,170 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/serve"
+)
+
+// TestModelSpecValidation: pre-v3 schemas must reject fault-model configs, and
+// v3 specs are vetted server-side — unknown models, malformed parameters, and
+// acceleration combinations the model's capabilities do not cover all fail at
+// submission, before any worker sees a lease.
+func TestModelSpecValidation(t *testing.T) {
+	base := campaign.TransientCampaignConfig{Injections: 10, Seed: 1}
+	model := base
+	model.Model = "stuck"
+	cases := []struct {
+		name string
+		spec serve.CampaignSpec
+		want string
+	}{
+		{"v1-with-model", serve.CampaignSpec{Schema: serve.JobSchema, Workload: testWorkload, Config: model},
+			serve.JobSchemaV3},
+		{"implicit-v1-with-model", serve.CampaignSpec{Workload: testWorkload, Config: model},
+			serve.JobSchemaV3},
+		{"unknown-model", serve.CampaignSpec{Schema: serve.JobSchemaV3, Workload: testWorkload,
+			Config: withModel(base, "nosuch", "")}, "unknown model"},
+		{"bad-param", serve.CampaignSpec{Schema: serve.JobSchemaV3, Workload: testWorkload,
+			Config: withModel(base, "stuck", "value=7")}, "stuck value"},
+		{"prune-unsound", serve.CampaignSpec{Schema: serve.JobSchemaV3, Workload: testWorkload,
+			Config: withPrune(withModel(base, "stuck", ""))}, "does not support pruning"},
+		{"unknown-schema", serve.CampaignSpec{Schema: "nvbitfi.job/v99", Workload: testWorkload, Config: base},
+			"unsupported job schema"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.want)
+			}
+		})
+	}
+	// A v3 spec with a valid model and no unsound accelerations passes.
+	ok := serve.CampaignSpec{Schema: serve.JobSchemaV3, Workload: testWorkload,
+		Config: withModel(base, "stuck", "value=0,bit=17")}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid v3 spec refused: %v", err)
+	}
+}
+
+func withModel(cfg campaign.TransientCampaignConfig, model, param string) campaign.TransientCampaignConfig {
+	cfg.Model = model
+	cfg.ModelParam = param
+	return cfg
+}
+
+func withPrune(cfg campaign.TransientCampaignConfig) campaign.TransientCampaignConfig {
+	cfg.Prune = true
+	return cfg
+}
+
+// TestModelSchemaNormalization: Submit normalizes the stored job to the lowest
+// schema that carries its spec — an explicit "transient" model name decays to
+// the default and the job stays on v1 bytes, while a real model pins v3.
+func TestModelSchemaNormalization(t *testing.T) {
+	coord, err := serve.NewCoordinator(serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := coord.Submit(serve.CampaignSpec{
+		Schema:   serve.JobSchemaV3,
+		Workload: testWorkload,
+		Config:   withModel(campaign.TransientCampaignConfig{Injections: 5, Seed: 1}, "transient", ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Schema != serve.JobSchema {
+		t.Fatalf("explicit-transient job kept schema %q, want %q", st.Schema, serve.JobSchema)
+	}
+	if st.Config.Model != "" {
+		t.Fatalf("explicit-transient job kept model %q in its config", st.Config.Model)
+	}
+
+	st, err = coord.Submit(serve.CampaignSpec{
+		Schema:   serve.JobSchemaV3,
+		Workload: testWorkload,
+		Config:   withModel(campaign.TransientCampaignConfig{Injections: 5, Seed: 1}, "opsub", ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Schema != serve.JobSchemaV3 {
+		t.Fatalf("model job schema = %q, want %q", st.Schema, serve.JobSchemaV3)
+	}
+	if st.Config.Model != "opsub" {
+		t.Fatalf("model job config model = %q", st.Config.Model)
+	}
+}
+
+// TestModelServiceTallyIdentity: for every fault model, a 200-injection
+// campaign submitted over HTTP and executed by two remote workers produces a
+// tally byte-identical to the in-process runner on the same seed. The model
+// rides the job spec; workers reconstruct its injectors from the grant alone.
+func TestModelServiceTallyIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  campaign.TransientCampaignConfig
+	}{
+		{"stuck", campaign.TransientCampaignConfig{Injections: 200, Seed: 42, Model: "stuck"}},
+		{"stuck-gated", campaign.TransientCampaignConfig{Injections: 200, Seed: 42, Model: "stuck", ModelParam: "value=0,p=0.5"}},
+		{"opsub", campaign.TransientCampaignConfig{Injections: 200, Seed: 42, Model: "opsub"}},
+		{"predflip", campaign.TransientCampaignConfig{Injections: 200, Seed: 42, Model: "predflip"}},
+		{"memfault", campaign.TransientCampaignConfig{Injections: 200, Seed: 42, Model: "memfault"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := inProcessTally(t, tc.cfg)
+
+			coord, err := serve.NewCoordinator(serve.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(serve.NewServer(coord))
+			defer srv.Close()
+			client := serve.NewClient(srv.URL)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var wg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				w := &serve.Worker{Backend: serve.NewClient(srv.URL), Runner: campaign.Runner{},
+					PollInterval: 20 * time.Millisecond, Logf: t.Logf}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w.Run(ctx)
+				}()
+			}
+
+			st, err := client.Submit(serve.CampaignSpec{
+				Schema: serve.JobSchemaV3, Workload: testWorkload, Config: tc.cfg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			final, err := client.Watch(ctx, st.ID, 0, func(serve.Event) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cancel()
+			wg.Wait()
+
+			if final.State != serve.JobDone {
+				t.Fatalf("job settled as %q: %+v", final.State, final)
+			}
+			got := mustJSON(t, final.Tally)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("service tally differs from in-process tally:\nservice:    %s\nin-process: %s", got, want)
+			}
+		})
+	}
+}

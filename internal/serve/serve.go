@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/campaign"
+	"repro/internal/faultmodel"
 	"repro/internal/specaccel"
 )
 
@@ -29,6 +30,14 @@ const JobSchema = "nvbitfi.job/v1"
 // estimate converges. v1 specs are still accepted; a v1 spec with TargetCI
 // set is rejected so old consumers never see fields they don't understand.
 const JobSchemaV2 = "nvbitfi.job/v2"
+
+// JobSchemaV3 is the fault-model job schema: the spec names a non-default
+// fault model (Config.Model, internal/faultmodel registry) and optionally a
+// model parameter string. v1/v2 specs with a model set are rejected, so a
+// consumer that predates the subsystem never silently runs the wrong
+// physics; a v2 spec and a v3 spec without a model stay byte-identical to
+// their prior encodings.
+const JobSchemaV3 = "nvbitfi.job/v3"
 
 // CampaignSpec is a submitted campaign: a workload named out of the
 // benchmark suite plus the transient-campaign configuration. The spec is
@@ -48,12 +57,42 @@ func (s CampaignSpec) Validate() error {
 		if s.Config.TargetCI != 0 {
 			return fmt.Errorf("serve: target-CI campaigns require schema %q", JobSchemaV2)
 		}
+		if !faultmodel.IsDefault(s.Config.Model) {
+			return fmt.Errorf("serve: fault-model campaigns require schema %q", JobSchemaV3)
+		}
 	case JobSchemaV2:
 		if s.Config.TargetCI <= 0 || s.Config.TargetCI >= 1 {
 			return fmt.Errorf("serve: %q spec needs a target CI in (0,1), got %v", JobSchemaV2, s.Config.TargetCI)
 		}
+		if !faultmodel.IsDefault(s.Config.Model) {
+			return fmt.Errorf("serve: fault-model campaigns require schema %q", JobSchemaV3)
+		}
+	case JobSchemaV3:
+		m, err := faultmodel.Lookup(s.Config.Model)
+		if err != nil {
+			return err
+		}
+		if err := m.ValidateParam(s.Config.ModelParam); err != nil {
+			return err
+		}
+		// The same soundness guard rails the in-process planner enforces,
+		// applied server-side so an unsound job is rejected at submission
+		// instead of failing on every worker.
+		caps := m.Caps()
+		if s.Config.Prune && !caps.Has(faultmodel.CapPrune) {
+			return fmt.Errorf("serve: fault model %q does not support pruning", m.Name())
+		}
+		if s.Config.Classes && !caps.Has(faultmodel.CapClasses) {
+			return fmt.Errorf("serve: fault model %q does not support class sampling", m.Name())
+		}
+		if s.Config.Checkpoint && !caps.Has(faultmodel.CapCheckpoint) {
+			return fmt.Errorf("serve: fault model %q does not support checkpointing", m.Name())
+		}
+		if s.Config.TargetCI != 0 && (s.Config.TargetCI <= 0 || s.Config.TargetCI >= 1) {
+			return fmt.Errorf("serve: %q spec needs a target CI in (0,1), got %v", JobSchemaV3, s.Config.TargetCI)
+		}
 	default:
-		return fmt.Errorf("serve: unsupported job schema %q (want %q or %q)", s.Schema, JobSchema, JobSchemaV2)
+		return fmt.Errorf("serve: unsupported job schema %q (want %q, %q or %q)", s.Schema, JobSchema, JobSchemaV2, JobSchemaV3)
 	}
 	if s.Workload == "" {
 		return fmt.Errorf("serve: spec names no workload")

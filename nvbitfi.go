@@ -30,6 +30,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/cuda"
+	"repro/internal/faultmodel"
 	"repro/internal/gpu"
 	"repro/internal/nvbit"
 	"repro/internal/sass"
@@ -71,6 +72,14 @@ type (
 	BitFlipModel = core.BitFlipModel
 	// InjectionRecord reports what an injection actually corrupted.
 	InjectionRecord = core.InjectionRecord
+
+	// FaultModel is one pluggable fault model: selection-space scoping, a
+	// soundness capability bitmask, and an injector factory.
+	FaultModel = faultmodel.Model
+	// FaultModelEnv is the campaign context models build injectors against.
+	FaultModelEnv = faultmodel.Env
+	// FaultModelCaps is the soundness capability bitmask a model declares.
+	FaultModelCaps = faultmodel.Caps
 
 	// Group is the "arch state id": the instruction subset to inject.
 	Group = sass.Group
@@ -143,6 +152,15 @@ const (
 	ZeroValue     = core.ZeroValue
 )
 
+// Fault-model soundness capabilities.
+const (
+	CapPrune         = faultmodel.CapPrune
+	CapClasses       = faultmodel.CapClasses
+	CapCheckpoint    = faultmodel.CapCheckpoint
+	CapEarlyExit     = faultmodel.CapEarlyExit
+	CapCertainStrata = faultmodel.CapCertainStrata
+)
+
 // Outcome classes (Table V).
 const (
 	Masked = campaign.Masked
@@ -203,6 +221,20 @@ func SelectTransientFault(p *Profile, g Group, bf BitFlipModel, rng *rand.Rand) 
 // SelectPermanentFaults enumerates one permanent fault per executed opcode.
 func SelectPermanentFaults(p *Profile, family Family, numSMs int, bf BitFlipModel, rng *rand.Rand) ([]*PermanentParams, error) {
 	return core.SelectPermanentFaults(p, family, numSMs, bf, rng)
+}
+
+// FaultModels lists the registered fault-model names.
+func FaultModels() []string { return faultmodel.Names() }
+
+// LookupFaultModel resolves a fault-model name; the empty string resolves to
+// the default transient destination-flip model.
+func LookupFaultModel(name string) (FaultModel, error) { return faultmodel.Lookup(name) }
+
+// NewModelEnv derives the shared fault-model environment for a campaign:
+// the runner's device shape, the golden kernel view, and the profile's
+// opcode activity.
+func NewModelEnv(r Runner, golden *GoldenResult, profile *Profile) FaultModelEnv {
+	return campaign.ModelEnv(r, golden, profile)
 }
 
 // RunTransientCampaign runs an N-injection transient campaign (Figure 2
